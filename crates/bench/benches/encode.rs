@@ -1,0 +1,41 @@
+//! Construction (encoding) cost of each compressed format.
+//!
+//! The paper requires compression to be `O(nnz)` with no time-complexity
+//! overhead over building CSR itself (§IV, §V); these benches verify the
+//! constant factors are small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::dcsr::{Dcsr, DcsrOptions};
+use spmv_core::Csr;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let coo = spmv_matgen::gen::banded(50_000, 8, 0.9, 1);
+    let csr: Csr = coo.to_csr();
+    let nnz = csr.nnz() as u64;
+
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(nnz));
+    group.bench_with_input(BenchmarkId::from_parameter("csr-du"), &(), |b, _| {
+        b.iter(|| black_box(CsrDu::from_csr(black_box(&csr), &DuOptions::default())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr-du-seq"), &(), |b, _| {
+        b.iter(|| black_box(CsrDu::from_csr(black_box(&csr), &DuOptions::with_seq())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr-vi"), &(), |b, _| {
+        b.iter(|| black_box(CsrVi::from_csr(black_box(&csr))))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr-du-vi"), &(), |b, _| {
+        b.iter(|| black_box(CsrDuVi::from_csr(black_box(&csr), &DuOptions::default())))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("dcsr"), &(), |b, _| {
+        b.iter(|| black_box(Dcsr::from_csr(black_box(&csr), &DcsrOptions::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(encode, benches);
+criterion_main!(encode);

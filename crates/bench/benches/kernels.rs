@@ -1,0 +1,50 @@
+//! Serial SpMV kernel micro-benchmarks, one group per structural class.
+//!
+//! Complements the `reproduce` harness: these are real wall-clock numbers
+//! on the host CPU, at sizes small enough for stable criterion runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::measured::random_x;
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Csr, SpMv};
+use std::hint::black_box;
+
+fn bench_class(c: &mut Criterion, name: &str, coo: spmv_core::Coo) {
+    let mut csr: Csr = coo.to_csr();
+    // Quantize values so CSR-VI is exercised in its favourable regime.
+    let nnz = csr.nnz();
+    for (j, v) in csr.values_mut().iter_mut().enumerate() {
+        *v = [1.0, 2.5, -0.5, 3.25][j % 4];
+    }
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let vi = CsrVi::from_csr(&csr);
+    let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+
+    let x = random_x::<f64>(csr.ncols(), 42);
+    let mut y = vec![0.0f64; csr.nrows()];
+
+    let mut group = c.benchmark_group(format!("spmv/{name}"));
+    group.throughput(Throughput::Elements(nnz as u64));
+    let kernels: Vec<(&str, &dyn SpMv<f64>)> =
+        vec![("csr", &csr), ("csr-du", &du), ("csr-vi", &vi), ("csr-du-vi", &duvi)];
+    for (label, m) in kernels {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                m.spmv(black_box(&x), black_box(&mut y));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_class(c, "banded", spmv_matgen::gen::banded(40_000, 8, 1.0, 1));
+    bench_class(c, "stencil2d", spmv_matgen::gen::stencil_2d(200, 200));
+    bench_class(c, "powerlaw", spmv_matgen::gen::power_law(40_000, 8, 2));
+    bench_class(c, "random", spmv_matgen::gen::random_uniform(40_000, 8, 3));
+}
+
+criterion_group!(kernels, benches);
+criterion_main!(kernels);

@@ -1,0 +1,51 @@
+//! Thread-scaling wall-clock bench for the parallel executors.
+//!
+//! On the single-CPU reproduction container this measures scheduling
+//! overhead rather than speedup (the modeled scaling lives in
+//! `reproduce table2`); on a real multicore it reproduces the paper's
+//! measurement directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::measured::random_x;
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::Csr;
+use spmv_parallel::{ParCsr, ParCsrDu, ParSpMv};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let coo = spmv_matgen::gen::banded(60_000, 8, 1.0, 1);
+    let csr: Csr = coo.to_csr();
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let x = random_x::<f64>(csr.ncols(), 3);
+    let mut y = vec![0.0f64; csr.nrows()];
+
+    let threads: Vec<usize> =
+        [1usize, 2, 4, 8].into_iter().filter(|&t| t <= 2 * num_cpus()).collect();
+
+    let mut group = c.benchmark_group("scaling/csr");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for &t in &threads {
+        let par = ParCsr::new(&csr, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| par.par_spmv(black_box(&x), black_box(&mut y)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/csr-du");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for &t in &threads {
+        let par = ParCsrDu::new(&du, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| par.par_spmv(black_box(&x), black_box(&mut y)))
+        });
+    }
+    group.finish();
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+criterion_group!(scaling, benches);
+criterion_main!(scaling);

@@ -1,0 +1,47 @@
+//! CSR-VI value-index width study: how the per-element indirection cost
+//! varies with the unique-value count (u8 vs u16 table indices, small vs
+//! large resident tables).
+//!
+//! The paper sizes `val_ind` from `uv` (§V); this bench measures the
+//! kernel-side consequence: u8 indices quarter the value-stream bytes of
+//! u16x2... and tiny tables stay L1-resident while 64k-entry tables spill
+//! into L2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_bench::measured::random_x;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Csr, SpMv};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let coo = spmv_matgen::gen::banded(40_000, 8, 1.0, 1);
+    let base: Csr = coo.to_csr();
+    let x = random_x::<f64>(base.ncols(), 11);
+    let mut y = vec![0.0f64; base.nrows()];
+
+    let mut group = c.benchmark_group("vi_widths");
+    group.throughput(Throughput::Elements(base.nnz() as u64));
+
+    for &uv in &[4usize, 200, 2_000, 60_000] {
+        let mut csr = base.clone();
+        let n = csr.nnz();
+        for (j, v) in csr.values_mut().iter_mut().enumerate() {
+            // Exactly uv distinct values, cyclically.
+            *v = 1.0 + (j % uv.min(n)) as f64 * 0.5;
+        }
+        let vi = CsrVi::from_csr(&csr);
+        assert_eq!(vi.unique_values(), uv.min(n));
+        let label = format!("uv={uv}_w{}", vi.val_ind().width_bytes());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| vi.spmv(black_box(&x), black_box(&mut y)))
+        });
+    }
+    // CSR reference point.
+    group.bench_with_input(BenchmarkId::from_parameter("csr"), &(), |b, _| {
+        b.iter(|| base.spmv(black_box(&x), black_box(&mut y)))
+    });
+    group.finish();
+}
+
+criterion_group!(vi_widths, benches);
+criterion_main!(vi_widths);

@@ -1,0 +1,452 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--scale S] [--out DIR] <command>
+//!
+//! commands:
+//!   fig1       CSR arrays for the worked example (Fig. 1)
+//!   table1     CSR-DU ctl stream for the worked example (Table I)
+//!   fig4       CSR-VI value structure for the worked example (Fig. 4)
+//!   table2     overall CSR performance (Table II)
+//!   table3     CSR-DU vs CSR (Table III)
+//!   table4     CSR-VI vs CSR (Table IV)
+//!   fig7       per-matrix CSR-DU speedups + size reductions (Fig. 7)
+//!   fig8       per-matrix CSR-VI speedups + size reductions (Fig. 8)
+//!   ablation-du         delta-width histogram & seq-unit ablation (A1)
+//!   ablation-widen      CSR-DU encoder parameter sweep (A1b)
+//!   ablation-ordering   ordering sensitivity: original/scrambled/RCM (A1c)
+//!   ablation-partition  row/column/block partitioning comparison (A3)
+//!   validate   analytic model vs exact cache-trace simulation
+//!   measured   wall-clock serial format comparison on sample matrices
+//!   all        everything above, in order
+//! ```
+//!
+//! `--scale` shrinks the corpus working sets (default 1.0 = paper scale;
+//! use e.g. 0.05 for a quick run). Scaling changes absolute working sets,
+//! so set membership stays keyed to matrix ids as in the paper.
+//! `--out DIR` additionally writes each artifact as JSON for downstream
+//! plotting.
+
+use spmv_bench::figures::{figure_series, format_figure};
+use spmv_bench::measured::{measure_serial, PAPER_ITERATIONS};
+use spmv_bench::runner::{evaluate_corpus, EvalOptions};
+use spmv_bench::tables::{compare_table, format_compare, format_table2, table2};
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::examples::paper_matrix;
+use spmv_core::{Csc, Csr};
+use spmv_parallel::{ParCscColumns, ParCsr, ParCsrBlock2d, ParSpMv};
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    scale: f64,
+    out: Option<PathBuf>,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut scale = 1.0f64;
+    let mut out = None;
+    let mut command = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale needs a number");
+            }
+            "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            c if command.is_none() => command = Some(c.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { scale, out, command: command.unwrap_or_else(|| "all".to_string()) }
+}
+
+const HELP: &str = "reproduce [--scale S] [--out DIR] \
+<fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
+ablation-ordering|ablation-partition|validate|measured|all>\n";
+
+fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+        let path = dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path).expect("create JSON artifact");
+        serde_json::to_writer_pretty(&mut f, value).expect("serialize artifact");
+        writeln!(f).ok();
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let needs_corpus =
+        matches!(args.command.as_str(), "table2" | "table3" | "table4" | "fig7" | "fig8" | "all");
+
+    let results = if needs_corpus {
+        let opts = EvalOptions { scale: args.scale, ..Default::default() };
+        eprintln!(
+            "evaluating corpus at scale {} (77 matrices of M0; this builds every matrix \
+             and format)...",
+            args.scale
+        );
+        let mut n = 0usize;
+        evaluate_corpus(&opts, false, |r| {
+            n += 1;
+            eprintln!(
+                "  [{n:>2}/77] id {:>3} {:<12} ws {:>7.1} MB  nnz {:>9}  ttu {:>8.1}",
+                r.id,
+                r.name,
+                r.ws_bytes as f64 / (1 << 20) as f64,
+                r.nnz,
+                r.ttu
+            );
+        })
+    } else {
+        Vec::new()
+    };
+
+    let run = |cmd: &str| match cmd {
+        "fig1" => fig1(),
+        "table1" => table1(),
+        "fig4" => fig4(),
+        "table2" => {
+            let rows = table2(&results);
+            println!("\n== Table II: overall CSR SpMxV performance (serial row = MFLOP/s; other rows = speedup vs serial CSR) ==\n");
+            println!("{}", format_table2(&rows));
+            write_json(&args.out, "table2", &rows);
+        }
+        "table3" => {
+            let rows = compare_table(&results, "CSR-DU", false);
+            println!("\n== Table III: CSR-DU vs CSR at equal thread counts ==\n");
+            println!("{}", format_compare(&rows, "MS ", "ML ", "M0"));
+            write_json(&args.out, "table3", &rows);
+        }
+        "table4" => {
+            let rows = compare_table(&results, "CSR-VI", true);
+            println!("\n== Table IV: CSR-VI vs CSR at equal thread counts (M0-vi: ttu > 5) ==\n");
+            println!("{}", format_compare(&rows, "MSvi ", "MLvi ", "M0vi"));
+            write_json(&args.out, "table4", &rows);
+        }
+        "fig7" => {
+            let series = figure_series(&results, "CSR-DU", |r| r.in_m0);
+            println!("\n== Fig. 7: CSR-DU speedups vs serial CSR, sorted (size reduction %) ==\n");
+            println!("{}", format_figure(&series, "CSR-DU"));
+            write_json(&args.out, "fig7", &series);
+        }
+        "fig8" => {
+            let series = figure_series(&results, "CSR-VI", |r| r.in_m0_vi);
+            println!("\n== Fig. 8: CSR-VI speedups vs serial CSR, sorted (size reduction %) ==\n");
+            println!("{}", format_figure(&series, "CSR-VI"));
+            write_json(&args.out, "fig8", &series);
+        }
+        "ablation-du" => ablation_du(&args),
+        "ablation-widen" => ablation_widen(),
+        "ablation-ordering" => ablation_ordering(),
+        "ablation-partition" => ablation_partition(),
+        "validate" => validate_model(),
+        "measured" => measured(&args),
+        other => {
+            eprintln!("unknown command: {other}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.command == "all" {
+        for cmd in [
+            "fig1",
+            "table1",
+            "fig4",
+            "table2",
+            "table3",
+            "table4",
+            "fig7",
+            "fig8",
+            "ablation-du",
+            "ablation-widen",
+            "ablation-ordering",
+            "ablation-partition",
+            "validate",
+            "measured",
+        ] {
+            run(cmd);
+        }
+    } else {
+        run(&args.command);
+    }
+}
+
+/// Fig. 1: the CSR arrays of the worked example.
+fn fig1() {
+    let csr: Csr = paper_matrix().to_csr();
+    println!("\n== Fig. 1: CSR storage of the 6x6 example matrix ==\n");
+    println!("row_ptr: {:?}", csr.row_ptr());
+    println!("col_ind: {:?}", csr.col_ind());
+    println!("values:  {:?}", csr.values());
+}
+
+/// Table I: the ctl stream of the worked example.
+fn table1() {
+    let csr: Csr = paper_matrix().to_csr();
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    println!("\n== Table I: ctl structure for the example matrix ==\n");
+    println!("{:<6} {:<10} {:<6} {:<6} {:<12}", "unit", "uflags", "usize", "ujmp", "ucis");
+    let cursor = du.cursor();
+    let mut prev_end_col = 0usize;
+    for (i, unit) in du.cursor().enumerate() {
+        let cols = cursor.unit_cols(&unit);
+        let deltas: Vec<usize> = cols.windows(2).map(|w| w[1] - w[0]).collect();
+        let jmp = if unit.new_row { unit.first_col } else { unit.first_col - prev_end_col };
+        println!(
+            "{:<6} {:<10} {:<6} {:<6} {:<12}",
+            i,
+            format!("{:?},{}", unit.utype, if unit.new_row { "NR" } else { "--" }),
+            unit.len,
+            jmp,
+            deltas.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+        );
+        prev_end_col = *cols.last().expect("unit is nonempty");
+    }
+    println!(
+        "\nctl size: {} bytes (CSR index data: {} bytes)",
+        du.ctl().len(),
+        csr.nnz() * 4 + (csr.nrows() + 1) * 4
+    );
+}
+
+/// Fig. 4: the CSR-VI value structure of the worked example.
+fn fig4() {
+    let csr: Csr = paper_matrix().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    println!("\n== Fig. 4: CSR-VI value indexing for the example matrix ==\n");
+    println!("vals_unique: {:?}", vi.vals_unique());
+    let ind: Vec<usize> = (0..vi.nnz()).map(|j| vi.val_ind().get(j)).collect();
+    println!("val_ind:     {ind:?}");
+    println!("index width: {} byte(s), ttu = {:.2}", vi.val_ind().width_bytes(), vi.ttu());
+}
+
+/// Ablation A1: unit-width histogram and the effect of seq units on
+/// compression, across structural classes.
+fn ablation_du(args: &Args) {
+    println!("\n== Ablation A1: CSR-DU encoder design choices ==\n");
+    let cases: Vec<(&str, spmv_core::Coo)> = vec![
+        ("banded", spmv_matgen::gen::banded(60_000, 8, 0.9, 1)),
+        ("stencil2d", spmv_matgen::gen::stencil_2d(260, 260)),
+        ("blockfem", spmv_matgen::gen::block_fem(22_000, 3)),
+        ("powerlaw", spmv_matgen::gen::power_law(60_000, 8, 2)),
+        ("random", spmv_matgen::gen::random_uniform(60_000, 8, 3)),
+    ];
+    println!(
+        "{:<10} {:>9} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>9} {:>9} {:>8}",
+        "matrix", "nnz", "u8%", "u16%", "u32%", "u64%", "seq%", "ctlB/nnz", "seqB/nnz", "avg unit"
+    );
+    let mut records = Vec::new();
+    for (name, coo) in cases {
+        let csr = coo.to_csr();
+        let plain = CsrDu::from_csr(&csr, &DuOptions::default());
+        let seq = CsrDu::from_csr(&csr, &DuOptions::with_seq());
+        let s = plain.stats();
+        let s_seq = seq.stats();
+        let pct = |k: usize| 100.0 * s.nnz_by_type[k] as f64 / s.nnz.max(1) as f64;
+        println!(
+            "{:<10} {:>9} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} | {:>9.2} {:>9.2} {:>8.1}",
+            name,
+            s.nnz,
+            pct(0),
+            pct(1),
+            pct(2),
+            pct(3),
+            100.0 * s_seq.nnz_by_type[4] as f64 / s.nnz.max(1) as f64,
+            s.ctl_bytes_per_nnz(),
+            s_seq.ctl_bytes_per_nnz(),
+            s.avg_unit_len()
+        );
+        records.push((name.to_string(), s.ctl_bytes_per_nnz(), s_seq.ctl_bytes_per_nnz()));
+    }
+    write_json(&args.out, "ablation-du", &records);
+}
+
+/// Ablation A1b: CSR-DU encoder parameter sweep — how the widen/split
+/// threshold and the unit size cap trade compression against unit count.
+fn ablation_widen() {
+    println!("\n== Ablation A1b: CSR-DU encoder parameters ==\n");
+    let coo = spmv_matgen::gen::power_law(60_000, 8, 2); // mixed deltas
+    let csr = coo.to_csr();
+    println!(
+        "{:>8} {:>9} | {:>9} {:>9} {:>9}",
+        "widen", "max_unit", "ctlB/nnz", "units", "avg unit"
+    );
+    for widen in [1usize, 2, 4, 8, 16] {
+        for max_unit in [64usize, 255] {
+            let opts = DuOptions { widen_threshold: widen, max_unit, ..Default::default() };
+            let du = CsrDu::from_csr(&csr, &opts);
+            let s = du.stats();
+            println!(
+                "{widen:>8} {max_unit:>9} | {:>9.3} {:>9} {:>9.1}",
+                s.ctl_bytes_per_nnz(),
+                s.units,
+                s.avg_unit_len()
+            );
+        }
+    }
+    println!("\n(small widen thresholds split eagerly into narrow units; large ones\n widen in place — the default 4 balances header overhead vs delta width)");
+}
+
+/// Ablation A1c: ordering sensitivity — the same matrix in its natural
+/// banded order, randomly scrambled, and restored with RCM.
+fn ablation_ordering() {
+    use spmv_matgen::permute::{bandwidth, permute_symmetric, rcm_permutation, scramble};
+    println!("\n== Ablation A1c: ordering sensitivity of index compression ==\n");
+    let original = spmv_matgen::gen::banded(60_000, 6, 1.0, 5);
+    let scrambled = scramble(&original, 6);
+    let restored = permute_symmetric(&scrambled, &rcm_permutation(&scrambled));
+    println!(
+        "{:<12} {:>10} | {:>9} {:>9} | {:>10}",
+        "ordering", "bandwidth", "ctlB/nnz", "red.%", "x span"
+    );
+    for (name, coo) in [("original", &original), ("scrambled", &scrambled), ("rcm", &restored)] {
+        let csr = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let profile = spmv_memsim::MatrixProfile::from_csr(&csr);
+        println!(
+            "{name:<12} {:>10} | {:>9.2} {:>9.1} | {:>10.0}",
+            bandwidth(coo),
+            du.stats().ctl_bytes_per_nnz(),
+            du.size_report().reduction() * 100.0,
+            profile.avg_row_span,
+        );
+    }
+    println!("\n(delta encoding lives on ordering-induced locality: scrambling inflates\n the ctl stream and the x access window; RCM restores both)");
+}
+
+/// Ablation A3: row vs column vs 2-D block partitioning, wall-clock on
+/// this host (shape only — modeled scaling lives in the simulated tables).
+fn ablation_partition() {
+    println!("\n== Ablation A3: partitioning schemes (§II-C), wall-clock on this host ==\n");
+    let coo = spmv_matgen::gen::stencil_2d(400, 400);
+    let csr = coo.to_csr();
+    let csc = Csc::from_csr(&csr);
+    let x = spmv_bench::measured::random_x::<f64>(csr.ncols(), 1);
+    let mut y = vec![0.0; csr.nrows()];
+    let iters = 20;
+
+    for threads in [1usize, 2, 4] {
+        let row = ParCsr::new(&csr, threads);
+        let col = ParCscColumns::new(&csc, threads);
+        let block = ParCsrBlock2d::new(&csr, threads);
+        let mut time = |f: &dyn Fn(&mut [f64])| {
+            f(&mut y); // warm
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                f(&mut y);
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        };
+        let t_row = time(&|y| row.par_spmv(&x, y));
+        let t_col = time(&|y| col.par_spmv(&x, y));
+        let t_blk = time(&|y| block.par_spmv(&x, y));
+        println!(
+            "threads {threads}: row {:.3} ms | column(+reduce) {:.3} ms | block2d {:.3} ms",
+            t_row * 1e3,
+            t_col * 1e3,
+            t_blk * 1e3
+        );
+    }
+    println!(
+        "\n(row partitioning avoids the column scheme's y-reduction and the block\n \
+         scheme's filtered scans — the paper's reason for choosing it)"
+    );
+}
+
+/// Validates the analytic performance model against the exact cache-trace
+/// simulator on down-scaled matrices (one die's L2, serial placement).
+fn validate_model() {
+    use spmv_memsim::trace::simulate_csr_spmv;
+    use spmv_memsim::{predict, FormatCost, MatrixProfile, Placement, SimConfig};
+    println!("\n== Model validation: analytic predictor vs cache-trace simulation ==\n");
+    println!("(serial placement, one 4 MB L2; traffic per iteration in MB)\n");
+    let cfg = SimConfig::default();
+    let geo = cfg.machine.l2;
+    let cases: Vec<(&str, spmv_core::Coo)> = vec![
+        ("banded-small", spmv_matgen::gen::banded(30_000, 6, 1.0, 1)),
+        ("banded-large", spmv_matgen::gen::banded(120_000, 6, 1.0, 2)),
+        ("stencil2d", spmv_matgen::gen::stencil_2d(300, 300)),
+        ("powerlaw", spmv_matgen::gen::power_law(120_000, 8, 3)),
+        ("random", spmv_matgen::gen::random_uniform(120_000, 8, 4)),
+    ];
+    println!(
+        "{:<14} {:>9} {:>8} | {:>10} {:>10} | {:>8}",
+        "matrix", "nnz", "ws(MB)", "model", "trace", "ratio"
+    );
+    for (name, coo) in cases {
+        let csr: spmv_core::Csr = coo.to_csr();
+        let profile = MatrixProfile::from_csr(&csr);
+        let fc = FormatCost::csr(&csr, &cfg.cost);
+        let p = predict(&profile, &fc, &Placement::serial(), &cfg);
+        let t = simulate_csr_spmv(&csr, geo, 1);
+        let model_mb = p.traffic_bytes / (1 << 20) as f64;
+        let trace_mb = t.miss_bytes() as f64 / (1 << 20) as f64;
+        let ratio = if trace_mb > 0.0 { model_mb / trace_mb } else { f64::NAN };
+        println!(
+            "{name:<14} {:>9} {:>8.2} | {:>10.3} {:>10.3} | {:>8.2}",
+            csr.nnz(),
+            csr.working_set().total() as f64 / (1 << 20) as f64,
+            model_mb,
+            trace_mb,
+            ratio
+        );
+    }
+    println!("\n(ratios near 1 mean the closed-form allocator matches LRU behaviour;\n the analytic model exists because tracing 100 full-size matrices x 4\n formats x 5 placements is computationally infeasible)");
+}
+
+/// Wall-clock serial comparison of all formats on sample corpus matrices.
+fn measured(args: &Args) {
+    println!(
+        "\n== Measured mode: serial wall-clock, {PAPER_ITERATIONS} iterations (§VI-A protocol) ==\n"
+    );
+    println!(
+        "(this container has one CPU; multithreaded wall-clock scaling is not\n \
+         meaningful here — scaling shape lives in the simulated tables above)\n"
+    );
+    let scale = args.scale.min(0.25); // keep measured mode quick
+    let corpus = spmv_matgen::corpus::corpus_scaled(scale);
+    let picks: Vec<u32> = vec![2, 9, 3, 26]; // ML, ML-vi, MS, MS-vi ids
+    println!(
+        "{:<12} {:>9} {:>7} | {:>9} {:>9} {:>9} {:>9}",
+        "matrix", "nnz", "ttu", "CSR", "CSR-DU", "CSR-VI", "CSR-DU-VI"
+    );
+    for id in picks {
+        let entry = corpus.iter().find(|e| e.id == id).expect("id in corpus");
+        let csr: Csr = entry.build().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        let iters = PAPER_ITERATIONS;
+        let m_csr = measure_serial(&csr, iters, 42);
+        let m_du = measure_serial(&du, iters, 42);
+        let m_vi = measure_serial(&vi, iters, 42);
+        let m_duvi = measure_serial(&duvi, iters, 42);
+        println!(
+            "{:<12} {:>9} {:>7.1} | {:>7.0} MF {:>6.0} MF {:>6.0} MF {:>6.0} MF",
+            entry.name,
+            csr.nnz(),
+            csr.ttu(),
+            m_csr.mflops,
+            m_du.mflops,
+            m_vi.mflops,
+            m_duvi.mflops
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-matrix figure series: the paper's Figs. 7 (CSR-DU) and 8 (CSR-VI).
+//!
+//! Each figure plots, per matrix sorted by speedup: bars of the compressed
+//! format's speedup relative to *serial CSR* at 1/2/4/8 threads, black
+//! squares of the CSR multithreaded speedup at the same thread counts, and
+//! the matrix size reduction as text. We render the same content as an
+//! aligned text table plus a machine-readable JSON series.
+
+use crate::runner::MatrixResult;
+use serde::Serialize;
+
+/// One matrix's entry in a figure series.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureEntry {
+    /// Corpus id.
+    pub id: u32,
+    /// Matrix name.
+    pub name: String,
+    /// Matrix size reduction vs CSR (percent).
+    pub size_reduction_pct: f64,
+    /// Compressed-format speedup vs serial CSR at 1, 2, 4, 8 threads
+    /// (2 = the default shared-L2 placement, as in the paper).
+    pub compressed: [f64; 4],
+    /// Plain CSR speedup vs serial CSR at the same thread counts (the
+    /// black squares).
+    pub csr: [f64; 4],
+}
+
+/// Thread placements used for the figure columns.
+const FIG_PLACEMENTS: [&str; 4] = ["1", "2(1xL2)", "4", "8"];
+
+/// Builds a figure series for `format` over the matrices selected by
+/// `select`, sorted by 8-thread compressed speedup (the paper sorts each
+/// sub-graph by speedup).
+pub fn figure_series(
+    results: &[MatrixResult],
+    format: &str,
+    select: impl Fn(&MatrixResult) -> bool,
+) -> Vec<FigureEntry> {
+    let size_reduction = |r: &MatrixResult| match format {
+        "CSR-DU" => r.du_size_reduction,
+        "CSR-VI" => r.vi_size_reduction,
+        "CSR-DU-VI" => r.duvi_size_reduction,
+        _ => 0.0,
+    };
+    let mut series: Vec<FigureEntry> = results
+        .iter()
+        .filter(|r| select(r))
+        .map(|r| FigureEntry {
+            id: r.id,
+            name: r.name.clone(),
+            size_reduction_pct: size_reduction(r) * 100.0,
+            compressed: FIG_PLACEMENTS.map(|p| r.speedup_vs_serial_csr(format, p)),
+            csr: FIG_PLACEMENTS.map(|p| r.speedup_vs_serial_csr("CSR", p)),
+        })
+        .collect();
+    series.sort_by(|a, b| a.compressed[3].total_cmp(&b.compressed[3]));
+    series
+}
+
+/// Renders a figure series as an aligned text table.
+pub fn format_figure(series: &[FigureEntry], format: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} | {:>24} | {:>24}\n",
+        "matrix",
+        "red.%",
+        format!("{format} speedup @1/2/4/8T"),
+        "CSR speedup @1/2/4/8T"
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    for e in series {
+        out.push_str(&format!(
+            "{:<14} {:>6.1} | {:>5.2} {:>5.2} {:>5.2} {:>5.2}  | {:>5.2} {:>5.2} {:>5.2} {:>5.2}\n",
+            e.name,
+            e.size_reduction_pct,
+            e.compressed[0],
+            e.compressed[1],
+            e.compressed[2],
+            e.compressed[3],
+            e.csr[0],
+            e.csr[1],
+            e.csr[2],
+            e.csr[3],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{evaluate_corpus, EvalOptions};
+
+    #[test]
+    fn fig7_series_covers_m0_sorted() {
+        let opts = EvalOptions { scale: 0.002, ..Default::default() };
+        let results = evaluate_corpus(&opts, false, |_| {});
+        let series = figure_series(&results, "CSR-DU", |r| r.in_m0);
+        assert_eq!(series.len(), 77);
+        assert!(series.windows(2).all(|w| w[0].compressed[3] <= w[1].compressed[3]));
+        let text = format_figure(&series, "CSR-DU");
+        assert_eq!(text.lines().count(), 79);
+    }
+
+    #[test]
+    fn fig8_series_covers_m0_vi() {
+        let opts = EvalOptions { scale: 0.002, ..Default::default() };
+        let results = evaluate_corpus(&opts, false, |_| {});
+        let series = figure_series(&results, "CSR-VI", |r| r.in_m0_vi);
+        assert_eq!(series.len(), 30);
+    }
+}

@@ -1,0 +1,16 @@
+//! # spmv-bench — the reproduction harness
+//!
+//! Library side of the `reproduce` binary: per-matrix evaluation
+//! ([`runner`]), aggregation into the paper's tables ([`tables`]) and
+//! per-matrix figure series ([`figures`]).
+//!
+//! Every table and figure of the paper maps to one harness command; see
+//! DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! paper-vs-reproduction numbers.
+
+pub mod figures;
+pub mod measured;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{evaluate_entry, EvalOptions, MatrixResult};

@@ -1,0 +1,152 @@
+//! Wall-clock measurement mode — the paper's actual protocol (§VI-A):
+//! time 128 consecutive SpMV operations with a randomly-initialized x
+//! vector, caches warm.
+//!
+//! On this container (a single CPU) multithreaded wall-clock numbers do
+//! not exhibit real scaling; the measured mode exists to (a) validate the
+//! *serial* format comparisons for real, and (b) run the full protocol
+//! faithfully on machines that do have the cores.
+
+use serde::Serialize;
+use spmv_core::{Scalar, SpMv};
+use spmv_parallel::{IterationDriver, ParSpMv};
+use std::time::Instant;
+
+/// Default iteration count, as in the paper.
+pub const PAPER_ITERATIONS: usize = 128;
+
+/// Wall-clock measurement of one kernel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Iterations timed.
+    pub iterations: usize,
+    /// Total seconds for all iterations.
+    pub total_s: f64,
+    /// Seconds per iteration.
+    pub per_iter_s: f64,
+    /// Achieved MFLOP/s.
+    pub mflops: f64,
+}
+
+/// Deterministic pseudo-random x vector ("randomly created x vertices",
+/// §VI-A) — xorshift, no rand dependency in the hot path.
+pub fn random_x<V: Scalar>(ncols: usize, seed: u64) -> Vec<V> {
+    let mut state = seed | 1;
+    (0..ncols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            V::from_f64((state % 2000) as f64 / 1000.0 - 1.0)
+        })
+        .collect()
+}
+
+/// Measures `iters` serial SpMV iterations of `m`.
+pub fn measure_serial<V: Scalar>(m: &dyn SpMv<V>, iters: usize, seed: u64) -> Measurement {
+    let x = random_x::<V>(m.ncols(), seed);
+    let mut y = vec![V::zero(); m.nrows()];
+    // Warm-up iteration (the paper measures with warm caches).
+    m.spmv(&x, &mut y);
+    let start = Instant::now();
+    for _ in 0..iters {
+        m.spmv(&x, &mut y);
+        std::hint::black_box(&mut y);
+    }
+    let total = start.elapsed().as_secs_f64();
+    finish(m.flops(), iters, total)
+}
+
+/// Measures `iters` multithreaded iterations of a planned executor,
+/// spawning threads once (per the paper's protocol) via [`IterationDriver`]
+/// semantics: each iteration is one full parallel SpMV.
+pub fn measure_parallel<V: Scalar>(
+    m: &dyn SpMv<V>,
+    par: &dyn ParSpMv<V>,
+    iters: usize,
+    seed: u64,
+) -> Measurement {
+    let x = random_x::<V>(m.ncols(), seed);
+    let mut y = vec![V::zero(); m.nrows()];
+    par.par_spmv(&x, &mut y); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        par.par_spmv(&x, &mut y);
+        std::hint::black_box(&mut y);
+    }
+    let total = start.elapsed().as_secs_f64();
+    finish(m.flops(), iters, total)
+}
+
+/// Verifies that `par` produces the same y as the serial kernel before
+/// trusting its timing; returns the max abs difference.
+pub fn validate_parallel<V: Scalar>(m: &dyn SpMv<V>, par: &dyn ParSpMv<V>, seed: u64) -> f64 {
+    let x = random_x::<V>(m.ncols(), seed);
+    let mut y_serial = vec![V::zero(); m.nrows()];
+    let mut y_par = vec![V::zero(); m.nrows()];
+    m.spmv(&x, &mut y_serial);
+    par.par_spmv(&x, &mut y_par);
+    y_serial
+        .iter()
+        .zip(&y_par)
+        .map(|(a, b)| (*a - *b).abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+fn finish(flops_per_iter: usize, iters: usize, total_s: f64) -> Measurement {
+    let per_iter = total_s / iters as f64;
+    Measurement {
+        iterations: iters,
+        total_s,
+        per_iter_s: per_iter,
+        mflops: flops_per_iter as f64 / per_iter / 1e6,
+    }
+}
+
+/// Runs the driver-based barrier protocol once, as a smoke check that the
+/// spawn-once path works (used by tests; heavy measurement uses
+/// [`measure_parallel`]).
+pub fn barrier_smoke(iters: usize, nthreads: usize) {
+    IterationDriver::new(nthreads, iters).run(|_, _| {});
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::csr_du::{CsrDu, DuOptions};
+    use spmv_core::Csr;
+    use spmv_parallel::ParCsrDu;
+
+    #[test]
+    fn serial_measurement_is_sane() {
+        let csr: Csr = spmv_matgen::gen::banded(5000, 4, 1.0, 1).to_csr();
+        let m = measure_serial(&csr, 4, 42);
+        assert_eq!(m.iterations, 4);
+        assert!(m.total_s > 0.0);
+        assert!(m.mflops > 1.0, "mflops {}", m.mflops);
+    }
+
+    #[test]
+    fn parallel_measurement_validates_against_serial() {
+        let csr: Csr = spmv_matgen::gen::banded(3000, 4, 1.0, 2).to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let par = ParCsrDu::new(&du, 3);
+        assert_eq!(validate_parallel(&du, &par, 7), 0.0);
+        let m = measure_parallel(&du, &par, 3, 7);
+        assert!(m.per_iter_s > 0.0);
+    }
+
+    #[test]
+    fn random_x_is_deterministic_and_bounded() {
+        let a = random_x::<f64>(100, 9);
+        let b = random_x::<f64>(100, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert_ne!(a, random_x::<f64>(100, 10));
+    }
+
+    #[test]
+    fn barrier_smoke_runs() {
+        barrier_smoke(4, 3);
+    }
+}

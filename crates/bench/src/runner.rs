@@ -1,0 +1,206 @@
+//! Per-matrix evaluation: build a corpus entry, encode every format,
+//! profile the structure, and predict performance for each (format,
+//! placement) pair on the modeled Clovertown.
+
+use serde::Serialize;
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::Csr;
+use spmv_matgen::CorpusEntry;
+use spmv_memsim::{predict, FormatCost, MatrixProfile, Placement, Prediction, SimConfig};
+
+/// Formats evaluated by the harness, in report order.
+pub const FORMATS: [&str; 4] = ["CSR", "CSR-DU", "CSR-VI", "CSR-DU-VI"];
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Working-set scale factor for the corpus (1.0 = paper scale).
+    pub scale: f64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// CSR-DU encoder options.
+    pub du: DuOptions,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { scale: 1.0, sim: SimConfig::default(), du: DuOptions::default() }
+    }
+}
+
+/// One (format, placement) performance prediction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Format name (e.g. `"CSR-DU"`).
+    pub format: String,
+    /// Placement label (e.g. `"2(1xL2)"`).
+    pub placement: String,
+    /// The prediction.
+    pub prediction: Prediction,
+}
+
+/// Full evaluation record of one matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixResult {
+    /// Corpus id (the paper's id scheme).
+    pub id: u32,
+    /// Matrix name.
+    pub name: String,
+    /// Working set (bytes) of the CSR form incl. vectors.
+    pub ws_bytes: usize,
+    /// Non-zeros.
+    pub nnz: usize,
+    /// Rows.
+    pub nrows: usize,
+    /// Total-to-unique values ratio.
+    pub ttu: f64,
+    /// Set memberships (by id, as in the paper).
+    pub in_m0: bool,
+    /// `true` if in the memory-bound large set.
+    pub in_ml: bool,
+    /// `true` if in the CSR-VI-applicable set.
+    pub in_m0_vi: bool,
+    /// CSR-DU matrix-size reduction vs CSR (0.12 = 12% smaller).
+    pub du_size_reduction: f64,
+    /// CSR-VI matrix-size reduction vs CSR.
+    pub vi_size_reduction: f64,
+    /// CSR-DU-VI matrix-size reduction vs CSR.
+    pub duvi_size_reduction: f64,
+    /// Predictions for every format × placement.
+    pub cells: Vec<Cell>,
+}
+
+impl MatrixResult {
+    /// Looks up the prediction for (format, placement label).
+    pub fn get(&self, format: &str, placement: &str) -> &Prediction {
+        &self
+            .cells
+            .iter()
+            .find(|c| c.format == format && c.placement == placement)
+            .unwrap_or_else(|| panic!("missing cell {format}/{placement}"))
+            .prediction
+    }
+
+    /// Speedup of `format` at `placement` relative to *serial CSR* (the
+    /// y-axis of the paper's Figs. 7-8).
+    pub fn speedup_vs_serial_csr(&self, format: &str, placement: &str) -> f64 {
+        self.get("CSR", "1").time_s / self.get(format, placement).time_s
+    }
+
+    /// Speedup of `format` vs CSR at the *same* placement (the paper's
+    /// Tables III-IV comparison).
+    pub fn speedup_vs_csr_same_threads(&self, format: &str, placement: &str) -> f64 {
+        self.get("CSR", placement).time_s / self.get(format, placement).time_s
+    }
+}
+
+/// Evaluates one corpus entry end to end.
+pub fn evaluate_entry(entry: &CorpusEntry, opts: &EvalOptions) -> MatrixResult {
+    let coo = entry.build();
+    let csr: Csr = coo.to_csr();
+    drop(coo);
+
+    let du = CsrDu::from_csr(&csr, &opts.du);
+    let vi = CsrVi::from_csr(&csr);
+    let duvi = CsrDuVi::from_csr(&csr, &opts.du);
+    let profile = MatrixProfile::from_csr(&csr);
+
+    let costs = [
+        ("CSR", FormatCost::csr(&csr, &opts.sim.cost)),
+        ("CSR-DU", FormatCost::csr_du(&du, &opts.sim.cost)),
+        ("CSR-VI", FormatCost::csr_vi(&vi, &opts.sim.cost)),
+        ("CSR-DU-VI", FormatCost::csr_duvi(&duvi, &opts.sim.cost)),
+    ];
+
+    let mut cells = Vec::with_capacity(costs.len() * 5);
+    for (name, fc) in &costs {
+        for placement in Placement::paper_configs() {
+            let prediction = predict(&profile, fc, &placement, &opts.sim);
+            cells.push(Cell {
+                format: (*name).to_string(),
+                placement: placement.label.clone(),
+                prediction,
+            });
+        }
+    }
+
+    MatrixResult {
+        id: entry.id,
+        name: entry.name.clone(),
+        ws_bytes: csr.working_set().total(),
+        nnz: csr.nnz(),
+        nrows: csr.nrows(),
+        ttu: csr.ttu(),
+        in_m0: entry.in_m0(),
+        in_ml: entry.in_ml(),
+        in_m0_vi: entry.in_m0_vi(),
+        du_size_reduction: du.size_report().reduction(),
+        vi_size_reduction: vi.size_report().reduction(),
+        duvi_size_reduction: duvi.size_report().reduction(),
+        cells,
+    }
+}
+
+/// Evaluates the full corpus (skipping ids outside M0 unless
+/// `include_all`), reporting progress through `progress`.
+pub fn evaluate_corpus(
+    opts: &EvalOptions,
+    include_all: bool,
+    mut progress: impl FnMut(&MatrixResult),
+) -> Vec<MatrixResult> {
+    let corpus = spmv_matgen::corpus::corpus_scaled(opts.scale);
+    let mut out = Vec::new();
+    for entry in &corpus {
+        if !include_all && !entry.in_m0() {
+            continue;
+        }
+        let r = evaluate_entry(entry, opts);
+        progress(&r);
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts() -> EvalOptions {
+        EvalOptions { scale: 0.01, ..Default::default() }
+    }
+
+    #[test]
+    fn evaluate_entry_produces_all_cells() {
+        let corpus = spmv_matgen::corpus::corpus_scaled(0.01);
+        let entry = corpus.iter().find(|e| e.id == 2).unwrap();
+        let r = evaluate_entry(entry, &small_opts());
+        assert_eq!(r.cells.len(), 4 * 5);
+        assert!(r.in_m0 && r.in_ml);
+        assert!(r.get("CSR", "1").mflops > 0.0);
+        // Speedup of CSR vs itself at serial is exactly 1.
+        assert_eq!(r.speedup_vs_serial_csr("CSR", "1"), 1.0);
+    }
+
+    #[test]
+    fn vi_entry_has_high_ttu_and_size_reduction() {
+        let corpus = spmv_matgen::corpus::corpus_scaled(0.01);
+        let entry = corpus.iter().find(|e| e.id == 9).unwrap(); // ML-vi id
+        let r = evaluate_entry(entry, &small_opts());
+        assert!(r.ttu > 5.0);
+        assert!(r.vi_size_reduction > 0.3, "vi reduction {}", r.vi_size_reduction);
+        // DU-VI compounds both.
+        assert!(r.duvi_size_reduction >= r.vi_size_reduction - 0.05);
+    }
+
+    #[test]
+    fn corpus_filter_respects_m0() {
+        let opts = EvalOptions { scale: 0.002, ..Default::default() };
+        let mut count = 0;
+        let results = evaluate_corpus(&opts, false, |_| count += 1);
+        assert_eq!(results.len(), 77);
+        assert_eq!(count, 77);
+        assert!(results.iter().all(|r| r.in_m0));
+    }
+}

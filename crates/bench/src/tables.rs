@@ -1,0 +1,294 @@
+//! Aggregation of per-matrix results into the paper's Tables II, III
+//! and IV.
+
+use crate::runner::MatrixResult;
+use serde::Serialize;
+
+/// avg/max/min summary of a sample.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample; empty samples produce NaNs with `n = 0`.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for v in values {
+            n += 1;
+            sum += v;
+            max = max.max(v);
+            min = min.min(v);
+        }
+        if n == 0 {
+            Summary { avg: f64::NAN, max: f64::NAN, min: f64::NAN, n }
+        } else {
+            Summary { avg: sum / n as f64, max, min, n }
+        }
+    }
+}
+
+/// Matrix-set filter used in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SetFilter {
+    /// MS: M0 matrices below the 17 MB threshold.
+    Ms,
+    /// ML: M0 matrices at or above 17 MB.
+    Ml,
+    /// The whole M0 (or M0-vi when combined with the vi filter).
+    M0,
+}
+
+impl SetFilter {
+    /// `true` if `r` belongs to the filtered set (optionally intersected
+    /// with the CSR-VI-applicable set).
+    pub fn contains(self, r: &MatrixResult, vi_only: bool) -> bool {
+        if !r.in_m0 || (vi_only && !r.in_m0_vi) {
+            return false;
+        }
+        match self {
+            SetFilter::Ms => !r.in_ml,
+            SetFilter::Ml => r.in_ml,
+            SetFilter::M0 => true,
+        }
+    }
+
+    /// Display name (adds the "-vi" suffix when filtered).
+    pub fn name(self, vi_only: bool) -> String {
+        let base = match self {
+            SetFilter::Ms => "MS",
+            SetFilter::Ml => "ML",
+            SetFilter::M0 => "M0",
+        };
+        if vi_only {
+            format!("{base}-vi")
+        } else {
+            base.to_string()
+        }
+    }
+}
+
+/// The paper's placement rows, in table order.
+pub const PLACEMENTS: [&str; 5] = ["1", "2(1xL2)", "2(2xL2)", "4", "8"];
+
+/// One row of Table II: CSR serial MFLOPS (for `placement == "1"`) or CSR
+/// speedup relative to serial CSR.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Placement label.
+    pub placement: String,
+    /// Summary over MS.
+    pub ms: Summary,
+    /// Summary over ML.
+    pub ml: Summary,
+    /// Average over M0.
+    pub m0_avg: f64,
+}
+
+/// Builds Table II (overall CSR performance, §VI-C).
+pub fn table2(results: &[MatrixResult]) -> Vec<Table2Row> {
+    PLACEMENTS
+        .iter()
+        .map(|&placement| {
+            let value = |r: &MatrixResult| {
+                if placement == "1" {
+                    r.get("CSR", "1").mflops
+                } else {
+                    r.speedup_vs_serial_csr("CSR", placement)
+                }
+            };
+            let ms = Summary::of(
+                results.iter().filter(|r| SetFilter::Ms.contains(r, false)).map(&value),
+            );
+            let ml = Summary::of(
+                results.iter().filter(|r| SetFilter::Ml.contains(r, false)).map(&value),
+            );
+            let m0 = Summary::of(
+                results.iter().filter(|r| SetFilter::M0.contains(r, false)).map(&value),
+            );
+            Table2Row { placement: placement.to_string(), ms, ml, m0_avg: m0.avg }
+        })
+        .collect()
+}
+
+/// One row of Tables III/IV: compressed-format speedup vs CSR at equal
+/// thread counts, with the `< 0.98` slowdown census.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompareRow {
+    /// Thread count (placement "2" uses the paper's default shared-L2
+    /// placement for the comparison rows).
+    pub cores: String,
+    /// Small-set summary.
+    pub s: Summary,
+    /// Small-set slowdown count (speedup < 0.98).
+    pub s_slowdowns: usize,
+    /// Large-set summary.
+    pub l: Summary,
+    /// Large-set slowdown count.
+    pub l_slowdowns: usize,
+    /// Average over the combined set.
+    pub all_avg: f64,
+}
+
+/// Placements used for the comparison tables (Tables III/IV report 1, 2,
+/// 4, 8 cores; the 2-core row uses the default "close" shared-L2
+/// placement).
+pub const COMPARE_PLACEMENTS: [(&str, &str); 4] =
+    [("1", "1"), ("2", "2(1xL2)"), ("4", "4"), ("8", "8")];
+
+/// Builds Table III (`format = "CSR-DU"`, vi_only = false) or Table IV
+/// (`format = "CSR-VI"`, vi_only = true).
+pub fn compare_table(
+    results: &[MatrixResult],
+    format: &str,
+    vi_only: bool,
+) -> Vec<CompareRow> {
+    COMPARE_PLACEMENTS
+        .iter()
+        .map(|&(cores, placement)| {
+            let speedups = |filter: SetFilter| -> Vec<f64> {
+                results
+                    .iter()
+                    .filter(|r| filter.contains(r, vi_only))
+                    .map(|r| r.speedup_vs_csr_same_threads(format, placement))
+                    .collect()
+            };
+            let s = speedups(SetFilter::Ms);
+            let l = speedups(SetFilter::Ml);
+            let all = speedups(SetFilter::M0);
+            CompareRow {
+                cores: cores.to_string(),
+                s_slowdowns: s.iter().filter(|&&v| v < 0.98).count(),
+                s: Summary::of(s),
+                l_slowdowns: l.iter().filter(|&&v| v < 0.98).count(),
+                l: Summary::of(l),
+                all_avg: Summary::of(all).avg,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table II like the paper.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8}\n",
+        "core(s)", "MS avg", "MS max", "MS min", "ML avg", "ML max", "ML min", "M0 avg"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2}\n",
+            row.placement,
+            row.ms.avg,
+            row.ms.max,
+            row.ms.min,
+            row.ml.avg,
+            row.ml.max,
+            row.ml.min,
+            row.m0_avg
+        ));
+    }
+    out
+}
+
+/// Formats Tables III/IV like the paper.
+pub fn format_compare(rows: &[CompareRow], s_name: &str, l_name: &str, all: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} | {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>7} {:>6} | {:>8}\n",
+        "core(s)",
+        format!("{s_name}avg"),
+        "max",
+        "min",
+        "<0.98",
+        format!("{l_name}avg"),
+        "max",
+        "min",
+        "<0.98",
+        format!("{all} avg")
+    ));
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<8} | {:>7.2} {:>7.2} {:>7.2} {:>6} | {:>7.2} {:>7.2} {:>7.2} {:>6} | {:>8.2}\n",
+            row.cores,
+            row.s.avg,
+            row.s.max,
+            row.s.min,
+            row.s_slowdowns,
+            row.l.avg,
+            row.l.max,
+            row.l.min,
+            row.l_slowdowns,
+            row.all_avg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{evaluate_corpus, EvalOptions};
+
+    fn tiny_results() -> Vec<MatrixResult> {
+        let opts = EvalOptions { scale: 0.002, ..Default::default() };
+        evaluate_corpus(&opts, false, |_| {})
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of([1.0, 2.0, 3.0]);
+        assert_eq!(s.avg, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.n, 3);
+        assert_eq!(Summary::of([]).n, 0);
+    }
+
+    #[test]
+    fn table2_has_five_rows_and_correct_counts() {
+        let results = tiny_results();
+        let t2 = table2(&results);
+        assert_eq!(t2.len(), 5);
+        assert_eq!(t2[0].ms.n, 25);
+        assert_eq!(t2[0].ml.n, 52);
+        // Serial row is MFLOPS (hundreds), speedup rows are small.
+        assert!(t2[0].ms.avg > 50.0);
+        assert!(t2[4].ms.avg < 20.0);
+    }
+
+    #[test]
+    fn compare_tables_have_vi_counts() {
+        let results = tiny_results();
+        let t4 = compare_table(&results, "CSR-VI", true);
+        assert_eq!(t4.len(), 4);
+        assert_eq!(t4[0].s.n, 8);
+        assert_eq!(t4[0].l.n, 22);
+        let t3 = compare_table(&results, "CSR-DU", false);
+        assert_eq!(t3[0].s.n, 25);
+        assert_eq!(t3[0].l.n, 52);
+    }
+
+    #[test]
+    fn formatting_is_nonempty_and_aligned() {
+        let results = tiny_results();
+        let s = format_table2(&table2(&results));
+        assert!(s.lines().count() >= 7);
+        let c = format_compare(&compare_table(&results, "CSR-DU", false), "MS ", "ML ", "M0");
+        assert!(c.contains("core"));
+    }
+}

@@ -1,0 +1,271 @@
+//! BCSR (Blocked CSR) — one of the classic structured baselines (§III-A).
+//!
+//! The matrix is tiled with fixed `R x C` dense blocks aligned to the block
+//! grid; only blocks containing at least one non-zero are stored, each as a
+//! dense `R*C` patch. Index data shrinks to one column index per *block*
+//! (and `nrows/R + 1` row pointers), at the price of storing explicit
+//! zeros inside partially-filled blocks. Whether the trade pays off depends
+//! on the block fill ratio — exactly the effect the paper's related work
+//! (register blocking, SPARSITY, VBR) tunes for.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use std::collections::BTreeMap;
+
+/// A sparse matrix in Blocked CSR format with runtime-chosen block size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcsr<I: SpIndex = u32, V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    br: usize,
+    bc: usize,
+    /// Row pointers over block rows: `nrows.div_ceil(br) + 1` entries.
+    block_row_ptr: Vec<I>,
+    /// Block-column index of each stored block.
+    block_col: Vec<I>,
+    /// Dense block payloads, `br * bc` values each, row-major.
+    blocks: Vec<V>,
+}
+
+impl<I: SpIndex, V: Scalar> Bcsr<I, V> {
+    /// Builds BCSR from CSR with `br x bc` blocks.
+    pub fn from_csr(csr: &Csr<I, V>, br: usize, bc: usize) -> Result<Bcsr<I, V>> {
+        assert!(br >= 1 && bc >= 1, "block dimensions must be positive");
+        let n_block_rows = csr.nrows().div_ceil(br);
+        let mut block_row_ptr: Vec<I> = Vec::with_capacity(n_block_rows + 1);
+        let mut block_col: Vec<I> = Vec::new();
+        let mut blocks: Vec<V> = Vec::new();
+
+        block_row_ptr.push(I::from_usize(0)?);
+        for brow in 0..n_block_rows {
+            // Collect this block row's non-zeros grouped by block column.
+            let mut per_bcol: BTreeMap<usize, Vec<V>> = BTreeMap::new();
+            let row_lo = brow * br;
+            let row_hi = (row_lo + br).min(csr.nrows());
+            for r in row_lo..row_hi {
+                for (c, v) in csr.row_iter(r) {
+                    let bcol = c / bc;
+                    let patch = per_bcol
+                        .entry(bcol)
+                        .or_insert_with(|| vec![V::zero(); br * bc]);
+                    patch[(r - row_lo) * bc + (c - bcol * bc)] = v;
+                }
+            }
+            for (bcol, patch) in per_bcol {
+                block_col.push(I::from_usize(bcol)?);
+                blocks.extend_from_slice(&patch);
+            }
+            block_row_ptr.push(I::from_usize(block_col.len())?);
+        }
+
+        Ok(Bcsr {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            br,
+            bc,
+            block_row_ptr,
+            block_col,
+            blocks,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of structural non-zeros of the original matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Block dimensions `(br, bc)`.
+    pub fn block_dims(&self) -> (usize, usize) {
+        (self.br, self.bc)
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_col.len()
+    }
+
+    /// Fraction of stored block slots that hold an original non-zero
+    /// (1.0 = perfectly blocked matrix; low values mean heavy fill-in).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 1.0;
+        }
+        self.nnz as f64 / self.blocks.len() as f64
+    }
+
+    /// Converts back to COO, dropping the explicit fill-in zeros.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        let n_block_rows = self.nrows.div_ceil(self.br);
+        for brow in 0..n_block_rows {
+            let lo = self.block_row_ptr[brow].index();
+            let hi = self.block_row_ptr[brow + 1].index();
+            for b in lo..hi {
+                let bcol = self.block_col[b].index();
+                let patch = &self.blocks[b * self.br * self.bc..(b + 1) * self.br * self.bc];
+                for dr in 0..self.br {
+                    for dc in 0..self.bc {
+                        let v = patch[dr * self.bc + dc];
+                        let (r, c) = (brow * self.br + dr, bcol * self.bc + dc);
+                        if v != V::zero() && r < self.nrows && c < self.ncols {
+                            coo.push(r, c, v).expect("in bounds by construction");
+                        }
+                    }
+                }
+            }
+        }
+        coo
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMv<V> for Bcsr<I, V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Bcsr
+    }
+    fn size_bytes(&self) -> usize {
+        self.blocks.len() * V::BYTES
+            + self.block_col.len() * I::BYTES
+            + self.block_row_ptr.len() * I::BYTES
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        let n_block_rows = self.nrows.div_ceil(self.br);
+        let bs = self.br * self.bc;
+        for brow in 0..n_block_rows {
+            let lo = self.block_row_ptr[brow].index();
+            let hi = self.block_row_ptr[brow + 1].index();
+            let row0 = brow * self.br;
+            for b in lo..hi {
+                let col0 = self.block_col[b].index() * self.bc;
+                let patch = &self.blocks[b * bs..(b + 1) * bs];
+                let cols = self.bc.min(self.ncols - col0);
+                let rows = self.br.min(self.nrows - row0);
+                for dr in 0..rows {
+                    let mut acc = V::zero();
+                    for dc in 0..cols {
+                        acc += patch[dr * self.bc + dc] * x[col0 + dc];
+                    }
+                    y[row0 + dr] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn roundtrip_various_block_sizes() {
+        let coo = paper_matrix();
+        let csr = coo.to_csr();
+        for (br, bc) in [(1, 1), (2, 2), (3, 3), (2, 3), (4, 4), (6, 6), (5, 7)] {
+            let b = Bcsr::from_csr(&csr, br, bc).unwrap();
+            let mut back = b.to_coo();
+            back.canonicalize();
+            assert_eq!(back.entries(), coo.entries(), "block {br}x{bc}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_reference_for_all_blockings() {
+        let coo = paper_matrix();
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..6).map(|i| 1.0 + i as f64).collect();
+        let mut y_ref = vec![0.0; 6];
+        coo.spmv_reference(&x, &mut y_ref);
+        for (br, bc) in [(1, 1), (2, 2), (3, 2), (4, 4)] {
+            let b = Bcsr::from_csr(&csr, br, bc).unwrap();
+            let mut y = vec![7.0; 6];
+            b.spmv(&x, &mut y);
+            for (a, e) in y.iter().zip(&y_ref) {
+                assert!((a - e).abs() < 1e-12, "block {br}x{bc}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_blocks_store_no_fill() {
+        let csr = paper_matrix().to_csr();
+        let b = Bcsr::from_csr(&csr, 1, 1).unwrap();
+        assert_eq!(b.num_blocks(), 16);
+        assert_eq!(b.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fill_ratio_decreases_with_bigger_blocks() {
+        let csr = paper_matrix().to_csr();
+        let b1 = Bcsr::from_csr(&csr, 1, 1).unwrap();
+        let b3 = Bcsr::from_csr(&csr, 3, 3).unwrap();
+        assert!(b3.fill_ratio() < b1.fill_ratio());
+    }
+
+    #[test]
+    fn dense_blocked_matrix_has_full_fill() {
+        // A matrix that is exactly two 2x2 dense blocks.
+        let coo = Coo::from_triplets(
+            2,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (0, 2, 5.0),
+                (0, 3, 6.0),
+                (1, 2, 7.0),
+                (1, 3, 8.0),
+            ],
+        )
+        .unwrap();
+        let b = Bcsr::from_csr(&coo.to_csr(), 2, 2).unwrap();
+        assert_eq!(b.num_blocks(), 2);
+        assert_eq!(b.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ragged_edges_handled() {
+        // 5x5 with 2x2 blocks: ragged last block row/column.
+        let coo =
+            Coo::from_triplets(5, 5, vec![(4, 4, 1.0), (4, 0, 2.0), (0, 4, 3.0)]).unwrap();
+        let b = Bcsr::from_csr(&coo.to_csr(), 2, 2).unwrap();
+        let x = vec![1.0; 5];
+        let mut y = vec![0.0; 5];
+        let mut y_ref = vec![0.0; 5];
+        b.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+}

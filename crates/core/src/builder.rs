@@ -1,0 +1,176 @@
+//! Incremental row-by-row CSR construction.
+//!
+//! For streaming ingestion (file readers, generators) the COO detour costs
+//! an extra sort and 24 bytes per entry of transient memory. `CsrBuilder`
+//! assembles CSR directly when entries arrive in row-major order — O(nnz)
+//! time, zero transient overhead.
+
+use crate::csr::Csr;
+use crate::error::{Result, SparseError};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+
+/// Builds a CSR matrix row by row.
+///
+/// Rows must be appended in increasing order (gaps allowed — they become
+/// empty rows); columns within a row must be strictly increasing.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder<I: SpIndex = u32, V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<I>,
+    col_ind: Vec<I>,
+    values: Vec<V>,
+    current_row: usize,
+    last_col: Option<usize>,
+}
+
+impl<I: SpIndex, V: Scalar> CsrBuilder<I, V> {
+    /// Creates a builder for an `nrows x ncols` matrix with an nnz hint.
+    pub fn new(nrows: usize, ncols: usize, nnz_hint: usize) -> Result<Self> {
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(I::from_usize(0)?);
+        Ok(CsrBuilder {
+            nrows,
+            ncols,
+            row_ptr,
+            col_ind: Vec::with_capacity(nnz_hint),
+            values: Vec::with_capacity(nnz_hint),
+            current_row: 0,
+            last_col: None,
+        })
+    }
+
+    /// Appends one entry. `row` must be ≥ the last appended row; within a
+    /// row, `col` must strictly increase.
+    pub fn push(&mut self, row: usize, col: usize, value: V) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if row < self.current_row {
+            return Err(SparseError::InvalidFormat(format!(
+                "rows must be appended in order: got {row} after {}",
+                self.current_row
+            )));
+        }
+        if row > self.current_row {
+            // Close intermediate rows.
+            while self.current_row < row {
+                self.row_ptr.push(I::from_usize(self.col_ind.len())?);
+                self.current_row += 1;
+            }
+            self.last_col = None;
+        }
+        if let Some(last) = self.last_col {
+            if col == last {
+                return Err(SparseError::DuplicateEntry { row, col });
+            }
+            if col < last {
+                return Err(SparseError::UnsortedIndices { row });
+            }
+        }
+        self.col_ind.push(I::from_usize(col)?);
+        self.values.push(value);
+        self.last_col = Some(col);
+        Ok(())
+    }
+
+    /// Appends a whole row from an iterator of `(col, value)` pairs.
+    pub fn push_row(
+        &mut self,
+        row: usize,
+        entries: impl IntoIterator<Item = (usize, V)>,
+    ) -> Result<()> {
+        for (c, v) in entries {
+            self.push(row, c, v)?;
+        }
+        Ok(())
+    }
+
+    /// Entries appended so far.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Finalizes into a validated CSR matrix.
+    pub fn finish(mut self) -> Result<Csr<I, V>> {
+        while self.current_row < self.nrows {
+            self.row_ptr.push(I::from_usize(self.col_ind.len())?);
+            self.current_row += 1;
+        }
+        Csr::from_raw_parts(self.nrows, self.ncols, self.row_ptr, self.col_ind, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn builds_paper_matrix_identically() {
+        let coo = paper_matrix();
+        let expected = coo.to_csr();
+        let mut b: CsrBuilder = CsrBuilder::new(6, 6, 16).unwrap();
+        for &(r, c, v) in coo.entries() {
+            b.push(r, c, v).unwrap();
+        }
+        assert_eq!(b.finish().unwrap(), expected);
+    }
+
+    #[test]
+    fn gaps_become_empty_rows() {
+        let mut b: CsrBuilder = CsrBuilder::new(5, 5, 2).unwrap();
+        b.push(1, 2, 1.0).unwrap();
+        b.push(4, 0, 2.0).unwrap();
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.row_ptr(), &[0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn trailing_empty_rows_closed_by_finish() {
+        let mut b: CsrBuilder = CsrBuilder::new(4, 4, 1).unwrap();
+        b.push(0, 0, 1.0).unwrap();
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.row_ptr().len(), 5);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_order_rows_and_cols() {
+        let mut b: CsrBuilder = CsrBuilder::new(4, 4, 4).unwrap();
+        b.push(2, 1, 1.0).unwrap();
+        assert!(matches!(b.push(1, 0, 1.0), Err(SparseError::InvalidFormat(_))));
+        assert!(matches!(b.push(2, 1, 2.0), Err(SparseError::DuplicateEntry { .. })));
+        assert!(matches!(b.push(2, 0, 2.0), Err(SparseError::UnsortedIndices { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b: CsrBuilder = CsrBuilder::new(2, 2, 1).unwrap();
+        assert!(b.push(0, 5, 1.0).is_err());
+        assert!(b.push(5, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn push_row_convenience() {
+        let mut b: CsrBuilder = CsrBuilder::new(2, 4, 4).unwrap();
+        b.push_row(0, [(0, 1.0), (2, 2.0)]).unwrap();
+        b.push_row(1, [(1, 3.0)]).unwrap();
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_iter(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let b: CsrBuilder = CsrBuilder::new(3, 3, 0).unwrap();
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.nnz(), 0);
+    }
+}

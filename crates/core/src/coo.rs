@@ -1,0 +1,256 @@
+//! Coordinate (COO / triplet) format — the universal construction format.
+//!
+//! Each non-zero is stored as an `(row, col, value)` triplet. COO is the
+//! natural interchange and assembly format (MatrixMarket files are COO);
+//! every other format in this crate is built from it, usually via
+//! [`Coo::to_csr`].
+
+use crate::csr::Csr;
+use crate::error::{Result, SparseError};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+
+/// A sparse matrix in coordinate (triplet) form.
+///
+/// Invariants maintained by the constructors: every entry lies inside
+/// `nrows x ncols`. Entries may be unsorted and may contain duplicates until
+/// [`Coo::canonicalize`] is called; `to_csr` canonicalizes implicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, V)>,
+}
+
+impl<V: Scalar> Coo<V> {
+    /// Creates an empty `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Creates an empty matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo { nrows, ncols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a COO matrix from triplets, validating bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, V)>,
+    ) -> Result<Self> {
+        let mut m = Coo::new(nrows, ncols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends one entry, validating bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: V) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (including duplicates, if any).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored triplets.
+    pub fn entries(&self) -> &[(usize, usize, V)] {
+        &self.entries
+    }
+
+    /// Sorts entries row-major and merges duplicates by summing their
+    /// values (the standard finite-element assembly convention). Exact
+    /// zeros produced by cancellation are *kept* — sparsity pattern is
+    /// structural, matching the paper's treatment.
+    pub fn canonicalize(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 && later.1 == earlier.1 {
+                earlier.2 += later.2;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// `true` if entries are sorted row-major with no duplicates.
+    pub fn is_canonical(&self) -> bool {
+        self.entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+    }
+
+    /// Converts to CSR with the default `u32` index type.
+    ///
+    /// Canonicalizes a copy first if needed.
+    pub fn to_csr(&self) -> Csr<u32, V> {
+        self.to_csr_with_index::<u32>()
+            .expect("matrix dimensions exceed u32 index range; use to_csr_with_index::<u64>()")
+    }
+
+    /// Converts to CSR with an explicit index type.
+    pub fn to_csr_with_index<I: SpIndex>(&self) -> Result<Csr<I, V>> {
+        let canonical;
+        let entries: &[(usize, usize, V)] = if self.is_canonical() {
+            &self.entries
+        } else {
+            let mut c = self.clone();
+            c.canonicalize();
+            canonical = c;
+            &canonical.entries
+        };
+
+        let mut row_ptr: Vec<I> = Vec::with_capacity(self.nrows + 1);
+        let mut col_ind: Vec<I> = Vec::with_capacity(entries.len());
+        let mut values: Vec<V> = Vec::with_capacity(entries.len());
+
+        row_ptr.push(I::from_usize(0)?);
+        let mut current_row = 0usize;
+        for &(r, c, v) in entries {
+            while current_row < r {
+                row_ptr.push(I::from_usize(col_ind.len())?);
+                current_row += 1;
+            }
+            col_ind.push(I::from_usize(c)?);
+            values.push(v);
+        }
+        while current_row < self.nrows {
+            row_ptr.push(I::from_usize(col_ind.len())?);
+            current_row += 1;
+        }
+
+        Csr::from_raw_parts(self.nrows, self.ncols, row_ptr, col_ind, values)
+    }
+
+    /// Transposes the matrix (swaps rows and columns).
+    pub fn transpose(&self) -> Coo<V> {
+        Coo {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
+        }
+    }
+
+    /// Materializes into a dense row-major matrix — for tests and tiny
+    /// examples only.
+    pub fn to_dense(&self) -> crate::dense::Dense<V> {
+        let mut d = crate::dense::Dense::zeros(self.nrows, self.ncols);
+        for &(r, c, v) in &self.entries {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+
+    /// Reference SpMV computed straight from the triplets. O(nnz), no
+    /// assumptions about ordering. Used as the oracle in tests.
+    pub fn spmv_reference(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for &(r, c, v) in &self.entries {
+            y[r] += v * x[c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<f64> {
+        Coo::from_triplets(3, 4, vec![(2, 1, 3.0), (0, 0, 1.0), (1, 3, 2.0), (0, 2, -1.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut m: Coo<f64> = Coo::new(2, 2);
+        assert!(m.push(0, 0, 1.0).is_ok());
+        assert!(matches!(m.push(2, 0, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(m.push(0, 5, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_merges() {
+        let mut m =
+            Coo::from_triplets(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        assert!(!m.is_canonical());
+        m.canonicalize();
+        assert!(m.is_canonical());
+        assert_eq!(m.entries(), &[(0, 0, 2.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn canonicalize_keeps_cancelled_zero() {
+        let mut m = Coo::from_triplets(1, 1, vec![(0, 0, 1.0), (0, 0, -1.0)]).unwrap();
+        m.canonicalize();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.entries()[0].2, 0.0);
+    }
+
+    #[test]
+    fn to_csr_handles_empty_rows() {
+        let m = Coo::from_triplets(4, 4, vec![(0, 1, 1.0), (3, 2, 2.0)]).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.row_ptr(), &[0, 1, 1, 1, 2]);
+        assert_eq!(csr.col_ind(), &[1, 2]);
+    }
+
+    #[test]
+    fn to_csr_empty_matrix() {
+        let m: Coo<f64> = Coo::new(3, 3);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row_ptr(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn spmv_reference_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 3];
+        m.spmv_reference(&x, &mut y);
+        assert_eq!(y, vec![1.0 - 3.0, 2.0 * 4.0, 3.0 * 2.0]);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = sample().transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert!(t.entries().contains(&(1, 2, 3.0)));
+    }
+
+    #[test]
+    fn to_csr_u16_overflow_detected() {
+        // A column index beyond u16::MAX cannot be stored in u16 col_ind.
+        let m = Coo::from_triplets(1, 70_000, vec![(0, 69_999, 1.0)]).unwrap();
+        assert!(m.to_csr_with_index::<u16>().is_err());
+        // Row *count* alone does not overflow: row_ptr stores nnz offsets.
+        let m = Coo::from_triplets(70_000, 2, vec![(69_999, 0, 1.0)]).unwrap();
+        assert!(m.to_csr_with_index::<u16>().is_ok());
+    }
+}

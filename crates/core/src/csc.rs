@@ -1,0 +1,230 @@
+//! Compressed Sparse Column (CSC) — CSR's column-major dual (§II-B).
+//!
+//! Stored as `col_ptr`, `row_ind`, `values`. The SpMV kernel scatters into
+//! `y` along columns; it reads `x` sequentially but writes `y` randomly —
+//! the access-pattern mirror of CSR. Column partitioning (§II-C) is the
+//! natural parallelization: each thread owns a column block and a private
+//! `y` copy that is reduced at the end.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::{Result, SparseError};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+
+/// A sparse matrix in Compressed Sparse Column format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<I: SpIndex = u32, V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<I>,
+    row_ind: Vec<I>,
+    values: Vec<V>,
+}
+
+impl<I: SpIndex, V: Scalar> Csc<I, V> {
+    /// Builds CSC from raw arrays, validating all invariants (mirror of
+    /// CSR's).
+    #[allow(clippy::needless_range_loop)] // explicit j-indexing mirrors the kernel
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<I>,
+        row_ind: Vec<I>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if col_ptr.len() != ncols + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "col_ptr length {} != ncols + 1 = {}",
+                col_ptr.len(),
+                ncols + 1
+            )));
+        }
+        if row_ind.len() != values.len() {
+            return Err(SparseError::MalformedPointers("row_ind/values length mismatch".into()));
+        }
+        if col_ptr[0].index() != 0 || col_ptr[ncols].index() != row_ind.len() {
+            return Err(SparseError::MalformedPointers("col_ptr endpoints invalid".into()));
+        }
+        for c in 0..ncols {
+            let (lo, hi) = (col_ptr[c].index(), col_ptr[c + 1].index());
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "col_ptr decreases at column {c}"
+                )));
+            }
+            let mut prev: Option<usize> = None;
+            for j in lo..hi {
+                let r = row_ind[j].index();
+                if r >= nrows {
+                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                }
+                if let Some(p) = prev {
+                    if r <= p {
+                        return Err(SparseError::UnsortedIndices { row: c });
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(Csc { nrows, ncols, col_ptr, row_ind, values })
+    }
+
+    /// Converts a CSR matrix to CSC. O(nnz + ncols).
+    pub fn from_csr(csr: &Csr<I, V>) -> Csc<I, V> {
+        let t = csr.transpose();
+        // The transpose's rows are our columns; reuse its arrays directly.
+        Csc {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_ind: t.col_ind().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column-pointer array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[I] {
+        &self.col_ptr
+    }
+
+    /// The row-index array.
+    pub fn row_ind(&self) -> &[I] {
+        &self.row_ind
+    }
+
+    /// The value array (column-major order).
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// SpMV over the column range `[col_begin, col_end)`, *accumulating*
+    /// into `y` (which the caller must zero). This is the building block
+    /// for column partitioning: each thread runs a column block into its
+    /// private `y`, followed by a reduction.
+    #[allow(clippy::needless_range_loop)] // paper-style explicit index loop
+    pub fn spmv_cols_acc(&self, col_begin: usize, col_end: usize, x: &[V], y: &mut [V]) {
+        debug_assert!(col_end <= self.ncols);
+        for c in col_begin..col_end {
+            let xv = x[c];
+            let lo = self.col_ptr[c].index();
+            let hi = self.col_ptr[c + 1].index();
+            for j in lo..hi {
+                y[self.row_ind[j].index()] += self.values[j] * xv;
+            }
+        }
+    }
+
+    /// Converts to COO.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz());
+        for c in 0..self.ncols {
+            for j in self.col_ptr[c].index()..self.col_ptr[c + 1].index() {
+                coo.push(self.row_ind[j].index(), c, self.values[j])
+                    .expect("CSC invariants guarantee in-bounds");
+            }
+        }
+        coo
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMv<V> for Csc<I, V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Csc
+    }
+    fn size_bytes(&self) -> usize {
+        self.nnz() * (I::BYTES + V::BYTES) + (self.ncols + 1) * I::BYTES
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        self.spmv_cols_acc(0, self.ncols, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let coo = paper_matrix();
+        let csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr);
+        assert_eq!(csc.nnz(), csr.nnz());
+        let mut back = csc.to_coo();
+        back.canonicalize();
+        assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = paper_matrix();
+        let csc = Csc::from_csr(&coo.to_csr());
+        let x: Vec<f64> = (0..6).map(|i| 2.0 - i as f64 * 0.3).collect();
+        let mut y = vec![1.0; 6];
+        let mut y_ref = vec![0.0; 6];
+        csc.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn column_range_accumulation() {
+        let coo = paper_matrix();
+        let csc = Csc::from_csr(&coo.to_csr());
+        let x = vec![1.0; 6];
+        let mut y_full = vec![0.0; 6];
+        csc.spmv(&x, &mut y_full);
+
+        // Two private y vectors reduced at the end (the §II-C pattern).
+        let mut y_a = vec![0.0; 6];
+        let mut y_b = vec![0.0; 6];
+        csc.spmv_cols_acc(0, 3, &x, &mut y_a);
+        csc.spmv_cols_acc(3, 6, &x, &mut y_b);
+        let reduced: Vec<f64> = y_a.iter().zip(&y_b).map(|(a, b)| a + b).collect();
+        for (a, b) in reduced.iter().zip(&y_full) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        let r = Csc::<u32, f64>::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(r.is_err());
+        let r = Csc::<u32, f64>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! CSR-DU ("CSR Delta Unit") — the paper's index-compression format (§IV).
+//!
+//! The matrix is logically divided into *units*: runs of non-zeros inside a
+//! single row. All indexing information is serialized into one byte stream,
+//! `ctl`, replacing both `row_ptr` and `col_ind`. Each unit is encoded as
+//!
+//! ```text
+//! uflags (1 byte) | usize (1 byte) | [urjmp varint] | ujmp varint | ucis
+//! ```
+//!
+//! * `uflags` holds the unit *type* (the storage width of the delta values:
+//!   1, 2, 4 or 8 bytes, or a sequential run) plus a `NR` flag marking the
+//!   start of a new row and an `RJMP` flag marking a jump over empty rows.
+//! * `usize` is the number of non-zeros covered by the unit (1..=255).
+//! * `urjmp` (present iff `RJMP`) is the number of *extra* rows to advance —
+//!   the paper's format cannot express empty rows; this varint is our
+//!   documented extension for them.
+//! * `ujmp` is the column distance of the unit's first non-zero from the
+//!   current column position (which resets to 0 at a new row, so for
+//!   row-starting units it is the absolute first column).
+//! * `ucis` holds the remaining `usize - 1` column deltas, each stored in
+//!   the unit's width (little-endian). Sequential units (`SEQ`, an optional
+//!   encoder feature for runs of fully-dense neighbours) store no `ucis`
+//!   bytes at all.
+//!
+//! During SpMV the byte stream is decoded with a per-type inner loop
+//! (`match` on the unit type, then a tight loop over same-width deltas),
+//! which keeps branches predictable — the coarse-grain property the paper
+//! contrasts against DCSR's per-element command decoding.
+//!
+//! The numerical values stay in a plain `values` array exactly as in CSR.
+
+mod decode;
+mod encode;
+mod spmv;
+mod stats;
+mod validate;
+
+pub use decode::{DuCursor, Unit};
+pub use encode::DuOptions;
+pub use stats::DuStats;
+
+pub(crate) use spmv::spmv_ctl_range;
+
+use crate::csr::Csr;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use crate::stats::SizeReport;
+
+/// Bit in `uflags` marking that the unit starts a new row.
+pub const FLAG_NEW_ROW: u8 = 0x80;
+/// Bit in `uflags` marking that a varint row-jump follows (empty rows).
+pub const FLAG_ROW_JMP: u8 = 0x40;
+/// Mask extracting the unit type from `uflags`.
+pub const TYPE_MASK: u8 = 0x3f;
+
+/// Storage width class of a unit's delta values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum UnitType {
+    /// Column deltas stored as `u8`.
+    U8 = 0,
+    /// Column deltas stored as `u16` (little-endian).
+    U16 = 1,
+    /// Column deltas stored as `u32` (little-endian).
+    U32 = 2,
+    /// Column deltas stored as `u64` (little-endian).
+    U64 = 3,
+    /// All deltas are exactly 1 (a dense horizontal run); nothing stored.
+    Seq = 4,
+}
+
+impl UnitType {
+    /// Bytes per stored delta.
+    pub fn delta_bytes(self) -> usize {
+        match self {
+            UnitType::U8 => 1,
+            UnitType::U16 => 2,
+            UnitType::U32 => 4,
+            UnitType::U64 => 8,
+            UnitType::Seq => 0,
+        }
+    }
+
+    /// Narrowest non-sequential type able to store `delta`.
+    pub fn for_delta(delta: usize) -> UnitType {
+        match crate::index::narrowest_width_bytes(delta) {
+            1 => UnitType::U8,
+            2 => UnitType::U16,
+            4 => UnitType::U32,
+            _ => UnitType::U64,
+        }
+    }
+
+    /// Decodes the type bits of a `uflags` byte.
+    pub fn from_flags(uflags: u8) -> UnitType {
+        match uflags & TYPE_MASK {
+            0 => UnitType::U8,
+            1 => UnitType::U16,
+            2 => UnitType::U32,
+            3 => UnitType::U64,
+            4 => UnitType::Seq,
+            t => panic!("corrupt ctl stream: unknown unit type {t}"),
+        }
+    }
+}
+
+/// A sparse matrix in CSR-DU format.
+///
+/// Construct with [`CsrDu::from_csr`]. The stored representation is exactly
+/// the `ctl` byte stream plus the `values` array; everything else is
+/// recomputed on demand.
+///
+/// ```
+/// use spmv_core::csr_du::{CsrDu, DuOptions};
+/// use spmv_core::SpMv;
+///
+/// let csr = spmv_core::examples::paper_matrix().to_csr();
+/// let du = CsrDu::from_csr(&csr, &DuOptions::default());
+/// // Table I of the paper: six units, 28 ctl bytes vs 92 CSR index bytes.
+/// assert_eq!(du.units(), 6);
+/// assert!(du.ctl().len() < csr.nnz() * 4);
+/// // Lossless and bit-identical in SpMV:
+/// assert_eq!(du.to_csr().unwrap(), csr);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrDu<V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    ctl: Vec<u8>,
+    values: Vec<V>,
+    units: usize,
+}
+
+impl<V: Scalar> CsrDu<V> {
+    /// Encodes a CSR matrix into CSR-DU. The construction is `O(nnz)`: one
+    /// scan of the matrix, exactly as the paper requires (§IV).
+    pub fn from_csr<I: SpIndex>(csr: &Csr<I, V>, opts: &DuOptions) -> CsrDu<V> {
+        encode::encode(csr, opts)
+    }
+
+    /// Rebuilds a CSR-DU matrix from an *untrusted* ctl stream and value
+    /// array (e.g. a deserialized container), validating the stream with
+    /// full bounds checks and cross-checking the non-zero count.
+    pub fn from_parts_checked(
+        nrows: usize,
+        ncols: usize,
+        ctl: Vec<u8>,
+        values: Vec<V>,
+    ) -> crate::error::Result<CsrDu<V>> {
+        let (nnz, units) = validate::validate_ctl(&ctl, nrows.max(1), ncols.max(1))?;
+        if nnz != values.len() {
+            return Err(crate::error::SparseError::InvalidFormat(format!(
+                "ctl stream covers {nnz} non-zeros but {} values supplied",
+                values.len()
+            )));
+        }
+        Ok(CsrDu { nrows, ncols, nnz, ctl, values, units })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The control byte stream holding all indexing information.
+    pub fn ctl(&self) -> &[u8] {
+        &self.ctl
+    }
+
+    /// Drops the value array, keeping only structure (used by the combined
+    /// CSR-DU-VI format, which stores values separately).
+    pub(crate) fn without_values(mut self) -> CsrDu<V> {
+        self.values = Vec::new();
+        self
+    }
+
+    /// Re-attaches a value array (inverse of [`CsrDu::without_values`]).
+    pub(crate) fn with_values(mut self, values: Vec<V>) -> CsrDu<V> {
+        debug_assert_eq!(values.len(), self.nnz);
+        self.values = values;
+        self
+    }
+
+    /// The value array (identical content to CSR's).
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Number of encoded units.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Decoding cursor over the units (used by tests, stats and the
+    /// partitioner).
+    pub fn cursor(&self) -> DuCursor<'_> {
+        DuCursor::new(&self.ctl)
+    }
+
+    /// Reconstructs the CSR form; the round-trip is lossless.
+    pub fn to_csr(&self) -> Result<Csr<u32, V>> {
+        decode::to_csr(self)
+    }
+
+    /// Bytes streamed per SpMV: the ctl stream plus the values.
+    pub fn size_bytes(&self) -> usize {
+        self.ctl.len() + self.nnz * V::BYTES
+    }
+
+    /// Size comparison against the `u32`-index CSR baseline, as printed on
+    /// the bars of the paper's Fig. 7.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            csr_bytes: self.nnz() * (4 + V::BYTES) + (self.nrows + 1) * 4,
+            compressed_bytes: self.size_bytes(),
+        }
+    }
+
+    /// Per-unit-type statistics (delta-width histogram etc.).
+    pub fn stats(&self) -> DuStats {
+        stats::compute(self)
+    }
+
+    /// Splits the matrix into `nparts` contiguous row blocks with
+    /// approximately equal non-zero counts, for the row-partitioned
+    /// multithreaded kernel (§II-C). Cut points always fall on row-starting
+    /// units. Returns at most `nparts` splits (fewer for tiny matrices).
+    pub fn splits(&self, nparts: usize) -> Vec<DuSplit> {
+        decode::splits(self, nparts)
+    }
+
+    /// SpMV over one split produced by [`CsrDu::splits`], writing only
+    /// `y[split.row_start..split.row_end]` (zeroing it first). `y` is the
+    /// full-length output vector.
+    pub fn spmv_split(&self, split: &DuSplit, x: &[V], y: &mut [V]) {
+        spmv::spmv_range(
+            self,
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            0,
+            x,
+            y,
+        );
+    }
+
+    /// Like [`CsrDu::spmv_split`], but `y_local` covers only the split's
+    /// own rows (`y_local.len() == row_end - row_start`). This is the
+    /// entry point for parallel drivers that hand each thread a disjoint
+    /// sub-slice of `y`.
+    pub fn spmv_split_local(&self, split: &DuSplit, x: &[V], y_local: &mut [V]) {
+        debug_assert_eq!(y_local.len(), split.row_end - split.row_start);
+        spmv::spmv_range(
+            self,
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            split.row_start,
+            x,
+            y_local,
+        );
+    }
+}
+
+impl<V: Scalar> SpMv<V> for CsrDu<V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::CsrDu
+    }
+    fn size_bytes(&self) -> usize {
+        CsrDu::size_bytes(self)
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        spmv::spmv_range(self, 0..self.ctl.len(), 0, usize::MAX, 0, self.nrows, 0, x, y);
+    }
+}
+
+/// One thread's share of a CSR-DU matrix: a byte range of `ctl`, the
+/// matching offset into `values`, and the row block it covers. This is
+/// exactly the per-thread information the paper describes (§IV): "an offset
+/// in the ctl, values and y arrays ... and the total number of rows".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuSplit {
+    /// Byte range within the ctl stream.
+    pub ctl_range: std::ops::Range<usize>,
+    /// Offset of the first value of this split within `values`.
+    pub val_start: usize,
+    /// First row owned (inclusive); `y[row_start..row_end]` is written
+    /// (and zeroed) exclusively by this split.
+    pub row_start: usize,
+    /// Last row owned (exclusive).
+    pub row_end: usize,
+    /// Wrapping row baseline: the split's first `NR` unit advances
+    /// `1 + row_jmp` from this value to land on its true absolute row.
+    pub row_wrap_base: usize,
+    /// Non-zeros in this split.
+    pub nnz: usize,
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,79 @@
+//! CSR-DU stream statistics: unit-type histogram, size breakdown and the
+//! average unit length — the quantities that explain when delta encoding
+//! pays off (ablation A1 of DESIGN.md).
+
+use super::{CsrDu, UnitType};
+use crate::scalar::Scalar;
+
+/// Statistics computed from a CSR-DU stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuStats {
+    /// Units per delta-width class (indexed by `UnitType as usize`).
+    pub units_by_type: [usize; 5],
+    /// Non-zeros covered per delta-width class.
+    pub nnz_by_type: [usize; 5],
+    /// Total units.
+    pub units: usize,
+    /// Total non-zeros.
+    pub nnz: usize,
+    /// ctl stream bytes.
+    pub ctl_bytes: usize,
+    /// Bytes the equivalent CSR `col_ind` + `row_ptr` arrays occupy (u32).
+    pub csr_index_bytes: usize,
+}
+
+impl DuStats {
+    /// Mean non-zeros per unit; long units amortize header decode cost.
+    pub fn avg_unit_len(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.units as f64
+        }
+    }
+
+    /// Fraction of non-zeros in 1-byte-delta units (high = very regular
+    /// matrix, maximum index compression).
+    pub fn u8_fraction(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.nnz_by_type[UnitType::U8 as usize] as f64 / self.nnz as f64
+        }
+    }
+
+    /// Index-data compression ratio: CSR index bytes / ctl bytes.
+    pub fn index_compression_ratio(&self) -> f64 {
+        self.csr_index_bytes as f64 / self.ctl_bytes as f64
+    }
+
+    /// Average ctl bytes spent per non-zero (CSR spends 4).
+    pub fn ctl_bytes_per_nnz(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.ctl_bytes as f64 / self.nnz as f64
+        }
+    }
+}
+
+pub(super) fn compute<V: Scalar>(du: &CsrDu<V>) -> DuStats {
+    let mut units_by_type = [0usize; 5];
+    let mut nnz_by_type = [0usize; 5];
+    let mut units = 0usize;
+    let mut nnz = 0usize;
+    for unit in du.cursor() {
+        units_by_type[unit.utype as usize] += 1;
+        nnz_by_type[unit.utype as usize] += unit.len;
+        units += 1;
+        nnz += unit.len;
+    }
+    DuStats {
+        units_by_type,
+        nnz_by_type,
+        units,
+        nnz,
+        ctl_bytes: du.ctl().len(),
+        csr_index_bytes: du.nnz() * 4 + (du.nrows() + 1) * 4,
+    }
+}

@@ -1,0 +1,100 @@
+//! Bounds-checked validation of an untrusted ctl byte stream (used when
+//! deserializing CSR-DU containers).
+
+use super::{UnitType, FLAG_NEW_ROW, FLAG_ROW_JMP, TYPE_MASK};
+use crate::error::{Result, SparseError};
+use crate::varint::try_read_varint;
+
+/// Walks `ctl` with full bounds checking and returns `(nnz, units)` on
+/// success. Rejects truncated streams, unknown unit types, zero-length
+/// units, row overruns and column overruns.
+pub(super) fn validate_ctl(ctl: &[u8], nrows: usize, ncols: usize) -> Result<(usize, usize)> {
+    let mut pos = 0usize;
+    let mut nnz = 0usize;
+    let mut units = 0usize;
+    let mut row = usize::MAX; // wrapping start
+    let mut col = 0usize;
+    let mut started = false;
+
+    let fail = |msg: &str| SparseError::InvalidFormat(format!("ctl stream: {msg}"));
+
+    while pos < ctl.len() {
+        if pos + 2 > ctl.len() {
+            return Err(fail("truncated unit header"));
+        }
+        let uflags = ctl[pos];
+        let len = ctl[pos + 1] as usize;
+        pos += 2;
+        if len == 0 {
+            return Err(fail("zero-length unit"));
+        }
+        let utype = match uflags & TYPE_MASK {
+            0 => UnitType::U8,
+            1 => UnitType::U16,
+            2 => UnitType::U32,
+            3 => UnitType::U64,
+            4 => UnitType::Seq,
+            t => return Err(fail(&format!("unknown unit type {t}"))),
+        };
+
+        let new_row = uflags & FLAG_NEW_ROW != 0;
+        if !started && !new_row {
+            return Err(fail("stream must start with a new-row unit"));
+        }
+        if new_row {
+            let extra = if uflags & FLAG_ROW_JMP != 0 {
+                try_read_varint(ctl, &mut pos).ok_or_else(|| fail("truncated row jump"))?
+            } else {
+                0
+            };
+            row = if started {
+                row.checked_add(1 + extra as usize).ok_or_else(|| fail("row overflow"))?
+            } else {
+                started = true;
+                extra as usize
+            };
+            if row >= nrows {
+                return Err(fail(&format!("row {row} >= nrows {nrows}")));
+            }
+            col = 0;
+        } else if uflags & FLAG_ROW_JMP != 0 {
+            return Err(fail("row jump without new-row flag"));
+        }
+
+        let jmp =
+            try_read_varint(ctl, &mut pos).ok_or_else(|| fail("truncated column jump"))? as usize;
+        col = col.checked_add(jmp).ok_or_else(|| fail("column overflow"))?;
+        if col >= ncols {
+            return Err(fail(&format!("column {col} >= ncols {ncols}")));
+        }
+
+        let body = (len - 1) * utype.delta_bytes();
+        if pos + body > ctl.len() {
+            return Err(fail("truncated unit body"));
+        }
+        // Walk the deltas and bound-check the columns.
+        for k in 0..len - 1 {
+            let d = match utype {
+                UnitType::U8 => ctl[pos + k] as usize,
+                UnitType::U16 => {
+                    u16::from_le_bytes([ctl[pos + 2 * k], ctl[pos + 2 * k + 1]]) as usize
+                }
+                UnitType::U32 => u32::from_le_bytes(
+                    ctl[pos + 4 * k..pos + 4 * k + 4].try_into().expect("4 bytes"),
+                ) as usize,
+                UnitType::U64 => u64::from_le_bytes(
+                    ctl[pos + 8 * k..pos + 8 * k + 8].try_into().expect("8 bytes"),
+                ) as usize,
+                UnitType::Seq => 1,
+            };
+            col = col.checked_add(d).ok_or_else(|| fail("column overflow"))?;
+            if col >= ncols {
+                return Err(fail(&format!("column {col} >= ncols {ncols}")));
+            }
+        }
+        pos += body;
+        nnz += len;
+        units += 1;
+    }
+    Ok((nnz, units))
+}

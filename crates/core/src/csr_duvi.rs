@@ -1,0 +1,336 @@
+//! CSR-DU-VI — combined index *and* value compression.
+//!
+//! The ICPP'08 paper presents CSR-DU and CSR-VI separately; its companion
+//! CF'08 paper ("Optimizing sparse matrix-vector multiplication using index
+//! and value compression", reference \[8\]) combines them: the ctl byte
+//! stream of CSR-DU replaces the structure arrays while the unique-value
+//! table of CSR-VI replaces the value array. For matrices that are both
+//! structurally regular and value-redundant this compounds the working-set
+//! reduction.
+
+use crate::csr::Csr;
+use crate::csr_du::{CsrDu, DuOptions, DuSplit};
+use crate::csr_vi::ValInd;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use crate::stats::SizeReport;
+use std::collections::HashMap;
+
+/// A sparse matrix with delta-unit structure compression and value
+/// indirection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrDuVi<V: Scalar = f64> {
+    du: CsrDu<V>, // `values` inside is EMPTY; kept for ctl + dims + splits
+    vals_unique: Vec<V>,
+    val_ind: ValInd,
+    nnz: usize,
+}
+
+impl<V: Scalar> CsrDuVi<V> {
+    /// Builds the combined format from CSR. `O(nnz)`.
+    pub fn from_csr<I: SpIndex>(csr: &Csr<I, V>, opts: &DuOptions) -> CsrDuVi<V> {
+        let du = CsrDu::from_csr(csr, opts);
+
+        let mut table: HashMap<V::Bits, u32> = HashMap::new();
+        let mut vals_unique: Vec<V> = Vec::new();
+        let mut wide: Vec<u32> = Vec::with_capacity(csr.nnz());
+        for &v in csr.values() {
+            let next_id = vals_unique.len() as u32;
+            let id = *table.entry(v.to_bits()).or_insert_with(|| {
+                vals_unique.push(v);
+                next_id
+            });
+            wide.push(id);
+        }
+        let uv = vals_unique.len();
+        let val_ind = if uv <= (1 << 8) {
+            ValInd::U8(wide.iter().map(|&i| i as u8).collect())
+        } else if uv <= (1 << 16) {
+            ValInd::U16(wide.iter().map(|&i| i as u16).collect())
+        } else {
+            ValInd::U32(wide)
+        };
+
+        let nnz = csr.nnz();
+        CsrDuVi { du: du.without_values(), vals_unique, val_ind, nnz }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.du.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.du.ncols()
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The control byte stream (structure data).
+    pub fn ctl(&self) -> &[u8] {
+        self.du.ctl()
+    }
+
+    /// The unique-value table.
+    pub fn vals_unique(&self) -> &[V] {
+        &self.vals_unique
+    }
+
+    /// The per-element value indices.
+    pub fn val_ind(&self) -> &ValInd {
+        &self.val_ind
+    }
+
+    /// Number of unique values.
+    pub fn unique_values(&self) -> usize {
+        self.vals_unique.len()
+    }
+
+    /// Number of delta units in the ctl stream.
+    pub fn units(&self) -> usize {
+        self.du.units()
+    }
+
+    /// Total-to-unique values ratio.
+    pub fn ttu(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.unique_values() as f64
+        }
+    }
+
+    /// Reconstructs plain CSR (lossless).
+    pub fn to_csr(&self) -> Result<Csr<u32, V>> {
+        let structure = self.du_with_values();
+        structure.to_csr()
+    }
+
+    /// Bytes streamed per SpMV.
+    pub fn size_bytes(&self) -> usize {
+        self.du.ctl().len() + self.val_ind.size_bytes() + self.vals_unique.len() * V::BYTES
+    }
+
+    /// Size comparison against the u32/f64-style CSR baseline.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            csr_bytes: self.nnz * (4 + V::BYTES) + (self.nrows() + 1) * 4,
+            compressed_bytes: self.size_bytes(),
+        }
+    }
+
+    /// nnz-balanced row splits (delegates to the DU stream).
+    pub fn splits(&self, nparts: usize) -> Vec<DuSplit> {
+        self.du.splits(nparts)
+    }
+
+    /// SpMV over one split, writing only the rows the split owns (`y` is
+    /// the full-length output vector).
+    pub fn spmv_split(&self, split: &DuSplit, x: &[V], y: &mut [V]) {
+        self.spmv_impl(
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            0,
+            x,
+            y,
+        );
+    }
+
+    /// Like [`CsrDuVi::spmv_split`], but writes into a local slice covering
+    /// only the split's rows (for parallel drivers).
+    pub fn spmv_split_local(&self, split: &DuSplit, x: &[V], y_local: &mut [V]) {
+        debug_assert_eq!(y_local.len(), split.row_end - split.row_start);
+        self.spmv_impl(
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            split.row_start,
+            x,
+            y_local,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spmv_impl(
+        &self,
+        ctl_range: std::ops::Range<usize>,
+        val_start: usize,
+        row_wrap_base: usize,
+        row_start: usize,
+        row_end: usize,
+        y_base: usize,
+        x: &[V],
+        y: &mut [V],
+    ) {
+        let vals = &self.vals_unique[..];
+        match &self.val_ind {
+            ValInd::U8(ind) => crate::csr_du::spmv_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range,
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                y,
+            ),
+            ValInd::U16(ind) => crate::csr_du::spmv_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range,
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                y,
+            ),
+            ValInd::U32(ind) => crate::csr_du::spmv_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range,
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                y,
+            ),
+        }
+    }
+
+    /// Rebuilds a CsrDu with materialized values (for reconstruction).
+    fn du_with_values(&self) -> CsrDu<V> {
+        let values: Vec<V> =
+            (0..self.nnz).map(|j| self.vals_unique[self.val_ind.get(j)]).collect();
+        self.du.clone().with_values(values)
+    }
+}
+
+impl<V: Scalar> SpMv<V> for CsrDuVi<V> {
+    fn nrows(&self) -> usize {
+        self.du.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.du.ncols()
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::CsrDuVi
+    }
+    fn size_bytes(&self) -> usize {
+        CsrDuVi::size_bytes(self)
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows(), "y length must equal nrows");
+        self.spmv_impl(0..self.du.ctl().len(), 0, usize::MAX, 0, self.nrows(), 0, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::examples::paper_matrix;
+
+    fn build(coo: &Coo<f64>) -> CsrDuVi<f64> {
+        CsrDuVi::from_csr(&coo.to_csr(), &DuOptions::default())
+    }
+
+    #[test]
+    fn roundtrip_paper_matrix() {
+        let csr = paper_matrix().to_csr();
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        assert_eq!(duvi.to_csr().unwrap(), csr);
+        assert_eq!(duvi.unique_values(), 9);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let coo = paper_matrix();
+        let duvi = build(&coo);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut y0 = vec![0.0; 6];
+        let mut y1 = vec![5.0; 6];
+        coo.to_csr().spmv(&x, &mut y0);
+        duvi.spmv(&x, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn compounds_both_reductions() {
+        // Banded matrix with 3 unique values: DU shrinks indices to ~1 B,
+        // VI shrinks values to 1 B -> total well under half of CSR.
+        let n = 3000usize;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for d in 0..4usize {
+                if i + d < n {
+                    t.push((i, i + d, [1.0, 2.0, 3.0, 2.0][d]));
+                }
+            }
+        }
+        let coo = Coo::from_triplets(n, n, t).unwrap();
+        let duvi = build(&coo);
+        let r = duvi.size_report();
+        assert!(r.reduction() > 0.6, "combined reduction {} too small", r.reduction());
+    }
+
+    #[test]
+    fn spmv_via_splits_matches_serial() {
+        let mut t = Vec::new();
+        for i in 0..200usize {
+            if i % 11 == 5 {
+                continue;
+            }
+            for j in 0..(1 + i % 7) {
+                t.push((i, (i * 3 + j * 41) % 300, ((i + j) % 4) as f64 + 0.5));
+            }
+        }
+        let mut coo = Coo::from_triplets(200, 300, t).unwrap();
+        coo.canonicalize();
+        let duvi = build(&coo);
+        let x: Vec<f64> = (0..300).map(|i| (i % 9) as f64 - 4.0).collect();
+        let mut y_full = vec![0.0; 200];
+        duvi.spmv(&x, &mut y_full);
+        for nparts in [2, 3, 7] {
+            let mut y = vec![1.0; 200];
+            for s in duvi.splits(nparts) {
+                duvi.spmv_split(&s, &x, &mut y);
+            }
+            assert_eq!(y, y_full, "nparts={nparts}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo: Coo<f64> = Coo::new(4, 4);
+        let duvi = build(&coo);
+        assert_eq!(duvi.nnz(), 0);
+        let mut y = vec![1.0; 4];
+        duvi.spmv(&[0.0; 4], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,49 @@
+//! CSR → CSR-VI construction: hash-based value deduplication.
+
+use super::{CsrVi, ValInd};
+use crate::csr::Csr;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use std::collections::HashMap;
+
+pub(super) fn build<I: SpIndex, V: Scalar>(csr: &Csr<I, V>) -> CsrVi<I, V> {
+    // First pass: assign each distinct bit pattern an id in first-occurrence
+    // order and record the id of every element. Ids are provisionally u32;
+    // matrices with more than 2^32 distinct values are not supported (they
+    // could not profit from CSR-VI anyway).
+    let mut table: HashMap<V::Bits, u32> = HashMap::new();
+    let mut vals_unique: Vec<V> = Vec::new();
+    let mut wide: Vec<u32> = Vec::with_capacity(csr.nnz());
+    for &v in csr.values() {
+        let next_id = vals_unique.len() as u32;
+        let id = *table.entry(v.to_bits()).or_insert_with(|| {
+            vals_unique.push(v);
+            next_id
+        });
+        wide.push(id);
+    }
+    assert!(
+        vals_unique.len() <= u32::MAX as usize,
+        "more than 2^32 unique values cannot be indexed"
+    );
+
+    // Second pass: narrow the id array to the width chosen by uv (§V):
+    // uv <= 2^8 -> u8, <= 2^16 -> u16, else u32.
+    let uv = vals_unique.len();
+    let val_ind = if uv <= (1 << 8) {
+        ValInd::U8(wide.iter().map(|&i| i as u8).collect())
+    } else if uv <= (1 << 16) {
+        ValInd::U16(wide.iter().map(|&i| i as u16).collect())
+    } else {
+        ValInd::U32(wide)
+    };
+
+    CsrVi {
+        nrows: csr.nrows(),
+        ncols: csr.ncols(),
+        row_ptr: csr.row_ptr().to_vec(),
+        col_ind: csr.col_ind().to_vec(),
+        vals_unique,
+        val_ind,
+    }
+}

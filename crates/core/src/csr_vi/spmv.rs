@@ -1,0 +1,59 @@
+//! The CSR-VI SpMV kernel (Fig. 5 of the paper): CSR's kernel with the
+//! direct value load replaced by an indirection through `vals_unique`.
+//! Specialized per index width so the inner loop stays monomorphic.
+
+use super::{CsrVi, ValInd};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+
+/// Row-range kernel. `y_base` is subtracted from the row number when
+/// indexing `y`, so parallel drivers can pass disjoint local slices
+/// (`y_base = row_begin`); serial callers pass the full `y` and 0.
+pub(super) fn spmv_rows<I: SpIndex, V: Scalar>(
+    m: &CsrVi<I, V>,
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[V],
+    y: &mut [V],
+) {
+    debug_assert!(row_end <= m.nrows());
+    debug_assert_eq!(x.len(), m.ncols());
+    match &m.val_ind {
+        ValInd::U8(ind) => {
+            kernel(&m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, y)
+        }
+        ValInd::U16(ind) => {
+            kernel(&m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, y)
+        }
+        ValInd::U32(ind) => {
+            kernel(&m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, y)
+        }
+    }
+}
+
+/// Width-generic inner kernel; `W` is the value-index element type.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn kernel<I: SpIndex, V: Scalar, W: Copy + Into<u32>>(
+    row_ptr: &[I],
+    col_ind: &[I],
+    vals_unique: &[V],
+    val_ind: &[W],
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[V],
+    y: &mut [V],
+) {
+    for i in row_begin..row_end {
+        let lo = row_ptr[i].index();
+        let hi = row_ptr[i + 1].index();
+        let mut acc = V::zero();
+        for j in lo..hi {
+            let val = vals_unique[Into::<u32>::into(val_ind[j]) as usize];
+            acc += val * x[col_ind[j].index()];
+        }
+        y[i - y_base] = acc;
+    }
+}

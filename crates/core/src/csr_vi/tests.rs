@@ -1,0 +1,144 @@
+//! CSR-VI unit tests, including the paper's Fig. 4 worked example.
+
+use super::*;
+use crate::coo::Coo;
+use crate::examples::paper_matrix;
+use crate::spmv::SpMv;
+
+fn vi_paper() -> CsrVi<u32, f64> {
+    CsrVi::from_csr(&paper_matrix().to_csr())
+}
+
+/// Fig. 4 of the paper: the value-indexing structure for the Fig. 1 matrix.
+/// vals_unique holds each distinct value once in first-occurrence order and
+/// val_ind maps every non-zero to its slot.
+#[test]
+fn paper_fig4() {
+    let vi = vi_paper();
+    // values: 5.4 1.1 6.3 7.7 8.8 1.1 2.9 3.7 2.9 9.0 1.1 4.5 1.1 2.9 3.7 1.1
+    assert_eq!(vi.vals_unique(), &[5.4, 1.1, 6.3, 7.7, 8.8, 2.9, 3.7, 9.0, 4.5]);
+    assert_eq!(vi.unique_values(), 9);
+    let ind: Vec<usize> = (0..16).map(|j| vi.val_ind().get(j)).collect();
+    assert_eq!(ind, vec![0, 1, 2, 3, 4, 1, 5, 6, 5, 7, 1, 8, 1, 5, 6, 1]);
+    // 9 unique values fit in u8 indices.
+    assert_eq!(vi.val_ind().width_bytes(), 1);
+}
+
+#[test]
+fn roundtrip_paper_matrix() {
+    let csr = paper_matrix().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    assert_eq!(vi.to_csr().unwrap(), csr);
+}
+
+#[test]
+fn spmv_matches_csr_bit_exact() {
+    let csr = paper_matrix().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    let x: Vec<f64> = (0..6).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut y0 = vec![0.0; 6];
+    let mut y1 = vec![1.0; 6];
+    csr.spmv(&x, &mut y0);
+    vi.spmv(&x, &mut y1);
+    assert_eq!(y0, y1);
+}
+
+#[test]
+fn ttu_and_profitability() {
+    let vi = vi_paper();
+    assert!((vi.ttu() - 16.0 / 9.0).abs() < 1e-12);
+    assert!(!vi.is_profitable(), "ttu {} <= 5 must not be profitable", vi.ttu());
+
+    // A matrix with 2 unique values over 100 nnz: ttu = 50 > 5.
+    let coo = Coo::from_triplets(
+        10,
+        10,
+        (0..100).map(|k| (k / 10, k % 10, if k % 2 == 0 { 1.0 } else { 2.0 })),
+    )
+    .unwrap();
+    let vi = CsrVi::from_csr(&coo.to_csr());
+    assert_eq!(vi.unique_values(), 2);
+    assert!(vi.is_profitable());
+}
+
+#[test]
+fn width_escalates_with_unique_count() {
+    // 300 unique values -> u16 indices.
+    let coo = Coo::from_triplets(1, 300, (0..300).map(|c| (0usize, c, c as f64))).unwrap();
+    let vi = CsrVi::from_csr(&coo.to_csr());
+    assert_eq!(vi.unique_values(), 300);
+    assert_eq!(vi.val_ind().width_bytes(), 2);
+    assert_eq!(vi.to_csr().unwrap(), coo.to_csr());
+}
+
+#[test]
+fn exactly_256_unique_values_stay_u8() {
+    let coo = Coo::from_triplets(1, 256, (0..256).map(|c| (0usize, c, c as f64))).unwrap();
+    let vi = CsrVi::from_csr(&coo.to_csr());
+    assert_eq!(vi.unique_values(), 256);
+    assert_eq!(vi.val_ind().width_bytes(), 1, "256 values are addressable by u8");
+}
+
+#[test]
+fn zero_and_negative_zero_are_distinct() {
+    let coo = Coo::from_triplets(1, 2, vec![(0, 0, 0.0), (0, 1, -0.0)]).unwrap();
+    let vi = CsrVi::from_csr(&coo.to_csr());
+    assert_eq!(vi.unique_values(), 2);
+}
+
+#[test]
+fn size_reduction_with_few_values() {
+    // 100k nnz, 3 unique values: value data shrinks 8B -> 1B per element.
+    let coo = Coo::from_triplets(
+        1000,
+        1000,
+        (0..100_000).map(|k| (k / 100, (k * 17 + k / 100) % 1000, [1.0, 2.0, 3.0][k % 3])),
+    )
+    .unwrap();
+    let mut c = coo;
+    c.canonicalize();
+    let csr = c.to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    let report = vi.size_report();
+    // CSR: 12 B/nnz (+row_ptr); CSR-VI: 5 B/nnz (+row_ptr +table).
+    assert!(report.reduction() > 0.5, "reduction {}", report.reduction());
+    assert!(vi.size_bytes() < csr.size_bytes());
+}
+
+#[test]
+fn spmv_rows_partitioned_matches_full() {
+    let csr = paper_matrix().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    let x = vec![0.5; 6];
+    let mut y_full = vec![0.0; 6];
+    vi.spmv(&x, &mut y_full);
+    let mut y_parts = vec![9.0; 6];
+    vi.spmv_rows(0, 2, &x, &mut y_parts);
+    vi.spmv_rows(2, 5, &x, &mut y_parts);
+    vi.spmv_rows(5, 6, &x, &mut y_parts);
+    assert_eq!(y_parts, y_full);
+}
+
+#[test]
+fn empty_matrix() {
+    let coo: Coo<f64> = Coo::new(3, 3);
+    let vi = CsrVi::from_csr(&coo.to_csr());
+    assert_eq!(vi.nnz(), 0);
+    assert_eq!(vi.unique_values(), 0);
+    assert_eq!(vi.ttu(), 0.0);
+    let mut y = vec![5.0; 3];
+    vi.spmv(&[1.0; 3], &mut y);
+    assert_eq!(y, vec![0.0; 3]);
+}
+
+#[test]
+fn u16_structure_indices_supported() {
+    let coo = paper_matrix();
+    let csr = coo.to_csr_with_index::<u16>().unwrap();
+    let vi = CsrVi::from_csr(&csr);
+    let mut y = vec![0.0; 6];
+    let mut y_ref = vec![0.0; 6];
+    vi.spmv(&[1.0; 6], &mut y);
+    coo.spmv_reference(&[1.0; 6], &mut y_ref);
+    assert_eq!(y, y_ref);
+}

@@ -1,0 +1,719 @@
+//! DCSR — a reimplementation of Willcock & Lumsdaine's delta-compressed
+//! CSR (ICS'06), the closest related work the paper compares against
+//! (§III-B).
+//!
+//! DCSR serializes the column structure into a byte stream of *command
+//! codes* for primitive sub-operations — small literal deltas, escape
+//! codes for wider deltas, and row-advance commands — decoded **per
+//! element**. This fine-grained decoding is precisely what the paper
+//! criticizes: the per-element `match` produces frequently mispredicted
+//! branches. The original mitigates this by grouping frequent six-command
+//! patterns into unrolled sequences; we implement the analogous
+//! optimization as *literal run grouping* (a run command followed by a
+//! count and raw delta bytes, executed in a tight loop).
+//!
+//! This module is a behavioral reimplementation from the published
+//! description, not a bit-compatible re-encoding. It exists so the
+//! benchmark suite can reproduce the decode-overhead comparison between
+//! fine-grained (DCSR) and coarse-grained (CSR-DU) delta compression
+//! (ablation A2 in DESIGN.md).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use crate::stats::SizeReport;
+use crate::varint::{read_varint, write_varint};
+
+/// Largest column delta encoded as a single literal byte.
+pub const MAX_LITERAL: u8 = 0xEF; // 239
+
+/// Escape: 2-byte little-endian delta follows.
+pub const CMD_DELTA16: u8 = 0xF0;
+/// Escape: 4-byte little-endian delta follows.
+pub const CMD_DELTA32: u8 = 0xF1;
+/// Escape: 8-byte little-endian delta follows.
+pub const CMD_DELTA64: u8 = 0xF2;
+/// Advance exactly one row; column position resets.
+pub const CMD_NEW_ROW: u8 = 0xF3;
+/// Advance `1 + varint` rows; column position resets.
+pub const CMD_ROW_JMP: u8 = 0xF4;
+/// Literal run: a count byte then `count` raw u8 deltas.
+pub const CMD_RUN: u8 = 0xF5;
+
+/// Encoder options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcsrOptions {
+    /// Emit [`CMD_RUN`] groups for runs of ≥ `min_run` literal deltas —
+    /// the analog of the original's six-command pattern unrolling.
+    pub group_literals: bool,
+    /// Minimum literal-run length worth a run header.
+    pub min_run: usize,
+}
+
+impl Default for DcsrOptions {
+    fn default() -> Self {
+        DcsrOptions { group_literals: true, min_run: 4 }
+    }
+}
+
+impl DcsrOptions {
+    /// Fully fine-grained encoding: one command per element, no grouping.
+    /// This is the worst-case branching configuration.
+    pub fn ungrouped() -> Self {
+        DcsrOptions { group_literals: false, min_run: usize::MAX }
+    }
+}
+
+/// A sparse matrix in (reimplemented) DCSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsr<V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    stream: Vec<u8>,
+    values: Vec<V>,
+}
+
+impl<V: Scalar> Dcsr<V> {
+    /// Encodes a CSR matrix. `O(nnz)`.
+    pub fn from_csr<I: SpIndex>(csr: &Csr<I, V>, opts: &DcsrOptions) -> Dcsr<V> {
+        let mut stream: Vec<u8> = Vec::with_capacity(csr.nnz() + csr.nrows() + 16);
+        let mut pending_rows: u64 = 0;
+
+        for r in 0..csr.nrows() {
+            if csr.row_nnz(r) == 0 {
+                pending_rows += 1;
+                continue;
+            }
+            // Row-advance command.
+            if pending_rows == 0 {
+                stream.push(CMD_NEW_ROW);
+            } else {
+                stream.push(CMD_ROW_JMP);
+                write_varint(&mut stream, pending_rows);
+                pending_rows = 0;
+            }
+
+            // Column deltas (first is the absolute column).
+            let deltas: Vec<usize> = {
+                let mut prev = 0usize;
+                let mut first = true;
+                csr.row_iter(r)
+                    .map(|(c, _)| {
+                        let d = if first { c } else { c - prev };
+                        first = false;
+                        prev = c;
+                        d
+                    })
+                    .collect()
+            };
+
+            let mut k = 0usize;
+            while k < deltas.len() {
+                let d = deltas[k];
+                if d <= MAX_LITERAL as usize {
+                    if opts.group_literals {
+                        // Measure the literal run starting here.
+                        let mut run = 1usize;
+                        while k + run < deltas.len()
+                            && deltas[k + run] <= MAX_LITERAL as usize
+                            && run < 255
+                        {
+                            run += 1;
+                        }
+                        if run >= opts.min_run {
+                            stream.push(CMD_RUN);
+                            stream.push(run as u8);
+                            for &dd in &deltas[k..k + run] {
+                                stream.push(dd as u8);
+                            }
+                            k += run;
+                            continue;
+                        }
+                    }
+                    stream.push(d as u8);
+                    k += 1;
+                } else if d <= u16::MAX as usize {
+                    stream.push(CMD_DELTA16);
+                    stream.extend_from_slice(&(d as u16).to_le_bytes());
+                    k += 1;
+                } else if d <= u32::MAX as usize {
+                    stream.push(CMD_DELTA32);
+                    stream.extend_from_slice(&(d as u32).to_le_bytes());
+                    k += 1;
+                } else {
+                    stream.push(CMD_DELTA64);
+                    stream.extend_from_slice(&(d as u64).to_le_bytes());
+                    k += 1;
+                }
+            }
+        }
+
+        Dcsr { nrows: csr.nrows(), ncols: csr.ncols(), stream, values: csr.values().to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The command/delta byte stream.
+    pub fn stream(&self) -> &[u8] {
+        &self.stream
+    }
+
+    /// Size comparison against the u32-index CSR baseline.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            csr_bytes: self.nnz() * (4 + V::BYTES) + (self.nrows + 1) * 4,
+            compressed_bytes: SpMv::size_bytes(self),
+        }
+    }
+
+    /// Reconstructs CSR (lossless).
+    pub fn to_csr(&self) -> Result<Csr<u32, V>> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz());
+        let mut pos = 0usize;
+        let mut row = usize::MAX; // wrapping: first NEW_ROW lands on 0
+        let mut col = 0usize;
+        let mut val = 0usize;
+        while pos < self.stream.len() {
+            let cmd = self.stream[pos];
+            pos += 1;
+            match cmd {
+                CMD_NEW_ROW => {
+                    row = row.wrapping_add(1);
+                    col = 0;
+                }
+                CMD_ROW_JMP => {
+                    let extra = read_varint(&self.stream, &mut pos) as usize;
+                    row = row.wrapping_add(1 + extra);
+                    col = 0;
+                }
+                CMD_RUN => {
+                    let count = self.stream[pos] as usize;
+                    pos += 1;
+                    for _ in 0..count {
+                        col += self.stream[pos] as usize;
+                        pos += 1;
+                        coo.push(row, col, self.values[val])?;
+                        val += 1;
+                    }
+                }
+                CMD_DELTA16 => {
+                    col += u16::from_le_bytes([self.stream[pos], self.stream[pos + 1]]) as usize;
+                    pos += 2;
+                    coo.push(row, col, self.values[val])?;
+                    val += 1;
+                }
+                CMD_DELTA32 => {
+                    col += u32::from_le_bytes(
+                        self.stream[pos..pos + 4].try_into().expect("4 bytes"),
+                    ) as usize;
+                    pos += 4;
+                    coo.push(row, col, self.values[val])?;
+                    val += 1;
+                }
+                CMD_DELTA64 => {
+                    col += u64::from_le_bytes(
+                        self.stream[pos..pos + 8].try_into().expect("8 bytes"),
+                    ) as usize;
+                    pos += 8;
+                    coo.push(row, col, self.values[val])?;
+                    val += 1;
+                }
+                literal => {
+                    col += literal as usize;
+                    coo.push(row, col, self.values[val])?;
+                    val += 1;
+                }
+            }
+        }
+        coo.to_csr_with_index::<u32>()
+    }
+}
+
+/// One thread's share of a DCSR stream (mirror of CSR-DU's `DuSplit`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcsrSplit {
+    /// Byte range within the command stream.
+    pub stream_range: std::ops::Range<usize>,
+    /// Offset of the split's first value within `values`.
+    pub val_start: usize,
+    /// First row owned (inclusive); `y[row_start..row_end]` belongs to
+    /// this split.
+    pub row_start: usize,
+    /// Last row owned (exclusive).
+    pub row_end: usize,
+    /// Wrapping row baseline (see CSR-DU's split documentation).
+    pub row_wrap_base: usize,
+    /// Non-zeros in this split.
+    pub nnz: usize,
+}
+
+impl<V: Scalar> Dcsr<V> {
+    /// Computes up to `nparts` nnz-balanced splits, cutting only at
+    /// row-command boundaries. O(stream length).
+    pub fn splits(&self, nparts: usize) -> Vec<DcsrSplit> {
+        assert!(nparts >= 1, "need at least one part");
+        let total = self.nnz();
+        if total == 0 {
+            return vec![DcsrSplit {
+                stream_range: 0..0,
+                val_start: 0,
+                row_start: 0,
+                row_end: self.nrows,
+                row_wrap_base: usize::MAX,
+                nnz: 0,
+            }];
+        }
+        // Scan the stream recording (pos, row, row_jmp, nnz_before) at
+        // every row command.
+        struct RowCmd {
+            pos: usize,
+            row: usize,
+            extra: usize,
+            nnz_before: usize,
+        }
+        let mut row_cmds: Vec<RowCmd> = Vec::new();
+        let mut pos = 0usize;
+        let mut row = usize::MAX;
+        let mut nnz_seen = 0usize;
+        while pos < self.stream.len() {
+            let cmd = self.stream[pos];
+            match cmd {
+                CMD_NEW_ROW => {
+                    row = row.wrapping_add(1);
+                    row_cmds.push(RowCmd { pos, row, extra: 0, nnz_before: nnz_seen });
+                    pos += 1;
+                }
+                CMD_ROW_JMP => {
+                    let mut p = pos + 1;
+                    let extra = read_varint(&self.stream, &mut p) as usize;
+                    row = row.wrapping_add(1 + extra);
+                    row_cmds.push(RowCmd { pos, row, extra, nnz_before: nnz_seen });
+                    pos = p;
+                }
+                CMD_RUN => {
+                    let count = self.stream[pos + 1] as usize;
+                    nnz_seen += count;
+                    pos += 2 + count;
+                }
+                CMD_DELTA16 => {
+                    nnz_seen += 1;
+                    pos += 3;
+                }
+                CMD_DELTA32 => {
+                    nnz_seen += 1;
+                    pos += 5;
+                }
+                CMD_DELTA64 => {
+                    nnz_seen += 1;
+                    pos += 9;
+                }
+                _ => {
+                    nnz_seen += 1;
+                    pos += 1;
+                }
+            }
+        }
+        let stream_end = pos;
+
+        // Choose cut rows: for part k, the first row command whose
+        // nnz_before reaches k*total/nparts.
+        let mut out: Vec<DcsrSplit> = Vec::with_capacity(nparts);
+        let mut start_idx = 0usize; // index into row_cmds
+        for k in 0..nparts {
+            if start_idx >= row_cmds.len() {
+                break;
+            }
+            let target = (k + 1) * total / nparts;
+            let mut end_idx = start_idx + 1;
+            if k + 1 < nparts {
+                while end_idx < row_cmds.len() && row_cmds[end_idx].nnz_before < target {
+                    end_idx += 1;
+                }
+            } else {
+                end_idx = row_cmds.len();
+            }
+            let sc = &row_cmds[start_idx];
+            let (stream_hi, row_end, nnz_hi) = if end_idx < row_cmds.len() {
+                let nc = &row_cmds[end_idx];
+                (nc.pos, nc.row, nc.nnz_before)
+            } else {
+                (stream_end, self.nrows, total)
+            };
+            out.push(DcsrSplit {
+                stream_range: sc.pos..stream_hi,
+                val_start: sc.nnz_before,
+                row_start: sc.row,
+                row_end,
+                row_wrap_base: sc.row.wrapping_sub(1 + sc.extra),
+                nnz: nnz_hi - sc.nnz_before,
+            });
+            start_idx = end_idx;
+        }
+        // First split must own leading empty rows too.
+        if let Some(first) = out.first_mut() {
+            first.row_start = 0;
+        }
+        out
+    }
+
+    /// SpMV over one split, writing the local slice covering the split's
+    /// rows (`y_local.len() == row_end - row_start`).
+    pub fn spmv_split_local(&self, split: &DcsrSplit, x: &[V], y_local: &mut [V]) {
+        debug_assert_eq!(y_local.len(), split.row_end - split.row_start);
+        for v in y_local.iter_mut() {
+            *v = V::zero();
+        }
+        let stream = &self.stream[..];
+        let values = &self.values[..];
+        let y_base = split.row_start;
+        let mut pos = split.stream_range.start;
+        let end = split.stream_range.end;
+        let mut row = split.row_wrap_base;
+        let mut col = 0usize;
+        let mut val = split.val_start;
+        let mut acc = V::zero();
+        let mut have_row = false;
+        while pos < end {
+            let cmd = stream[pos];
+            pos += 1;
+            match cmd {
+                CMD_NEW_ROW => {
+                    if have_row {
+                        y_local[row - y_base] = acc;
+                    }
+                    row = row.wrapping_add(1);
+                    col = 0;
+                    acc = V::zero();
+                    have_row = true;
+                }
+                CMD_ROW_JMP => {
+                    if have_row {
+                        y_local[row - y_base] = acc;
+                    }
+                    let extra = read_varint(stream, &mut pos) as usize;
+                    row = row.wrapping_add(1 + extra);
+                    col = 0;
+                    acc = V::zero();
+                    have_row = true;
+                }
+                CMD_RUN => {
+                    let count = stream[pos] as usize;
+                    pos += 1;
+                    for _ in 0..count {
+                        col += stream[pos] as usize;
+                        pos += 1;
+                        acc += values[val] * x[col];
+                        val += 1;
+                    }
+                }
+                CMD_DELTA16 => {
+                    col += u16::from_le_bytes([stream[pos], stream[pos + 1]]) as usize;
+                    pos += 2;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                CMD_DELTA32 => {
+                    col += u32::from_le_bytes(stream[pos..pos + 4].try_into().expect("4 bytes"))
+                        as usize;
+                    pos += 4;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                CMD_DELTA64 => {
+                    col += u64::from_le_bytes(stream[pos..pos + 8].try_into().expect("8 bytes"))
+                        as usize;
+                    pos += 8;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                literal => {
+                    col += literal as usize;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+            }
+        }
+        if have_row {
+            y_local[row - y_base] = acc;
+        }
+    }
+}
+
+impl<V: Scalar> SpMv<V> for Dcsr<V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Dcsr
+    }
+    fn size_bytes(&self) -> usize {
+        self.stream.len() + self.values.len() * V::BYTES
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        let stream = &self.stream[..];
+        let values = &self.values[..];
+        let mut pos = 0usize;
+        let mut row = usize::MAX;
+        let mut col = 0usize;
+        let mut val = 0usize;
+        let mut acc = V::zero();
+        let mut have_row = false;
+
+        // The per-element command dispatch below is the point of this
+        // format: every non-zero pays one (potentially mispredicted)
+        // branch, unless it falls inside a CMD_RUN group.
+        while pos < stream.len() {
+            let cmd = stream[pos];
+            pos += 1;
+            match cmd {
+                CMD_NEW_ROW => {
+                    if have_row {
+                        y[row] = acc;
+                    }
+                    row = row.wrapping_add(1);
+                    col = 0;
+                    acc = V::zero();
+                    have_row = true;
+                }
+                CMD_ROW_JMP => {
+                    if have_row {
+                        y[row] = acc;
+                    }
+                    let extra = read_varint(stream, &mut pos) as usize;
+                    row = row.wrapping_add(1 + extra);
+                    col = 0;
+                    acc = V::zero();
+                    have_row = true;
+                }
+                CMD_RUN => {
+                    let count = stream[pos] as usize;
+                    pos += 1;
+                    for _ in 0..count {
+                        col += stream[pos] as usize;
+                        pos += 1;
+                        acc += values[val] * x[col];
+                        val += 1;
+                    }
+                }
+                CMD_DELTA16 => {
+                    col += u16::from_le_bytes([stream[pos], stream[pos + 1]]) as usize;
+                    pos += 2;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                CMD_DELTA32 => {
+                    col += u32::from_le_bytes(stream[pos..pos + 4].try_into().expect("4 bytes"))
+                        as usize;
+                    pos += 4;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                CMD_DELTA64 => {
+                    col += u64::from_le_bytes(stream[pos..pos + 8].try_into().expect("8 bytes"))
+                        as usize;
+                    pos += 8;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+                literal => {
+                    col += literal as usize;
+                    acc += values[val] * x[col];
+                    val += 1;
+                }
+            }
+        }
+        if have_row {
+            y[row] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn roundtrip_paper_matrix_both_configs() {
+        let csr = paper_matrix().to_csr();
+        for opts in [DcsrOptions::default(), DcsrOptions::ungrouped()] {
+            let d = Dcsr::from_csr(&csr, &opts);
+            assert_eq!(d.to_csr().unwrap(), csr, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let coo = paper_matrix();
+        let csr = coo.to_csr();
+        let d = Dcsr::from_csr(&csr, &DcsrOptions::default());
+        let x: Vec<f64> = (0..6).map(|i| 0.1 * i as f64 + 1.0).collect();
+        let mut y0 = vec![0.0; 6];
+        let mut y1 = vec![9.0; 6];
+        csr.spmv(&x, &mut y0);
+        d.spmv(&x, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn empty_rows_and_wide_deltas() {
+        let coo = Coo::from_triplets(
+            10,
+            200_000,
+            vec![(0, 5, 1.0), (0, 199_999, 2.0), (4, 0, 3.0), (9, 100_000, 4.0)],
+        )
+        .unwrap();
+        let csr = coo.to_csr();
+        let d = Dcsr::from_csr(&csr, &DcsrOptions::default());
+        assert_eq!(d.to_csr().unwrap(), csr);
+
+        let x = vec![1.0; 200_000];
+        let mut y = vec![0.0; 10];
+        let mut y_ref = vec![0.0; 10];
+        d.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn grouping_shrinks_stream_for_regular_rows() {
+        // Banded rows produce long literal runs; grouping replaces k
+        // literal commands with (2 + k) bytes -> same size but fewer
+        // dispatches. Stream sizes must stay comparable and both decode
+        // identically.
+        let n = 500;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for d in 0..8usize {
+                if i + d < n {
+                    t.push((i, i + d, 1.0 + d as f64));
+                }
+            }
+        }
+        let coo = Coo::from_triplets(n, n, t).unwrap();
+        let csr = coo.to_csr();
+        let grouped = Dcsr::from_csr(&csr, &DcsrOptions::default());
+        let plain = Dcsr::from_csr(&csr, &DcsrOptions::ungrouped());
+        assert_eq!(grouped.to_csr().unwrap(), plain.to_csr().unwrap());
+        // A run header costs 2 bytes per run; with 8-element runs the
+        // grouped stream is at most ~25% larger and typically similar.
+        let ratio = grouped.stream().len() as f64 / plain.stream().len() as f64;
+        assert!(ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compresses_versus_csr_indices() {
+        let n = 2000;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for d in [0usize, 1, 2, 5, 9] {
+                if i + d < n {
+                    t.push((i, i + d, 1.0));
+                }
+            }
+        }
+        let coo = Coo::from_triplets(n, n, t).unwrap();
+        let d = Dcsr::from_csr(&coo.to_csr(), &DcsrOptions::default());
+        let report = d.size_report();
+        assert!(report.reduction() > 0.15, "reduction {}", report.reduction());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo: Coo<f64> = Coo::new(3, 3);
+        let d = Dcsr::from_csr(&coo.to_csr(), &DcsrOptions::default());
+        assert!(d.stream().is_empty());
+        let mut y = vec![1.0; 3];
+        d.spmv(&[1.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn splits_cover_rows_and_nnz_exactly() {
+        let mut t: Vec<(usize, usize, f64)> = Vec::new();
+        for r in 0..60usize {
+            if r % 9 == 4 {
+                continue;
+            }
+            for j in 0..(1 + r % 6) {
+                t.push((r, (r * 7 + j * 13) % 80, (r + j) as f64 * 0.5 + 1.0));
+            }
+        }
+        let mut coo = Coo::from_triplets(60, 80, t).unwrap();
+        coo.canonicalize();
+        let d = Dcsr::from_csr(&coo.to_csr(), &DcsrOptions::default());
+        for nparts in [1usize, 2, 3, 5, 8] {
+            let splits = d.splits(nparts);
+            assert!(!splits.is_empty() && splits.len() <= nparts);
+            assert_eq!(splits[0].row_start, 0);
+            assert_eq!(splits.last().unwrap().row_end, 60);
+            for w in splits.windows(2) {
+                assert_eq!(w[0].row_end, w[1].row_start);
+                assert_eq!(w[0].stream_range.end, w[1].stream_range.start);
+            }
+            assert_eq!(splits.iter().map(|s| s.nnz).sum::<usize>(), d.nnz());
+        }
+    }
+
+    #[test]
+    fn spmv_via_splits_matches_serial() {
+        let mut t: Vec<(usize, usize, f64)> = Vec::new();
+        for r in 0..50usize {
+            if r % 11 == 3 {
+                continue;
+            }
+            for j in 0..(1 + (r * 3) % 8) {
+                t.push((r, (r + j * 17) % 300, (j as f64) - 2.0));
+            }
+        }
+        // Wide deltas to exercise DELTA16 in splits.
+        t.push((20, 290, 5.0));
+        let mut coo = Coo::from_triplets(50, 300, t).unwrap();
+        coo.canonicalize();
+        let d = Dcsr::from_csr(&coo.to_csr(), &DcsrOptions::default());
+        let x: Vec<f64> = (0..300).map(|i| ((i % 13) as f64) * 0.25 - 1.0).collect();
+        let mut y_full = vec![0.0; 50];
+        d.spmv(&x, &mut y_full);
+        for nparts in [1usize, 2, 4, 7] {
+            let splits = d.splits(nparts);
+            let mut y = vec![9.0f64; 50];
+            let mut rest: &mut [f64] = &mut y;
+            let mut prev = 0usize;
+            for split in &splits {
+                let (head, tail) = rest.split_at_mut(split.row_end - prev);
+                d.spmv_split_local(split, &x, head);
+                rest = tail;
+                prev = split.row_end;
+            }
+            assert_eq!(y, y_full, "nparts={nparts}");
+        }
+    }
+}

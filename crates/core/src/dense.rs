@@ -1,0 +1,153 @@
+//! Minimal dense row-major matrix, used as the correctness oracle in tests
+//! and for pretty-printing tiny examples. Not intended for large data.
+
+use crate::scalar::Scalar;
+use std::fmt;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<V>,
+}
+
+impl<V: Scalar> Dense<V> {
+    /// All-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: vec![V::zero(); nrows * ncols] }
+    }
+
+    /// Builds from a row-major slice; `data.len()` must equal
+    /// `nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<V>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "row-major data length mismatch");
+        Dense { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> V {
+        self.data[r * self.ncols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut V {
+        &mut self.data[r * self.ncols + c]
+    }
+
+    /// Row-major backing storage.
+    pub fn data(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Dense reference SpMV.
+    #[allow(clippy::needless_range_loop)]
+    pub fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for r in 0..self.nrows {
+            let mut acc = V::zero();
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            for (a, &xv) in row.iter().zip(x) {
+                acc += *a * xv;
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Number of non-zero elements (exact bit-level zero test).
+    pub fn count_nonzeros(&self) -> usize {
+        self.data.iter().filter(|v| **v != V::zero()).count()
+    }
+
+    /// Converts to COO, dropping exact zeros.
+    pub fn to_coo(&self) -> crate::coo::Coo<V> {
+        let mut coo = crate::coo::Coo::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let v = self.get(r, c);
+                if v != V::zero() {
+                    coo.push(r, c, v).expect("in-bounds by construction");
+                }
+            }
+        }
+        coo
+    }
+
+    /// Maximum absolute element-wise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Dense<V>) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs().to_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<V: Scalar> fmt::Display for Dense<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>8}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_mut() {
+        let mut d: Dense<f64> = Dense::zeros(2, 3);
+        assert_eq!(d.get(1, 2), 0.0);
+        *d.get_mut(1, 2) = 5.0;
+        assert_eq!(d.get(1, 2), 5.0);
+        assert_eq!(d.count_nonzeros(), 1);
+    }
+
+    #[test]
+    fn spmv_identity() {
+        let mut d: Dense<f64> = Dense::zeros(3, 3);
+        for i in 0..3 {
+            *d.get_mut(i, i) = 1.0;
+        }
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        d.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dense_coo_roundtrip() {
+        let d = Dense::from_row_major(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        let coo = d.to_coo();
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.to_dense(), d);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Dense::from_row_major(1, 2, vec![1.0, 2.0]);
+        let b = Dense::from_row_major(1, 2, vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

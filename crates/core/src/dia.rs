@@ -1,0 +1,199 @@
+//! DIA / CDS (Compressed Diagonal Storage) — §III-A baseline.
+//!
+//! Stores each populated diagonal as a dense strip of length `nrows`;
+//! indexing data shrinks to one offset per diagonal. Ideal for banded
+//! stencil matrices, useless for scattered patterns (every populated
+//! diagonal costs a full strip).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use std::collections::BTreeSet;
+
+/// A sparse matrix in diagonal storage format.
+///
+/// `offsets[d]` is the diagonal offset (`col - row`, negative = below the
+/// main diagonal); `data[d * nrows + r]` holds `A[r, r + offsets[d]]` (zero
+/// where that column falls outside the matrix or the entry is absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dia<V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    offsets: Vec<isize>,
+    data: Vec<V>,
+}
+
+impl<V: Scalar> Dia<V> {
+    /// Builds DIA from CSR.
+    pub fn from_csr<I: SpIndex>(csr: &Csr<I, V>) -> Dia<V> {
+        let mut present: BTreeSet<isize> = BTreeSet::new();
+        for (r, c, _) in csr.iter() {
+            present.insert(c as isize - r as isize);
+        }
+        let offsets: Vec<isize> = present.into_iter().collect();
+        let mut data = vec![V::zero(); offsets.len() * csr.nrows()];
+        for (r, c, v) in csr.iter() {
+            let off = c as isize - r as isize;
+            let d = offsets.binary_search(&off).expect("offset collected above");
+            data[d * csr.nrows() + r] = v;
+        }
+        Dia { nrows: csr.nrows(), ncols: csr.ncols(), nnz: csr.nnz(), offsets, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored diagonals.
+    pub fn num_diagonals(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Diagonal offsets, ascending.
+    pub fn offsets(&self) -> &[isize] {
+        &self.offsets
+    }
+
+    /// Fraction of stored slots that are real non-zeros.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.data.is_empty() {
+            return 1.0;
+        }
+        self.nnz as f64 / self.data.len() as f64
+    }
+
+    /// Converts back to COO, dropping padding zeros.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            for r in 0..self.nrows {
+                let c = r as isize + off;
+                if c < 0 || c >= self.ncols as isize {
+                    continue;
+                }
+                let v = self.data[d * self.nrows + r];
+                if v != V::zero() {
+                    coo.push(r, c as usize, v).expect("in bounds");
+                }
+            }
+        }
+        coo
+    }
+}
+
+impl<V: Scalar> SpMv<V> for Dia<V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Dia
+    }
+    fn size_bytes(&self) -> usize {
+        self.data.len() * V::BYTES + self.offsets.len() * std::mem::size_of::<isize>()
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let strip = &self.data[d * self.nrows..(d + 1) * self.nrows];
+            // Row range for which r + off is a valid column:
+            // r >= -off (col >= 0) and r < ncols - off (col < ncols).
+            let r_lo = if off < 0 { (-off) as usize } else { 0 };
+            let r_hi = self.nrows.min((self.ncols as isize - off).max(0) as usize);
+            for r in r_lo..r_hi.max(r_lo) {
+                let c = (r as isize + off) as usize;
+                y[r] += strip[r] * x[c];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn tridiagonal_stores_three_diagonals() {
+        let n = 50;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        let coo = Coo::from_triplets(n, n, t).unwrap();
+        let dia = Dia::from_csr(&coo.to_csr());
+        assert_eq!(dia.num_diagonals(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y = vec![0.0; n];
+        let mut y_ref = vec![0.0; n];
+        dia.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn spmv_matches_reference_on_paper_matrix() {
+        let coo = paper_matrix();
+        let dia = Dia::from_csr(&coo.to_csr());
+        let x: Vec<f64> = (0..6).map(|i| 1.5 - i as f64).collect();
+        let mut y = vec![3.0; 6];
+        let mut y_ref = vec![0.0; 6];
+        dia.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let coo = paper_matrix();
+        let dia = Dia::from_csr(&coo.to_csr());
+        let mut back = dia.to_coo();
+        back.canonicalize();
+        assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        // Wide and tall rectangles exercise the r_lo/r_hi clamping.
+        for (nr, nc) in [(3, 7), (7, 3)] {
+            let coo =
+                Coo::from_triplets(nr, nc, vec![(0, nc - 1, 1.0), (nr - 1, 0, 2.0)]).unwrap();
+            let dia = Dia::from_csr(&coo.to_csr());
+            let x = vec![1.0; nc];
+            let mut y = vec![0.0; nr];
+            let mut y_ref = vec![0.0; nr];
+            dia.spmv(&x, &mut y);
+            coo.spmv_reference(&x, &mut y_ref);
+            assert_eq!(y, y_ref, "{nr}x{nc}");
+        }
+    }
+}

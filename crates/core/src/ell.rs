@@ -1,0 +1,156 @@
+//! Ellpack-Itpack (ELL) — fixed-width row storage (§III-A baseline).
+//!
+//! Every row is padded to the length of the longest row; columns and values
+//! are stored in two dense `nrows x width` arrays (row-major here). Great
+//! for vector machines and matrices with uniform row lengths, disastrous
+//! when one long row inflates `width`.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+
+/// A sparse matrix in Ellpack-Itpack format.
+///
+/// Padding slots store column index 0 and value 0, which contribute
+/// nothing to the product (the standard convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell<I: SpIndex = u32, V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    width: usize,
+    col_ind: Vec<I>,
+    values: Vec<V>,
+}
+
+impl<I: SpIndex, V: Scalar> Ell<I, V> {
+    /// Builds ELL from CSR. Fails only on index overflow.
+    pub fn from_csr(csr: &Csr<I, V>) -> Result<Ell<I, V>> {
+        let width = (0..csr.nrows()).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        let mut col_ind = vec![I::from_usize(0)?; csr.nrows() * width];
+        let mut values = vec![V::zero(); csr.nrows() * width];
+        for r in 0..csr.nrows() {
+            for (k, (c, v)) in csr.row_iter(r).enumerate() {
+                col_ind[r * width + k] = I::from_usize(c)?;
+                values[r * width + k] = v;
+            }
+        }
+        Ok(Ell { nrows: csr.nrows(), ncols: csr.ncols(), nnz: csr.nnz(), width, col_ind, values })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Padded row width (longest row's nnz).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Fraction of stored slots that are real non-zeros.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.nnz as f64 / self.values.len() as f64
+    }
+
+    /// Converts back to COO, dropping padding.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let v = self.values[r * self.width + k];
+                if v != V::zero() {
+                    coo.push(r, self.col_ind[r * self.width + k].index(), v)
+                        .expect("in bounds by construction");
+                }
+            }
+        }
+        coo
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMv<V> for Ell<I, V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Ell
+    }
+    fn size_bytes(&self) -> usize {
+        self.col_ind.len() * I::BYTES + self.values.len() * V::BYTES
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        for (r, yv) in y.iter_mut().enumerate() {
+            let mut acc = V::zero();
+            let base = r * self.width;
+            for k in 0..self.width {
+                acc += self.values[base + k] * x[self.col_ind[base + k].index()];
+            }
+            *yv = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    #[test]
+    fn width_is_longest_row() {
+        let ell = Ell::from_csr(&paper_matrix().to_csr()).unwrap();
+        assert_eq!(ell.width(), 4); // row 5 has 4 non-zeros
+        assert_eq!(ell.fill_ratio(), 16.0 / 24.0);
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = paper_matrix();
+        let ell = Ell::from_csr(&coo.to_csr()).unwrap();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let mut y = vec![1.0; 6];
+        let mut y_ref = vec![0.0; 6];
+        ell.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let coo = paper_matrix();
+        let ell = Ell::from_csr(&coo.to_csr()).unwrap();
+        let mut back = ell.to_coo();
+        back.canonicalize();
+        assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn empty_matrix_width_zero() {
+        let coo: Coo<f64> = Coo::new(3, 3);
+        let ell = Ell::from_csr(&coo.to_csr()).unwrap();
+        assert_eq!(ell.width(), 0);
+        let mut y = vec![2.0; 3];
+        ell.spmv(&[1.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

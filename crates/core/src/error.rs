@@ -1,0 +1,103 @@
+//! Error type shared by all format constructors and validators.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column lies outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// A CSR/CSC `row_ptr`-style array is not monotonically non-decreasing,
+    /// does not start at zero, or does not end at `nnz`.
+    MalformedPointers(String),
+    /// Column indices within a row are not strictly increasing (required by
+    /// the delta-encoding formats).
+    UnsortedIndices {
+        /// Row in which the violation was found.
+        row: usize,
+    },
+    /// An index value does not fit in the requested index type width.
+    IndexOverflow {
+        /// The value that did not fit.
+        value: usize,
+        /// Bit width of the target index type.
+        width_bits: u32,
+    },
+    /// A dimension mismatch between a matrix and a vector in SpMV, or
+    /// between two matrices.
+    DimensionMismatch(String),
+    /// The matrix contains duplicate entries where a format requires
+    /// canonical (deduplicated) input.
+    DuplicateEntry {
+        /// Row of the duplicated entry.
+        row: usize,
+        /// Column of the duplicated entry.
+        col: usize,
+    },
+    /// Input data could not be parsed (MatrixMarket and friends).
+    Parse(String),
+    /// A format-specific structural constraint was violated.
+    InvalidFormat(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix dimensions {nrows}x{ncols}"
+            ),
+            SparseError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
+            SparseError::UnsortedIndices { row } => {
+                write!(f, "column indices in row {row} are not strictly increasing")
+            }
+            SparseError::IndexOverflow { value, width_bits } => {
+                write!(f, "index value {value} does not fit in {width_bits} bits")
+            }
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 7, col: 9, nrows: 5, ncols: 5 };
+        let s = e.to_string();
+        assert!(s.contains("(7, 9)") && s.contains("5x5"));
+
+        let e = SparseError::IndexOverflow { value: 70000, width_bits: 16 };
+        assert!(e.to_string().contains("70000"));
+
+        let e = SparseError::UnsortedIndices { row: 3 };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! HYB (hybrid ELL + COO) — the classic fix for Ellpack's padding blowup.
+//!
+//! Rows are split at a width threshold: the first `k` non-zeros of every
+//! row go into a regular ELL block (vectorizable, fixed stride), the
+//! remainder spills into a COO tail. The threshold is chosen so that a
+//! bounded fraction of slots is padding — keeping ELL's regular access
+//! without paying for skewed row-length distributions (the §III-A
+//! "matrices with a large number of rows with small length" problem).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::Result;
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+
+/// A sparse matrix in hybrid ELL/COO format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyb<I: SpIndex = u32, V: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    /// ELL width (non-zeros per row stored in the regular part).
+    width: usize,
+    /// ELL columns, row-major `nrows x width`; padding slots hold 0.
+    ell_col: Vec<I>,
+    /// ELL values; padding slots hold 0.0.
+    ell_val: Vec<V>,
+    /// COO tail (row, col, value), row-major sorted.
+    tail: Vec<(I, I, V)>,
+}
+
+impl<I: SpIndex, V: Scalar> Hyb<I, V> {
+    /// Builds HYB with an explicit ELL width.
+    pub fn with_width(csr: &Csr<I, V>, width: usize) -> Result<Hyb<I, V>> {
+        let nrows = csr.nrows();
+        let mut ell_col = vec![I::from_usize(0)?; nrows * width];
+        let mut ell_val = vec![V::zero(); nrows * width];
+        let mut tail = Vec::new();
+        for r in 0..nrows {
+            for (k, (c, v)) in csr.row_iter(r).enumerate() {
+                if k < width {
+                    ell_col[r * width + k] = I::from_usize(c)?;
+                    ell_val[r * width + k] = v;
+                } else {
+                    tail.push((I::from_usize(r)?, I::from_usize(c)?, v));
+                }
+            }
+        }
+        Ok(Hyb { nrows, ncols: csr.ncols(), nnz: csr.nnz(), width, ell_col, ell_val, tail })
+    }
+
+    /// Builds HYB choosing the width automatically: the largest `k` such
+    /// that at least `fill_target` of the `nrows x k` ELL slots would be
+    /// real non-zeros (the standard heuristic; 2/3 is common).
+    pub fn from_csr(csr: &Csr<I, V>, fill_target: f64) -> Result<Hyb<I, V>> {
+        assert!((0.0..=1.0).contains(&fill_target), "fill_target must be a fraction");
+        let nrows = csr.nrows().max(1);
+        let max_w = (0..csr.nrows()).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        // Histogram of row lengths -> occupancy of column k across rows.
+        let mut len_count = vec![0usize; max_w + 1];
+        for r in 0..csr.nrows() {
+            len_count[csr.row_nnz(r)] += 1;
+        }
+        // rows_with_len_ge[k] = rows whose length > k (occupy slot k).
+        let mut occupied = vec![0usize; max_w + 1];
+        let mut acc = 0usize;
+        for k in (0..=max_w).rev() {
+            if k < max_w {
+                acc += len_count[k + 1];
+            }
+            occupied[k] = acc;
+        }
+        let mut width = 0usize;
+        let mut filled = 0usize;
+        for (k, occ) in occupied.iter().enumerate().take(max_w) {
+            filled += occ;
+            if filled as f64 / (nrows * (k + 1)) as f64 >= fill_target {
+                width = k + 1;
+            }
+        }
+        Self::with_width(csr, width)
+    }
+
+    /// ELL width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Non-zeros stored in the COO tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Fraction of ELL slots holding real non-zeros.
+    pub fn ell_fill(&self) -> f64 {
+        if self.ell_val.is_empty() {
+            return 1.0;
+        }
+        (self.nnz - self.tail.len()) as f64 / self.ell_val.len() as f64
+    }
+
+    /// Converts back to COO.
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let v = self.ell_val[r * self.width + k];
+                if v != V::zero() {
+                    coo.push(r, self.ell_col[r * self.width + k].index(), v)
+                        .expect("in bounds by construction");
+                }
+            }
+        }
+        for &(r, c, v) in &self.tail {
+            coo.push(r.index(), c.index(), v).expect("in bounds by construction");
+        }
+        coo
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMv<V> for Hyb<I, V> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Ell // reported as the ELL family
+    }
+    fn size_bytes(&self) -> usize {
+        self.ell_col.len() * I::BYTES
+            + self.ell_val.len() * V::BYTES
+            + self.tail.len() * (2 * I::BYTES + V::BYTES)
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        // Regular part.
+        for (r, yv) in y.iter_mut().enumerate() {
+            let mut acc = V::zero();
+            let base = r * self.width;
+            for k in 0..self.width {
+                acc += self.ell_val[base + k] * x[self.ell_col[base + k].index()];
+            }
+            *yv = acc;
+        }
+        // Irregular tail.
+        for &(r, c, v) in &self.tail {
+            y[r.index()] += v * x[c.index()];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_matrix;
+
+    /// Skewed matrix: one heavy row, many light ones.
+    fn skewed() -> Coo<f64> {
+        let mut t = Vec::new();
+        for r in 0..100usize {
+            t.push((r, r, 1.0));
+        }
+        for j in 0..50usize {
+            t.push((7, (j * 2 + 1) % 100, 2.0));
+        }
+        let mut coo = Coo::from_triplets(100, 100, t).unwrap();
+        coo.canonicalize();
+        coo
+    }
+
+    #[test]
+    fn auto_width_bounds_padding() {
+        let coo = skewed();
+        let h = Hyb::from_csr(&coo.to_csr(), 2.0 / 3.0).unwrap();
+        assert!(h.width() <= 2, "width {} should stay small", h.width());
+        assert!(h.ell_fill() >= 0.5, "fill {}", h.ell_fill());
+        assert!(h.tail_len() > 0, "heavy row must spill");
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        for coo in [skewed(), paper_matrix()] {
+            let csr = coo.to_csr();
+            for width in [0, 1, 2, 4, 16] {
+                let h = Hyb::with_width(&csr, width).unwrap();
+                let x: Vec<f64> =
+                    (0..coo.ncols()).map(|i| 0.5 * i as f64 - 1.0).collect();
+                let mut y = vec![9.0; coo.nrows()];
+                let mut y_ref = vec![0.0; coo.nrows()];
+                h.spmv(&x, &mut y);
+                coo.spmv_reference(&x, &mut y_ref);
+                for (a, b) in y.iter().zip(&y_ref) {
+                    assert!((a - b).abs() < 1e-12, "width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let coo = skewed();
+        let h = Hyb::from_csr(&coo.to_csr(), 0.66).unwrap();
+        let mut back = h.to_coo();
+        back.canonicalize();
+        assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn width_zero_is_pure_coo() {
+        let coo = paper_matrix();
+        let h = Hyb::with_width(&coo.to_csr(), 0).unwrap();
+        assert_eq!(h.tail_len(), coo.nnz());
+        let x = vec![1.0; 6];
+        let mut y = vec![0.0; 6];
+        let mut y_ref = vec![0.0; 6];
+        h.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn hyb_beats_ell_on_skewed_size() {
+        let coo = skewed();
+        let csr = coo.to_csr();
+        let ell = crate::ell::Ell::from_csr(&csr).unwrap();
+        let h = Hyb::from_csr(&csr, 0.66).unwrap();
+        assert!(
+            SpMv::<f64>::size_bytes(&h) < SpMv::<f64>::size_bytes(&ell) / 5,
+            "hyb {} vs ell {}",
+            SpMv::<f64>::size_bytes(&h),
+            SpMv::<f64>::size_bytes(&ell)
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo: Coo<f64> = Coo::new(3, 3);
+        let h = Hyb::from_csr(&coo.to_csr(), 0.66).unwrap();
+        assert_eq!(h.width(), 0);
+        let mut y = vec![1.0; 3];
+        h.spmv(&[1.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

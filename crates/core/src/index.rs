@@ -1,0 +1,116 @@
+//! The [`SpIndex`] abstraction over index storage widths.
+//!
+//! The paper's baseline CSR uses 32-bit indices; it also cites Williams et
+//! al.'s use of 16-bit indices where matrix dimensions permit, and notes
+//! that growing memories will eventually force 64-bit indices (making index
+//! compression *more* attractive). Formats in this crate are generic over
+//! the index width via this trait.
+
+use crate::error::{Result, SparseError};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Trait for unsigned integer types usable as stored row/column indices.
+pub trait SpIndex: Copy + Eq + Ord + Hash + Debug + Send + Sync + Default + 'static {
+    /// Size of one stored index in bytes, as it appears in the working set.
+    const BYTES: usize;
+    /// Number of bits.
+    const BITS: u32;
+    /// Largest representable index.
+    const MAX_USIZE: usize;
+
+    /// Widen to `usize` (always lossless).
+    fn index(self) -> usize;
+    /// Narrow from `usize`; returns an error if the value does not fit.
+    fn from_usize(v: usize) -> Result<Self>;
+    /// Narrow from `usize` without checking. Caller must guarantee fit;
+    /// in debug builds this still panics on overflow.
+    fn from_usize_unchecked(v: usize) -> Self;
+}
+
+macro_rules! impl_sp_index {
+    ($t:ty) => {
+        impl SpIndex for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            const BITS: u32 = <$t>::BITS;
+            const MAX_USIZE: usize = <$t>::MAX as usize;
+
+            #[inline(always)]
+            fn index(self) -> usize {
+                self as usize
+            }
+
+            #[inline]
+            fn from_usize(v: usize) -> Result<Self> {
+                if v <= Self::MAX_USIZE {
+                    Ok(v as $t)
+                } else {
+                    Err(SparseError::IndexOverflow { value: v, width_bits: Self::BITS })
+                }
+            }
+
+            #[inline(always)]
+            fn from_usize_unchecked(v: usize) -> Self {
+                debug_assert!(v <= Self::MAX_USIZE);
+                v as $t
+            }
+        }
+    };
+}
+
+impl_sp_index!(u16);
+impl_sp_index!(u32);
+impl_sp_index!(u64);
+impl_sp_index!(usize);
+
+/// Picks the narrowest of `u8`-granular widths (1, 2, 4 or 8 bytes) able to
+/// represent `max_value`. Used by CSR-VI to size the value-index array and
+/// by CSR-DU to classify delta units.
+#[inline]
+pub fn narrowest_width_bytes(max_value: usize) -> usize {
+    if max_value <= u8::MAX as usize {
+        1
+    } else if max_value <= u16::MAX as usize {
+        2
+    } else if max_value <= u32::MAX as usize {
+        4
+    } else {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        assert_eq!(<u16 as SpIndex>::from_usize(65535).unwrap().index(), 65535);
+        assert_eq!(<u32 as SpIndex>::from_usize(1 << 20).unwrap().index(), 1 << 20);
+        assert_eq!(<u64 as SpIndex>::from_usize(usize::MAX).unwrap().index(), usize::MAX);
+    }
+
+    #[test]
+    fn narrow_overflow_is_reported() {
+        let err = <u16 as SpIndex>::from_usize(65536).unwrap_err();
+        assert_eq!(err, SparseError::IndexOverflow { value: 65536, width_bits: 16 });
+    }
+
+    #[test]
+    fn width_selection_boundaries() {
+        assert_eq!(narrowest_width_bytes(0), 1);
+        assert_eq!(narrowest_width_bytes(255), 1);
+        assert_eq!(narrowest_width_bytes(256), 2);
+        assert_eq!(narrowest_width_bytes(65535), 2);
+        assert_eq!(narrowest_width_bytes(65536), 4);
+        assert_eq!(narrowest_width_bytes(u32::MAX as usize), 4);
+        assert_eq!(narrowest_width_bytes(u32::MAX as usize + 1), 8);
+    }
+
+    #[test]
+    fn bytes_constants() {
+        assert_eq!(<u16 as SpIndex>::BYTES, 2);
+        assert_eq!(<u32 as SpIndex>::BYTES, 4);
+        assert_eq!(<u64 as SpIndex>::BYTES, 8);
+    }
+}

@@ -1,0 +1,381 @@
+//! Binary serialization of the compressed formats.
+//!
+//! Compression is only worth paying for once; this module lets a
+//! pre-encoded matrix be persisted and memory-loaded later (e.g. a solver
+//! service encoding at ingest time). The container is a simple
+//! little-endian layout with a magic/version header and per-format tags —
+//! deliberately dependency-free and stable.
+//!
+//! Concrete types only (`u32` indices, `f64` values — the paper's
+//! baseline widths); other widths can be converted on load.
+//!
+//! Layout: `"SPMV"` magic, `u16` version, `u8` format tag, then
+//! format-specific fields, all integers little-endian.
+
+use crate::csr::Csr;
+use crate::csr_du::CsrDu;
+use crate::csr_vi::{CsrVi, ValInd};
+use crate::error::SparseError;
+use std::io::{Read, Write};
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 4] = b"SPMV";
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+const TAG_CSR: u8 = 1;
+const TAG_CSR_DU: u8 = 2;
+const TAG_CSR_VI: u8 = 3;
+
+type Result<T> = std::result::Result<T, SparseError>;
+
+fn io_err(e: std::io::Error) -> SparseError {
+    SparseError::Parse(format!("io error: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// primitive writers/readers
+// ---------------------------------------------------------------------
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_u32_slice<W: Write>(w: &mut W, data: &[u32]) -> Result<()> {
+    write_u64(w, data.len() as u64)?;
+    for &v in data {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn read_u32_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u32>> {
+    let len = read_u64(r)?;
+    if len > cap_hint {
+        return Err(SparseError::Parse(format!("array length {len} exceeds sanity bound")));
+    }
+    // Never pre-allocate from an untrusted length: a corrupt header could
+    // declare terabytes. Grow as bytes actually arrive (read_exact fails
+    // fast on truncated input).
+    let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf).map_err(io_err)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_f64_slice<W: Write>(w: &mut W, data: &[f64]) -> Result<()> {
+    write_u64(w, data.len() as u64)?;
+    for &v in data {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn read_f64_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<f64>> {
+    let len = read_u64(r)?;
+    if len > cap_hint {
+        return Err(SparseError::Parse(format!("array length {len} exceeds sanity bound")));
+    }
+    let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+    let mut buf = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut buf).map_err(io_err)?;
+        out.push(f64::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_bytes<W: Write>(w: &mut W, data: &[u8]) -> Result<()> {
+    write_u64(w, data.len() as u64)?;
+    w.write_all(data).map_err(io_err)
+}
+
+fn read_bytes<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u8>> {
+    let len = read_u64(r)?;
+    if len > cap_hint {
+        return Err(SparseError::Parse(format!("byte array {len} exceeds sanity bound")));
+    }
+    // Chunked read: no untrusted up-front allocation.
+    let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+    let mut remaining = len as usize;
+    let mut chunk = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take]).map_err(io_err)?;
+        out.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn write_header<W: Write>(w: &mut W, tag: u8) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&[tag]).map_err(io_err)
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<u8> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(SparseError::Parse("bad magic: not an SPMV container".into()));
+    }
+    let mut ver = [0u8; 2];
+    r.read_exact(&mut ver).map_err(io_err)?;
+    let version = u16::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(SparseError::Parse(format!(
+            "unsupported container version {version} (expected {VERSION})"
+        )));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag).map_err(io_err)?;
+    Ok(tag[0])
+}
+
+/// Generous sanity bound on element counts (guards against absurd
+/// corrupt headers outright; real protection is chunked allocation).
+const SANE: u64 = 1 << 40;
+
+/// Largest up-front allocation taken on the word of an untrusted header.
+const PREALLOC_CAP: usize = 1 << 16;
+
+// ---------------------------------------------------------------------
+// CSR
+// ---------------------------------------------------------------------
+
+/// Serializes a CSR matrix.
+pub fn write_csr<W: Write>(m: &Csr<u32, f64>, w: &mut W) -> Result<()> {
+    write_header(w, TAG_CSR)?;
+    write_u64(w, m.nrows() as u64)?;
+    write_u64(w, m.ncols() as u64)?;
+    write_u32_slice(w, m.row_ptr())?;
+    write_u32_slice(w, m.col_ind())?;
+    write_f64_slice(w, m.values())
+}
+
+/// Deserializes a CSR matrix (revalidates all invariants).
+pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr<u32, f64>> {
+    let tag = read_header(r)?;
+    if tag != TAG_CSR {
+        return Err(SparseError::Parse(format!("expected CSR container, found tag {tag}")));
+    }
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let row_ptr = read_u32_vec(r, SANE)?;
+    let col_ind = read_u32_vec(r, SANE)?;
+    let values = read_f64_vec(r, SANE)?;
+    Csr::from_raw_parts(nrows, ncols, row_ptr, col_ind, values)
+}
+
+// ---------------------------------------------------------------------
+// CSR-DU
+// ---------------------------------------------------------------------
+
+/// Serializes a CSR-DU matrix (ctl stream + values).
+pub fn write_csr_du<W: Write>(m: &CsrDu<f64>, w: &mut W) -> Result<()> {
+    write_header(w, TAG_CSR_DU)?;
+    write_u64(w, m.nrows() as u64)?;
+    write_u64(w, m.ncols() as u64)?;
+    write_bytes(w, m.ctl())?;
+    write_f64_slice(w, m.values())
+}
+
+/// Deserializes a CSR-DU matrix. The ctl stream is *validated by
+/// re-decoding*: the reconstruction must produce a well-formed CSR with
+/// matching nnz, so corrupt streams are rejected rather than trusted.
+pub fn read_csr_du<R: Read>(r: &mut R) -> Result<CsrDu<f64>> {
+    let tag = read_header(r)?;
+    if tag != TAG_CSR_DU {
+        return Err(SparseError::Parse(format!("expected CSR-DU container, found tag {tag}")));
+    }
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let ctl = read_bytes(r, SANE)?;
+    let values = read_f64_vec(r, SANE)?;
+    CsrDu::from_parts_checked(nrows, ncols, ctl, values)
+}
+
+// ---------------------------------------------------------------------
+// CSR-VI
+// ---------------------------------------------------------------------
+
+/// Serializes a CSR-VI matrix.
+pub fn write_csr_vi<W: Write>(m: &CsrVi<u32, f64>, w: &mut W) -> Result<()> {
+    write_header(w, TAG_CSR_VI)?;
+    write_u64(w, m.nrows() as u64)?;
+    write_u64(w, m.ncols() as u64)?;
+    write_u32_slice(w, m.row_ptr())?;
+    write_u32_slice(w, m.col_ind())?;
+    write_f64_slice(w, m.vals_unique())?;
+    match m.val_ind() {
+        ValInd::U8(v) => {
+            write_u64(w, 1)?;
+            write_bytes(w, v)
+        }
+        ValInd::U16(v) => {
+            write_u64(w, 2)?;
+            write_u64(w, v.len() as u64)?;
+            for &x in v {
+                w.write_all(&x.to_le_bytes()).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        ValInd::U32(v) => {
+            write_u64(w, 4)?;
+            write_u32_slice(w, v)
+        }
+    }
+}
+
+/// Deserializes a CSR-VI matrix (revalidates structure and value-index
+/// bounds).
+pub fn read_csr_vi<R: Read>(r: &mut R) -> Result<CsrVi<u32, f64>> {
+    let tag = read_header(r)?;
+    if tag != TAG_CSR_VI {
+        return Err(SparseError::Parse(format!("expected CSR-VI container, found tag {tag}")));
+    }
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let row_ptr = read_u32_vec(r, SANE)?;
+    let col_ind = read_u32_vec(r, SANE)?;
+    let vals_unique = read_f64_vec(r, SANE)?;
+    let width = read_u64(r)?;
+    let val_ind = match width {
+        1 => ValInd::U8(read_bytes(r, SANE)?),
+        2 => {
+            let len = read_u64(r)?;
+            if len > SANE {
+                return Err(SparseError::Parse("val_ind length exceeds sanity bound".into()));
+            }
+            let mut v = Vec::with_capacity(len as usize);
+            let mut buf = [0u8; 2];
+            for _ in 0..len {
+                r.read_exact(&mut buf).map_err(io_err)?;
+                v.push(u16::from_le_bytes(buf));
+            }
+            ValInd::U16(v)
+        }
+        4 => ValInd::U32(read_u32_vec(r, SANE)?),
+        other => {
+            return Err(SparseError::Parse(format!("invalid val_ind width {other}")));
+        }
+    };
+    CsrVi::from_parts_checked(nrows, ncols, row_ptr, col_ind, vals_unique, val_ind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr_du::DuOptions;
+    use crate::examples::paper_matrix;
+    use crate::SpMv;
+    use std::io::Cursor;
+
+    #[test]
+    fn csr_roundtrip() {
+        let csr = paper_matrix().to_csr();
+        let mut buf = Vec::new();
+        write_csr(&csr, &mut buf).unwrap();
+        let back = read_csr(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn csr_du_roundtrip() {
+        let csr = paper_matrix().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut buf = Vec::new();
+        write_csr_du(&du, &mut buf).unwrap();
+        let back = read_csr_du(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, du);
+        // And it still multiplies identically.
+        let x = vec![1.0; 6];
+        let mut y0 = vec![0.0; 6];
+        let mut y1 = vec![0.0; 6];
+        du.spmv(&x, &mut y0);
+        back.spmv(&x, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn csr_vi_roundtrip_all_widths() {
+        // u8 width (paper matrix, 9 unique values).
+        let csr = paper_matrix().to_csr();
+        let vi = CsrVi::from_csr(&csr);
+        let mut buf = Vec::new();
+        write_csr_vi(&vi, &mut buf).unwrap();
+        assert_eq!(read_csr_vi(&mut Cursor::new(&buf)).unwrap(), vi);
+
+        // u16 width (300 unique values).
+        let coo = crate::Coo::from_triplets(1, 300, (0..300).map(|c| (0usize, c, c as f64)))
+            .unwrap();
+        let vi = CsrVi::from_csr(&coo.to_csr());
+        assert_eq!(vi.val_ind().width_bytes(), 2);
+        let mut buf = Vec::new();
+        write_csr_vi(&vi, &mut buf).unwrap();
+        assert_eq!(read_csr_vi(&mut Cursor::new(&buf)).unwrap(), vi);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x01".to_vec();
+        assert!(read_csr(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        buf[4] = 99; // version byte
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        assert!(read_csr_du(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        for cut in [3, 7, 20, buf.len() - 1] {
+            assert!(read_csr(&mut Cursor::new(&buf[..cut])).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_csr_structure_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        // Flip a row_ptr byte to break monotonicity: header(7) + nrows(8)
+        // + ncols(8) + row_ptr len(8) + first entry...
+        buf[7 + 8 + 8 + 8 + 2] = 0xff;
+        assert!(read_csr(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn corrupt_du_ctl_rejected() {
+        let csr = paper_matrix().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut buf = Vec::new();
+        write_csr_du(&du, &mut buf).unwrap();
+        // Corrupt a ctl byte (first unit's usize -> 0 is invalid).
+        let ctl_start = 7 + 8 + 8 + 8;
+        buf[ctl_start + 1] = 0;
+        assert!(read_csr_du(&mut Cursor::new(&buf)).is_err());
+    }
+}

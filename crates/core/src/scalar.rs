@@ -1,0 +1,175 @@
+//! The [`Scalar`] abstraction over matrix value types.
+//!
+//! The paper evaluates double-precision (8-byte) values and motivates value
+//! compression by the fact that values dominate the CSR working set by a 2:1
+//! ratio against 4-byte indices. We keep the value type generic over `f32`
+//! and `f64` so the working-set analysis (and the mixed-precision related
+//! work the paper cites) can be explored.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Trait for numeric types usable as matrix/vector element values.
+///
+/// Implemented for `f32` and `f64`. The [`Scalar::Bits`] associated type
+/// exposes the raw bit pattern, which CSR-VI uses to deduplicate values:
+/// two values are "the same" for compression purposes iff their bit patterns
+/// are identical (so `-0.0` and `0.0` are distinct, and `NaN`s with equal
+/// payloads deduplicate — exactly what a byte-level compressor would do).
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Raw bit-pattern type (`u32` for `f32`, `u64` for `f64`).
+    type Bits: Copy + Eq + Hash + Debug + Send + Sync;
+
+    /// Size of one value in bytes, as it appears in the working set.
+    const BYTES: usize;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Raw bit pattern, used for exact-equality deduplication.
+    fn to_bits(self) -> Self::Bits;
+    /// Inverse of [`Scalar::to_bits`].
+    fn from_bits(bits: Self::Bits) -> Self;
+    /// Lossless conversion from `f64` where possible (used by generators;
+    /// `f32` rounds).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by validators and tests).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `true` if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    type Bits = u64;
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for f32 {
+    type Bits = u32;
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn to_bits(self) -> u32 {
+        f32::to_bits(self)
+    }
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bits_roundtrip() {
+        for v in [0.0f64, -0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_bits(Scalar::to_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn f32_bits_roundtrip() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MAX] {
+            assert_eq!(f32::from_bits(Scalar::to_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_zero_have_distinct_bits() {
+        // CSR-VI must treat them as distinct unique values.
+        assert_ne!(Scalar::to_bits(0.0f64), Scalar::to_bits(-0.0f64));
+    }
+
+    #[test]
+    fn bytes_constants_match_size_of() {
+        assert_eq!(<f64 as Scalar>::BYTES, std::mem::size_of::<f64>());
+        assert_eq!(<f32 as Scalar>::BYTES, std::mem::size_of::<f32>());
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(<f64 as Scalar>::zero() + <f64 as Scalar>::one(), 1.0);
+        assert_eq!(<f32 as Scalar>::one() * <f32 as Scalar>::one(), 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The [`SpMv`] trait — the common interface all storage formats implement —
+//! and the [`FormatKind`] tag used by the benchmark harness.
+
+use crate::scalar::Scalar;
+
+/// Identifies a storage format, for reporting and dispatch in the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Coordinate / triplet.
+    Coo,
+    /// Compressed Sparse Row (the paper's baseline).
+    Csr,
+    /// Compressed Sparse Column.
+    Csc,
+    /// Blocked CSR with fixed dense blocks.
+    Bcsr,
+    /// Ellpack-Itpack.
+    Ell,
+    /// Compressed Diagonal Storage.
+    Dia,
+    /// Jagged Diagonal.
+    Jad,
+    /// CSR Delta Unit — the paper's index-compressed format (§IV).
+    CsrDu,
+    /// CSR Value Index — the paper's value-compressed format (§V).
+    CsrVi,
+    /// Combined index + value compression (companion CF'08 paper).
+    CsrDuVi,
+    /// Willcock & Lumsdaine's delta-compressed CSR (related work, §III-B).
+    Dcsr,
+}
+
+impl FormatKind {
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            FormatKind::Coo => "COO",
+            FormatKind::Csr => "CSR",
+            FormatKind::Csc => "CSC",
+            FormatKind::Bcsr => "BCSR",
+            FormatKind::Ell => "ELL",
+            FormatKind::Dia => "DIA",
+            FormatKind::Jad => "JAD",
+            FormatKind::CsrDu => "CSR-DU",
+            FormatKind::CsrVi => "CSR-VI",
+            FormatKind::CsrDuVi => "CSR-DU-VI",
+            FormatKind::Dcsr => "DCSR",
+        }
+    }
+}
+
+impl std::fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sparse matrix-vector multiplication: `y = A·x`.
+///
+/// All formats implement this trait; correctness tests check every
+/// implementation against the COO reference oracle on the same pattern.
+pub trait SpMv<V: Scalar = f64>: Send + Sync {
+    /// Number of rows of `A` (length of `y`).
+    fn nrows(&self) -> usize;
+    /// Number of columns of `A` (length of `x`).
+    fn ncols(&self) -> usize;
+    /// Number of stored non-zeros.
+    fn nnz(&self) -> usize;
+    /// Which format this is.
+    fn kind(&self) -> FormatKind;
+    /// Bytes of matrix data (structure + values) streamed by one SpMV.
+    fn size_bytes(&self) -> usize;
+
+    /// Computes `y = A·x`. Panics if `x.len() != ncols` or
+    /// `y.len() != nrows`. `y` is fully overwritten.
+    fn spmv(&self, x: &[V], y: &mut [V]);
+
+    /// Floating-point operations per multiplication (2 per non-zero:
+    /// one multiply, one add) — the paper's FLOPS accounting (§VI-C).
+    fn flops(&self) -> usize {
+        2 * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(FormatKind::CsrDu.name(), "CSR-DU");
+        assert_eq!(FormatKind::CsrVi.name(), "CSR-VI");
+        assert_eq!(FormatKind::Csr.to_string(), "CSR");
+    }
+
+    #[test]
+    fn flops_is_twice_nnz() {
+        let csr: crate::Csr = crate::examples::paper_matrix().to_csr();
+        assert_eq!(SpMv::<f64>::flops(&csr), 32);
+    }
+}

@@ -1,0 +1,116 @@
+//! Working-set accounting (§II-B) and compression reporting.
+//!
+//! The paper's working-set formula:
+//!
+//! ```text
+//! ws = csr_size + vectors_size
+//!    = (nnz*(idx_s + val_s) + (nrows+1)*idx_s) + (nrows + ncols)*val_s
+//! ```
+//!
+//! Matrix-set selection in §VI-B is driven entirely by this quantity
+//! (`ws ≥ 3 MB` for M0, `ws ≥ 17 MB` for ML), so the harness reuses these
+//! exact definitions.
+
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+
+/// Bytes in one MiB — the paper speaks in binary megabytes (4 MB L2 etc.).
+pub const MB: usize = 1 << 20;
+
+/// Breakdown of the SpMV working set for a matrix + its x/y vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Bytes of the column-index array (`nnz * idx_s` for CSR) or its
+    /// compressed replacement.
+    pub index_bytes: usize,
+    /// Bytes of the row-pointer array.
+    pub row_ptr_bytes: usize,
+    /// Bytes of numerical value data (`nnz * val_s` for CSR) or its
+    /// compressed replacement.
+    pub value_bytes: usize,
+    /// Bytes of the dense x and y vectors.
+    pub vector_bytes: usize,
+}
+
+impl WorkingSet {
+    /// Working set of plain CSR per the paper's formula.
+    pub fn for_csr<I: SpIndex, V: Scalar>(nrows: usize, ncols: usize, nnz: usize) -> WorkingSet {
+        WorkingSet {
+            index_bytes: nnz * I::BYTES,
+            row_ptr_bytes: (nrows + 1) * I::BYTES,
+            value_bytes: nnz * V::BYTES,
+            vector_bytes: (nrows + ncols) * V::BYTES,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.index_bytes + self.row_ptr_bytes + self.value_bytes + self.vector_bytes
+    }
+
+    /// Matrix-only bytes (excludes the x/y vectors) — what the compression
+    /// schemes act on.
+    pub fn matrix_bytes(&self) -> usize {
+        self.index_bytes + self.row_ptr_bytes + self.value_bytes
+    }
+
+    /// Total working set in MiB.
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / MB as f64
+    }
+}
+
+/// Size comparison of a compressed format against its CSR baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// CSR matrix bytes (index + row_ptr + values).
+    pub csr_bytes: usize,
+    /// Compressed matrix bytes.
+    pub compressed_bytes: usize,
+}
+
+impl SizeReport {
+    /// Fraction of the CSR size that was *removed*; the number printed on
+    /// each bar of the paper's Figs. 7-8 (e.g. `0.21` = 21% smaller).
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.compressed_bytes as f64 / self.csr_bytes as f64
+    }
+
+    /// Compression ratio `csr / compressed` (> 1 is smaller).
+    pub fn ratio(&self) -> f64 {
+        self.csr_bytes as f64 / self.compressed_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_working_set_formula() {
+        // nnz=16, nrows=ncols=6, u32 idx, f64 val:
+        let ws = WorkingSet::for_csr::<u32, f64>(6, 6, 16);
+        assert_eq!(ws.index_bytes, 64);
+        assert_eq!(ws.row_ptr_bytes, 28);
+        assert_eq!(ws.value_bytes, 128);
+        assert_eq!(ws.vector_bytes, 96);
+        assert_eq!(ws.total(), 64 + 28 + 128 + 96);
+        assert_eq!(ws.matrix_bytes(), 64 + 28 + 128);
+    }
+
+    #[test]
+    fn values_dominate_by_two_thirds() {
+        // §II-B: with 4-byte indices and 8-byte values, values are 2/3 of
+        // col_ind + values.
+        let ws = WorkingSet::for_csr::<u32, f64>(1000, 1000, 100_000);
+        let frac = ws.value_bytes as f64 / (ws.value_bytes + ws.index_bytes) as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_report_reduction() {
+        let r = SizeReport { csr_bytes: 100, compressed_bytes: 80 };
+        assert!((r.reduction() - 0.2).abs() < 1e-12);
+        assert!((r.ratio() - 1.25).abs() < 1e-12);
+    }
+}

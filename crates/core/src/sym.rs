@@ -1,0 +1,218 @@
+//! Symmetric CSR — stores only the lower triangle (including the
+//! diagonal), halving both index and value data for symmetric matrices.
+//!
+//! The paper's related work (§III-C, Lee et al.) identifies symmetry as
+//! the other major value/index-data reduction: for `A = Aᵀ` the upper
+//! triangle is implied. The SpMV kernel applies each stored off-diagonal
+//! entry twice (`y[i] += a·x[j]` and `y[j] += a·x[i]`), trading the
+//! paper's "CPU work for traffic" in yet another form: the second update
+//! scatters into `y`, which is why the format parallelizes poorly with
+//! plain row partitioning (each thread would write foreign rows) — the
+//! provided parallel path uses per-thread private `y` accumulators like
+//! column partitioning.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::{Result, SparseError};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::{FormatKind, SpMv};
+use crate::stats::SizeReport;
+
+/// A symmetric sparse matrix storing its lower triangle in CSR layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymCsr<I: SpIndex = u32, V: Scalar = f64> {
+    lower: Csr<I, V>,
+    /// Number of stored off-diagonal entries (each represents two logical
+    /// non-zeros).
+    off_diag: usize,
+}
+
+impl<I: SpIndex, V: Scalar> SymCsr<I, V> {
+    /// Builds from a full CSR matrix, validating symmetry exactly
+    /// (`A[i,j].to_bits() == A[j,i].to_bits()`).
+    pub fn from_csr(full: &Csr<I, V>) -> Result<SymCsr<I, V>> {
+        if full.nrows() != full.ncols() {
+            return Err(SparseError::DimensionMismatch(
+                "symmetric storage needs a square matrix".into(),
+            ));
+        }
+        let t = full.transpose();
+        if t != *full {
+            return Err(SparseError::InvalidFormat(
+                "matrix is not symmetric (A != A^T bitwise)".into(),
+            ));
+        }
+        let mut coo = Coo::with_capacity(full.nrows(), full.ncols(), full.nnz() / 2 + full.nrows());
+        let mut off_diag = 0usize;
+        for (r, c, v) in full.iter() {
+            if c < r {
+                off_diag += 1;
+                coo.push(r, c, v)?;
+            } else if c == r {
+                coo.push(r, c, v)?;
+            }
+        }
+        Ok(SymCsr { lower: coo.to_csr_with_index::<I>()?, off_diag })
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.lower.nrows()
+    }
+
+    /// Stored entries (lower triangle + diagonal).
+    pub fn stored_nnz(&self) -> usize {
+        self.lower.nnz()
+    }
+
+    /// Logical non-zeros of the full matrix.
+    pub fn logical_nnz(&self) -> usize {
+        self.lower.nnz() + self.off_diag
+    }
+
+    /// The lower-triangle CSR.
+    pub fn lower(&self) -> &Csr<I, V> {
+        &self.lower
+    }
+
+    /// Reconstructs the full CSR matrix.
+    pub fn to_full(&self) -> Result<Csr<I, V>> {
+        let mut coo = Coo::with_capacity(self.n(), self.n(), self.logical_nnz());
+        for (r, c, v) in self.lower.iter() {
+            coo.push(r, c, v)?;
+            if c != r {
+                coo.push(c, r, v)?;
+            }
+        }
+        coo.to_csr_with_index::<I>()
+    }
+
+    /// Size comparison against full CSR storage.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            csr_bytes: self.logical_nnz() * (I::BYTES + V::BYTES) + (self.n() + 1) * I::BYTES,
+            compressed_bytes: SpMv::size_bytes(self),
+        }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMv<V> for SymCsr<I, V> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+    fn nnz(&self) -> usize {
+        self.logical_nnz()
+    }
+    fn kind(&self) -> FormatKind {
+        FormatKind::Csr // stored as CSR; reported sizes differ
+    }
+    fn size_bytes(&self) -> usize {
+        self.lower.size_bytes()
+    }
+    fn flops(&self) -> usize {
+        2 * self.logical_nnz()
+    }
+
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.n(), "x length must equal n");
+        assert_eq!(y.len(), self.n(), "y length must equal n");
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for i in 0..self.n() {
+            let mut acc = V::zero();
+            for (j, a) in self.lower.row_iter(i) {
+                acc += a * x[j];
+                if j != i {
+                    // Mirrored upper-triangle contribution.
+                    y[j] += a * x[i];
+                }
+            }
+            y[i] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_matrix(n: usize) -> Csr<u32, f64> {
+        // Symmetric pentadiagonal.
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+            if i + 3 < n {
+                t.push((i, i + 3, 0.5));
+                t.push((i + 3, i, 0.5));
+            }
+        }
+        Coo::from_triplets(n, n, t).unwrap().to_csr()
+    }
+
+    #[test]
+    fn roundtrip_and_counts() {
+        let full = sym_matrix(50);
+        let sym = SymCsr::from_csr(&full).unwrap();
+        assert_eq!(sym.to_full().unwrap(), full);
+        assert_eq!(sym.logical_nnz(), full.nnz());
+        assert!(sym.stored_nnz() < full.nnz());
+        // Stored ~ (nnz + n) / 2.
+        assert_eq!(sym.stored_nnz(), (full.nnz() - 50) / 2 + 50);
+    }
+
+    #[test]
+    fn spmv_matches_full() {
+        let full = sym_matrix(80);
+        let sym = SymCsr::from_csr(&full).unwrap();
+        let x: Vec<f64> = (0..80).map(|i| (i as f64) * 0.1 - 4.0).collect();
+        let mut y_full = vec![0.0; 80];
+        let mut y_sym = vec![1.0; 80];
+        full.spmv(&x, &mut y_full);
+        sym.spmv(&x, &mut y_sym);
+        for (a, b) in y_sym.iter().zip(&y_full) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn size_halves_for_large_symmetric() {
+        let full = sym_matrix(5000);
+        let sym = SymCsr::from_csr(&full).unwrap();
+        let r = sym.size_report();
+        assert!(r.reduction() > 0.35, "reduction {}", r.reduction());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let coo = Coo::from_triplets(2, 2, vec![(0, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            SymCsr::from_csr(&coo.to_csr()),
+            Err(SparseError::InvalidFormat(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let coo = Coo::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            SymCsr::from_csr(&coo.to_csr()),
+            Err(SparseError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn flops_count_logical_nnz() {
+        let full = sym_matrix(10);
+        let sym = SymCsr::from_csr(&full).unwrap();
+        assert_eq!(SpMv::<f64>::flops(&sym), SpMv::<f64>::flops(&full));
+    }
+}

@@ -1,0 +1,148 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! CSR-DU stores the `ujmp` field (the column jump at the start of each
+//! unit) as a variable-length integer, since most jumps are tiny but the
+//! first unit of a row can jump by up to `ncols`. We use unsigned LEB128:
+//! seven payload bits per byte, high bit set on continuation bytes.
+
+/// Maximum encoded length of a `u64` in LEB128 bytes.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `buf`, returning the number of
+/// bytes written.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            buf.push(byte);
+            return n;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 integer starting at `buf[*pos]`, advancing `*pos` past
+/// it. Panics (debug) / wraps (release) on truncated input — the encoder and
+/// decoder are always paired inside this crate, so corrupt streams indicate
+/// an internal bug; the checked variant below is for external input.
+#[inline(always)]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = buf[*pos];
+        *pos += 1;
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return result;
+        }
+        shift += 7;
+    }
+}
+
+/// Checked decode for untrusted input. Returns `None` on truncation or if
+/// the encoding exceeds [`MAX_VARINT_LEN`] bytes (non-canonical / overflow).
+pub fn try_read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Number of bytes the LEB128 encoding of `value` occupies.
+#[inline]
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    (64 - value.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        let n = write_varint(&mut buf, v);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, varint_len(v), "varint_len mismatch for {v}");
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), v);
+        assert_eq!(pos, buf.len());
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&buf, &mut pos), Some(v));
+    }
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for v in 0..100_000u64 {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+    }
+
+    #[test]
+    fn single_byte_values_encode_in_one_byte() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 127);
+        assert_eq!(buf, vec![0x7f]);
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let buf = vec![0x80u8, 0x80]; // endless continuation
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequential_decode() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        write_varint(&mut buf, 300);
+        write_varint(&mut buf, 0);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), 5);
+        assert_eq!(read_varint(&buf, &mut pos), 300);
+        assert_eq!(read_varint(&buf, &mut pos), 0);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_len_max() {
+        assert_eq!(varint_len(u64::MAX), MAX_VARINT_LEN);
+    }
+}

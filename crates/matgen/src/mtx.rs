@@ -1,0 +1,246 @@
+//! MatrixMarket (`.mtx`) coordinate-format I/O.
+//!
+//! Supports the subset that covers the UF sparse collection the paper
+//! draws from: `matrix coordinate {real|integer|pattern}
+//! {general|symmetric|skew-symmetric}`. Symmetric inputs are expanded to
+//! full storage on read (the paper's kernels operate on full patterns).
+
+use spmv_core::{Coo, SparseError};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Value field type declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Parses a MatrixMarket stream into COO.
+pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
+    let mut lines = reader.lines();
+
+    // Header line.
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty input".into()))?
+        .map_err(|e| SparseError::Parse(e.to_string()))?;
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad MatrixMarket header: {header}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse(format!("unsupported format '{}' (only coordinate)", toks[2])));
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(SparseError::Parse(format!("unsupported field '{other}'"))),
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Size line (skipping comments).
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(e.to_string())))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::General { declared_nnz } else { 2 * declared_nnz },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+        }
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| SparseError::Parse(e.to_string()))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    coo.push(c, r, v)?;
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    coo.push(c, r, -v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse(format!(
+            "header declares {declared_nnz} entries, found {seen}"
+        )));
+    }
+    coo.canonicalize();
+    Ok(coo)
+}
+
+/// Reads a `.mtx` file from disk.
+pub fn read_mtx_file(path: &Path) -> Result<Coo<f64>, SparseError> {
+    let f = std::fs::File::open(path).map_err(|e| SparseError::Parse(e.to_string()))?;
+    read_mtx(std::io::BufReader::new(f))
+}
+
+/// Writes a COO matrix as `matrix coordinate real general`.
+pub fn write_mtx<W: Write>(coo: &Coo<f64>, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by spmv-matgen")?;
+    writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
+    for &(r, c, v) in coo.entries() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    w.flush()
+}
+
+/// Writes a `.mtx` file to disk.
+pub fn write_mtx_file(coo: &Coo<f64>, path: &Path) -> std::io::Result<()> {
+    write_mtx(coo, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.0\n\
+        1 3 -1.5\n\
+        2 2 3.0\n\
+        3 1 4.0\n";
+
+    #[test]
+    fn parse_general_real() {
+        let coo = read_mtx(Cursor::new(GENERAL)).unwrap();
+        assert_eq!(coo.nrows(), 3);
+        assert_eq!(coo.nnz(), 4);
+        assert_eq!(coo.entries()[0], (0, 0, 2.0));
+        assert_eq!(coo.entries()[1], (0, 2, -1.5));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n\
+            2 2 2\n\
+            1 1 5.0\n\
+            2 1 7.0\n";
+        let coo = read_mtx(Cursor::new(s)).unwrap();
+        assert_eq!(coo.nnz(), 3); // diagonal not duplicated
+        assert!(coo.entries().contains(&(0, 1, 7.0)));
+        assert!(coo.entries().contains(&(1, 0, 7.0)));
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let s = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+            2 2 1\n\
+            2 1 3.0\n";
+        let coo = read_mtx(Cursor::new(s)).unwrap();
+        assert!(coo.entries().contains(&(1, 0, 3.0)));
+        assert!(coo.entries().contains(&(0, 1, -3.0)));
+    }
+
+    #[test]
+    fn parse_pattern_defaults_to_one() {
+        let s = "%%MatrixMarket matrix coordinate pattern general\n\
+            2 3 2\n\
+            1 2\n\
+            2 3\n";
+        let coo = read_mtx(Cursor::new(s)).unwrap();
+        assert_eq!(coo.entries(), &[(0, 1, 1.0), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_mtx(Cursor::new("nonsense\n")).is_err());
+        assert!(read_mtx(Cursor::new("%%MatrixMarket matrix array real general\n2 2 0\n"))
+            .is_err());
+        assert!(read_mtx(Cursor::new("%%MatrixMarket matrix coordinate complex general\n"))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count_and_zero_index() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_mtx(Cursor::new(s)).is_err());
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_mtx(Cursor::new(s)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_mtx(Cursor::new(s)).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let coo = spmv_core::examples::paper_matrix();
+        let mut buf = Vec::new();
+        write_mtx(&coo, &mut buf).unwrap();
+        let back = read_mtx(Cursor::new(buf)).unwrap();
+        assert_eq!(back.entries(), coo.entries());
+    }
+}

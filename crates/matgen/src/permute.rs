@@ -1,0 +1,194 @@
+//! Symmetric row/column permutations — for studying how ordering-induced
+//! locality affects the compression schemes.
+//!
+//! Delta encoding (CSR-DU) and x-vector locality both live and die by the
+//! matrix ordering: a bandwidth-reducing ordering makes column deltas
+//! small, a random permutation destroys them. These utilities let the
+//! benches quantify that sensitivity.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spmv_core::Coo;
+
+/// Applies the symmetric permutation `P·A·Pᵀ`: entry `(r, c)` moves to
+/// `(perm[r], perm[c])`. `perm` must be a permutation of `0..n` for a
+/// square matrix.
+pub fn permute_symmetric(coo: &Coo<f64>, perm: &[usize]) -> Coo<f64> {
+    assert_eq!(coo.nrows(), coo.ncols(), "symmetric permutation needs a square matrix");
+    assert_eq!(perm.len(), coo.nrows(), "permutation length mismatch");
+    debug_assert!(is_permutation(perm));
+    let mut out = Coo::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+    for &(r, c, v) in coo.entries() {
+        out.push(perm[r], perm[c], v).expect("permutation stays in bounds");
+    }
+    out.canonicalize();
+    out
+}
+
+/// A uniformly random permutation of `0..n` (Fisher-Yates), deterministic
+/// in `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Scrambles a matrix with a random symmetric permutation — the
+/// worst-case ordering for delta encoding and x locality.
+pub fn scramble(coo: &Coo<f64>, seed: u64) -> Coo<f64> {
+    permute_symmetric(coo, &random_permutation(coo.nrows(), seed))
+}
+
+/// Reverse Cuthill-McKee-style bandwidth-reducing ordering via repeated
+/// BFS from a low-degree vertex. Operates on the symmetrized pattern.
+/// Returns the permutation `perm` such that new index = `perm[old]`.
+pub fn rcm_permutation(coo: &Coo<f64>) -> Vec<usize> {
+    assert_eq!(coo.nrows(), coo.ncols(), "RCM needs a square matrix");
+    let n = coo.nrows();
+    // Symmetrized adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(r, c, _) in coo.entries() {
+        if r != c {
+            adj[r].push(c);
+            adj[c].push(r);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Process components from their minimum-degree unvisited vertex.
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_by_key(|&v| adj[v].len());
+    for &start in &by_degree {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut nbrs: Vec<usize> =
+                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            nbrs.sort_by_key(|&u| adj[u].len());
+            for u in nbrs {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Reverse (the "R" in RCM), then convert order -> permutation.
+    order.reverse();
+    let mut perm = vec![0usize; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old] = new;
+    }
+    perm
+}
+
+/// Matrix bandwidth: max |col − row| over all entries.
+pub fn bandwidth(coo: &Coo<f64>) -> usize {
+    coo.entries()
+        .iter()
+        .map(|&(r, c, _)| r.abs_diff(c))
+        .max()
+        .unwrap_or(0)
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::csr_du::{CsrDu, DuOptions};
+    use spmv_core::SpMv;
+
+    #[test]
+    fn random_permutation_is_valid() {
+        let p = random_permutation(100, 5);
+        assert!(is_permutation(&p));
+        assert_ne!(p, (0..100).collect::<Vec<_>>());
+        assert_eq!(p, random_permutation(100, 5));
+    }
+
+    #[test]
+    fn permutation_preserves_spmv_up_to_reordering() {
+        let coo = crate::gen::banded(200, 4, 1.0, 1);
+        let perm = random_permutation(200, 2);
+        let scrambled = permute_symmetric(&coo, &perm);
+        assert_eq!(scrambled.nnz(), coo.nnz());
+
+        // (P A P^T)(P x) = P (A x)
+        let x: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let mut px = vec![0.0; 200];
+        for (old, &new) in perm.iter().enumerate() {
+            px[new] = x[old];
+        }
+        let mut y = vec![0.0; 200];
+        let mut y_scr = vec![0.0; 200];
+        coo.to_csr().spmv(&x, &mut y);
+        scrambled.to_csr().spmv(&px, &mut y_scr);
+        for (old, &new) in perm.iter().enumerate() {
+            assert!((y_scr[new] - y[old]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scrambling_destroys_du_compression() {
+        let coo = crate::gen::banded(3000, 6, 1.0, 3);
+        let du_orig = CsrDu::from_csr(&coo.to_csr(), &DuOptions::default());
+        let du_scr = CsrDu::from_csr(&scramble(&coo, 4).to_csr(), &DuOptions::default());
+        // n=3000 keeps scrambled deltas within u16, so the stream grows
+        // ~1.7x (u8 -> u16 plus unit splits); bigger matrices grow more.
+        assert!(
+            du_scr.ctl().len() as f64 > 1.5 * du_orig.ctl().len() as f64,
+            "scrambled ctl {} vs ordered {}",
+            du_scr.ctl().len(),
+            du_orig.ctl().len()
+        );
+    }
+
+    #[test]
+    fn rcm_recovers_bandwidth_after_scramble() {
+        let coo = crate::gen::banded(500, 3, 1.0, 7);
+        let original_bw = bandwidth(&coo);
+        let scrambled = scramble(&coo, 8);
+        assert!(bandwidth(&scrambled) > 10 * original_bw);
+        let rcm = permute_symmetric(&scrambled, &rcm_permutation(&scrambled));
+        assert!(
+            bandwidth(&rcm) <= 4 * original_bw,
+            "rcm bandwidth {} vs original {}",
+            bandwidth(&rcm),
+            original_bw
+        );
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_graphs() {
+        // Two components + isolated vertices.
+        let coo = spmv_core::Coo::from_triplets(
+            10,
+            10,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (4, 5, 1.0), (5, 4, 1.0)],
+        )
+        .unwrap();
+        let perm = rcm_permutation(&coo);
+        assert!(is_permutation(&perm));
+    }
+}

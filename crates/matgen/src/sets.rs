@@ -1,0 +1,108 @@
+//! The paper's matrix-set id lists (§VI-B and §VI-E), transcribed verbatim.
+//!
+//! Matrices are identified by the id numbers of the authors' earlier study
+//! ("Understanding the performance of sparse matrix-vector multiplication",
+//! PDP'08). The corpus generator arranges each synthetic matrix's working
+//! set and value redundancy so that the paper's selection predicates
+//! reproduce these exact sets; `corpus::tests` asserts that.
+
+/// Ids of M0: the 77 matrices with `ws ≥ 3 MB` (dense matrix excluded).
+pub const M0: [u32; 77] = [
+    2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 17, 21, 25, 26, 36, 40, 41, 42, 44, 45, 46, 47,
+    48, 49, 50, 51, 52, 53, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71,
+    72, 73, 74, 75, 76, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94,
+    95, 96, 97, 98, 99, 100,
+];
+
+/// Ids of ML: the 52 M0 matrices with `ws ≥ 4×L2 + 1 MB = 17 MB`.
+pub const ML: [u32; 52] = [
+    2, 5, 8, 9, 10, 15, 40, 45, 46, 50, 51, 52, 53, 55, 56, 57, 59, 61, 62, 63, 64, 69, 70, 71,
+    72, 73, 74, 75, 76, 77, 78, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94, 95,
+    96, 97, 98, 99, 100,
+];
+
+/// Ids of M0-vi: the 30 M0 matrices with `ttu > 5` (§VI-E).
+pub const M0_VI: [u32; 30] = [
+    9, 26, 40, 41, 42, 44, 45, 46, 47, 50, 51, 52, 53, 57, 61, 63, 67, 68, 69, 70, 73, 79, 80,
+    82, 84, 85, 86, 87, 93, 99,
+];
+
+/// Ids of ML-vi: the 22 memory-bound CSR-VI-applicable matrices.
+pub const ML_VI: [u32; 22] = [
+    9, 40, 45, 46, 50, 51, 52, 53, 57, 61, 63, 69, 70, 73, 80, 82, 84, 85, 86, 87, 93, 99,
+];
+
+/// Ids of MS-vi: the 8 cache-resident CSR-VI-applicable matrices.
+pub const MS_VI: [u32; 8] = [26, 41, 42, 44, 47, 67, 68, 79];
+
+/// Id of the dense matrix the paper excludes from M0 regardless of size.
+pub const DENSE_ID: u32 = 14;
+
+/// `true` if `id` belongs to M0.
+pub fn in_m0(id: u32) -> bool {
+    M0.contains(&id)
+}
+
+/// `true` if `id` belongs to ML.
+pub fn in_ml(id: u32) -> bool {
+    ML.contains(&id)
+}
+
+/// `true` if `id` belongs to MS (= M0 \ ML).
+pub fn in_ms(id: u32) -> bool {
+    in_m0(id) && !in_ml(id)
+}
+
+/// `true` if `id` belongs to M0-vi.
+pub fn in_m0_vi(id: u32) -> bool {
+    M0_VI.contains(&id)
+}
+
+/// Ids of MS (= M0 \ ML), computed.
+pub fn ms_ids() -> Vec<u32> {
+    M0.iter().copied().filter(|&id| !in_ml(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_paper() {
+        assert_eq!(M0.len(), 77);
+        assert_eq!(ML.len(), 52);
+        assert_eq!(ms_ids().len(), 25);
+        assert_eq!(M0_VI.len(), 30);
+        assert_eq!(ML_VI.len(), 22);
+        assert_eq!(MS_VI.len(), 8);
+    }
+
+    #[test]
+    fn ml_is_subset_of_m0() {
+        assert!(ML.iter().all(|&id| in_m0(id)));
+    }
+
+    #[test]
+    fn vi_sets_partition_correctly() {
+        // ML_VI = M0_VI ∩ ML and MS_VI = M0_VI ∩ MS, disjoint union = M0_VI.
+        for &id in &ML_VI {
+            assert!(in_m0_vi(id) && in_ml(id), "id {id}");
+        }
+        for &id in &MS_VI {
+            assert!(in_m0_vi(id) && in_ms(id), "id {id}");
+        }
+        assert_eq!(ML_VI.len() + MS_VI.len(), M0_VI.len());
+    }
+
+    #[test]
+    fn lists_are_sorted_and_unique() {
+        for list in [&M0[..], &ML[..], &M0_VI[..], &ML_VI[..], &MS_VI[..]] {
+            assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn dense_id_not_in_m0() {
+        assert!(!in_m0(DENSE_ID));
+    }
+}

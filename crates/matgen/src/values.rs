@@ -1,0 +1,135 @@
+//! Value models — controlling the unique-value count of generated
+//! matrices.
+//!
+//! CSR-VI's applicability depends entirely on the total-to-unique values
+//! ratio (`ttu`, §V/§VI-E), so the corpus must control it precisely. A
+//! [`ValueModel`] assigns a value to each structural non-zero; the
+//! `Quantized` model draws from a fixed palette of `levels` distinct
+//! values (mimicking matrices assembled from a handful of material
+//! coefficients), giving `ttu ≈ nnz / levels`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How numerical values are assigned to structural non-zeros.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueModel {
+    /// Every element draws a fresh uniform value in `(lo, hi)`; unique
+    /// count ≈ nnz, `ttu ≈ 1` (CSR-VI hostile).
+    Random {
+        /// Lower bound of the value range.
+        lo: f64,
+        /// Upper bound of the value range.
+        hi: f64,
+    },
+    /// Values drawn from a palette of exactly `levels` distinct values
+    /// (`ttu ≈ nnz / levels`, CSR-VI friendly for small `levels`).
+    Quantized {
+        /// Number of distinct values in the palette.
+        levels: usize,
+    },
+    /// Every `period`-th element is fresh, others repeat the palette —
+    /// produces mid-range `ttu ≈ period` (borderline matrices).
+    Mixed {
+        /// Approximate resulting `ttu`.
+        period: usize,
+    },
+    /// All elements share one value (adjacency matrices; `ttu = nnz`).
+    Constant(
+        /// The shared value.
+        f64,
+    ),
+}
+
+impl ValueModel {
+    /// Assigns values to `nnz` elements, deterministically from `seed`.
+    pub fn assign(&self, nnz: usize, seed: u64) -> Vec<f64> {
+        // Decorrelate from the structure generator's stream.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x5eed));
+        match *self {
+            ValueModel::Random { lo, hi } => {
+                (0..nnz).map(|_| rng.random_range(lo..hi)).collect()
+            }
+            ValueModel::Quantized { levels } => {
+                let levels = levels.max(1);
+                let palette: Vec<f64> =
+                    (0..levels).map(|_| rng.random_range(-10.0..10.0)).collect();
+                (0..nnz).map(|_| palette[rng.random_range(0..levels)]).collect()
+            }
+            ValueModel::Mixed { period } => {
+                let period = period.max(2);
+                // A small palette reused (period-1)/period of the time plus
+                // fresh values 1/period of the time yields uv ≈ nnz/period.
+                let palette: Vec<f64> =
+                    (0..64).map(|_| rng.random_range(-10.0..10.0)).collect();
+                (0..nnz)
+                    .map(|_| {
+                        if rng.random_range(0..period) == 0 {
+                            rng.random_range(-10.0..10.0)
+                        } else {
+                            palette[rng.random_range(0..palette.len())]
+                        }
+                    })
+                    .collect()
+            }
+            ValueModel::Constant(v) => vec![v; nnz],
+        }
+    }
+
+    /// Expected approximate `ttu` of this model at the given nnz.
+    pub fn expected_ttu(&self, nnz: usize) -> f64 {
+        match *self {
+            ValueModel::Random { .. } => 1.0,
+            ValueModel::Quantized { levels } => nnz as f64 / levels.max(1) as f64,
+            ValueModel::Mixed { period } => period as f64,
+            ValueModel::Constant(_) => nnz as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn unique_count(vals: &[f64]) -> usize {
+        vals.iter().map(|v| v.to_bits()).collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn quantized_has_exact_level_count() {
+        let v = ValueModel::Quantized { levels: 7 }.assign(10_000, 42);
+        assert!(unique_count(&v) <= 7);
+        assert!(unique_count(&v) >= 6, "all levels should appear at 10k draws");
+    }
+
+    #[test]
+    fn random_is_mostly_unique() {
+        let v = ValueModel::Random { lo: 0.0, hi: 1.0 }.assign(10_000, 42);
+        assert!(unique_count(&v) > 9_900);
+    }
+
+    #[test]
+    fn constant_is_single_value() {
+        let v = ValueModel::Constant(2.5).assign(100, 0);
+        assert_eq!(unique_count(&v), 1);
+        assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn mixed_ttu_in_expected_range() {
+        let nnz = 50_000;
+        let v = ValueModel::Mixed { period: 3 }.assign(nnz, 7);
+        let ttu = nnz as f64 / unique_count(&v) as f64;
+        assert!(ttu > 2.0 && ttu < 5.0, "ttu = {ttu}");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = ValueModel::Quantized { levels: 5 }.assign(1000, 9);
+        let b = ValueModel::Quantized { levels: 5 }.assign(1000, 9);
+        assert_eq!(a, b);
+        let c = ValueModel::Quantized { levels: 5 }.assign(1000, 10);
+        assert_ne!(a, c);
+    }
+}

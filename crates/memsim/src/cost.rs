@@ -1,0 +1,210 @@
+//! CPU cost model and per-format stream/cost descriptors.
+//!
+//! Cycle constants are calibrated against the paper's serial anchors
+//! (Table II: ≈ 620 MFLOP/s on cache-resident matrices at 2 GHz ⇒ ≈ 6.5
+//! cycles per non-zero for CSR) and against the paper's qualitative
+//! findings: CSR-DU decoding costs a little extra per element plus a
+//! per-unit header cost; CSR-VI pays one extra (cache-resident) load per
+//! element; DCSR pays a per-element command dispatch with frequent branch
+//! mispredictions unless runs are grouped (§III-B).
+
+use serde::Serialize;
+use spmv_core::csr_du::CsrDu;
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::dcsr::Dcsr;
+use spmv_core::{Csr, FormatKind, Scalar, SpIndex};
+
+/// Per-operation cycle costs of the modeled core (2 GHz Clovertown-era).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CostModel {
+    /// Cycles per non-zero for the plain CSR inner loop (mul + add +
+    /// indexed x load + loop bookkeeping).
+    pub csr_nnz: f64,
+    /// Cycles of per-row overhead (loop setup, final y store).
+    pub row: f64,
+    /// Extra cycles per non-zero for CSR-DU delta decoding.
+    pub du_nnz_extra: f64,
+    /// Cycles per CSR-DU unit header (flags/size/jmp decode + dispatch).
+    pub du_unit: f64,
+    /// Extra cycles per non-zero for CSR-VI's value indirection.
+    pub vi_nnz_extra: f64,
+    /// Extra cycles per non-zero for DCSR's per-element command dispatch
+    /// (amortized branch-misprediction cost) when the element is NOT
+    /// inside a grouped run.
+    pub dcsr_dispatch: f64,
+    /// Extra cycles per non-zero inside a grouped (unrolled) DCSR run.
+    pub dcsr_grouped: f64,
+    /// Latency penalty (cycles per non-zero) for scattered x accesses
+    /// that miss the cache — captures the pointer-chasing component that
+    /// bandwidth alone does not.
+    pub x_scatter_penalty: f64,
+    /// Per-iteration thread synchronization cost (cycles) when more than
+    /// one thread runs.
+    pub barrier: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            csr_nnz: 6.2,
+            row: 4.0,
+            du_nnz_extra: 0.9,
+            du_unit: 6.0,
+            vi_nnz_extra: 1.1,
+            dcsr_dispatch: 2.6,
+            dcsr_grouped: 1.0,
+            x_scatter_penalty: 2.0,
+            barrier: 4000.0,
+        }
+    }
+}
+
+/// What one storage format streams and computes per SpMV iteration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FormatCost {
+    /// Which format.
+    #[serde(serialize_with = "ser_kind")]
+    pub kind: FormatKind,
+    /// Matrix bytes streamed per iteration (indices + values + pointers).
+    pub stream_bytes: usize,
+    /// Small lookup tables that stay cache-resident (CSR-VI's unique
+    /// value table); they occupy cache but do not stream.
+    pub resident_bytes: usize,
+    /// Cycles per non-zero.
+    pub cycles_per_nnz: f64,
+    /// Cycles per non-empty row.
+    pub cycles_per_row: f64,
+    /// Additional flat cycles per iteration (unit headers etc.).
+    pub cycles_flat: f64,
+}
+
+/// Serializes a [`FormatKind`] as its paper name (e.g. `"CSR-DU"`).
+fn ser_kind<S: serde::Serializer>(kind: &FormatKind, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_str(kind.name())
+}
+
+impl FormatCost {
+    /// Cost descriptor for plain CSR with index type `I`.
+    pub fn csr<I: SpIndex, V: Scalar>(m: &Csr<I, V>, cm: &CostModel) -> FormatCost {
+        FormatCost {
+            kind: FormatKind::Csr,
+            stream_bytes: m.nnz() * (I::BYTES + V::BYTES) + (m.nrows() + 1) * I::BYTES,
+            resident_bytes: 0,
+            cycles_per_nnz: cm.csr_nnz,
+            cycles_per_row: cm.row,
+            cycles_flat: 0.0,
+        }
+    }
+
+    /// Cost descriptor for CSR-DU.
+    pub fn csr_du<V: Scalar>(m: &CsrDu<V>, cm: &CostModel) -> FormatCost {
+        FormatCost {
+            kind: FormatKind::CsrDu,
+            stream_bytes: m.size_bytes(),
+            resident_bytes: 0,
+            cycles_per_nnz: cm.csr_nnz + cm.du_nnz_extra,
+            cycles_per_row: 0.0, // row bookkeeping happens per unit
+            cycles_flat: m.units() as f64 * cm.du_unit,
+        }
+    }
+
+    /// Cost descriptor for CSR-VI.
+    pub fn csr_vi<I: SpIndex, V: Scalar>(m: &CsrVi<I, V>, cm: &CostModel) -> FormatCost {
+        FormatCost {
+            kind: FormatKind::CsrVi,
+            stream_bytes: m.size_bytes() - m.unique_values() * V::BYTES,
+            resident_bytes: m.unique_values() * V::BYTES,
+            cycles_per_nnz: cm.csr_nnz + cm.vi_nnz_extra,
+            cycles_per_row: cm.row,
+            cycles_flat: 0.0,
+        }
+    }
+
+    /// Cost descriptor for the combined CSR-DU-VI.
+    pub fn csr_duvi<V: Scalar>(m: &CsrDuVi<V>, cm: &CostModel) -> FormatCost {
+        let resident = m.unique_values() * V::BYTES;
+        FormatCost {
+            kind: FormatKind::CsrDuVi,
+            stream_bytes: m.size_bytes() - resident,
+            resident_bytes: resident,
+            cycles_per_nnz: cm.csr_nnz + cm.du_nnz_extra + cm.vi_nnz_extra,
+            cycles_per_row: 0.0,
+            cycles_flat: m.units() as f64 * cm.du_unit,
+        }
+    }
+
+    /// Cost descriptor for DCSR. `grouped_fraction` is the share of
+    /// non-zeros inside grouped runs (1.0 = fully grouped stream).
+    pub fn dcsr<V: Scalar>(m: &Dcsr<V>, grouped_fraction: f64, cm: &CostModel) -> FormatCost {
+        let dispatch = grouped_fraction * cm.dcsr_grouped
+            + (1.0 - grouped_fraction) * cm.dcsr_dispatch;
+        FormatCost {
+            kind: FormatKind::Dcsr,
+            stream_bytes: spmv_core::SpMv::<V>::size_bytes(m),
+            resident_bytes: 0,
+            cycles_per_nnz: cm.csr_nnz + dispatch,
+            cycles_per_row: cm.row,
+            cycles_flat: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::csr_du::DuOptions;
+    use spmv_core::examples::paper_matrix;
+
+    #[test]
+    fn csr_stream_matches_working_set_formula() {
+        let csr: Csr = paper_matrix().to_csr();
+        let fc = FormatCost::csr(&csr, &CostModel::default());
+        assert_eq!(fc.stream_bytes, 16 * 12 + 7 * 4);
+        assert_eq!(fc.resident_bytes, 0);
+    }
+
+    #[test]
+    fn du_streams_less_than_csr_on_regular_matrix() {
+        let coo = spmv_matgen::gen::banded(3000, 6, 1.0, 1);
+        let csr = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let cm = CostModel::default();
+        let c_csr = FormatCost::csr(&csr, &cm);
+        let c_du = FormatCost::csr_du(&du, &cm);
+        assert!(c_du.stream_bytes < c_csr.stream_bytes);
+        assert!(c_du.cycles_per_nnz > c_csr.cycles_per_nnz);
+    }
+
+    #[test]
+    fn vi_moves_values_to_resident_table() {
+        let csr: Csr = paper_matrix().to_csr();
+        let vi = CsrVi::from_csr(&csr);
+        let fc = FormatCost::csr_vi(&vi, &CostModel::default());
+        assert_eq!(fc.resident_bytes, 9 * 8);
+        // stream: row_ptr + col_ind + 1-byte val_ind
+        assert_eq!(fc.stream_bytes, 7 * 4 + 16 * 4 + 16);
+    }
+
+    #[test]
+    fn dcsr_dispatch_interpolates_with_grouping() {
+        let csr: Csr = paper_matrix().to_csr();
+        let cm = CostModel::default();
+        let d = Dcsr::from_csr(&csr, &spmv_core::dcsr::DcsrOptions::default());
+        let full = FormatCost::dcsr(&d, 1.0, &cm);
+        let none = FormatCost::dcsr(&d, 0.0, &cm);
+        assert!(full.cycles_per_nnz < none.cycles_per_nnz);
+        assert!((none.cycles_per_nnz - cm.csr_nnz - cm.dcsr_dispatch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_csr_anchor_is_near_620_mflops() {
+        // Cache-resident CSR at 2 GHz with ~7 nnz/row should land near the
+        // paper's MS serial average (619 MFLOP/s).
+        let cm = CostModel::default();
+        let nnz_per_row = 7.0;
+        let cycles_per_nnz = cm.csr_nnz + cm.row / nnz_per_row;
+        let mflops = 2.0 * 2.0e9 / cycles_per_nnz / 1e6;
+        assert!((550.0..700.0).contains(&mflops), "anchor {mflops}");
+    }
+}

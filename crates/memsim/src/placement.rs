@@ -1,0 +1,131 @@
+//! Thread placements (§VI-A): "threads are always scheduled to run as
+//! 'close' as possible", with the 2-thread case measured both ways —
+//! sharing an L2 and on separate dies of the same package.
+
+use crate::machine::Machine;
+use serde::Serialize;
+
+/// A placement of `threads` threads on the machine's topology.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Placement {
+    /// Short label as used in the paper's tables, e.g. `"2(1xL2)"`.
+    pub label: String,
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of distinct dies (= L2 caches) occupied.
+    pub dies: usize,
+    /// Number of distinct packages occupied.
+    pub packages: usize,
+}
+
+impl Placement {
+    /// Single thread.
+    pub fn serial() -> Placement {
+        Placement { label: "1".into(), threads: 1, dies: 1, packages: 1 }
+    }
+
+    /// Two threads on the two cores of one die (shared L2) — the paper's
+    /// default 2-thread placement.
+    pub fn two_shared_l2() -> Placement {
+        Placement { label: "2(1xL2)".into(), threads: 2, dies: 1, packages: 1 }
+    }
+
+    /// Two threads on separate dies of the same package (two L2s).
+    pub fn two_separate_l2() -> Placement {
+        Placement { label: "2(2xL2)".into(), threads: 2, dies: 2, packages: 1 }
+    }
+
+    /// Four threads filling one package (both dies).
+    pub fn four() -> Placement {
+        Placement { label: "4".into(), threads: 4, dies: 2, packages: 1 }
+    }
+
+    /// Eight threads filling the whole machine.
+    pub fn eight() -> Placement {
+        Placement { label: "8".into(), threads: 8, dies: 4, packages: 2 }
+    }
+
+    /// The paper's five measured configurations, in table order.
+    pub fn paper_configs() -> Vec<Placement> {
+        vec![
+            Placement::serial(),
+            Placement::two_shared_l2(),
+            Placement::two_separate_l2(),
+            Placement::four(),
+            Placement::eight(),
+        ]
+    }
+
+    /// "As close as possible" placement for an arbitrary thread count on
+    /// `machine` (§VI-A): fill dies, then packages.
+    pub fn close(threads: usize, machine: &Machine) -> Placement {
+        assert!(threads >= 1 && threads <= machine.cores(), "thread count exceeds machine");
+        let dies = threads.div_ceil(machine.cores_per_die).max(1);
+        let packages = dies.div_ceil(machine.dies_per_package).max(1);
+        Placement { label: threads.to_string(), threads, dies, packages }
+    }
+
+    /// Achievable aggregate streaming bandwidth of this placement: the
+    /// minimum across every level of the hierarchy it crosses.
+    pub fn bandwidth(&self, machine: &Machine) -> f64 {
+        let core_cap = self.threads as f64 * machine.per_core_bw;
+        let die_cap = self.dies as f64 * machine.per_die_bw;
+        let package_cap = self.packages as f64 * machine.per_package_bw;
+        core_cap.min(die_cap).min(package_cap).min(machine.system_bw)
+    }
+
+    /// Aggregate usable L2 capacity of the occupied dies.
+    pub fn usable_cache(&self, machine: &Machine) -> f64 {
+        machine.usable_cache(self.dies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_placement_matches_paper_configs() {
+        let m = Machine::clovertown();
+        assert_eq!(Placement::close(1, &m).dies, 1);
+        // "close" packs 2 threads onto one die (shared L2), like the paper.
+        let p2 = Placement::close(2, &m);
+        assert_eq!((p2.dies, p2.packages), (1, 1));
+        let p4 = Placement::close(4, &m);
+        assert_eq!((p4.dies, p4.packages), (2, 1));
+        let p8 = Placement::close(8, &m);
+        assert_eq!((p8.dies, p8.packages), (4, 2));
+    }
+
+    #[test]
+    fn shared_l2_has_less_bandwidth_and_cache_than_separate() {
+        let m = Machine::clovertown();
+        let shared = Placement::two_shared_l2();
+        let separate = Placement::two_separate_l2();
+        assert!(shared.bandwidth(&m) < separate.bandwidth(&m));
+        assert!(shared.usable_cache(&m) < separate.usable_cache(&m));
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_system_cap() {
+        let m = Machine::clovertown();
+        let eight = Placement::eight().bandwidth(&m);
+        assert!((eight - m.system_bw).abs() < 1e-3, "8 threads must hit the system cap");
+        // Scaling 1 -> 8 threads gives roughly the paper's ML speedup ~2.1.
+        let serial = Placement::serial().bandwidth(&m);
+        let ratio = eight / serial;
+        assert!((1.9..2.4).contains(&ratio), "bw ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_configs_cardinality() {
+        assert_eq!(Placement::paper_configs().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine")]
+    fn too_many_threads_panics() {
+        let m = Machine::clovertown();
+        let _ = Placement::close(9, &m);
+    }
+}

@@ -1,0 +1,217 @@
+//! Structure profile of a matrix: everything the performance model needs
+//! to know about the access pattern, computed in one O(nnz) scan.
+
+use serde::Serialize;
+use spmv_core::{Csr, Scalar, SpIndex};
+use spmv_parallel::RowPartition;
+
+/// Cache line size assumed by the x-locality statistics.
+pub const LINE: usize = 64;
+
+/// Access-pattern statistics of one matrix (format independent).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MatrixProfile {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of non-zeros.
+    pub nnz: usize,
+    /// Rows with at least one non-zero.
+    pub rows_nonempty: usize,
+    /// Distinct x cache lines touched anywhere in the matrix (the x
+    /// footprint, in lines).
+    pub x_footprint_lines: usize,
+    /// Sum over rows of distinct x lines touched by that row — the
+    /// per-iteration x line *touch* count if no cross-row reuse survives.
+    pub x_touch_lines: usize,
+    /// nnz-weighted average column span (max col − min col) of a row —
+    /// the sliding-window size for banded-style reuse.
+    pub avg_row_span: f64,
+    /// Touch-concentration curve: `touch_coverage[k]` is the fraction of
+    /// all x-line touches that land on the hottest `k/10` of the lines.
+    /// Uniform access gives the diagonal (`0.0, 0.1, …, 1.0`); hub-skewed
+    /// graphs bend far above it. A cache that retains the hottest `f`
+    /// fraction of lines therefore serves `coverage(f)` of the touches.
+    pub touch_coverage: [f64; 11],
+    /// Load imbalance (max part / ideal) of the nnz-balanced row
+    /// partition at 1, 2, 4 and 8 threads.
+    pub imbalance: [f64; 4],
+}
+
+impl MatrixProfile {
+    /// Profiles a CSR matrix.
+    pub fn from_csr<I: SpIndex, V: Scalar>(csr: &Csr<I, V>) -> MatrixProfile {
+        let line_vals = LINE / V::BYTES; // x values per cache line
+        let n_lines = csr.ncols().div_ceil(line_vals).max(1);
+        let mut line_touches = vec![0u32; n_lines];
+        let mut x_footprint_lines = 0usize;
+        let mut x_touch_lines = 0usize;
+        let mut rows_nonempty = 0usize;
+        let mut span_weighted = 0.0f64;
+
+        for r in 0..csr.nrows() {
+            let mut prev_line = usize::MAX;
+            let mut first_col = 0usize;
+            let mut last_col = 0usize;
+            let mut len = 0usize;
+            for (c, _) in csr.row_iter(r) {
+                if len == 0 {
+                    first_col = c;
+                }
+                last_col = c;
+                len += 1;
+                let line = c / line_vals;
+                // Distinct lines per row: columns are sorted, so a new
+                // line differs from the previous one.
+                if line != prev_line {
+                    x_touch_lines += 1;
+                    prev_line = line;
+                    if line_touches[line] == 0 {
+                        x_footprint_lines += 1;
+                    }
+                    line_touches[line] = line_touches[line].saturating_add(1);
+                }
+            }
+            if len > 0 {
+                rows_nonempty += 1;
+                span_weighted += (last_col - first_col + 1) as f64 * len as f64;
+            }
+        }
+
+        // Concentration curve over touched lines, hottest first.
+        let mut touch_coverage = [0.0f64; 11];
+        if x_touch_lines > 0 {
+            let mut counts: Vec<u32> =
+                line_touches.iter().copied().filter(|&c| c > 0).collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let total = x_touch_lines as f64;
+            let mut acc = 0u64;
+            let mut next_line_idx = 0usize;
+            for (k, cov) in touch_coverage.iter_mut().enumerate() {
+                let upto = k * counts.len() / 10;
+                while next_line_idx < upto {
+                    acc += counts[next_line_idx] as u64;
+                    next_line_idx += 1;
+                }
+                *cov = acc as f64 / total;
+            }
+            touch_coverage[10] = 1.0;
+        } else {
+            for (k, cov) in touch_coverage.iter_mut().enumerate() {
+                *cov = k as f64 / 10.0;
+            }
+        }
+
+        let avg_row_span =
+            if csr.nnz() > 0 { span_weighted / csr.nnz() as f64 } else { 0.0 };
+
+        let imbalance = [1, 2, 4, 8].map(|t| {
+            RowPartition::for_csr(csr, t).imbalance(csr.row_ptr())
+        });
+
+        MatrixProfile {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            rows_nonempty,
+            x_footprint_lines,
+            x_touch_lines,
+            avg_row_span,
+            touch_coverage,
+            imbalance,
+        }
+    }
+
+    /// Fraction of x-line touches served by a cache retaining the hottest
+    /// `resident_fraction` of the footprint (linear interpolation on the
+    /// concentration curve).
+    pub fn coverage(&self, resident_fraction: f64) -> f64 {
+        let f = resident_fraction.clamp(0.0, 1.0) * 10.0;
+        let lo = f.floor() as usize;
+        if lo >= 10 {
+            return 1.0;
+        }
+        let t = f - lo as f64;
+        self.touch_coverage[lo] * (1.0 - t) + self.touch_coverage[lo + 1] * t
+    }
+
+    /// x footprint in bytes.
+    pub fn x_footprint_bytes(&self) -> f64 {
+        (self.x_footprint_lines * LINE) as f64
+    }
+
+    /// Mean number of touches per distinct x line per iteration (≥ 1);
+    /// high values mean strong potential reuse.
+    pub fn x_reuse(&self) -> f64 {
+        if self.x_footprint_lines == 0 {
+            return 1.0;
+        }
+        self.x_touch_lines as f64 / self.x_footprint_lines as f64
+    }
+
+    /// Load imbalance for a thread count (nearest measured power of two).
+    pub fn imbalance_at(&self, threads: usize) -> f64 {
+        match threads {
+            0 | 1 => self.imbalance[0],
+            2..=3 => self.imbalance[1],
+            4..=7 => self.imbalance[2],
+            _ => self.imbalance[3],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    #[test]
+    fn banded_profile_has_small_span_and_high_reuse() {
+        let coo = spmv_matgen::gen::banded(2000, 8, 1.0, 1);
+        let p = MatrixProfile::from_csr(&coo.to_csr());
+        assert!(p.avg_row_span < 20.0, "span {}", p.avg_row_span);
+        assert!(p.x_reuse() > 3.0, "reuse {}", p.x_reuse());
+        assert_eq!(p.rows_nonempty, 2000);
+        // Footprint covers all columns.
+        assert_eq!(p.x_footprint_lines, 2000 / 8);
+    }
+
+    #[test]
+    fn random_profile_has_large_span_and_low_reuse_per_row() {
+        let coo = spmv_matgen::gen::random_uniform(4000, 8, 2);
+        let p = MatrixProfile::from_csr(&coo.to_csr());
+        assert!(p.avg_row_span > 1000.0, "span {}", p.avg_row_span);
+        // Touches per iteration ≈ nnz (each element on its own line).
+        assert!(p.x_touch_lines as f64 > 0.8 * p.nnz as f64);
+    }
+
+    #[test]
+    fn imbalance_ideal_for_uniform_rows() {
+        let coo = spmv_matgen::gen::banded(1000, 4, 1.0, 3);
+        let p = MatrixProfile::from_csr(&coo.to_csr());
+        for imb in p.imbalance {
+            assert!(imb < 1.1, "imbalance {imb}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_profile() {
+        let coo: Coo<f64> = Coo::new(10, 10);
+        let p = MatrixProfile::from_csr(&coo.to_csr());
+        assert_eq!(p.nnz, 0);
+        assert_eq!(p.x_footprint_lines, 0);
+        assert_eq!(p.x_reuse(), 1.0);
+        assert_eq!(p.avg_row_span, 0.0);
+    }
+
+    #[test]
+    fn imbalance_at_maps_thread_counts() {
+        let coo = spmv_matgen::gen::banded(100, 2, 1.0, 4);
+        let p = MatrixProfile::from_csr(&coo.to_csr());
+        assert_eq!(p.imbalance_at(1), p.imbalance[0]);
+        assert_eq!(p.imbalance_at(2), p.imbalance[1]);
+        assert_eq!(p.imbalance_at(4), p.imbalance[2]);
+        assert_eq!(p.imbalance_at(8), p.imbalance[3]);
+    }
+}

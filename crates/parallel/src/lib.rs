@@ -1,0 +1,39 @@
+//! # spmv-parallel — partitioning schemes and multithreaded SpMV
+//!
+//! The paper parallelizes SpMV with *row partitioning* (§II-C): contiguous
+//! row blocks, statically balanced by non-zero count, one block per thread.
+//! Each thread then owns disjoint slices of `row_ptr`/`col_ind`/`values`
+//! (or the `ctl` stream for CSR-DU) and of the output vector `y`, while all
+//! threads share read-only access to `x`.
+//!
+//! This crate provides:
+//!
+//! * [`partition`] — row/column/block partitioning with nnz balancing;
+//! * [`pool`] — thread-spawning helpers, including an iteration driver
+//!   that spawns threads once and runs many SpMV iterations with a barrier
+//!   between them (the paper's 128-iteration measurement protocol);
+//! * [`par`] — per-format parallel executors ([`par::ParCsr`],
+//!   [`par::ParCsrDu`], [`par::ParCsrVi`], [`par::ParCsrDuVi`],
+//!   [`par::ParCscColumns`], [`par::ParCsrBlock2d`]) that pre-plan the
+//!   partition and run `y = A·x` across `nthreads` scoped threads.
+//!
+//! The output vector is split into disjoint `&mut` sub-slices along the
+//! partition boundaries, so the whole crate is safe Rust: the borrow
+//! checker proves each row block is written by exactly one thread.
+//!
+//! The paper binds threads to specific cores with `sched_setaffinity` to
+//! control cache sharing; placement here is a *logical* concept consumed
+//! by the `spmv-memsim` performance model (this container cannot pin
+//! cores), while the kernels themselves run on however many OS threads are
+//! requested.
+
+pub mod par;
+pub mod partition;
+pub mod pool;
+
+pub use par::{
+    ParCscColumns, ParCsr, ParCsrBlock2d, ParCsrDu, ParCsrDuVi, ParCsrVi, ParDcsr, ParSpMv,
+    ParSymCsr,
+};
+pub use partition::{ColPartition, Grid2d, RowPartition};
+pub use pool::{run_on_threads, IterationDriver};

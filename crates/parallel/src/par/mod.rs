@@ -1,0 +1,448 @@
+//! Per-format parallel SpMV executors.
+//!
+//! Each executor pre-computes its partition at construction (the paper
+//! also partitions once, outside the timed loop), then executes
+//! `y = A·x` on `nthreads` scoped threads per call. `y` is split into
+//! disjoint `&mut` sub-slices along partition boundaries, so every kernel
+//! call writes only memory it owns.
+
+use crate::partition::{ColPartition, Grid2d, RowPartition};
+use spmv_core::csr_du::{CsrDu, DuSplit};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::dcsr::{Dcsr, DcsrSplit};
+use spmv_core::sym::SymCsr;
+use spmv_core::{Csc, Csr, Scalar, SpIndex};
+
+/// Common interface of the parallel executors (mirrors [`spmv_core::SpMv`] with a
+/// fixed thread count chosen at plan time).
+pub trait ParSpMv<V: Scalar>: Send + Sync {
+    /// Number of threads this plan uses.
+    fn nthreads(&self) -> usize;
+    /// Computes `y = A·x` using the planned partition.
+    fn par_spmv(&self, x: &[V], y: &mut [V]);
+}
+
+// ---------------------------------------------------------------------
+// CSR — row partitioning
+// ---------------------------------------------------------------------
+
+/// Row-partitioned parallel CSR SpMV (the paper's baseline MT kernel).
+pub struct ParCsr<'m, I: SpIndex = u32, V: Scalar = f64> {
+    matrix: &'m Csr<I, V>,
+    partition: RowPartition,
+}
+
+impl<'m, I: SpIndex, V: Scalar> ParCsr<'m, I, V> {
+    /// Plans an nnz-balanced row partition over `nthreads` threads.
+    pub fn new(matrix: &'m Csr<I, V>, nthreads: usize) -> Self {
+        ParCsr { partition: RowPartition::for_csr(matrix, nthreads), matrix }
+    }
+
+    /// The planned partition.
+    pub fn partition(&self) -> &RowPartition {
+        &self.partition
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
+    fn nthreads(&self) -> usize {
+        self.partition.nparts()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let slices = self.partition.split_mut(y);
+        std::thread::scope(|s| {
+            for (k, y_local) in slices.into_iter().enumerate() {
+                let range = self.partition.part(k);
+                let m = self.matrix;
+                s.spawn(move || m.spmv_rows_local(range.start, range.end, x, y_local));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSR-DU — ctl-stream splits
+// ---------------------------------------------------------------------
+
+/// Row-partitioned parallel CSR-DU SpMV. Each thread receives "an offset
+/// in the ctl, values and y arrays" (§IV) via a pre-computed [`DuSplit`].
+pub struct ParCsrDu<'m, V: Scalar = f64> {
+    matrix: &'m CsrDu<V>,
+    splits: Vec<DuSplit>,
+}
+
+impl<'m, V: Scalar> ParCsrDu<'m, V> {
+    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
+    pub fn new(matrix: &'m CsrDu<V>, nthreads: usize) -> Self {
+        ParCsrDu { splits: matrix.splits(nthreads), matrix }
+    }
+
+    /// The planned splits (at most `nthreads`, fewer for tiny matrices).
+    pub fn splits(&self) -> &[DuSplit] {
+        &self.splits
+    }
+}
+
+impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
+    fn nthreads(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        // Split y along the split row boundaries.
+        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
+        let mut rest = y;
+        let mut prev = 0usize;
+        for split in &self.splits {
+            let (head, tail) = rest.split_at_mut(split.row_end - prev);
+            slices.push(head);
+            rest = tail;
+            prev = split.row_end;
+        }
+        // Trailing rows after the last split (possible only when the last
+        // split ends early; splits() always ends at nrows, so rest is
+        // empty — zero it defensively anyway).
+        for v in rest.iter_mut() {
+            *v = V::zero();
+        }
+        std::thread::scope(|s| {
+            for (split, y_local) in self.splits.iter().zip(slices) {
+                let m = self.matrix;
+                s.spawn(move || m.spmv_split_local(split, x, y_local));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSR-VI — row partitioning
+// ---------------------------------------------------------------------
+
+/// Row-partitioned parallel CSR-VI SpMV ("trivially derived from the
+/// serial by providing to each thread the first and the last row", §V).
+pub struct ParCsrVi<'m, I: SpIndex = u32, V: Scalar = f64> {
+    matrix: &'m CsrVi<I, V>,
+    partition: RowPartition,
+}
+
+impl<'m, I: SpIndex, V: Scalar> ParCsrVi<'m, I, V> {
+    /// Plans an nnz-balanced row partition over `nthreads` threads.
+    pub fn new(matrix: &'m CsrVi<I, V>, nthreads: usize) -> Self {
+        ParCsrVi { partition: RowPartition::by_nnz(matrix.row_ptr(), nthreads), matrix }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
+    fn nthreads(&self) -> usize {
+        self.partition.nparts()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let slices = self.partition.split_mut(y);
+        std::thread::scope(|s| {
+            for (k, y_local) in slices.into_iter().enumerate() {
+                let range = self.partition.part(k);
+                let m = self.matrix;
+                s.spawn(move || m.spmv_rows_local(range.start, range.end, x, y_local));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSR-DU-VI — ctl-stream splits
+// ---------------------------------------------------------------------
+
+/// Row-partitioned parallel CSR-DU-VI SpMV.
+pub struct ParCsrDuVi<'m, V: Scalar = f64> {
+    matrix: &'m CsrDuVi<V>,
+    splits: Vec<DuSplit>,
+}
+
+impl<'m, V: Scalar> ParCsrDuVi<'m, V> {
+    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
+    pub fn new(matrix: &'m CsrDuVi<V>, nthreads: usize) -> Self {
+        ParCsrDuVi { splits: matrix.splits(nthreads), matrix }
+    }
+}
+
+impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
+    fn nthreads(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
+        let mut rest = y;
+        let mut prev = 0usize;
+        for split in &self.splits {
+            let (head, tail) = rest.split_at_mut(split.row_end - prev);
+            slices.push(head);
+            rest = tail;
+            prev = split.row_end;
+        }
+        for v in rest.iter_mut() {
+            *v = V::zero();
+        }
+        std::thread::scope(|s| {
+            for (split, y_local) in self.splits.iter().zip(slices) {
+                let m = self.matrix;
+                s.spawn(move || m.spmv_split_local(split, x, y_local));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSC — column partitioning with private-y reduction
+// ---------------------------------------------------------------------
+
+/// Column-partitioned parallel CSC SpMV (§II-C): each thread runs a column
+/// block into a *private* y vector ("the best practice is to have each
+/// thread use its own y array"), followed by a reducing addition.
+pub struct ParCscColumns<'m, I: SpIndex = u32, V: Scalar = f64> {
+    matrix: &'m Csc<I, V>,
+    partition: ColPartition,
+}
+
+impl<'m, I: SpIndex, V: Scalar> ParCscColumns<'m, I, V> {
+    /// Plans an nnz-balanced column partition over `nthreads` threads.
+    pub fn new(matrix: &'m Csc<I, V>, nthreads: usize) -> Self {
+        ParCscColumns { partition: ColPartition::by_nnz(matrix.col_ptr(), nthreads), matrix }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCscColumns<'_, I, V> {
+    fn nthreads(&self) -> usize {
+        self.partition.nparts()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let nparts = self.partition.nparts();
+        let nrows = self.matrix.nrows();
+        // Private y per thread, reduced at the end (deterministic order).
+        let mut privates: Vec<Vec<V>> = (0..nparts).map(|_| vec![V::zero(); nrows]).collect();
+        std::thread::scope(|s| {
+            for (k, y_private) in privates.iter_mut().enumerate() {
+                let range = self.partition.part(k);
+                let m = self.matrix;
+                s.spawn(move || m.spmv_cols_acc(range.start, range.end, x, y_private));
+            }
+        });
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for y_private in &privates {
+            for (dst, src) in y.iter_mut().zip(y_private) {
+                *dst += *src;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSR — 2-D block partitioning
+// ---------------------------------------------------------------------
+
+/// Block-partitioned parallel CSR SpMV (§II-C): threads form a `pr x pc`
+/// grid; each owns a (row block, column block) tile. Threads in the same
+/// grid row share output rows, so each writes a private slice that a
+/// final pass reduces. Demonstrates the partitioning trade-off space
+/// (ablation A3); the tile scan filters by column range, so it streams
+/// the whole row block's data — the configurable-size benefit comes at a
+/// bandwidth cost, as the paper notes for machines like Cell.
+pub struct ParCsrBlock2d<'m, I: SpIndex = u32, V: Scalar = f64> {
+    matrix: &'m Csr<I, V>,
+    grid: Grid2d,
+    rows: RowPartition,
+    col_bounds: Vec<usize>,
+}
+
+impl<'m, I: SpIndex, V: Scalar> ParCsrBlock2d<'m, I, V> {
+    /// Plans a near-square `pr x pc` grid with nnz-balanced row blocks and
+    /// uniform column blocks.
+    pub fn new(matrix: &'m Csr<I, V>, nthreads: usize) -> Self {
+        let grid = Grid2d::squarest(nthreads);
+        let rows = RowPartition::for_csr(matrix, grid.pr);
+        let col_bounds: Vec<usize> =
+            (0..=grid.pc).map(|k| k * matrix.ncols() / grid.pc).collect();
+        ParCsrBlock2d { matrix, grid, rows, col_bounds }
+    }
+
+    /// The thread grid.
+    pub fn grid(&self) -> Grid2d {
+        self.grid
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrBlock2d<'_, I, V> {
+    fn nthreads(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let m = self.matrix;
+        // One private partial-y per tile, sized to its row block.
+        let mut partials: Vec<Vec<V>> = (0..self.grid.len())
+            .map(|t| {
+                let (pr, _) = self.grid.coords(t);
+                vec![V::zero(); self.rows.part(pr).len()]
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for (t, partial) in partials.iter_mut().enumerate() {
+                let (pr, pc) = self.grid.coords(t);
+                let rows = self.rows.part(pr);
+                let cols = self.col_bounds[pc]..self.col_bounds[pc + 1];
+                s.spawn(move || {
+                    for (li, i) in rows.clone().enumerate() {
+                        let mut acc = V::zero();
+                        for (c, v) in m.row_iter(i) {
+                            if cols.contains(&c) {
+                                acc += v * x[c];
+                            }
+                        }
+                        partial[li] = acc;
+                    }
+                });
+            }
+        });
+        // Reduce grid rows.
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for (t, partial) in partials.iter().enumerate() {
+            let (pr, _) = self.grid.coords(t);
+            let rows = self.rows.part(pr);
+            for (li, i) in rows.enumerate() {
+                y[i] += partial[li];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DCSR — command-stream splits
+// ---------------------------------------------------------------------
+
+/// Row-partitioned parallel DCSR SpMV, mirroring [`ParCsrDu`] over the
+/// command stream. Provided for completeness of the related-work
+/// comparison (the paper only compares serial DCSR).
+pub struct ParDcsr<'m, V: Scalar = f64> {
+    matrix: &'m Dcsr<V>,
+    splits: Vec<DcsrSplit>,
+}
+
+impl<'m, V: Scalar> ParDcsr<'m, V> {
+    /// Plans nnz-balanced command-stream splits over `nthreads` threads.
+    pub fn new(matrix: &'m Dcsr<V>, nthreads: usize) -> Self {
+        ParDcsr { splits: matrix.splits(nthreads), matrix }
+    }
+}
+
+impl<V: Scalar> ParSpMv<V> for ParDcsr<'_, V> {
+    fn nthreads(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
+        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
+        let mut rest = y;
+        let mut prev = 0usize;
+        for split in &self.splits {
+            let (head, tail) = rest.split_at_mut(split.row_end - prev);
+            slices.push(head);
+            rest = tail;
+            prev = split.row_end;
+        }
+        for v in rest.iter_mut() {
+            *v = V::zero();
+        }
+        std::thread::scope(|s| {
+            for (split, y_local) in self.splits.iter().zip(slices) {
+                let m = self.matrix;
+                s.spawn(move || m.spmv_split_local(split, x, y_local));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symmetric CSR — row partitioning with private-y mirror accumulation
+// ---------------------------------------------------------------------
+
+/// Parallel symmetric-CSR SpMV. The lower-triangle rows are partitioned
+/// by stored nnz, but each stored off-diagonal entry also contributes to
+/// a *foreign* row of `y` (the mirrored upper-triangle term), so every
+/// thread accumulates into a private full-length `y` that a final pass
+/// reduces — the same structure column partitioning needs (§II-C).
+pub struct ParSymCsr<'m, I: SpIndex = u32, V: Scalar = f64> {
+    matrix: &'m SymCsr<I, V>,
+    partition: RowPartition,
+}
+
+impl<'m, I: SpIndex, V: Scalar> ParSymCsr<'m, I, V> {
+    /// Plans an nnz-balanced row partition over the stored triangle.
+    pub fn new(matrix: &'m SymCsr<I, V>, nthreads: usize) -> Self {
+        ParSymCsr { partition: RowPartition::for_csr(matrix.lower(), nthreads), matrix }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParSymCsr<'_, I, V> {
+    fn nthreads(&self) -> usize {
+        self.partition.nparts()
+    }
+
+    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+        let n = self.matrix.n();
+        assert_eq!(x.len(), n, "x length must equal n");
+        assert_eq!(y.len(), n, "y length must equal n");
+        let lower = self.matrix.lower();
+        let nparts = self.partition.nparts();
+        let mut privates: Vec<Vec<V>> = (0..nparts).map(|_| vec![V::zero(); n]).collect();
+        std::thread::scope(|s| {
+            for (k, y_private) in privates.iter_mut().enumerate() {
+                let rows = self.partition.part(k);
+                s.spawn(move || {
+                    for i in rows {
+                        let mut acc = V::zero();
+                        for (j, a) in lower.row_iter(i) {
+                            acc += a * x[j];
+                            if j != i {
+                                y_private[j] += a * x[i];
+                            }
+                        }
+                        y_private[i] += acc;
+                    }
+                });
+            }
+        });
+        for v in y.iter_mut() {
+            *v = V::zero();
+        }
+        for y_private in &privates {
+            for (dst, src) in y.iter_mut().zip(y_private) {
+                *dst += *src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

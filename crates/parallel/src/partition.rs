@@ -1,0 +1,274 @@
+//! Static workload partitioning (§II-C of the paper).
+//!
+//! The paper's scheme: "a static balancing scheme based on the non-zero
+//! elements, where each thread is assigned approximately the same number
+//! of elements and thus the same number of floating-point operations."
+
+use spmv_core::{Csr, Scalar, SpIndex};
+
+/// A partition of `0..nrows` into contiguous blocks.
+///
+/// `bounds` has `nparts + 1` entries with `bounds[0] == 0` and
+/// `bounds[nparts] == nrows`; part `k` owns rows
+/// `bounds[k]..bounds[k + 1]` (possibly empty).
+///
+/// ```
+/// use spmv_parallel::RowPartition;
+///
+/// // Rows with 10, 1, 1, 10 non-zeros: nnz balancing puts the two heavy
+/// // rows in different halves.
+/// let row_ptr: Vec<u32> = vec![0, 10, 11, 12, 22];
+/// let p = RowPartition::by_nnz(&row_ptr, 2);
+/// assert_eq!(p.part_nnz(&row_ptr, 0), 11);
+/// assert_eq!(p.part_nnz(&row_ptr, 1), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    /// Block boundaries (length `nparts + 1`).
+    pub bounds: Vec<usize>,
+}
+
+impl RowPartition {
+    /// Splits rows into `nparts` blocks of (approximately) equal *row*
+    /// count, ignoring the non-zero distribution.
+    pub fn uniform(nrows: usize, nparts: usize) -> RowPartition {
+        assert!(nparts >= 1, "need at least one part");
+        let bounds = (0..=nparts).map(|k| k * nrows / nparts).collect();
+        RowPartition { bounds }
+    }
+
+    /// Splits rows into `nparts` blocks of approximately equal non-zero
+    /// count — the paper's balancing scheme. `row_ptr` is any CSR-style
+    /// prefix array (`nrows + 1` entries).
+    pub fn by_nnz<I: SpIndex>(row_ptr: &[I], nparts: usize) -> RowPartition {
+        assert!(nparts >= 1, "need at least one part");
+        assert!(!row_ptr.is_empty(), "row_ptr must have nrows + 1 entries");
+        let nrows = row_ptr.len() - 1;
+        let total = row_ptr[nrows].index();
+        let mut bounds = Vec::with_capacity(nparts + 1);
+        bounds.push(0);
+        let mut row = 0usize;
+        for k in 1..nparts {
+            let target = k * total / nparts;
+            // Advance to the first row whose prefix reaches the target.
+            while row < nrows && row_ptr[row].index() < target {
+                row += 1;
+            }
+            bounds.push(row.min(nrows));
+        }
+        bounds.push(nrows);
+        RowPartition { bounds }
+    }
+
+    /// Convenience: nnz-balanced partition of a CSR matrix.
+    pub fn for_csr<I: SpIndex, V: Scalar>(csr: &Csr<I, V>, nparts: usize) -> RowPartition {
+        Self::by_nnz(csr.row_ptr(), nparts)
+    }
+
+    /// Number of parts.
+    pub fn nparts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Row range of part `k`.
+    pub fn part(&self, k: usize) -> std::ops::Range<usize> {
+        self.bounds[k]..self.bounds[k + 1]
+    }
+
+    /// Non-zeros in part `k` given a row_ptr array.
+    pub fn part_nnz<I: SpIndex>(&self, row_ptr: &[I], k: usize) -> usize {
+        row_ptr[self.bounds[k + 1]].index() - row_ptr[self.bounds[k]].index()
+    }
+
+    /// Load imbalance: max part nnz over ideal nnz (1.0 = perfect).
+    pub fn imbalance<I: SpIndex>(&self, row_ptr: &[I]) -> f64 {
+        let total = row_ptr[row_ptr.len() - 1].index();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.nparts() as f64;
+        (0..self.nparts())
+            .map(|k| self.part_nnz(row_ptr, k) as f64 / ideal)
+            .fold(0.0, f64::max)
+    }
+
+    /// Splits `y` into per-part disjoint mutable sub-slices along the
+    /// partition boundaries. `y.len()` must equal the partitioned row
+    /// count.
+    pub fn split_mut<'y, T>(&self, y: &'y mut [T]) -> Vec<&'y mut [T]> {
+        assert_eq!(y.len(), *self.bounds.last().expect("nonempty bounds"));
+        let mut out = Vec::with_capacity(self.nparts());
+        let mut rest = y;
+        let mut prev = 0usize;
+        for &b in &self.bounds[1..] {
+            let (head, tail) = rest.split_at_mut(b - prev);
+            out.push(head);
+            rest = tail;
+            prev = b;
+        }
+        out
+    }
+}
+
+/// A partition of `0..ncols` into contiguous blocks (column partitioning,
+/// §II-C). Same layout rules as [`RowPartition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColPartition {
+    /// Block boundaries (length `nparts + 1`).
+    pub bounds: Vec<usize>,
+}
+
+impl ColPartition {
+    /// nnz-balanced column partition from a CSC-style `col_ptr` array.
+    pub fn by_nnz<I: SpIndex>(col_ptr: &[I], nparts: usize) -> ColPartition {
+        ColPartition { bounds: RowPartition::by_nnz(col_ptr, nparts).bounds }
+    }
+
+    /// Number of parts.
+    pub fn nparts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Column range of part `k`.
+    pub fn part(&self, k: usize) -> std::ops::Range<usize> {
+        self.bounds[k]..self.bounds[k + 1]
+    }
+}
+
+/// A 2-D processor grid for block partitioning (§II-C): `pr x pc` tiles,
+/// one per thread. Useful when per-thread data size must be bounded (the
+/// paper's Cell-processor motivation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2d {
+    /// Thread rows.
+    pub pr: usize,
+    /// Thread columns.
+    pub pc: usize,
+}
+
+impl Grid2d {
+    /// Picks the most square `pr x pc` factorization of `nthreads`.
+    pub fn squarest(nthreads: usize) -> Grid2d {
+        assert!(nthreads >= 1);
+        let mut best = (1, nthreads);
+        let mut d = 1;
+        while d * d <= nthreads {
+            if nthreads.is_multiple_of(d) {
+                best = (d, nthreads / d);
+            }
+            d += 1;
+        }
+        Grid2d { pr: best.0, pc: best.1 }
+    }
+
+    /// Total tiles.
+    pub fn len(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// `true` for a degenerate 1x1 grid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tile coordinates of thread `t` (row-major).
+    pub fn coords(&self, t: usize) -> (usize, usize) {
+        (t / self.pc, t % self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    fn skewed_csr() -> Csr {
+        // Row r has r+1 entries: heavily skewed toward later rows.
+        let mut t = Vec::new();
+        for r in 0..40usize {
+            for j in 0..=r {
+                t.push((r, j, 1.0));
+            }
+        }
+        Coo::from_triplets(40, 40, t).unwrap().to_csr()
+    }
+
+    #[test]
+    fn uniform_covers_all_rows() {
+        let p = RowPartition::uniform(10, 3);
+        assert_eq!(p.bounds, vec![0, 3, 6, 10]);
+        assert_eq!(p.nparts(), 3);
+    }
+
+    #[test]
+    fn by_nnz_balances_skewed_matrix() {
+        let csr = skewed_csr();
+        let uniform = RowPartition::uniform(40, 4);
+        let balanced = RowPartition::for_csr(&csr, 4);
+        assert!(balanced.imbalance(csr.row_ptr()) < uniform.imbalance(csr.row_ptr()));
+        assert!(balanced.imbalance(csr.row_ptr()) < 1.2);
+        // Uniform rows put ~7/16 of nnz in the last quarter: imbalance 1.75.
+        assert!(uniform.imbalance(csr.row_ptr()) > 1.5);
+    }
+
+    #[test]
+    fn by_nnz_covers_everything_once() {
+        let csr = skewed_csr();
+        for nparts in 1..10 {
+            let p = RowPartition::for_csr(&csr, nparts);
+            assert_eq!(p.bounds[0], 0);
+            assert_eq!(*p.bounds.last().unwrap(), 40);
+            assert!(p.bounds.windows(2).all(|w| w[0] <= w[1]));
+            let total: usize = (0..p.nparts()).map(|k| p.part_nnz(csr.row_ptr(), k)).sum();
+            assert_eq!(total, csr.nnz());
+        }
+    }
+
+    #[test]
+    fn more_parts_than_rows() {
+        let csr = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        let p = RowPartition::for_csr(&csr, 8);
+        assert_eq!(p.nparts(), 8);
+        assert_eq!(*p.bounds.last().unwrap(), 2);
+        // Some parts are empty; that's fine.
+    }
+
+    #[test]
+    fn split_mut_is_disjoint_and_complete() {
+        let p = RowPartition::uniform(10, 3);
+        let mut y = vec![0.0f64; 10];
+        let slices = p.split_mut(&mut y);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].len(), 3);
+        assert_eq!(slices[1].len(), 3);
+        assert_eq!(slices[2].len(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_partition() {
+        let row_ptr: Vec<u32> = vec![0, 0, 0];
+        let p = RowPartition::by_nnz(&row_ptr, 4);
+        assert_eq!(*p.bounds.last().unwrap(), 2);
+        assert_eq!(p.imbalance(&row_ptr), 1.0);
+    }
+
+    #[test]
+    fn grid_squarest() {
+        assert_eq!(Grid2d::squarest(8), Grid2d { pr: 2, pc: 4 });
+        assert_eq!(Grid2d::squarest(9), Grid2d { pr: 3, pc: 3 });
+        assert_eq!(Grid2d::squarest(7), Grid2d { pr: 1, pc: 7 });
+        assert_eq!(Grid2d::squarest(1), Grid2d { pr: 1, pc: 1 });
+        assert_eq!(Grid2d::squarest(6).coords(4), (1, 1));
+    }
+
+    #[test]
+    fn col_partition_from_col_ptr() {
+        let col_ptr: Vec<u32> = vec![0, 10, 10, 12, 20];
+        let p = ColPartition::by_nnz(&col_ptr, 2);
+        assert_eq!(p.nparts(), 2);
+        // First part should stop right after the heavy first column.
+        assert!(p.part(0).end <= 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Thread-execution helpers.
+//!
+//! The paper spawns its pthreads once and measures 128 consecutive SpMV
+//! operations inside them (§VI-A). [`IterationDriver`] reproduces that
+//! protocol: threads are spawned once per measurement, synchronize on a
+//! barrier between iterations, and join at the end — so per-iteration cost
+//! contains no thread-creation overhead, only barrier synchronization.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Runs `f(tid)` on `nthreads` scoped threads and waits for all of them.
+///
+/// `f` runs on the caller's stack frame lifetime (scoped threads), so it
+/// may borrow local data.
+pub fn run_on_threads<F>(nthreads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(nthreads >= 1, "need at least one thread");
+    if nthreads == 1 {
+        // Fast path: no spawn for the serial case.
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 0..nthreads {
+            let f = &f;
+            s.spawn(move || f(tid));
+        }
+    });
+}
+
+/// Spawns `nthreads` threads once and drives `iters` rounds of a
+/// per-thread body with a barrier between rounds — the paper's repeated-
+/// iteration measurement loop. Returns after all threads complete all
+/// rounds.
+pub struct IterationDriver {
+    nthreads: usize,
+    iters: usize,
+}
+
+impl IterationDriver {
+    /// Creates a driver for `nthreads` threads x `iters` rounds.
+    pub fn new(nthreads: usize, iters: usize) -> IterationDriver {
+        assert!(nthreads >= 1 && iters >= 1);
+        IterationDriver { nthreads, iters }
+    }
+
+    /// Runs `body(tid, iter)` for every thread and round. Rounds are
+    /// globally ordered: all threads finish round `i` before any starts
+    /// round `i + 1`.
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if self.nthreads == 1 {
+            for iter in 0..self.iters {
+                body(0, iter);
+            }
+            return;
+        }
+        let barrier = Barrier::new(self.nthreads);
+        std::thread::scope(|s| {
+            for tid in 0..self.nthreads {
+                let body = &body;
+                let barrier = &barrier;
+                let iters = self.iters;
+                s.spawn(move || {
+                    for iter in 0..iters {
+                        body(tid, iter);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// A tiny work-stealing-free dynamic counter for irregular tasks: threads
+/// repeatedly claim the next index until `n` is exhausted. Useful for
+/// embarrassingly parallel per-matrix jobs in the harness.
+pub fn parallel_for_dynamic<F>(nthreads: usize, n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    run_on_threads(nthreads.max(1), |_tid| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        f(i);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn run_on_threads_executes_each_tid_once() {
+        let hits = Mutex::new(vec![0usize; 4]);
+        run_on_threads(4, |tid| {
+            hits.lock().unwrap()[tid] += 1;
+        });
+        assert_eq!(*hits.lock().unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn run_on_threads_serial_fast_path() {
+        let count = AtomicUsize::new(0);
+        run_on_threads(1, |tid| {
+            assert_eq!(tid, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn iteration_driver_orders_rounds() {
+        // With the barrier, no thread can be a full round ahead: track the
+        // max round spread ever observed.
+        let current = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        let driver = IterationDriver::new(4, 16);
+        driver.run(|_tid, iter| {
+            let seen = current.load(Ordering::SeqCst);
+            if iter > seen + 1 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+            current.fetch_max(iter, Ordering::SeqCst);
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn iteration_driver_total_invocations() {
+        let count = AtomicUsize::new(0);
+        IterationDriver::new(3, 10).run(|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn parallel_for_dynamic_covers_all_indices() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_dynamic(4, 100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Scaling study on the modeled Clovertown: for one matrix of each class,
+//! predict SpMV performance for every format at every paper placement —
+//! a per-matrix slice of what `reproduce table2/3/4` aggregates.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Coo, Csr};
+use spmv_memsim::{predict, FormatCost, MatrixProfile, Placement, SimConfig};
+
+fn study(name: &str, coo: Coo, quantize: bool) {
+    let mut csr: Csr = coo.to_csr();
+    if quantize {
+        for (j, v) in csr.values_mut().iter_mut().enumerate() {
+            *v = [1.0, 2.0, -1.0, 4.0][j % 4];
+        }
+    }
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let vi = CsrVi::from_csr(&csr);
+    let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+    let profile = MatrixProfile::from_csr(&csr);
+    let cfg = SimConfig::default();
+
+    println!(
+        "\n=== {name}: {} x {}, nnz {}, ws {:.1} MB, ttu {:.1} ===",
+        csr.nrows(),
+        csr.ncols(),
+        csr.nnz(),
+        csr.working_set().total() as f64 / (1 << 20) as f64,
+        csr.ttu()
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} {:>9} {:>9} | bound",
+        "placement", "CSR", "CSR-DU", "CSR-VI", "CSR-DU-VI"
+    );
+
+    let costs = [
+        FormatCost::csr(&csr, &cfg.cost),
+        FormatCost::csr_du(&du, &cfg.cost),
+        FormatCost::csr_vi(&vi, &cfg.cost),
+        FormatCost::csr_duvi(&duvi, &cfg.cost),
+    ];
+    for placement in Placement::paper_configs() {
+        let preds: Vec<_> = costs.iter().map(|fc| predict(&profile, fc, &placement, &cfg)).collect();
+        println!(
+            "{:<10} | {:>6.0} MF {:>6.0} MF {:>6.0} MF {:>6.0} MF | {}",
+            placement.label,
+            preds[0].mflops,
+            preds[1].mflops,
+            preds[2].mflops,
+            preds[3].mflops,
+            if preds[0].memory_bound { "memory" } else { "cpu" },
+        );
+    }
+}
+
+fn main() {
+    println!("modeled machine: {}", SimConfig::default().machine.name);
+
+    // ML-like (memory bound even at 8 threads).
+    study("large banded (ML-like)", spmv_matgen::gen::banded(230_000, 6, 1.0, 1), true);
+    // MS-like (fits aggregate L2 at higher thread counts).
+    study("mid stencil (MS-like)", spmv_matgen::gen::stencil_2d(280, 280), true);
+    // Scattered access pattern (x traffic dominates).
+    study("power-law graph", spmv_matgen::gen::power_law(220_000, 9, 2), false);
+}

@@ -1,0 +1,129 @@
+//! # spmv-repro — umbrella crate
+//!
+//! Re-exports the workspace crates and provides the high-level
+//! [`auto_format`] convenience: pick the best compressed format for a
+//! matrix following the paper's guidance (CSR-DU for general matrices,
+//! CSR-VI / CSR-DU-VI when the total-to-unique values ratio exceeds 5).
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench/src/bin/reproduce.rs` for the table/figure harness.
+
+pub mod solvers;
+pub mod vecops;
+
+pub use spmv_core as core;
+pub use spmv_matgen as matgen;
+pub use spmv_memsim as memsim;
+pub use spmv_parallel as parallel;
+
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::{CsrVi, TTU_THRESHOLD};
+use spmv_core::{Csr, Scalar, SpMv};
+
+/// A matrix stored in the compressed format [`auto_format`] selected.
+pub enum AutoFormat<V: Scalar = f64> {
+    /// Index compression only (general case).
+    Du(CsrDu<V>),
+    /// Index + value compression (high value redundancy).
+    DuVi(CsrDuVi<V>),
+}
+
+impl<V: Scalar> AutoFormat<V> {
+    /// The paper's name of the selected format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AutoFormat::Du(_) => "CSR-DU",
+            AutoFormat::DuVi(_) => "CSR-DU-VI",
+        }
+    }
+
+    /// Bytes streamed per SpMV.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            AutoFormat::Du(m) => m.size_bytes(),
+            AutoFormat::DuVi(m) => m.size_bytes(),
+        }
+    }
+}
+
+impl<V: Scalar> SpMv<V> for AutoFormat<V> {
+    fn nrows(&self) -> usize {
+        match self {
+            AutoFormat::Du(m) => m.nrows(),
+            AutoFormat::DuVi(m) => m.nrows(),
+        }
+    }
+    fn ncols(&self) -> usize {
+        match self {
+            AutoFormat::Du(m) => m.ncols(),
+            AutoFormat::DuVi(m) => m.ncols(),
+        }
+    }
+    fn nnz(&self) -> usize {
+        match self {
+            AutoFormat::Du(m) => m.nnz(),
+            AutoFormat::DuVi(m) => m.nnz(),
+        }
+    }
+    fn kind(&self) -> spmv_core::FormatKind {
+        match self {
+            AutoFormat::Du(m) => SpMv::<V>::kind(m),
+            AutoFormat::DuVi(m) => SpMv::<V>::kind(m),
+        }
+    }
+    fn size_bytes(&self) -> usize {
+        AutoFormat::size_bytes(self)
+    }
+    fn spmv(&self, x: &[V], y: &mut [V]) {
+        match self {
+            AutoFormat::Du(m) => m.spmv(x, y),
+            AutoFormat::DuVi(m) => m.spmv(x, y),
+        }
+    }
+}
+
+/// Compresses `csr` with the format the paper's criteria recommend:
+/// CSR-DU-VI when `ttu > 5` (§VI-E), CSR-DU otherwise.
+pub fn auto_format<V: Scalar>(csr: &Csr<u32, V>) -> AutoFormat<V> {
+    let opts = DuOptions::default();
+    if csr.ttu() > TTU_THRESHOLD {
+        AutoFormat::DuVi(CsrDuVi::from_csr(csr, &opts))
+    } else {
+        AutoFormat::Du(CsrDu::from_csr(csr, &opts))
+    }
+}
+
+/// Convenience re-export of the CSR-VI applicability check.
+pub fn vi_applicable<V: Scalar>(csr: &Csr<u32, V>) -> bool {
+    CsrVi::from_csr(csr).is_profitable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::examples::paper_matrix;
+
+    #[test]
+    fn auto_format_picks_du_for_diverse_values() {
+        let csr = paper_matrix().to_csr(); // ttu = 16/9 < 5
+        let f = auto_format(&csr);
+        assert_eq!(f.name(), "CSR-DU");
+        let mut y = vec![0.0; 6];
+        f.spmv(&[1.0; 6], &mut y);
+        let mut y_ref = vec![0.0; 6];
+        csr.spmv(&[1.0; 6], &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn auto_format_picks_duvi_for_redundant_values() {
+        let mut csr = paper_matrix().to_csr();
+        for v in csr.values_mut() {
+            *v = 1.0; // single unique value: ttu = 16
+        }
+        let f = auto_format(&csr);
+        assert_eq!(f.name(), "CSR-DU-VI");
+        assert!(f.size_bytes() < csr.size_bytes());
+    }
+}

@@ -1,0 +1,439 @@
+//! Iterative solvers built on the [`SpMv`] kernel — the application class
+//! that motivates the paper (§I: CG/GMRES inner loops are SpMV-dominated),
+//! plus the mixed-precision iterative refinement of Langou et al. that the
+//! paper cites as a complementary value-data reduction (§III-C).
+
+use crate::vecops::{axpy, dot, narrow, norm2, residual, widen, xpby};
+use spmv_core::{Csr, Scalar, SpMv};
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult<V: Scalar = f64> {
+    /// The computed solution.
+    pub x: Vec<V>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// `true` if the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Unpreconditioned Conjugate Gradient for SPD systems.
+///
+/// Works with any [`SpMv`] implementation — plug in CSR, CSR-DU or CSR-VI;
+/// because the compressed kernels are bit-identical to CSR's, the iteration
+/// trajectory is the same for all of them.
+///
+/// ```
+/// use spmv_core::{Coo, Csr};
+/// use spmv_repro::solvers::cg;
+///
+/// // 2x2 SPD system: [[2, 1], [1, 3]] x = [3, 5].
+/// let a: Csr = Coo::from_triplets(2, 2, vec![
+///     (0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0),
+/// ]).unwrap().to_csr();
+/// let r = cg(&a, &[3.0, 5.0], 1e-12, 100);
+/// assert!(r.converged);
+/// assert!((r.x[0] - 0.8).abs() < 1e-9 && (r.x[1] - 1.4).abs() < 1e-9);
+/// ```
+pub fn cg<V: Scalar>(a: &dyn SpMv<V>, b: &[V], tol: f64, max_iters: usize) -> SolveResult<V> {
+    assert_eq!(a.nrows(), a.ncols(), "CG needs a square matrix");
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal matrix dimension");
+    let n = b.len();
+    let mut x = vec![V::zero(); n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![V::zero(); n];
+    let mut rr = dot(&r, &r);
+    let b_norm = norm2(b).max(1e-300);
+
+    for iter in 0..max_iters {
+        let rel = rr.to_f64().max(0.0).sqrt() / b_norm;
+        if rel < tol {
+            return SolveResult { x, iterations: iter, relative_residual: rel, converged: true };
+        }
+        a.spmv(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if p_ap.to_f64() == 0.0 {
+            break; // breakdown (non-SPD input)
+        }
+        let alpha = rr / p_ap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        rr = rr_new;
+        xpby(&r, beta, &mut p);
+    }
+    let rel = rr.to_f64().max(0.0).sqrt() / b_norm;
+    SolveResult { x, iterations: max_iters, relative_residual: rel, converged: rel < tol }
+}
+
+/// Jacobi iteration `x ← x + D⁻¹(b − Ax)` — a simple smoother for
+/// diagonally dominant systems; exercises the pattern of repeated SpMV with
+/// a changing x vector (unlike CG's two-vector recurrence).
+pub fn jacobi<V: Scalar>(
+    a: &Csr<u32, V>,
+    b: &[V],
+    tol: f64,
+    max_iters: usize,
+) -> SolveResult<V> {
+    assert_eq!(a.nrows(), a.ncols(), "Jacobi needs a square matrix");
+    let n = b.len();
+    let mut diag = vec![V::zero(); n];
+    for (i, d) in diag.iter_mut().enumerate() {
+        for (c, v) in a.row_iter(i) {
+            if c == i {
+                *d = v;
+            }
+        }
+        assert!(*d != V::zero(), "Jacobi needs a nonzero diagonal (row {i})");
+    }
+    let mut x = vec![V::zero(); n];
+    let mut ax = vec![V::zero(); n];
+    let mut r = vec![V::zero(); n];
+    let b_norm = norm2(b).max(1e-300);
+
+    for iter in 0..max_iters {
+        a.spmv(&x, &mut ax);
+        residual(b, &ax, &mut r);
+        let rel = norm2(&r) / b_norm;
+        if rel < tol {
+            return SolveResult { x, iterations: iter, relative_residual: rel, converged: true };
+        }
+        for i in 0..n {
+            x[i] += r[i] / diag[i];
+        }
+    }
+    a.spmv(&x, &mut ax);
+    residual(b, &ax, &mut r);
+    let rel = norm2(&r) / b_norm;
+    SolveResult { x, iterations: max_iters, relative_residual: rel, converged: rel < tol }
+}
+
+/// Mixed-precision iterative refinement (Langou et al., cited in §III-C):
+/// the bulk of the work runs in single precision — halving the value-data
+/// bandwidth, the same resource the paper's compression targets — while
+/// f64 residual corrections recover double-precision accuracy.
+///
+/// * `a64` — the system matrix in f64 (for residuals);
+/// * `a32` — the same matrix with f32 values (for the inner CG solves).
+pub fn mixed_precision_refine(
+    a64: &dyn SpMv<f64>,
+    a32: &dyn SpMv<f32>,
+    b: &[f64],
+    tol: f64,
+    max_refinements: usize,
+    inner_iters: usize,
+) -> SolveResult<f64> {
+    assert_eq!(a64.nrows(), a32.nrows(), "precision twins must have the same shape");
+    let n = b.len();
+    let mut x = vec![0.0f64; n];
+    let mut ax = vec![0.0f64; n];
+    let mut r64 = b.to_vec();
+    let mut r32 = vec![0.0f32; n];
+    let b_norm = norm2(b).max(1e-300);
+    let mut iterations = 0usize;
+
+    for _ in 0..max_refinements {
+        // Residual in full precision.
+        a64.spmv(&x, &mut ax);
+        residual(b, &ax, &mut r64);
+        let rel = norm2(&r64) / b_norm;
+        if rel < tol {
+            return SolveResult { x, iterations, relative_residual: rel, converged: true };
+        }
+        // Inner correction solve in f32: A·d = r.
+        narrow(&r64, &mut r32);
+        let inner = cg(a32, &r32, 1e-6, inner_iters);
+        iterations += inner.iterations.max(1);
+        let mut d64 = vec![0.0f64; n];
+        widen(&inner.x, &mut d64);
+        axpy(1.0, &d64, &mut x);
+    }
+    a64.spmv(&x, &mut ax);
+    residual(b, &ax, &mut r64);
+    let rel = norm2(&r64) / b_norm;
+    SolveResult { x, iterations, relative_residual: rel, converged: rel < tol }
+}
+
+/// Builds the f32 twin of an f64 CSR matrix (same pattern, narrowed
+/// values) — the substrate for [`mixed_precision_refine`].
+pub fn narrow_csr(a: &Csr<u32, f64>) -> Csr<u32, f32> {
+    let values: Vec<f32> = a.values().iter().map(|&v| v as f32).collect();
+    Csr::from_raw_parts(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr().to_vec(),
+        a.col_ind().to_vec(),
+        values,
+    )
+    .expect("narrowing preserves structure")
+}
+
+/// Restarted GMRES(m) for general (non-symmetric) systems — the other
+/// iterative solver the paper names in §I. Arnoldi with modified
+/// Gram-Schmidt; the least-squares problem is solved with Givens
+/// rotations updated incrementally.
+pub fn gmres<V: Scalar>(
+    a: &dyn SpMv<V>,
+    b: &[V],
+    restart: usize,
+    tol: f64,
+    max_outer: usize,
+) -> SolveResult<V> {
+    assert_eq!(a.nrows(), a.ncols(), "GMRES needs a square matrix");
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal matrix dimension");
+    assert!(restart >= 1, "restart length must be at least 1");
+    let n = b.len();
+    let m = restart.min(n);
+    let b_norm = norm2(b).max(1e-300);
+
+    let mut x = vec![V::zero(); n];
+    let mut iterations = 0usize;
+
+    for _outer in 0..max_outer {
+        // r = b - A x
+        let mut ax = vec![V::zero(); n];
+        a.spmv(&x, &mut ax);
+        let mut r = vec![V::zero(); n];
+        residual(b, &ax, &mut r);
+        let beta = norm2(&r);
+        let rel0 = beta / b_norm;
+        if rel0 < tol {
+            return SolveResult { x, iterations, relative_residual: rel0, converged: true };
+        }
+
+        // Krylov basis (m+1 vectors) and Hessenberg (column-major, m+1 x m).
+        let mut v: Vec<Vec<V>> = Vec::with_capacity(m + 1);
+        v.push(r.iter().map(|&ri| ri / V::from_f64(beta)).collect());
+        let mut h = vec![vec![0.0f64; m + 1]; m]; // h[j][i]
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1]; // rhs of the LSQ problem
+        g[0] = beta;
+
+        let mut k_used = 0usize;
+        for j in 0..m {
+            iterations += 1;
+            let mut w = vec![V::zero(); n];
+            a.spmv(&v[j], &mut w);
+            // Modified Gram-Schmidt.
+            for (i, vi) in v.iter().enumerate() {
+                let hij = dot(vi, &w).to_f64();
+                h[j][i] = hij;
+                axpy(V::from_f64(-hij), vi, &mut w);
+            }
+            let wn = norm2(&w);
+            h[j][j + 1] = wn;
+
+            // Apply previous Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * h[j][i] + sn[i] * h[j][i + 1];
+                h[j][i + 1] = -sn[i] * h[j][i] + cs[i] * h[j][i + 1];
+                h[j][i] = t;
+            }
+            // New rotation to zero h[j][j+1].
+            let denom = (h[j][j] * h[j][j] + h[j][j + 1] * h[j][j + 1]).sqrt();
+            if denom == 0.0 {
+                k_used = j;
+                break;
+            }
+            cs[j] = h[j][j] / denom;
+            sn[j] = h[j][j + 1] / denom;
+            h[j][j] = denom;
+            h[j][j + 1] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+            k_used = j + 1;
+
+            let rel = g[j + 1].abs() / b_norm;
+            if rel < tol || wn == 0.0 {
+                break;
+            }
+            v.push(w.iter().map(|&wi| wi / V::from_f64(wn)).collect());
+        }
+
+        // Back-substitute y from the triangularized Hessenberg.
+        let k = k_used;
+        let mut yk = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut s = g[i];
+            for j2 in (i + 1)..k {
+                s -= h[j2][i] * yk[j2];
+            }
+            yk[i] = s / h[i][i];
+        }
+        for (j2, &yj) in yk.iter().enumerate() {
+            axpy(V::from_f64(yj), &v[j2], &mut x);
+        }
+
+        // Converged inside the cycle?
+        let mut ax = vec![V::zero(); n];
+        a.spmv(&x, &mut ax);
+        let mut r = vec![V::zero(); n];
+        residual(b, &ax, &mut r);
+        let rel = norm2(&r) / b_norm;
+        if rel < tol {
+            return SolveResult { x, iterations, relative_residual: rel, converged: true };
+        }
+    }
+    let mut ax = vec![V::zero(); n];
+    a.spmv(&x, &mut ax);
+    let mut r = vec![V::zero(); n];
+    residual(b, &ax, &mut r);
+    let rel = norm2(&r) / b_norm;
+    SolveResult { x, iterations, relative_residual: rel, converged: rel < tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::csr_du::{CsrDu, DuOptions};
+    use spmv_core::Coo;
+
+    /// SPD 1-D Laplacian plus identity.
+    fn spd(n: usize) -> Csr<u32, f64> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Coo::from_triplets(n, n, t).unwrap().to_csr()
+    }
+
+    fn check_solution(a: &dyn SpMv<f64>, x: &[f64], b: &[f64], tol: f64) {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let mut r = vec![0.0; b.len()];
+        residual(b, &ax, &mut r);
+        assert!(norm2(&r) / norm2(b) < tol, "residual {} too large", norm2(&r) / norm2(b));
+    }
+
+    #[test]
+    fn cg_converges_on_spd_system() {
+        let a = spd(200);
+        let b = vec![1.0; 200];
+        let res = cg(&a, &b, 1e-12, 1000);
+        assert!(res.converged, "rel {}", res.relative_residual);
+        check_solution(&a, &res.x, &b, 1e-10);
+    }
+
+    #[test]
+    fn cg_identical_trajectory_with_csr_du() {
+        let a = spd(100);
+        let du = CsrDu::from_csr(&a, &DuOptions::default());
+        let b: Vec<f64> = (0..100).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let r1 = cg(&a, &b, 1e-12, 500);
+        let r2 = cg(&du, &b, 1e-12, 500);
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x, "bit-identical kernels must give identical iterates");
+    }
+
+    #[test]
+    fn jacobi_converges_on_dominant_system() {
+        let a = spd(80); // 3 on the diagonal dominates the two -1s
+        let b = vec![2.0; 80];
+        let res = jacobi(&a, &b, 1e-10, 2000);
+        assert!(res.converged);
+        check_solution(&a, &res.x, &b, 1e-8);
+    }
+
+    #[test]
+    fn mixed_precision_reaches_double_accuracy() {
+        let a = spd(150);
+        let a32 = narrow_csr(&a);
+        let b: Vec<f64> = (0..150).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+        let res = mixed_precision_refine(&a, &a32, &b, 1e-12, 40, 400);
+        assert!(res.converged, "rel {}", res.relative_residual);
+        // Beyond f32's ~1e-7 capability: refinement must push to 1e-12.
+        assert!(res.relative_residual < 1e-12);
+        check_solution(&a, &res.x, &b, 1e-11);
+    }
+
+    #[test]
+    fn cg_reports_nonconvergence_within_budget() {
+        let a = spd(300);
+        let b = vec![1.0; 300];
+        let res = cg(&a, &b, 1e-14, 3);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn cg_rejects_rectangular() {
+        let coo = Coo::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap();
+        let a: Csr = coo.to_csr();
+        let _ = cg(&a, &[1.0, 1.0], 1e-10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn jacobi_rejects_zero_diagonal() {
+        let coo = Coo::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let a: Csr = coo.to_csr();
+        let _ = jacobi(&a, &[1.0, 1.0], 1e-10, 10);
+    }
+
+    /// Non-symmetric upwind convection-diffusion matrix.
+    fn nonsym(n: usize) -> Csr<u32, f64> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -2.0)); // stronger lower diagonal
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -0.5));
+            }
+        }
+        Coo::from_triplets(n, n, t).unwrap().to_csr()
+    }
+
+    #[test]
+    fn gmres_converges_on_nonsymmetric_system() {
+        let a = nonsym(120);
+        let b: Vec<f64> = (0..120).map(|i| 1.0 + (i % 3) as f64).collect();
+        let res = gmres(&a, &b, 30, 1e-10, 50);
+        assert!(res.converged, "rel {}", res.relative_residual);
+        check_solution(&a, &res.x, &b, 1e-8);
+    }
+
+    #[test]
+    fn gmres_with_compressed_kernel_identical() {
+        let a = nonsym(80);
+        let du = CsrDu::from_csr(&a, &DuOptions::default());
+        let b = vec![1.0; 80];
+        let r1 = gmres(&a, &b, 20, 1e-10, 30);
+        let r2 = gmres(&du, &b, 20, 1e-10, 30);
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+    }
+
+    #[test]
+    fn gmres_small_restart_still_converges() {
+        let a = nonsym(60);
+        let b = vec![2.0; 60];
+        let res = gmres(&a, &b, 5, 1e-8, 200);
+        assert!(res.converged, "rel {}", res.relative_residual);
+    }
+
+    #[test]
+    fn gmres_identity_converges_immediately() {
+        let coo = Coo::from_triplets(4, 4, (0..4).map(|i| (i, i, 1.0))).unwrap();
+        let a: Csr = coo.to_csr();
+        let b = vec![3.0, -1.0, 2.0, 0.5];
+        let res = gmres(&a, &b, 4, 1e-12, 5);
+        assert!(res.converged);
+        for (xi, bi) in res.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Dense vector operations used by the iterative solvers.
+//!
+//! Plain, allocation-free kernels over slices; generic over [`Scalar`].
+
+use spmv_core::Scalar;
+
+/// Dot product `aᵀb`.
+pub fn dot<V: Scalar>(a: &[V], b: &[V]) -> V {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| *x * *y).sum()
+}
+
+/// Euclidean norm `‖a‖₂` (computed in f64 for stability).
+pub fn norm2<V: Scalar>(a: &[V]) -> f64 {
+    a.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+}
+
+/// `y ← y + α·x`.
+pub fn axpy<V: Scalar>(alpha: V, x: &[V], y: &mut [V]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * *xv;
+    }
+}
+
+/// `y ← x + β·y` (the CG direction update).
+pub fn xpby<V: Scalar>(x: &[V], beta: V, y: &mut [V]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv = *xv + beta * *yv;
+    }
+}
+
+/// `y ← x`.
+pub fn copy<V: Scalar>(x: &[V], y: &mut [V]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Element-wise residual `r ← b − z`.
+pub fn residual<V: Scalar>(b: &[V], z: &[V], r: &mut [V]) {
+    assert_eq!(b.len(), z.len(), "residual: length mismatch");
+    assert_eq!(b.len(), r.len(), "residual: length mismatch");
+    for ((rv, bv), zv) in r.iter_mut().zip(b).zip(z) {
+        *rv = *bv - *zv;
+    }
+}
+
+/// Widens an `f32` vector into `f64`.
+pub fn widen(src: &[f32], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s as f64;
+    }
+}
+
+/// Narrows an `f64` vector into `f32`.
+pub fn narrow(src: &[f64], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert!((norm2(&a) - 14.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = vec![1.0f64, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0]);
+    }
+
+    #[test]
+    fn residual_computes_b_minus_z() {
+        let b = vec![5.0f64, 5.0];
+        let z = vec![2.0, 7.0];
+        let mut r = vec![0.0; 2];
+        residual(&b, &z, &mut r);
+        assert_eq!(r, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip_for_representable() {
+        let src = vec![1.5f32, -2.25, 0.0];
+        let mut wide = vec![0.0f64; 3];
+        widen(&src, &mut wide);
+        let mut back = vec![0.0f32; 3];
+        narrow(&wide, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0f64], &[1.0, 2.0]);
+    }
+}

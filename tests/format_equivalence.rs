@@ -1,0 +1,115 @@
+//! Cross-crate integration: every storage format must compute the same
+//! `y = A·x` on matrices drawn from every corpus generator class.
+
+use spmv_core::prelude::*;
+use spmv_core::Coo;
+
+/// All formats built from one CSR matrix, as trait objects.
+fn all_formats(csr: &Csr) -> Vec<(String, Box<dyn SpMv<f64> + '_>)> {
+    vec![
+        ("CSR".into(), Box::new(csr.clone())),
+        ("CSC".into(), Box::new(Csc::from_csr(csr))),
+        ("BCSR2x2".into(), Box::new(Bcsr::from_csr(csr, 2, 2).unwrap())),
+        ("BCSR3x3".into(), Box::new(Bcsr::from_csr(csr, 3, 3).unwrap())),
+        ("ELL".into(), Box::new(Ell::from_csr(csr).unwrap())),
+        ("DIA".into(), Box::new(Dia::from_csr(csr))),
+        ("JAD".into(), Box::new(Jad::from_csr(csr).unwrap())),
+        ("CSR-DU".into(), Box::new(CsrDu::from_csr(csr, &DuOptions::default()))),
+        ("CSR-DU-seq".into(), Box::new(CsrDu::from_csr(csr, &DuOptions::with_seq()))),
+        ("CSR-VI".into(), Box::new(CsrVi::from_csr(csr))),
+        ("CSR-DU-VI".into(), Box::new(CsrDuVi::from_csr(csr, &DuOptions::default()))),
+        ("DCSR".into(), Box::new(Dcsr::from_csr(csr, &Default::default()))),
+        (
+            "DCSR-ungrouped".into(),
+            Box::new(Dcsr::from_csr(csr, &spmv_core::dcsr::DcsrOptions::ungrouped())),
+        ),
+    ]
+}
+
+fn check_matrix(name: &str, coo: &Coo<f64>) {
+    let csr: Csr = coo.to_csr();
+    let x: Vec<f64> = (0..csr.ncols()).map(|i| ((i * 7 + 3) % 11) as f64 * 0.5 - 2.0).collect();
+    let mut y_ref = vec![0.0; csr.nrows()];
+    coo.spmv_reference(&x, &mut y_ref);
+
+    for (fmt, m) in all_formats(&csr) {
+        assert_eq!(m.nnz(), csr.nnz(), "{name}/{fmt} nnz");
+        assert_eq!(m.nrows(), csr.nrows(), "{name}/{fmt} nrows");
+        let mut y = vec![f64::NAN; csr.nrows()];
+        m.spmv(&x, &mut y);
+        for (i, (a, b)) in y.iter().zip(&y_ref).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "{name}/{fmt}: row {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_formats_agree_on_stencil() {
+    check_matrix("stencil2d", &spmv_matgen::gen::stencil_2d(23, 31));
+    check_matrix("stencil3d", &spmv_matgen::gen::stencil_3d(9));
+}
+
+#[test]
+fn all_formats_agree_on_banded() {
+    check_matrix("banded-full", &spmv_matgen::gen::banded(300, 7, 1.0, 1));
+    check_matrix("banded-sparse", &spmv_matgen::gen::banded(300, 12, 0.4, 2));
+}
+
+#[test]
+fn all_formats_agree_on_power_law() {
+    check_matrix("powerlaw", &spmv_matgen::gen::power_law(400, 6, 3));
+}
+
+#[test]
+fn all_formats_agree_on_block_fem() {
+    check_matrix("blockfem", &spmv_matgen::gen::block_fem(40, 3));
+}
+
+#[test]
+fn all_formats_agree_on_random() {
+    check_matrix("random", &spmv_matgen::gen::random_uniform(350, 9, 4));
+}
+
+#[test]
+fn all_formats_agree_on_paper_example() {
+    check_matrix("paper", &spmv_core::examples::paper_matrix());
+}
+
+#[test]
+fn all_formats_agree_on_pathological_shapes() {
+    // Single row, single column, single element, empty.
+    check_matrix(
+        "one-row",
+        &Coo::from_triplets(1, 50, (0..25).map(|c| (0usize, 2 * c, 1.0 + c as f64))).unwrap(),
+    );
+    check_matrix(
+        "one-col",
+        &Coo::from_triplets(50, 1, (0..25).map(|r| (2 * r, 0usize, 1.0))).unwrap(),
+    );
+    check_matrix("single", &Coo::from_triplets(1, 1, vec![(0, 0, 3.5)]).unwrap());
+    check_matrix("empty", &Coo::new(5, 5));
+    // Fully empty rows interleaved.
+    check_matrix(
+        "sparse-rows",
+        &Coo::from_triplets(20, 20, vec![(0, 19, 1.0), (10, 0, 2.0), (19, 10, 3.0)]).unwrap(),
+    );
+}
+
+#[test]
+fn compressed_round_trips_are_lossless() {
+    for coo in [
+        spmv_matgen::gen::banded(200, 5, 0.7, 9),
+        spmv_matgen::gen::power_law(200, 5, 9),
+        spmv_matgen::gen::stencil_2d(17, 13),
+    ] {
+        let csr: Csr = coo.to_csr();
+        assert_eq!(CsrDu::from_csr(&csr, &DuOptions::default()).to_csr().unwrap(), csr);
+        assert_eq!(CsrDu::from_csr(&csr, &DuOptions::with_seq()).to_csr().unwrap(), csr);
+        assert_eq!(CsrVi::from_csr(&csr).to_csr().unwrap(), csr);
+        assert_eq!(CsrDuVi::from_csr(&csr, &DuOptions::default()).to_csr().unwrap(), csr);
+        assert_eq!(Dcsr::from_csr(&csr, &Default::default()).to_csr().unwrap(), csr);
+    }
+}

@@ -1,0 +1,101 @@
+//! Robustness properties of the external-input surfaces: the MatrixMarket
+//! parser and the binary container must never panic on arbitrary bytes,
+//! and must round-trip everything they write.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::io;
+use spmv_core::{Coo, Csr};
+use std::io::Cursor;
+
+fn arb_matrix() -> impl Strategy<Value = Coo<f64>> {
+    (1usize..25, 1usize..25)
+        .prop_flat_map(|(nrows, ncols)| {
+            let entry = (0..nrows, 0..ncols, -50.0f64..50.0);
+            (Just(nrows), Just(ncols), vec(entry, 0..100))
+        })
+        .prop_map(|(nrows, ncols, entries)| {
+            let mut coo = Coo::from_triplets(nrows, ncols, entries).expect("in bounds");
+            coo.canonicalize();
+            coo
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn mtx_parser_never_panics_on_garbage(data in vec(any::<u8>(), 0..512)) {
+        // Result may be Ok or Err, but never a panic.
+        let _ = spmv_matgen::mtx::read_mtx(Cursor::new(data));
+    }
+
+    #[test]
+    fn mtx_parser_never_panics_on_structured_garbage(
+        header in "%%MatrixMarket matrix coordinate (real|pattern|integer) (general|symmetric)",
+        lines in vec("[0-9 .eE+-]{0,20}", 0..20),
+    ) {
+        let mut text = header;
+        text.push('\n');
+        for l in lines {
+            text.push_str(&l);
+            text.push('\n');
+        }
+        let _ = spmv_matgen::mtx::read_mtx(Cursor::new(text.into_bytes()));
+    }
+
+    #[test]
+    fn container_roundtrips_csr(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_csr(&csr, &mut buf).unwrap();
+        prop_assert_eq!(io::read_csr(&mut Cursor::new(&buf)).unwrap(), csr);
+    }
+
+    #[test]
+    fn container_roundtrips_csr_du(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut buf = Vec::new();
+        io::write_csr_du(&du, &mut buf).unwrap();
+        prop_assert_eq!(io::read_csr_du(&mut Cursor::new(&buf)).unwrap(), du);
+    }
+
+    #[test]
+    fn container_roundtrips_csr_vi(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let vi = CsrVi::from_csr(&csr);
+        let mut buf = Vec::new();
+        io::write_csr_vi(&vi, &mut buf).unwrap();
+        prop_assert_eq!(io::read_csr_vi(&mut Cursor::new(&buf)).unwrap(), vi);
+    }
+
+    #[test]
+    fn container_reader_never_panics_on_garbage(data in vec(any::<u8>(), 0..256)) {
+        let _ = io::read_csr(&mut Cursor::new(&data));
+        let _ = io::read_csr_du(&mut Cursor::new(&data));
+        let _ = io::read_csr_vi(&mut Cursor::new(&data));
+    }
+
+    #[test]
+    fn container_reader_never_panics_on_bitflips(
+        coo in arb_matrix(),
+        flip_byte in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        // Serialize a real CSR-DU container, flip one bit, and require a
+        // clean Ok-or-Err (the validate_ctl path must catch corruption
+        // without panicking).
+        let csr: Csr = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut buf = Vec::new();
+        io::write_csr_du(&du, &mut buf).unwrap();
+        if !buf.is_empty() {
+            let idx = flip_byte % buf.len();
+            buf[idx] ^= 1 << flip_bit;
+            let _ = io::read_csr_du(&mut Cursor::new(&buf));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the classic baseline formats, the partitioner
+//! and the cache simulator.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spmv_core::prelude::*;
+use spmv_core::Coo;
+use spmv_memsim::cache::CacheSim;
+use spmv_memsim::machine::CacheGeometry;
+use spmv_parallel::RowPartition;
+
+fn arb_matrix() -> impl Strategy<Value = Coo<f64>> {
+    (1usize..30, 1usize..30)
+        .prop_flat_map(|(nrows, ncols)| {
+            let entry = (0..nrows, 0..ncols, -100.0f64..100.0);
+            (Just(nrows), Just(ncols), vec(entry, 0..120))
+        })
+        .prop_map(|(nrows, ncols, entries)| {
+            let mut coo = Coo::from_triplets(nrows, ncols, entries).expect("in bounds");
+            coo.canonicalize();
+            coo
+        })
+}
+
+fn spmv_close(a: &dyn SpMv<f64>, coo: &Coo<f64>, x: &[f64]) -> Result<(), TestCaseError> {
+    let mut y = vec![f64::NAN; coo.nrows()];
+    let mut y_ref = vec![0.0; coo.nrows()];
+    a.spmv(x, &mut y);
+    coo.spmv_reference(x, &mut y_ref);
+    for (i, (got, want)) in y.iter().zip(&y_ref).enumerate() {
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "row {}: {} vs {}",
+            i,
+            got,
+            want
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bcsr_roundtrip_and_spmv(coo in arb_matrix(), br in 1usize..5, bc in 1usize..5) {
+        let csr: Csr = coo.to_csr();
+        let b = Bcsr::from_csr(&csr, br, bc).unwrap();
+        let mut back = b.to_coo();
+        back.canonicalize();
+        prop_assert_eq!(back.entries(), coo.entries());
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| i as f64 * 0.3 - 2.0).collect();
+        spmv_close(&b, &coo, &x)?;
+        // Fill ratio is a valid fraction and 1.0 for 1x1 blocks.
+        prop_assert!(b.fill_ratio() > 0.0 && b.fill_ratio() <= 1.0 + 1e-12);
+        if br == 1 && bc == 1 {
+            prop_assert_eq!(b.fill_ratio(), 1.0);
+        }
+    }
+
+    #[test]
+    fn ell_jad_dia_roundtrip_and_spmv(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| 1.0 - i as f64 * 0.1).collect();
+
+        let ell = Ell::from_csr(&csr).unwrap();
+        let mut back = ell.to_coo();
+        back.canonicalize();
+        prop_assert_eq!(back.entries(), coo.entries());
+        spmv_close(&ell, &coo, &x)?;
+
+        let jad = Jad::from_csr(&csr).unwrap();
+        let mut back = jad.to_coo();
+        back.canonicalize();
+        prop_assert_eq!(back.entries(), coo.entries());
+        spmv_close(&jad, &coo, &x)?;
+
+        let dia = Dia::from_csr(&csr);
+        let mut back = dia.to_coo();
+        back.canonicalize();
+        prop_assert_eq!(back.entries(), coo.entries());
+        spmv_close(&dia, &coo, &x)?;
+    }
+
+    #[test]
+    fn csc_roundtrip_and_spmv(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr);
+        let mut back = csc.to_coo();
+        back.canonicalize();
+        prop_assert_eq!(back.entries(), coo.entries());
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| (i % 5) as f64).collect();
+        spmv_close(&csc, &coo, &x)?;
+    }
+
+    #[test]
+    fn sym_csr_roundtrip_on_symmetrized(coo in arb_matrix()) {
+        // Symmetrize: B = A + A^T restricted to square shape.
+        let n = coo.nrows().min(coo.ncols());
+        let mut sym = Coo::new(n, n);
+        for &(r, c, v) in coo.entries() {
+            if r < n && c < n {
+                sym.push(r, c, v).unwrap();
+                if r != c {
+                    sym.push(c, r, v).unwrap();
+                }
+            }
+        }
+        sym.canonicalize();
+        let full: Csr = sym.to_csr();
+        let s = SymCsr::from_csr(&full).unwrap();
+        prop_assert_eq!(s.to_full().unwrap(), full);
+        prop_assert_eq!(s.logical_nnz(), sym.nnz());
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        spmv_close(&s, &sym, &x)?;
+    }
+
+    #[test]
+    fn row_partition_invariants(
+        row_lens in vec(0usize..20, 1..60),
+        nparts in 1usize..10,
+    ) {
+        let mut row_ptr: Vec<u32> = vec![0];
+        for len in &row_lens {
+            row_ptr.push(row_ptr.last().unwrap() + *len as u32);
+        }
+        let p = RowPartition::by_nnz(&row_ptr, nparts);
+        prop_assert_eq!(p.nparts(), nparts);
+        prop_assert_eq!(p.bounds[0], 0);
+        prop_assert_eq!(*p.bounds.last().unwrap(), row_lens.len());
+        prop_assert!(p.bounds.windows(2).all(|w| w[0] <= w[1]));
+        // Every nnz assigned exactly once.
+        let total: usize = (0..nparts).map(|k| p.part_nnz(&row_ptr, k)).sum();
+        prop_assert_eq!(total, *row_ptr.last().unwrap() as usize);
+        // No part exceeds ideal by more than the largest row (greedy bound).
+        let nnz_total = *row_ptr.last().unwrap() as usize;
+        if nnz_total > 0 {
+            let ideal = nnz_total as f64 / nparts as f64;
+            let max_row = *row_lens.iter().max().unwrap() as f64;
+            for k in 0..nparts {
+                prop_assert!(
+                    p.part_nnz(&row_ptr, k) as f64 <= ideal + max_row + 1e-9,
+                    "part {} too heavy", k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_sim_conservation(addrs in vec(0u64..4096, 1..300)) {
+        let mut sim = CacheSim::new(CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+        });
+        let mut distinct = std::collections::HashSet::new();
+        for &a in &addrs {
+            sim.access(a);
+            distinct.insert(a / 64);
+        }
+        prop_assert_eq!(sim.hits() + sim.misses(), addrs.len() as u64);
+        // Compulsory misses: at least one miss per distinct line.
+        prop_assert!(sim.misses() >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn cache_sim_fits_fully_after_warmup(lines in 1u64..8) {
+        // 8 lines = exactly the capacity of this 512 B / 64 B cache.
+        let mut sim = CacheSim::new(CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 8, // fully associative: any <=8-line set fits
+        });
+        for l in 0..lines {
+            sim.access(l * 64);
+        }
+        sim.reset_counters();
+        for _ in 0..3 {
+            for l in 0..lines {
+                prop_assert!(sim.access(l * 64), "line {} missed after warmup", l);
+            }
+        }
+    }
+}
