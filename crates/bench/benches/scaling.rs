@@ -25,7 +25,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/csr");
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     for &t in &threads {
-        let par = ParCsr::new(&csr, t);
+        let mut par = ParCsr::new(&csr, t);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
             b.iter(|| par.par_spmv(black_box(&x), black_box(&mut y)))
         });
@@ -35,7 +35,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/csr-du");
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     for &t in &threads {
-        let par = ParCsrDu::new(&du, t);
+        let mut par = ParCsrDu::new(&du, t);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
             b.iter(|| par.par_spmv(black_box(&x), black_box(&mut y)))
         });

@@ -343,10 +343,10 @@ fn ablation_partition() {
     let iters = 20;
 
     for threads in [1usize, 2, 4] {
-        let row = ParCsr::new(&csr, threads);
-        let col = ParCscColumns::new(&csc, threads);
-        let block = ParCsrBlock2d::new(&csr, threads);
-        let mut time = |f: &dyn Fn(&mut [f64])| {
+        let mut row = ParCsr::new(&csr, threads);
+        let mut col = ParCscColumns::new(&csc, threads);
+        let mut block = ParCsrBlock2d::new(&csr, threads);
+        let mut time = |f: &mut dyn FnMut(&mut [f64])| {
             f(&mut y); // warm
             let t0 = std::time::Instant::now();
             for _ in 0..iters {
@@ -354,9 +354,9 @@ fn ablation_partition() {
             }
             t0.elapsed().as_secs_f64() / iters as f64
         };
-        let t_row = time(&|y| row.par_spmv(&x, y));
-        let t_col = time(&|y| col.par_spmv(&x, y));
-        let t_blk = time(&|y| block.par_spmv(&x, y));
+        let t_row = time(&mut |y: &mut [f64]| row.par_spmv(&x, y));
+        let t_col = time(&mut |y: &mut [f64]| col.par_spmv(&x, y));
+        let t_blk = time(&mut |y: &mut [f64]| block.par_spmv(&x, y));
         println!(
             "threads {threads}: row {:.3} ms | column(+reduce) {:.3} ms | block2d {:.3} ms",
             t_row * 1e3,
@@ -366,7 +366,7 @@ fn ablation_partition() {
     }
     println!(
         "\n(row partitioning avoids the column scheme's y-reduction and the block\n \
-         scheme's filtered scans — the paper's reason for choosing it)"
+         scheme's per-row tile lookups — the paper's reason for choosing it)"
     );
 }
 

@@ -148,11 +148,7 @@ pub const COMPARE_PLACEMENTS: [(&str, &str); 4] =
 
 /// Builds Table III (`format = "CSR-DU"`, vi_only = false) or Table IV
 /// (`format = "CSR-VI"`, vi_only = true).
-pub fn compare_table(
-    results: &[MatrixResult],
-    format: &str,
-    vi_only: bool,
-) -> Vec<CompareRow> {
+pub fn compare_table(results: &[MatrixResult], format: &str, vi_only: bool) -> Vec<CompareRow> {
     COMPARE_PLACEMENTS
         .iter()
         .map(|&(cores, placement)| {

@@ -50,9 +50,7 @@ impl<I: SpIndex, V: Scalar> Bcsr<I, V> {
             for r in row_lo..row_hi {
                 for (c, v) in csr.row_iter(r) {
                     let bcol = c / bc;
-                    let patch = per_bcol
-                        .entry(bcol)
-                        .or_insert_with(|| vec![V::zero(); br * bc]);
+                    let patch = per_bcol.entry(bcol).or_insert_with(|| vec![V::zero(); br * bc]);
                     patch[(r - row_lo) * bc + (c - bcol * bc)] = v;
                 }
             }
@@ -258,8 +256,7 @@ mod tests {
     #[test]
     fn ragged_edges_handled() {
         // 5x5 with 2x2 blocks: ragged last block row/column.
-        let coo =
-            Coo::from_triplets(5, 5, vec![(4, 4, 1.0), (4, 0, 2.0), (0, 4, 3.0)]).unwrap();
+        let coo = Coo::from_triplets(5, 5, vec![(4, 4, 1.0), (4, 0, 2.0), (0, 4, 3.0)]).unwrap();
         let b = Bcsr::from_csr(&coo.to_csr(), 2, 2).unwrap();
         let x = vec![1.0; 5];
         let mut y = vec![0.0; 5];

@@ -181,8 +181,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Coo<f64> {
-        Coo::from_triplets(3, 4, vec![(2, 1, 3.0), (0, 0, 1.0), (1, 3, 2.0), (0, 2, -1.0)])
-            .unwrap()
+        Coo::from_triplets(3, 4, vec![(2, 1, 3.0), (0, 0, 1.0), (1, 3, 2.0), (0, 2, -1.0)]).unwrap()
     }
 
     #[test]
@@ -195,8 +194,7 @@ mod tests {
 
     #[test]
     fn canonicalize_sorts_and_merges() {
-        let mut m =
-            Coo::from_triplets(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let mut m = Coo::from_triplets(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]).unwrap();
         assert!(!m.is_canonical());
         m.canonicalize();
         assert!(m.is_canonical());

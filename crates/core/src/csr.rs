@@ -145,10 +145,7 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
     /// Iterates over `(col, value)` pairs of one row.
     pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, V)> + '_ {
         let range = self.row_range(row);
-        self.col_ind[range.clone()]
-            .iter()
-            .zip(&self.values[range])
-            .map(|(c, v)| (c.index(), *v))
+        self.col_ind[range.clone()].iter().zip(&self.values[range]).map(|(c, v)| (c.index(), *v))
     }
 
     /// Iterates over all `(row, col, value)` triplets in row-major order.
@@ -345,10 +342,7 @@ mod tests {
         // Fig. 1 of the paper: the 6x6 example matrix and its CSR arrays.
         let csr: Csr = paper_matrix().to_csr();
         assert_eq!(csr.row_ptr(), &[0, 2, 5, 6, 9, 12, 16]);
-        assert_eq!(
-            csr.col_ind(),
-            &[0, 1, 1, 3, 5, 2, 2, 4, 5, 0, 3, 4, 0, 2, 3, 5]
-        );
+        assert_eq!(csr.col_ind(), &[0, 1, 1, 3, 5, 2, 2, 4, 5, 0, 3, 4, 0, 2, 3, 5]);
         assert_eq!(
             csr.values(),
             &[5.4, 1.1, 6.3, 7.7, 8.8, 1.1, 2.9, 3.7, 2.9, 9.0, 1.1, 4.5, 1.1, 2.9, 3.7, 1.1]

@@ -97,8 +97,8 @@ pub(crate) fn spmv_ctl_range<V: Scalar, G: Fn(usize) -> V>(
             }
             UnitType::U32 => {
                 while remaining > 0 {
-                    col += u32::from_le_bytes(ctl[pos..pos + 4].try_into().expect("4 bytes"))
-                        as usize;
+                    col +=
+                        u32::from_le_bytes(ctl[pos..pos + 4].try_into().expect("4 bytes")) as usize;
                     pos += 4;
                     acc += get(val) * x[col];
                     val += 1;
@@ -107,8 +107,8 @@ pub(crate) fn spmv_ctl_range<V: Scalar, G: Fn(usize) -> V>(
             }
             UnitType::U64 => {
                 while remaining > 0 {
-                    col += u64::from_le_bytes(ctl[pos..pos + 8].try_into().expect("8 bytes"))
-                        as usize;
+                    col +=
+                        u64::from_le_bytes(ctl[pos..pos + 8].try_into().expect("8 bytes")) as usize;
                     pos += 8;
                     acc += get(val) * x[col];
                     val += 1;

@@ -92,8 +92,7 @@ fn entirely_empty_matrix() {
 fn long_row_spans_multiple_units() {
     // 600 non-zeros in one row forces ceil(600/255) = 3 units; only the
     // first starts the row.
-    let coo =
-        Coo::from_triplets(1, 1200, (0..600).map(|i| (0usize, 2 * i, 1.0))).unwrap();
+    let coo = Coo::from_triplets(1, 1200, (0..600).map(|i| (0usize, 2 * i, 1.0))).unwrap();
     let du = du_default(&coo);
     let units: Vec<Unit> = du.cursor().collect();
     assert_eq!(units.len(), 3);
@@ -235,12 +234,8 @@ fn spmv_via_splits_matches_serial() {
 #[test]
 fn split_nnz_is_balanced() {
     // 10k nnz spread over 1000 rows; 4 parts should each get ~2500.
-    let coo = Coo::from_triplets(
-        1000,
-        1000,
-        (0..10_000).map(|k| (k / 10, (k * 97) % 1000, 1.0)),
-    )
-    .unwrap();
+    let coo = Coo::from_triplets(1000, 1000, (0..10_000).map(|k| (k / 10, (k * 97) % 1000, 1.0)))
+        .unwrap();
     let mut c = coo.clone();
     c.canonicalize();
     let du = du_default(&c);

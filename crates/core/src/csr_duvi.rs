@@ -219,8 +219,7 @@ impl<V: Scalar> CsrDuVi<V> {
 
     /// Rebuilds a CsrDu with materialized values (for reconstruction).
     fn du_with_values(&self) -> CsrDu<V> {
-        let values: Vec<V> =
-            (0..self.nnz).map(|j| self.vals_unique[self.val_ind.get(j)]).collect();
+        let values: Vec<V> = (0..self.nnz).map(|j| self.vals_unique[self.val_ind.get(j)]).collect();
         self.du.clone().with_values(values)
     }
 }

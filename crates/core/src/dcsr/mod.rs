@@ -219,17 +219,17 @@ impl<V: Scalar> Dcsr<V> {
                     val += 1;
                 }
                 CMD_DELTA32 => {
-                    col += u32::from_le_bytes(
-                        self.stream[pos..pos + 4].try_into().expect("4 bytes"),
-                    ) as usize;
+                    col +=
+                        u32::from_le_bytes(self.stream[pos..pos + 4].try_into().expect("4 bytes"))
+                            as usize;
                     pos += 4;
                     coo.push(row, col, self.values[val])?;
                     val += 1;
                 }
                 CMD_DELTA64 => {
-                    col += u64::from_le_bytes(
-                        self.stream[pos..pos + 8].try_into().expect("8 bytes"),
-                    ) as usize;
+                    col +=
+                        u64::from_le_bytes(self.stream[pos..pos + 8].try_into().expect("8 bytes"))
+                            as usize;
                     pos += 8;
                     coo.push(row, col, self.values[val])?;
                     val += 1;

@@ -88,11 +88,7 @@ impl<V: Scalar> Dense<V> {
     pub fn max_abs_diff(&self, other: &Dense<V>) -> f64 {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).abs().to_f64())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (*a - *b).abs().to_f64()).fold(0.0, f64::max)
     }
 }
 

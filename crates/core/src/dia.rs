@@ -185,8 +185,7 @@ mod tests {
     fn rectangular_matrices() {
         // Wide and tall rectangles exercise the r_lo/r_hi clamping.
         for (nr, nc) in [(3, 7), (7, 3)] {
-            let coo =
-                Coo::from_triplets(nr, nc, vec![(0, nc - 1, 1.0), (nr - 1, 0, 2.0)]).unwrap();
+            let coo = Coo::from_triplets(nr, nc, vec![(0, nc - 1, 1.0), (nr - 1, 0, 2.0)]).unwrap();
             let dia = Dia::from_csr(&coo.to_csr());
             let x = vec![1.0; nc];
             let mut y = vec![0.0; nr];

@@ -52,10 +52,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) outside matrix dimensions {nrows}x{ncols}"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) outside matrix dimensions {nrows}x{ncols}")
+            }
             SparseError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
             SparseError::UnsortedIndices { row } => {
                 write!(f, "column indices in row {row} are not strictly increasing")

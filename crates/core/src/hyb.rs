@@ -191,8 +191,7 @@ mod tests {
             let csr = coo.to_csr();
             for width in [0, 1, 2, 4, 16] {
                 let h = Hyb::with_width(&csr, width).unwrap();
-                let x: Vec<f64> =
-                    (0..coo.ncols()).map(|i| 0.5 * i as f64 - 1.0).collect();
+                let x: Vec<f64> = (0..coo.ncols()).map(|i| 0.5 * i as f64 - 1.0).collect();
                 let mut y = vec![9.0; coo.nrows()];
                 let mut y_ref = vec![0.0; coo.nrows()];
                 h.spmv(&x, &mut y);

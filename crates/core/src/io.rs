@@ -317,8 +317,8 @@ mod tests {
         assert_eq!(read_csr_vi(&mut Cursor::new(&buf)).unwrap(), vi);
 
         // u16 width (300 unique values).
-        let coo = crate::Coo::from_triplets(1, 300, (0..300).map(|c| (0usize, c, c as f64)))
-            .unwrap();
+        let coo =
+            crate::Coo::from_triplets(1, 300, (0..300).map(|c| (0usize, c, c as f64))).unwrap();
         let vi = CsrVi::from_csr(&coo.to_csr());
         assert_eq!(vi.val_ind().width_bytes(), 2);
         let mut buf = Vec::new();

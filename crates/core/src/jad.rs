@@ -51,8 +51,7 @@ impl<I: SpIndex, V: Scalar> Jad<I, V> {
             diag_ptr.push(I::from_usize(col_ind.len())?);
         }
 
-        let perm: Vec<I> =
-            order.iter().map(|&r| I::from_usize_unchecked(r)).collect();
+        let perm: Vec<I> = order.iter().map(|&r| I::from_usize_unchecked(r)).collect();
         Ok(Jad { nrows, ncols: csr.ncols(), perm, diag_ptr, col_ind, values })
     }
 

@@ -98,9 +98,9 @@ pub mod prelude {
     pub use crate::csr_vi::CsrVi;
     pub use crate::dcsr::Dcsr;
     pub use crate::dia::Dia;
-    pub use crate::sym::SymCsr;
     pub use crate::ell::Ell;
     pub use crate::hyb::Hyb;
     pub use crate::jad::Jad;
+    pub use crate::sym::SymCsr;
     pub use crate::{Coo, Csc, Csr, Dense, FormatKind, Scalar, SpIndex, SpMv, SparseError};
 }

@@ -194,19 +194,13 @@ mod tests {
     #[test]
     fn rejects_asymmetric() {
         let coo = Coo::from_triplets(2, 2, vec![(0, 1, 1.0)]).unwrap();
-        assert!(matches!(
-            SymCsr::from_csr(&coo.to_csr()),
-            Err(SparseError::InvalidFormat(_))
-        ));
+        assert!(matches!(SymCsr::from_csr(&coo.to_csr()), Err(SparseError::InvalidFormat(_))));
     }
 
     #[test]
     fn rejects_rectangular() {
         let coo = Coo::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap();
-        assert!(matches!(
-            SymCsr::from_csr(&coo.to_csr()),
-            Err(SparseError::DimensionMismatch(_))
-        ));
+        assert!(matches!(SymCsr::from_csr(&coo.to_csr()), Err(SparseError::DimensionMismatch(_))));
     }
 
     #[test]

@@ -88,18 +88,9 @@ mod tests {
 
     #[test]
     fn roundtrip_boundaries() {
-        for v in [
-            0u64,
-            1,
-            0x7f,
-            0x80,
-            0x3fff,
-            0x4000,
-            0x1f_ffff,
-            0x20_0000,
-            u32::MAX as u64,
-            u64::MAX,
-        ] {
+        for v in
+            [0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, 0x1f_ffff, 0x20_0000, u32::MAX as u64, u64::MAX]
+        {
             roundtrip(v);
         }
     }

@@ -155,12 +155,8 @@ impl CorpusEntry {
         let mut pattern = self.class.build_pattern(seed);
         pattern.canonicalize();
         let values = self.value_model.assign(pattern.nnz(), seed);
-        let entries: Vec<(usize, usize, f64)> = pattern
-            .entries()
-            .iter()
-            .zip(values)
-            .map(|(&(r, c, _), v)| (r, c, v))
-            .collect();
+        let entries: Vec<(usize, usize, f64)> =
+            pattern.entries().iter().zip(values).map(|(&(r, c, _), v)| (r, c, v)).collect();
         Coo::from_triplets(pattern.nrows(), pattern.ncols(), entries)
             .expect("pattern entries are in bounds")
     }
@@ -271,9 +267,9 @@ fn value_model_for(id: u32, predicted_nnz: usize) -> ValueModel {
         // safely above 5 — matching the spread of real quantized
         // matrices, where many need u16 indices.
         let levels = match id % 3 {
-            0 => 2 + (id as usize * 37) % 250,        // u8 indices
-            1 => 300 + (id as usize * 211) % 20_000,  // u16 indices
-            _ => 1000 + (id as usize * 97) % 50_000,  // u16 indices, big uv
+            0 => 2 + (id as usize * 37) % 250,       // u8 indices
+            1 => 300 + (id as usize * 211) % 20_000, // u16 indices
+            _ => 1000 + (id as usize * 97) % 50_000, // u16 indices, big uv
         };
         let levels = levels.min(predicted_nnz / 16).max(2);
         ValueModel::Quantized { levels }

@@ -108,8 +108,7 @@ pub fn power_law_with(n: usize, avg_deg: usize, hub_frac: f64, seed: u64) -> Coo
     let target = (avg_deg * n) as f64;
     let mut alpha = avg_deg as f64 * n as f64 / h_n;
     for _ in 0..30 {
-        let sum: f64 =
-            (1..=n).map(|rank| (alpha / rank as f64).round().clamp(1.0, cap)).sum();
+        let sum: f64 = (1..=n).map(|rank| (alpha / rank as f64).round().clamp(1.0, cap)).sum();
         if (sum - target).abs() <= 0.01 * target {
             break;
         }

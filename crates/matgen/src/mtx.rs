@@ -39,7 +39,10 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
         return Err(SparseError::Parse(format!("bad MatrixMarket header: {header}")));
     }
     if toks[2] != "coordinate" {
-        return Err(SparseError::Parse(format!("unsupported format '{}' (only coordinate)", toks[2])));
+        return Err(SparseError::Parse(format!(
+            "unsupported format '{}' (only coordinate)",
+            toks[2]
+        )));
     }
     let field = match toks[3].as_str() {
         "real" => Field::Real,
@@ -215,10 +218,10 @@ mod tests {
     #[test]
     fn rejects_bad_headers() {
         assert!(read_mtx(Cursor::new("nonsense\n")).is_err());
-        assert!(read_mtx(Cursor::new("%%MatrixMarket matrix array real general\n2 2 0\n"))
-            .is_err());
-        assert!(read_mtx(Cursor::new("%%MatrixMarket matrix coordinate complex general\n"))
-            .is_err());
+        assert!(read_mtx(Cursor::new("%%MatrixMarket matrix array real general\n2 2 0\n")).is_err());
+        assert!(
+            read_mtx(Cursor::new("%%MatrixMarket matrix coordinate complex general\n")).is_err()
+        );
     }
 
     #[test]

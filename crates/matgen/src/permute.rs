@@ -75,8 +75,7 @@ pub fn rcm_permutation(coo: &Coo<f64>) -> Vec<usize> {
         let mut queue = std::collections::VecDeque::from([start]);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             nbrs.sort_by_key(|&u| adj[u].len());
             for u in nbrs {
                 visited[u] = true;
@@ -95,11 +94,7 @@ pub fn rcm_permutation(coo: &Coo<f64>) -> Vec<usize> {
 
 /// Matrix bandwidth: max |col − row| over all entries.
 pub fn bandwidth(coo: &Coo<f64>) -> usize {
-    coo.entries()
-        .iter()
-        .map(|&(r, c, _)| r.abs_diff(c))
-        .max()
-        .unwrap_or(0)
+    coo.entries().iter().map(|&(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
 }
 
 fn is_permutation(perm: &[usize]) -> bool {

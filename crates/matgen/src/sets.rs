@@ -8,29 +8,28 @@
 
 /// Ids of M0: the 77 matrices with `ws ≥ 3 MB` (dense matrix excluded).
 pub const M0: [u32; 77] = [
-    2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 17, 21, 25, 26, 36, 40, 41, 42, 44, 45, 46, 47,
-    48, 49, 50, 51, 52, 53, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71,
-    72, 73, 74, 75, 76, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94,
-    95, 96, 97, 98, 99, 100,
+    2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 17, 21, 25, 26, 36, 40, 41, 42, 44, 45, 46, 47, 48,
+    49, 50, 51, 52, 53, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73,
+    74, 75, 76, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94, 95, 96, 97,
+    98, 99, 100,
 ];
 
 /// Ids of ML: the 52 M0 matrices with `ws ≥ 4×L2 + 1 MB = 17 MB`.
 pub const ML: [u32; 52] = [
-    2, 5, 8, 9, 10, 15, 40, 45, 46, 50, 51, 52, 53, 55, 56, 57, 59, 61, 62, 63, 64, 69, 70, 71,
-    72, 73, 74, 75, 76, 77, 78, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94, 95,
-    96, 97, 98, 99, 100,
+    2, 5, 8, 9, 10, 15, 40, 45, 46, 50, 51, 52, 53, 55, 56, 57, 59, 61, 62, 63, 64, 69, 70, 71, 72,
+    73, 74, 75, 76, 77, 78, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 92, 93, 94, 95, 96, 97,
+    98, 99, 100,
 ];
 
 /// Ids of M0-vi: the 30 M0 matrices with `ttu > 5` (§VI-E).
 pub const M0_VI: [u32; 30] = [
-    9, 26, 40, 41, 42, 44, 45, 46, 47, 50, 51, 52, 53, 57, 61, 63, 67, 68, 69, 70, 73, 79, 80,
-    82, 84, 85, 86, 87, 93, 99,
+    9, 26, 40, 41, 42, 44, 45, 46, 47, 50, 51, 52, 53, 57, 61, 63, 67, 68, 69, 70, 73, 79, 80, 82,
+    84, 85, 86, 87, 93, 99,
 ];
 
 /// Ids of ML-vi: the 22 memory-bound CSR-VI-applicable matrices.
-pub const ML_VI: [u32; 22] = [
-    9, 40, 45, 46, 50, 51, 52, 53, 57, 61, 63, 69, 70, 73, 80, 82, 84, 85, 86, 87, 93, 99,
-];
+pub const ML_VI: [u32; 22] =
+    [9, 40, 45, 46, 50, 51, 52, 53, 57, 61, 63, 69, 70, 73, 80, 82, 84, 85, 86, 87, 93, 99];
 
 /// Ids of MS-vi: the 8 cache-resident CSR-VI-applicable matrices.
 pub const MS_VI: [u32; 8] = [26, 41, 42, 44, 47, 67, 68, 79];

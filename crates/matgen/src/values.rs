@@ -45,11 +45,10 @@ impl ValueModel {
     /// Assigns values to `nnz` elements, deterministically from `seed`.
     pub fn assign(&self, nnz: usize, seed: u64) -> Vec<f64> {
         // Decorrelate from the structure generator's stream.
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x5eed));
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x5eed));
         match *self {
-            ValueModel::Random { lo, hi } => {
-                (0..nnz).map(|_| rng.random_range(lo..hi)).collect()
-            }
+            ValueModel::Random { lo, hi } => (0..nnz).map(|_| rng.random_range(lo..hi)).collect(),
             ValueModel::Quantized { levels } => {
                 let levels = levels.max(1);
                 let palette: Vec<f64> =
@@ -60,8 +59,7 @@ impl ValueModel {
                 let period = period.max(2);
                 // A small palette reused (period-1)/period of the time plus
                 // fresh values 1/period of the time yields uv ≈ nnz/period.
-                let palette: Vec<f64> =
-                    (0..64).map(|_| rng.random_range(-10.0..10.0)).collect();
+                let palette: Vec<f64> = (0..64).map(|_| rng.random_range(-10.0..10.0)).collect();
                 (0..nnz)
                     .map(|_| {
                         if rng.random_range(0..period) == 0 {

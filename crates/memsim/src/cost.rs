@@ -61,10 +61,9 @@ impl Default for CostModel {
 }
 
 /// What one storage format streams and computes per SpMV iteration.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FormatCost {
     /// Which format.
-    #[serde(serialize_with = "ser_kind")]
     pub kind: FormatKind,
     /// Matrix bytes streamed per iteration (indices + values + pointers).
     pub stream_bytes: usize,
@@ -79,9 +78,19 @@ pub struct FormatCost {
     pub cycles_flat: f64,
 }
 
-/// Serializes a [`FormatKind`] as its paper name (e.g. `"CSR-DU"`).
-fn ser_kind<S: serde::Serializer>(kind: &FormatKind, s: S) -> Result<S::Ok, S::Error> {
-    s.serialize_str(kind.name())
+// Hand-written so `kind` serializes as its paper name (e.g. `"CSR-DU"`)
+// rather than the variant identifier.
+impl Serialize for FormatCost {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        s.begin_map();
+        s.field("kind", self.kind.name());
+        s.field("stream_bytes", &self.stream_bytes);
+        s.field("resident_bytes", &self.resident_bytes);
+        s.field("cycles_per_nnz", &self.cycles_per_nnz);
+        s.field("cycles_per_row", &self.cycles_per_row);
+        s.field("cycles_flat", &self.cycles_flat);
+        s.end_map();
+    }
 }
 
 impl FormatCost {
@@ -137,8 +146,8 @@ impl FormatCost {
     /// Cost descriptor for DCSR. `grouped_fraction` is the share of
     /// non-zeros inside grouped runs (1.0 = fully grouped stream).
     pub fn dcsr<V: Scalar>(m: &Dcsr<V>, grouped_fraction: f64, cm: &CostModel) -> FormatCost {
-        let dispatch = grouped_fraction * cm.dcsr_grouped
-            + (1.0 - grouped_fraction) * cm.dcsr_dispatch;
+        let dispatch =
+            grouped_fraction * cm.dcsr_grouped + (1.0 - grouped_fraction) * cm.dcsr_dispatch;
         FormatCost {
             kind: FormatKind::Dcsr,
             stream_bytes: spmv_core::SpMv::<V>::size_bytes(m),

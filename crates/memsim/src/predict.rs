@@ -104,8 +104,7 @@ pub fn predict(
     let x_demand_per_die = (1.0 - scatter) * (x_bytes / dies) + scatter * x_bytes;
     let x_fit_per_die = x_demand_per_die.min(per_die);
     per_die -= x_fit_per_die;
-    let x_residency =
-        if x_demand_per_die > 0.0 { x_fit_per_die / x_demand_per_die } else { 1.0 };
+    let x_residency = if x_demand_per_die > 0.0 { x_fit_per_die / x_demand_per_die } else { 1.0 };
 
     let stream_bytes = fc.stream_bytes as f64;
     let stream_per_die = stream_bytes / dies;
@@ -133,8 +132,7 @@ pub fn predict(
     let line = crate::profile::LINE as f64;
     let windowed_traffic = x_bytes * (1.0 - x_residency);
     let x_hit_coverage = profile.coverage(x_residency);
-    let scattered_traffic =
-        (profile.x_touch_lines as f64) * line * (1.0 - x_hit_coverage);
+    let scattered_traffic = (profile.x_touch_lines as f64) * line * (1.0 - x_hit_coverage);
     let x_traffic = (1.0 - scatter) * windowed_traffic + scatter * scattered_traffic;
 
     // y write-back traffic when y does not stay resident.

@@ -82,8 +82,7 @@ impl MatrixProfile {
         // Concentration curve over touched lines, hottest first.
         let mut touch_coverage = [0.0f64; 11];
         if x_touch_lines > 0 {
-            let mut counts: Vec<u32> =
-                line_touches.iter().copied().filter(|&c| c > 0).collect();
+            let mut counts: Vec<u32> = line_touches.iter().copied().filter(|&c| c > 0).collect();
             counts.sort_unstable_by(|a, b| b.cmp(a));
             let total = x_touch_lines as f64;
             let mut acc = 0u64;
@@ -103,12 +102,10 @@ impl MatrixProfile {
             }
         }
 
-        let avg_row_span =
-            if csr.nnz() > 0 { span_weighted / csr.nnz() as f64 } else { 0.0 };
+        let avg_row_span = if csr.nnz() > 0 { span_weighted / csr.nnz() as f64 } else { 0.0 };
 
-        let imbalance = [1, 2, 4, 8].map(|t| {
-            RowPartition::for_csr(csr, t).imbalance(csr.row_ptr())
-        });
+        let imbalance =
+            [1, 2, 4, 8].map(|t| RowPartition::for_csr(csr, t).imbalance(csr.row_ptr()));
 
         MatrixProfile {
             nrows: csr.nrows(),

@@ -38,7 +38,10 @@ pub struct TrafficReport {
 impl TrafficReport {
     /// Total missed bytes (misses × line size).
     pub fn miss_bytes(&self) -> u64 {
-        (self.row_ptr_misses + self.col_ind_misses + self.value_misses + self.x_misses
+        (self.row_ptr_misses
+            + self.col_ind_misses
+            + self.value_misses
+            + self.x_misses
             + self.y_misses)
             * self.line_bytes as u64
     }

@@ -6,20 +6,46 @@
 //! (or the `ctl` stream for CSR-DU) and of the output vector `y`, while all
 //! threads share read-only access to `x`.
 //!
+//! ## Threading model (paper §VI-A)
+//!
+//! The paper's measurement protocol spawns its pthreads *once*, then times
+//! 128 consecutive SpMV operations inside them with a barrier between
+//! iterations — per-iteration cost contains no thread-creation overhead.
+//! This crate mirrors that structure:
+//!
+//! * every executor owns a persistent [`pool::WorkerPool`], created at
+//!   plan time: `nthreads - 1` OS workers parked on a condvar, woken per
+//!   `par_spmv` call via an epoch/condvar handshake, with the calling
+//!   thread participating as thread 0 (the paper's main pthread);
+//! * all per-call scratch (the private `y` vectors of column and
+//!   symmetric partitioning, the tile partials of 2-D blocking) is
+//!   pre-allocated in the plan, so a steady-state `par_spmv` call performs
+//!   **zero** heap allocations and **zero** thread spawns;
+//! * cross-thread reductions run as a second chunked dispatch on the same
+//!   pool (each thread sums a disjoint output chunk across all private
+//!   vectors in fixed order, keeping results deterministic);
+//! * [`pool::IterationDriver`] layers the 128-iteration barrier loop on
+//!   top of one pool dispatch, with no barrier after the final round.
+//!
 //! This crate provides:
 //!
-//! * [`partition`] — row/column/block partitioning with nnz balancing;
-//! * [`pool`] — thread-spawning helpers, including an iteration driver
-//!   that spawns threads once and runs many SpMV iterations with a barrier
-//!   between them (the paper's 128-iteration measurement protocol);
+//! * [`partition`] — row/column/block partitioning with nnz balancing
+//!   (boundaries rounded to the nearest nnz prefix);
+//! * [`pool`] — the persistent [`pool::WorkerPool`], the
+//!   [`pool::IterationDriver`] measurement loop, and a spawn-per-call
+//!   baseline ([`pool::run_on_threads`]) kept for one-shot fan-out and for
+//!   quantifying dispatch overhead;
 //! * [`par`] — per-format parallel executors ([`par::ParCsr`],
 //!   [`par::ParCsrDu`], [`par::ParCsrVi`], [`par::ParCsrDuVi`],
-//!   [`par::ParCscColumns`], [`par::ParCsrBlock2d`]) that pre-plan the
-//!   partition and run `y = A·x` across `nthreads` scoped threads.
+//!   [`par::ParCscColumns`], [`par::ParCsrBlock2d`], [`par::ParDcsr`],
+//!   [`par::ParSymCsr`]) that pre-plan partition, pool and scratch, and
+//!   run `y = A·x` on the pool per call.
 //!
-//! The output vector is split into disjoint `&mut` sub-slices along the
-//! partition boundaries, so the whole crate is safe Rust: the borrow
-//! checker proves each row block is written by exactly one thread.
+//! Output and scratch buffers are handed to pool threads through
+//! [`pool::DisjointSlices`], a small `unsafe` cell whose single invariant
+//! — ranges claimed during one dispatch are pairwise disjoint — is
+//! discharged at every call site by partition blocks that are disjoint by
+//! construction. Everything else is safe Rust.
 //!
 //! The paper binds threads to specific cores with `sched_setaffinity` to
 //! control cache sharing; placement here is a *logical* concept consumed
@@ -36,4 +62,4 @@ pub use par::{
     ParSymCsr,
 };
 pub use partition::{ColPartition, Grid2d, RowPartition};
-pub use pool::{run_on_threads, IterationDriver};
+pub use pool::{run_on_threads, DisjointSlices, IterationDriver, WorkerPool};

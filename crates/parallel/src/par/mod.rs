@@ -1,12 +1,20 @@
 //! Per-format parallel SpMV executors.
 //!
 //! Each executor pre-computes its partition at construction (the paper
-//! also partitions once, outside the timed loop), then executes
-//! `y = A·x` on `nthreads` scoped threads per call. `y` is split into
-//! disjoint `&mut` sub-slices along partition boundaries, so every kernel
-//! call writes only memory it owns.
+//! also partitions once, outside the timed loop) and owns a persistent
+//! [`WorkerPool`] plus whatever scratch its reduction needs, so a
+//! steady-state [`ParSpMv::par_spmv`] call spawns no threads and performs
+//! no heap allocation: the pool is woken, each thread runs its planned
+//! block, and executors that need cross-thread reductions run them as a
+//! second chunked dispatch on the same pool.
+//!
+//! Output safety: `y` (and any plan-owned scratch) is handed to threads
+//! through [`DisjointSlices`], with ranges taken from partitions whose
+//! blocks are disjoint by construction — every kernel call writes only
+//! memory it owns.
 
 use crate::partition::{ColPartition, Grid2d, RowPartition};
+use crate::pool::{chunk, DisjointSlices, WorkerPool};
 use spmv_core::csr_du::{CsrDu, DuSplit};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
@@ -14,13 +22,24 @@ use spmv_core::dcsr::{Dcsr, DcsrSplit};
 use spmv_core::sym::SymCsr;
 use spmv_core::{Csc, Csr, Scalar, SpIndex};
 
-/// Common interface of the parallel executors (mirrors [`spmv_core::SpMv`] with a
-/// fixed thread count chosen at plan time).
-pub trait ParSpMv<V: Scalar>: Send + Sync {
+/// Common interface of the parallel executors (mirrors [`spmv_core::SpMv`]
+/// with a fixed thread count chosen at plan time).
+///
+/// `par_spmv` takes `&mut self` because a plan owns mutable per-call state
+/// — its worker pool and pre-allocated reduction scratch — and a single
+/// plan must not be dispatched concurrently from two threads.
+pub trait ParSpMv<V: Scalar>: Send {
     /// Number of threads this plan uses.
     fn nthreads(&self) -> usize;
     /// Computes `y = A·x` using the planned partition.
-    fn par_spmv(&self, x: &[V], y: &mut [V]);
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]);
+}
+
+/// Row bounds implied by ctl-stream splits: `[0, splits[0].row_end, ...]`.
+fn split_row_bounds(row_ends: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    bounds.extend(row_ends);
+    bounds
 }
 
 // ---------------------------------------------------------------------
@@ -31,12 +50,15 @@ pub trait ParSpMv<V: Scalar>: Send + Sync {
 pub struct ParCsr<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m Csr<I, V>,
     partition: RowPartition,
+    pool: WorkerPool,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCsr<'m, I, V> {
     /// Plans an nnz-balanced row partition over `nthreads` threads.
     pub fn new(matrix: &'m Csr<I, V>, nthreads: usize) -> Self {
-        ParCsr { partition: RowPartition::for_csr(matrix, nthreads), matrix }
+        let partition = RowPartition::for_csr(matrix, nthreads);
+        let pool = WorkerPool::new(partition.nparts());
+        ParCsr { partition, matrix, pool }
     }
 
     /// The planned partition.
@@ -50,16 +72,17 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
         self.partition.nparts()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
-        let slices = self.partition.split_mut(y);
-        std::thread::scope(|s| {
-            for (k, y_local) in slices.into_iter().enumerate() {
-                let range = self.partition.part(k);
-                let m = self.matrix;
-                s.spawn(move || m.spmv_rows_local(range.start, range.end, x, y_local));
-            }
+        let slices = DisjointSlices::new(y);
+        let partition = &self.partition;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            let range = partition.part(tid);
+            // SAFETY: partition blocks are disjoint; one tid per block.
+            let y_local = unsafe { slices.range(range.clone()) };
+            m.spmv_rows_local(range.start, range.end, x, y_local);
         });
     }
 }
@@ -73,12 +96,17 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
 pub struct ParCsrDu<'m, V: Scalar = f64> {
     matrix: &'m CsrDu<V>,
     splits: Vec<DuSplit>,
+    row_bounds: Vec<usize>,
+    pool: WorkerPool,
 }
 
 impl<'m, V: Scalar> ParCsrDu<'m, V> {
     /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
     pub fn new(matrix: &'m CsrDu<V>, nthreads: usize) -> Self {
-        ParCsrDu { splits: matrix.splits(nthreads), matrix }
+        let splits = matrix.splits(nthreads);
+        let row_bounds = split_row_bounds(splits.iter().map(|s| s.row_end));
+        let pool = WorkerPool::new(splits.len().max(1));
+        ParCsrDu { splits, row_bounds, matrix, pool }
     }
 
     /// The planned splits (at most `nthreads`, fewer for tiny matrices).
@@ -92,30 +120,26 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
         self.splits.len()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
-        // Split y along the split row boundaries.
-        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
-        let mut rest = y;
-        let mut prev = 0usize;
-        for split in &self.splits {
-            let (head, tail) = rest.split_at_mut(split.row_end - prev);
-            slices.push(head);
-            rest = tail;
-            prev = split.row_end;
-        }
-        // Trailing rows after the last split (possible only when the last
-        // split ends early; splits() always ends at nrows, so rest is
-        // empty — zero it defensively anyway).
-        for v in rest.iter_mut() {
+        // Trailing rows after the last split (splits() always ends at
+        // nrows, so this is empty — zero it defensively anyway).
+        let covered = *self.row_bounds.last().expect("nonempty bounds");
+        for v in y[covered..].iter_mut() {
             *v = V::zero();
         }
-        std::thread::scope(|s| {
-            for (split, y_local) in self.splits.iter().zip(slices) {
-                let m = self.matrix;
-                s.spawn(move || m.spmv_split_local(split, x, y_local));
-            }
+        if self.splits.is_empty() {
+            return;
+        }
+        let slices = DisjointSlices::new(y);
+        let splits = &self.splits;
+        let bounds = &self.row_bounds;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            // SAFETY: split row ranges are disjoint; one tid per split.
+            let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
+            m.spmv_split_local(&splits[tid], x, y_local);
         });
     }
 }
@@ -129,12 +153,15 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
 pub struct ParCsrVi<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m CsrVi<I, V>,
     partition: RowPartition,
+    pool: WorkerPool,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCsrVi<'m, I, V> {
     /// Plans an nnz-balanced row partition over `nthreads` threads.
     pub fn new(matrix: &'m CsrVi<I, V>, nthreads: usize) -> Self {
-        ParCsrVi { partition: RowPartition::by_nnz(matrix.row_ptr(), nthreads), matrix }
+        let partition = RowPartition::by_nnz(matrix.row_ptr(), nthreads);
+        let pool = WorkerPool::new(partition.nparts());
+        ParCsrVi { partition, matrix, pool }
     }
 }
 
@@ -143,16 +170,17 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
         self.partition.nparts()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
-        let slices = self.partition.split_mut(y);
-        std::thread::scope(|s| {
-            for (k, y_local) in slices.into_iter().enumerate() {
-                let range = self.partition.part(k);
-                let m = self.matrix;
-                s.spawn(move || m.spmv_rows_local(range.start, range.end, x, y_local));
-            }
+        let slices = DisjointSlices::new(y);
+        let partition = &self.partition;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            let range = partition.part(tid);
+            // SAFETY: partition blocks are disjoint; one tid per block.
+            let y_local = unsafe { slices.range(range.clone()) };
+            m.spmv_rows_local(range.start, range.end, x, y_local);
         });
     }
 }
@@ -165,12 +193,17 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
 pub struct ParCsrDuVi<'m, V: Scalar = f64> {
     matrix: &'m CsrDuVi<V>,
     splits: Vec<DuSplit>,
+    row_bounds: Vec<usize>,
+    pool: WorkerPool,
 }
 
 impl<'m, V: Scalar> ParCsrDuVi<'m, V> {
     /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
     pub fn new(matrix: &'m CsrDuVi<V>, nthreads: usize) -> Self {
-        ParCsrDuVi { splits: matrix.splits(nthreads), matrix }
+        let splits = matrix.splits(nthreads);
+        let row_bounds = split_row_bounds(splits.iter().map(|s| s.row_end));
+        let pool = WorkerPool::new(splits.len().max(1));
+        ParCsrDuVi { splits, row_bounds, matrix, pool }
     }
 }
 
@@ -179,26 +212,24 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
         self.splits.len()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
-        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
-        let mut rest = y;
-        let mut prev = 0usize;
-        for split in &self.splits {
-            let (head, tail) = rest.split_at_mut(split.row_end - prev);
-            slices.push(head);
-            rest = tail;
-            prev = split.row_end;
-        }
-        for v in rest.iter_mut() {
+        let covered = *self.row_bounds.last().expect("nonempty bounds");
+        for v in y[covered..].iter_mut() {
             *v = V::zero();
         }
-        std::thread::scope(|s| {
-            for (split, y_local) in self.splits.iter().zip(slices) {
-                let m = self.matrix;
-                s.spawn(move || m.spmv_split_local(split, x, y_local));
-            }
+        if self.splits.is_empty() {
+            return;
+        }
+        let slices = DisjointSlices::new(y);
+        let splits = &self.splits;
+        let bounds = &self.row_bounds;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            // SAFETY: split row ranges are disjoint; one tid per split.
+            let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
+            m.spmv_split_local(&splits[tid], x, y_local);
         });
     }
 }
@@ -209,16 +240,23 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
 
 /// Column-partitioned parallel CSC SpMV (§II-C): each thread runs a column
 /// block into a *private* y vector ("the best practice is to have each
-/// thread use its own y array"), followed by a reducing addition.
+/// thread use its own y array"), followed by a chunked parallel reduction
+/// on the same pool. The private vectors are pre-allocated at plan time.
 pub struct ParCscColumns<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m Csc<I, V>,
     partition: ColPartition,
+    pool: WorkerPool,
+    /// `nparts` private y vectors, stored flat (`nparts * nrows`).
+    privates: Vec<V>,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCscColumns<'m, I, V> {
     /// Plans an nnz-balanced column partition over `nthreads` threads.
     pub fn new(matrix: &'m Csc<I, V>, nthreads: usize) -> Self {
-        ParCscColumns { partition: ColPartition::by_nnz(matrix.col_ptr(), nthreads), matrix }
+        let partition = ColPartition::by_nnz(matrix.col_ptr(), nthreads);
+        let pool = WorkerPool::new(partition.nparts());
+        let privates = vec![V::zero(); partition.nparts() * matrix.nrows()];
+        ParCscColumns { partition, matrix, pool, privates }
     }
 }
 
@@ -227,28 +265,42 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCscColumns<'_, I, V> {
         self.partition.nparts()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
         let nparts = self.partition.nparts();
         let nrows = self.matrix.nrows();
-        // Private y per thread, reduced at the end (deterministic order).
-        let mut privates: Vec<Vec<V>> = (0..nparts).map(|_| vec![V::zero(); nrows]).collect();
-        std::thread::scope(|s| {
-            for (k, y_private) in privates.iter_mut().enumerate() {
-                let range = self.partition.part(k);
-                let m = self.matrix;
-                s.spawn(move || m.spmv_cols_acc(range.start, range.end, x, y_private));
+        let partition = &self.partition;
+        let m = self.matrix;
+        // Dispatch 1: each thread zeroes its private y and accumulates its
+        // column block into it.
+        let priv_cell = DisjointSlices::new(&mut self.privates);
+        self.pool.run(|tid| {
+            // SAFETY: per-thread stripes of the flat buffer are disjoint.
+            let y_private = unsafe { priv_cell.range(tid * nrows..(tid + 1) * nrows) };
+            for v in y_private.iter_mut() {
+                *v = V::zero();
+            }
+            let range = partition.part(tid);
+            m.spmv_cols_acc(range.start, range.end, x, y_private);
+        });
+        // Dispatch 2: chunked parallel reduction. Each thread sums its row
+        // chunk across all privates in fixed part order, so the result is
+        // bit-identical to the serial reduction.
+        let privates = &self.privates;
+        let y_cell = DisjointSlices::new(y);
+        self.pool.run(|tid| {
+            let rows = chunk(nrows, nparts, tid);
+            // SAFETY: uniform chunks are disjoint; one tid per chunk.
+            let y_chunk = unsafe { y_cell.range(rows.clone()) };
+            for (li, i) in rows.enumerate() {
+                let mut acc = V::zero();
+                for k in 0..nparts {
+                    acc += privates[k * nrows + i];
+                }
+                y_chunk[li] = acc;
             }
         });
-        for v in y.iter_mut() {
-            *v = V::zero();
-        }
-        for y_private in &privates {
-            for (dst, src) in y.iter_mut().zip(y_private) {
-                *dst += *src;
-            }
-        }
     }
 }
 
@@ -258,16 +310,22 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCscColumns<'_, I, V> {
 
 /// Block-partitioned parallel CSR SpMV (§II-C): threads form a `pr x pc`
 /// grid; each owns a (row block, column block) tile. Threads in the same
-/// grid row share output rows, so each writes a private slice that a
-/// final pass reduces. Demonstrates the partitioning trade-off space
-/// (ablation A3); the tile scan filters by column range, so it streams
-/// the whole row block's data — the configurable-size benefit comes at a
-/// bandwidth cost, as the paper notes for machines like Cell.
+/// grid row share output rows, so each writes a private partial that a
+/// chunked second dispatch reduces. Demonstrates the partitioning
+/// trade-off space (ablation A3). Within each row, the tile's entries are
+/// located by binary search on the sorted column indices, so a tile only
+/// streams its own non-zeros (plus the row pointers).
 pub struct ParCsrBlock2d<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m Csr<I, V>,
     grid: Grid2d,
     rows: RowPartition,
     col_bounds: Vec<usize>,
+    pool: WorkerPool,
+    /// Per-tile partial y blocks, stored flat; tile `t` owns
+    /// `partials[partial_off[t]..partial_off[t + 1]]` (its row block's
+    /// length).
+    partials: Vec<V>,
+    partial_off: Vec<usize>,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCsrBlock2d<'m, I, V> {
@@ -276,14 +334,34 @@ impl<'m, I: SpIndex, V: Scalar> ParCsrBlock2d<'m, I, V> {
     pub fn new(matrix: &'m Csr<I, V>, nthreads: usize) -> Self {
         let grid = Grid2d::squarest(nthreads);
         let rows = RowPartition::for_csr(matrix, grid.pr);
-        let col_bounds: Vec<usize> =
-            (0..=grid.pc).map(|k| k * matrix.ncols() / grid.pc).collect();
-        ParCsrBlock2d { matrix, grid, rows, col_bounds }
+        let col_bounds: Vec<usize> = (0..=grid.pc).map(|k| k * matrix.ncols() / grid.pc).collect();
+        let mut partial_off = Vec::with_capacity(grid.len() + 1);
+        partial_off.push(0);
+        for t in 0..grid.len() {
+            let (pr, _) = grid.coords(t);
+            partial_off.push(partial_off[t] + rows.part(pr).len());
+        }
+        let partials = vec![V::zero(); *partial_off.last().expect("nonempty offsets")];
+        let pool = WorkerPool::new(grid.len());
+        ParCsrBlock2d { matrix, grid, rows, col_bounds, pool, partials, partial_off }
     }
 
     /// The thread grid.
     pub fn grid(&self) -> Grid2d {
         self.grid
+    }
+
+    /// Value/column positions of row `i` falling in tile `t`'s column
+    /// block, found by binary search on the row's sorted column indices.
+    /// Exposed so tests can count exactly how many entries each tile
+    /// visits.
+    pub fn tile_row_entries(&self, t: usize, i: usize) -> std::ops::Range<usize> {
+        let (_, pc) = self.grid.coords(t);
+        let rr = self.matrix.row_range(i);
+        let cind = &self.matrix.col_ind()[rr.clone()];
+        let lo = rr.start + cind.partition_point(|c| c.index() < self.col_bounds[pc]);
+        let hi = rr.start + cind.partition_point(|c| c.index() < self.col_bounds[pc + 1]);
+        lo..hi
     }
 }
 
@@ -292,46 +370,59 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrBlock2d<'_, I, V> {
         self.grid.len()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
         let m = self.matrix;
-        // One private partial-y per tile, sized to its row block.
-        let mut partials: Vec<Vec<V>> = (0..self.grid.len())
-            .map(|t| {
-                let (pr, _) = self.grid.coords(t);
-                vec![V::zero(); self.rows.part(pr).len()]
-            })
-            .collect();
-        std::thread::scope(|s| {
-            for (t, partial) in partials.iter_mut().enumerate() {
-                let (pr, pc) = self.grid.coords(t);
-                let rows = self.rows.part(pr);
-                let cols = self.col_bounds[pc]..self.col_bounds[pc + 1];
-                s.spawn(move || {
-                    for (li, i) in rows.clone().enumerate() {
-                        let mut acc = V::zero();
-                        for (c, v) in m.row_iter(i) {
-                            if cols.contains(&c) {
-                                acc += v * x[c];
-                            }
-                        }
-                        partial[li] = acc;
-                    }
-                });
+        let grid = self.grid;
+        let rows = &self.rows;
+        let col_bounds = &self.col_bounds;
+        let offs = &self.partial_off;
+        let col_ind = m.col_ind();
+        let values = m.values();
+        // Dispatch 1: each tile computes its partial y block, visiting
+        // only entries inside its column range (binary search per row).
+        let part_cell = DisjointSlices::new(&mut self.partials);
+        self.pool.run(|t| {
+            let (pr, pc) = grid.coords(t);
+            let row_block = rows.part(pr);
+            let (c_lo, c_hi) = (col_bounds[pc], col_bounds[pc + 1]);
+            // SAFETY: per-tile stripes of the flat buffer are disjoint.
+            let partial = unsafe { part_cell.range(offs[t]..offs[t + 1]) };
+            for (li, i) in row_block.enumerate() {
+                let rr = m.row_range(i);
+                let cind = &col_ind[rr.clone()];
+                let lo = rr.start + cind.partition_point(|c| c.index() < c_lo);
+                let hi = rr.start + cind.partition_point(|c| c.index() < c_hi);
+                let mut acc = V::zero();
+                for k in lo..hi {
+                    acc += values[k] * x[col_ind[k].index()];
+                }
+                partial[li] = acc;
             }
         });
-        // Reduce grid rows.
-        for v in y.iter_mut() {
-            *v = V::zero();
-        }
-        for (t, partial) in partials.iter().enumerate() {
-            let (pr, _) = self.grid.coords(t);
-            let rows = self.rows.part(pr);
-            for (li, i) in rows.enumerate() {
-                y[i] += partial[li];
+        // Dispatch 2: reduce across each grid row. Thread (pr, pc) owns
+        // the pc-th uniform chunk of row block pr, so all grid.len()
+        // threads reduce concurrently into disjoint y ranges, summing
+        // tiles in fixed pc order (deterministic).
+        let partials = &self.partials;
+        let y_cell = DisjointSlices::new(y);
+        self.pool.run(|t| {
+            let (pr, pc) = grid.coords(t);
+            let row_block = rows.part(pr);
+            let local = chunk(row_block.len(), grid.pc, pc);
+            let out = row_block.start + local.start..row_block.start + local.end;
+            // SAFETY: chunks of distinct row blocks never overlap, and
+            // uniform chunks within one block are disjoint.
+            let y_chunk = unsafe { y_cell.range(out) };
+            for (ci, li) in local.enumerate() {
+                let mut acc = V::zero();
+                for pcj in 0..grid.pc {
+                    acc += partials[offs[pr * grid.pc + pcj] + li];
+                }
+                y_chunk[ci] = acc;
             }
-        }
+        });
     }
 }
 
@@ -345,12 +436,17 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrBlock2d<'_, I, V> {
 pub struct ParDcsr<'m, V: Scalar = f64> {
     matrix: &'m Dcsr<V>,
     splits: Vec<DcsrSplit>,
+    row_bounds: Vec<usize>,
+    pool: WorkerPool,
 }
 
 impl<'m, V: Scalar> ParDcsr<'m, V> {
     /// Plans nnz-balanced command-stream splits over `nthreads` threads.
     pub fn new(matrix: &'m Dcsr<V>, nthreads: usize) -> Self {
-        ParDcsr { splits: matrix.splits(nthreads), matrix }
+        let splits = matrix.splits(nthreads);
+        let row_bounds = split_row_bounds(splits.iter().map(|s| s.row_end));
+        let pool = WorkerPool::new(splits.len().max(1));
+        ParDcsr { splits, row_bounds, matrix, pool }
     }
 }
 
@@ -359,26 +455,24 @@ impl<V: Scalar> ParSpMv<V> for ParDcsr<'_, V> {
         self.splits.len()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
-        let mut slices: Vec<&mut [V]> = Vec::with_capacity(self.splits.len());
-        let mut rest = y;
-        let mut prev = 0usize;
-        for split in &self.splits {
-            let (head, tail) = rest.split_at_mut(split.row_end - prev);
-            slices.push(head);
-            rest = tail;
-            prev = split.row_end;
-        }
-        for v in rest.iter_mut() {
+        let covered = *self.row_bounds.last().expect("nonempty bounds");
+        for v in y[covered..].iter_mut() {
             *v = V::zero();
         }
-        std::thread::scope(|s| {
-            for (split, y_local) in self.splits.iter().zip(slices) {
-                let m = self.matrix;
-                s.spawn(move || m.spmv_split_local(split, x, y_local));
-            }
+        if self.splits.is_empty() {
+            return;
+        }
+        let slices = DisjointSlices::new(y);
+        let splits = &self.splits;
+        let bounds = &self.row_bounds;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            // SAFETY: split row ranges are disjoint; one tid per split.
+            let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
+            m.spmv_split_local(&splits[tid], x, y_local);
         });
     }
 }
@@ -390,17 +484,24 @@ impl<V: Scalar> ParSpMv<V> for ParDcsr<'_, V> {
 /// Parallel symmetric-CSR SpMV. The lower-triangle rows are partitioned
 /// by stored nnz, but each stored off-diagonal entry also contributes to
 /// a *foreign* row of `y` (the mirrored upper-triangle term), so every
-/// thread accumulates into a private full-length `y` that a final pass
-/// reduces — the same structure column partitioning needs (§II-C).
+/// thread accumulates into a private full-length `y` — pre-allocated at
+/// plan time — that a chunked second dispatch reduces, the same structure
+/// column partitioning needs (§II-C).
 pub struct ParSymCsr<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m SymCsr<I, V>,
     partition: RowPartition,
+    pool: WorkerPool,
+    /// `nparts` private y vectors, stored flat (`nparts * n`).
+    privates: Vec<V>,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParSymCsr<'m, I, V> {
     /// Plans an nnz-balanced row partition over the stored triangle.
     pub fn new(matrix: &'m SymCsr<I, V>, nthreads: usize) -> Self {
-        ParSymCsr { partition: RowPartition::for_csr(matrix.lower(), nthreads), matrix }
+        let partition = RowPartition::for_csr(matrix.lower(), nthreads);
+        let pool = WorkerPool::new(partition.nparts());
+        let privates = vec![V::zero(); partition.nparts() * matrix.n()];
+        ParSymCsr { partition, matrix, pool, privates }
     }
 }
 
@@ -409,38 +510,49 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParSymCsr<'_, I, V> {
         self.partition.nparts()
     }
 
-    fn par_spmv(&self, x: &[V], y: &mut [V]) {
+    fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         let n = self.matrix.n();
         assert_eq!(x.len(), n, "x length must equal n");
         assert_eq!(y.len(), n, "y length must equal n");
         let lower = self.matrix.lower();
         let nparts = self.partition.nparts();
-        let mut privates: Vec<Vec<V>> = (0..nparts).map(|_| vec![V::zero(); n]).collect();
-        std::thread::scope(|s| {
-            for (k, y_private) in privates.iter_mut().enumerate() {
-                let rows = self.partition.part(k);
-                s.spawn(move || {
-                    for i in rows {
-                        let mut acc = V::zero();
-                        for (j, a) in lower.row_iter(i) {
-                            acc += a * x[j];
-                            if j != i {
-                                y_private[j] += a * x[i];
-                            }
-                        }
-                        y_private[i] += acc;
+        let partition = &self.partition;
+        // Dispatch 1: each thread zeroes its private y, then accumulates
+        // its row block plus the mirrored upper-triangle contributions.
+        let priv_cell = DisjointSlices::new(&mut self.privates);
+        self.pool.run(|tid| {
+            // SAFETY: per-thread stripes of the flat buffer are disjoint.
+            let y_private = unsafe { priv_cell.range(tid * n..(tid + 1) * n) };
+            for v in y_private.iter_mut() {
+                *v = V::zero();
+            }
+            for i in partition.part(tid) {
+                let mut acc = V::zero();
+                for (j, a) in lower.row_iter(i) {
+                    acc += a * x[j];
+                    if j != i {
+                        y_private[j] += a * x[i];
                     }
-                });
+                }
+                y_private[i] += acc;
             }
         });
-        for v in y.iter_mut() {
-            *v = V::zero();
-        }
-        for y_private in &privates {
-            for (dst, src) in y.iter_mut().zip(y_private) {
-                *dst += *src;
+        // Dispatch 2: chunked parallel reduction in fixed part order
+        // (bit-identical to the serial reduction).
+        let privates = &self.privates;
+        let y_cell = DisjointSlices::new(y);
+        self.pool.run(|tid| {
+            let rows = chunk(n, nparts, tid);
+            // SAFETY: uniform chunks are disjoint; one tid per chunk.
+            let y_chunk = unsafe { y_cell.range(rows.clone()) };
+            for (li, i) in rows.enumerate() {
+                let mut acc = V::zero();
+                for k in 0..nparts {
+                    acc += privates[k * n + i];
+                }
+                y_chunk[li] = acc;
             }
-        }
+        });
     }
 }
 

@@ -50,11 +50,25 @@ impl RowPartition {
         let mut row = 0usize;
         for k in 1..nparts {
             let target = k * total / nparts;
-            // Advance to the first row whose prefix reaches the target.
+            // Advance to the first row whose prefix reaches the target...
             while row < nrows && row_ptr[row].index() < target {
                 row += 1;
             }
-            bounds.push(row.min(nrows));
+            // ...then round to whichever neighboring boundary's prefix is
+            // nearer the target. Always taking the first reaching row puts
+            // a heavy row entirely in the earlier part even when cutting
+            // before it balances far better.
+            let prev = *bounds.last().expect("bounds starts non-empty");
+            let mut cut = row.min(nrows);
+            if cut > prev {
+                let over = row_ptr[cut].index() - target;
+                let under = target - row_ptr[cut - 1].index();
+                if under < over {
+                    cut -= 1;
+                }
+            }
+            bounds.push(cut.max(prev));
+            row = cut;
         }
         bounds.push(nrows);
         RowPartition { bounds }
@@ -87,9 +101,7 @@ impl RowPartition {
             return 1.0;
         }
         let ideal = total as f64 / self.nparts() as f64;
-        (0..self.nparts())
-            .map(|k| self.part_nnz(row_ptr, k) as f64 / ideal)
-            .fold(0.0, f64::max)
+        (0..self.nparts()).map(|k| self.part_nnz(row_ptr, k) as f64 / ideal).fold(0.0, f64::max)
     }
 
     /// Splits `y` into per-part disjoint mutable sub-slices along the
@@ -225,10 +237,38 @@ mod tests {
     }
 
     #[test]
+    fn by_nnz_rounds_heavy_row_to_nearest_boundary() {
+        // Rows with 8, 8, 8, 8, 60, 8 non-zeros. The half-way target (50)
+        // is first reached at the boundary *after* the heavy row
+        // (prefix 92); the boundary before it (prefix 32) is much nearer.
+        // The old first-reaching rule produced bounds [0, 5, 6]:
+        // 92 vs 8 nnz, imbalance 1.84.
+        let row_ptr: Vec<u32> = vec![0, 8, 16, 24, 32, 92, 100];
+        let p = RowPartition::by_nnz(&row_ptr, 2);
+        assert_eq!(p.bounds, vec![0, 4, 6]);
+        assert_eq!(p.part_nnz(&row_ptr, 0), 32);
+        assert_eq!(p.part_nnz(&row_ptr, 1), 68);
+        assert!(p.imbalance(&row_ptr) < 1.4, "imbalance {}", p.imbalance(&row_ptr));
+    }
+
+    #[test]
+    fn by_nnz_rounding_never_beats_first_reaching_rule_backwards() {
+        // Rounding must keep bounds monotonic and total coverage intact
+        // even when consecutive targets fall inside the same heavy row.
+        let row_ptr: Vec<u32> = vec![0, 1, 2, 3, 1000, 1001, 1002];
+        for nparts in 1..8 {
+            let p = RowPartition::by_nnz(&row_ptr, nparts);
+            assert_eq!(p.bounds.len(), nparts + 1);
+            assert_eq!(*p.bounds.last().unwrap(), 6);
+            assert!(p.bounds.windows(2).all(|w| w[0] <= w[1]), "{:?}", p.bounds);
+            let total: usize = (0..nparts).map(|k| p.part_nnz(&row_ptr, k)).sum();
+            assert_eq!(total, 1002);
+        }
+    }
+
+    #[test]
     fn more_parts_than_rows() {
-        let csr = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)])
-            .unwrap()
-            .to_csr();
+        let csr = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]).unwrap().to_csr();
         let p = RowPartition::for_csr(&csr, 8);
         assert_eq!(p.nparts(), 8);
         assert_eq!(*p.bounds.last().unwrap(), 2);

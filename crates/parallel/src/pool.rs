@@ -1,18 +1,247 @@
-//! Thread-execution helpers.
+//! Thread-execution primitives.
 //!
 //! The paper spawns its pthreads once and measures 128 consecutive SpMV
-//! operations inside them (§VI-A). [`IterationDriver`] reproduces that
-//! protocol: threads are spawned once per measurement, synchronize on a
-//! barrier between iterations, and join at the end — so per-iteration cost
-//! contains no thread-creation overhead, only barrier synchronization.
+//! operations inside them (§VI-A): per-iteration cost contains no
+//! thread-creation overhead, only barrier synchronization. [`WorkerPool`]
+//! is the corresponding primitive here — `nthreads - 1` OS workers are
+//! spawned once at plan time and parked on a condvar between calls; each
+//! [`WorkerPool::run`] wakes them to execute one borrowed per-thread
+//! closure (the caller participates as thread 0) and returns once every
+//! thread has finished. Steady-state dispatch is two mutex round-trips and
+//! two condvar signals per call — no spawn, no join, no allocation.
+//!
+//! [`IterationDriver`] layers the paper's repeated-iteration protocol on
+//! top: one pool dispatch runs all rounds, with a [`Barrier`] between
+//! consecutive rounds (and none after the last — the pool's own completion
+//! handshake already joins it).
 
+use std::marker::PhantomData;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------
+
+/// A borrowed per-dispatch job: a type-erased pointer to the caller's
+/// `Fn(usize)` closure. The lifetime is erased when the job is published;
+/// soundness comes from [`WorkerPool::run`] not returning until every
+/// worker has finished calling through the pointer, so the pointee
+/// outlives all uses.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// The pointee is `Sync` (shared by all workers) and outlives the dispatch;
+// the pointer itself is only ever dereferenced during that dispatch.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Incremented once per dispatch; workers detect new work by epoch,
+    /// not by job presence, so a worker can never run the same job twice.
+    epoch: u64,
+    /// The current job, valid for workers whose seen epoch is stale.
+    job: Option<Job>,
+    /// Workers still running the current job.
+    active: usize,
+    /// Set once by `Drop`; workers exit at the next wake-up.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between dispatches.
+    work_cv: Condvar,
+    /// The dispatching caller parks here until `active` drains to zero.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of `nthreads - 1` parked OS workers plus the caller.
+///
+/// Created once per plan and reused for every `par_spmv` call, mirroring
+/// the paper's spawn-once protocol (§VI-A). The pool is `Send + Sync`;
+/// dispatching requires `&self` but callers must not dispatch from two
+/// threads at once onto the same pool (executors take `&mut self`, which
+/// enforces this structurally).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `nthreads - 1` workers (none for `nthreads == 1`).
+    pub fn new(nthreads: usize) -> WorkerPool {
+        assert!(nthreads >= 1, "need at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { epoch: 0, job: None, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spmv-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles, nthreads }
+    }
+
+    /// Number of threads participating in each dispatch (including the
+    /// caller).
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs `f(tid)` once per thread, `tid` in `0..nthreads`, and returns
+    /// after every thread has finished. The caller executes `tid == 0` on
+    /// its own stack; `f` may therefore borrow local data.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.nthreads == 1 {
+            // Serial fast path: no handshake at all.
+            f(0);
+            return;
+        }
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // Erase the borrow's lifetime; see `Job` for why this is sound.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f_ref)
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            debug_assert_eq!(st.active, 0, "dispatch while previous job still active");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.nthreads - 1;
+        }
+        self.shared.work_cv.notify_all();
+        f(0);
+        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+        while st.active > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+        }
+        // The borrow behind the job pointer dies when `run` returns.
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `active` drains to
+        // zero, which happens only after this call returns.
+        unsafe { (*job.0)(tid) };
+        let mut st = shared.state.lock().expect("pool mutex poisoned");
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DisjointSlices
+// ---------------------------------------------------------------------
+
+/// Hands disjoint `&mut` sub-slices of one buffer to pool threads.
+///
+/// [`WorkerPool::run`] shares a single `Fn` closure between threads, so
+/// the closure cannot capture per-thread `&mut` slices directly; this cell
+/// erases the buffer's uniqueness and re-asserts it per sub-range.
+///
+/// # Invariant
+///
+/// Ranges claimed via [`DisjointSlices::range`] during one dispatch must
+/// be pairwise disjoint. Every use in this crate derives the ranges from a
+/// partition whose blocks are disjoint by construction.
+pub struct DisjointSlices<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Threads only ever touch disjoint elements (the invariant above), which
+// is exactly the access pattern `&mut [T]: Send` permits when chunked.
+unsafe impl<T: Send> Sync for DisjointSlices<'_, T> {}
+
+impl<'a, T> DisjointSlices<'a, T> {
+    /// Wraps `buf`, taking its unique borrow for `'a`.
+    pub fn new(buf: &'a mut [T]) -> DisjointSlices<'a, T> {
+        DisjointSlices { ptr: buf.as_mut_ptr(), len: buf.len(), _marker: PhantomData }
+    }
+
+    /// Length of the wrapped buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the wrapped buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reclaims `buf[r]` as a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// `r` must not overlap any other range claimed from this cell during
+    /// the same dispatch.
+    #[allow(clippy::mut_from_ref)] // the whole point of the cell
+    pub unsafe fn range(&self, r: Range<usize>) -> &mut [T] {
+        assert!(r.start <= r.end && r.end <= self.len, "range {r:?} out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.end - r.start)
+    }
+}
+
+/// Uniform chunk `k` of `n` elements split `nchunks` ways (used for the
+/// chunked parallel reductions).
+pub fn chunk(n: usize, nchunks: usize, k: usize) -> Range<usize> {
+    k * n / nchunks..(k + 1) * n / nchunks
+}
+
+// ---------------------------------------------------------------------
+// Spawn-per-call baseline
+// ---------------------------------------------------------------------
 
 /// Runs `f(tid)` on `nthreads` scoped threads and waits for all of them.
 ///
-/// `f` runs on the caller's stack frame lifetime (scoped threads), so it
-/// may borrow local data.
+/// This is the *spawn-per-call* baseline the persistent [`WorkerPool`]
+/// replaces in the hot paths; it survives for one-shot jobs (corpus
+/// evaluation fan-out) and as the comparison arm of the dispatch-overhead
+/// benchmark.
 pub fn run_on_threads<F>(nthreads: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -31,12 +260,19 @@ where
     });
 }
 
-/// Spawns `nthreads` threads once and drives `iters` rounds of a
-/// per-thread body with a barrier between rounds — the paper's repeated-
-/// iteration measurement loop. Returns after all threads complete all
-/// rounds.
+// ---------------------------------------------------------------------
+// IterationDriver
+// ---------------------------------------------------------------------
+
+/// Drives `iters` rounds of a per-thread body on a persistent pool with a
+/// barrier between rounds — the paper's repeated-iteration measurement
+/// loop (§VI-A). Threads are spawned once at construction; `run` costs one
+/// pool dispatch regardless of the round count, and no barrier is paid
+/// after the final round (the pool's completion handshake already joins
+/// all threads).
 pub struct IterationDriver {
-    nthreads: usize,
+    pool: WorkerPool,
+    barrier: Barrier,
     iters: usize,
 }
 
@@ -44,7 +280,17 @@ impl IterationDriver {
     /// Creates a driver for `nthreads` threads x `iters` rounds.
     pub fn new(nthreads: usize, iters: usize) -> IterationDriver {
         assert!(nthreads >= 1 && iters >= 1);
-        IterationDriver { nthreads, iters }
+        IterationDriver { pool: WorkerPool::new(nthreads), barrier: Barrier::new(nthreads), iters }
+    }
+
+    /// Number of threads per round.
+    pub fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+
+    /// Rounds per `run`.
+    pub fn iters(&self) -> usize {
+        self.iters
     }
 
     /// Runs `body(tid, iter)` for every thread and round. Rounds are
@@ -54,24 +300,14 @@ impl IterationDriver {
     where
         F: Fn(usize, usize) + Sync,
     {
-        if self.nthreads == 1 {
-            for iter in 0..self.iters {
-                body(0, iter);
-            }
-            return;
-        }
-        let barrier = Barrier::new(self.nthreads);
-        std::thread::scope(|s| {
-            for tid in 0..self.nthreads {
-                let body = &body;
-                let barrier = &barrier;
-                let iters = self.iters;
-                s.spawn(move || {
-                    for iter in 0..iters {
-                        body(tid, iter);
-                        barrier.wait();
-                    }
-                });
+        let iters = self.iters;
+        let barrier = &self.barrier;
+        self.pool.run(|tid| {
+            for iter in 0..iters {
+                body(tid, iter);
+                if iter + 1 < iters {
+                    barrier.wait();
+                }
             }
         });
     }
@@ -99,6 +335,61 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    #[test]
+    fn pool_executes_each_tid_once() {
+        let pool = WorkerPool::new(4);
+        let hits = Mutex::new(vec![0usize; 4]);
+        pool.run(|tid| {
+            hits.lock().unwrap()[tid] += 1;
+        });
+        assert_eq!(*hits.lock().unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pool_serial_fast_path() {
+        let pool = WorkerPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reuse_many_dispatches() {
+        // The core property the tentpole claims: one pool, many calls, no
+        // worker ever lost or duplicated.
+        let pool = WorkerPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(|_tid| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn pool_borrows_caller_stack() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0usize; 4];
+        let cell = DisjointSlices::new(&mut out);
+        pool.run(|tid| {
+            // SAFETY: each tid claims its own element.
+            let slot = unsafe { cell.range(tid..tid + 1) };
+            slot[0] = tid * 10;
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = WorkerPool::new(8);
+        pool.run(|_| {});
+        drop(pool); // must not hang or leak threads
+    }
 
     #[test]
     fn run_on_threads_executes_each_tid_once() {
@@ -143,6 +434,33 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn iteration_driver_is_reusable() {
+        let driver = IterationDriver::new(2, 5);
+        let count = AtomicUsize::new(0);
+        for _ in 0..20 {
+            driver.run(|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn chunks_tile_the_range() {
+        for n in [0usize, 1, 7, 64, 101] {
+            for parts in 1..8 {
+                let mut covered = 0;
+                for k in 0..parts {
+                    let c = chunk(n, parts, k);
+                    assert_eq!(c.start, covered);
+                    covered = c.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
     }
 
     #[test]

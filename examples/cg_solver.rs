@@ -85,12 +85,7 @@ fn main() {
 
     // Bit-identical kernels => identical CG trajectory.
     assert_eq!(r_csr.iterations, r_cmp.iterations);
-    let max_diff = r_csr
-        .x
-        .iter()
-        .zip(&r_cmp.x)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = r_csr.x.iter().zip(&r_cmp.x).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     assert_eq!(max_diff, 0.0);
     println!("CG trajectories identical: OK");
 

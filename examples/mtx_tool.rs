@@ -66,7 +66,8 @@ fn main() {
     // Index compression.
     let du = CsrDu::from_csr(&csr, &DuOptions::default());
     let s = du.stats();
-    println!("\nCSR-DU: ctl {:.2} B/nnz (CSR: 4), {} units (avg len {:.1}), matrix {:.1}% smaller",
+    println!(
+        "\nCSR-DU: ctl {:.2} B/nnz (CSR: 4), {} units (avg len {:.1}), matrix {:.1}% smaller",
         s.ctl_bytes_per_nnz(),
         du.units(),
         s.avg_unit_len(),
@@ -97,8 +98,5 @@ fn main() {
         Err(_) => println!("symmetric: no"),
     }
 
-    println!(
-        "\nrecommended format (paper §VI-E rule): {}",
-        spmv_repro::auto_format(&csr).name()
-    );
+    println!("\nrecommended format (paper §VI-E rule): {}", spmv_repro::auto_format(&csr).name());
 }

@@ -63,8 +63,9 @@ fn main() {
     assert_eq!(y_csr, y_vi);
     println!("\nserial SpMV agreement across formats: OK (bit-identical)");
 
-    // 5. Multithreaded: plan an nnz-balanced row partition once, then run.
-    let par = ParCsrDu::new(&du, 4);
+    // 5. Multithreaded: plan an nnz-balanced row partition (and spawn the
+    //    plan's persistent worker pool) once, then run.
+    let mut par = ParCsrDu::new(&du, 4);
     let mut y_par = vec![0.0; n];
     par.par_spmv(&x, &mut y_par);
     assert_eq!(y_csr, y_par);

@@ -45,7 +45,8 @@ fn study(name: &str, coo: Coo, quantize: bool) {
         FormatCost::csr_duvi(&duvi, &cfg.cost),
     ];
     for placement in Placement::paper_configs() {
-        let preds: Vec<_> = costs.iter().map(|fc| predict(&profile, fc, &placement, &cfg)).collect();
+        let preds: Vec<_> =
+            costs.iter().map(|fc| predict(&profile, fc, &placement, &cfg)).collect();
         println!(
             "{:<10} | {:>6.0} MF {:>6.0} MF {:>6.0} MF {:>6.0} MF | {}",
             placement.label,

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tests. Run from the repo root.
+#
+# Everything builds offline: external dependencies resolve to the stub
+# crates under vendor/ (see CHANGES.md for why).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (tier-1: root package) =="
+cargo test -q
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "CI gate passed."

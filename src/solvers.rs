@@ -73,12 +73,7 @@ pub fn cg<V: Scalar>(a: &dyn SpMv<V>, b: &[V], tol: f64, max_iters: usize) -> So
 /// Jacobi iteration `x ← x + D⁻¹(b − Ax)` — a simple smoother for
 /// diagonally dominant systems; exercises the pattern of repeated SpMV with
 /// a changing x vector (unlike CG's two-vector recurrence).
-pub fn jacobi<V: Scalar>(
-    a: &Csr<u32, V>,
-    b: &[V],
-    tol: f64,
-    max_iters: usize,
-) -> SolveResult<V> {
+pub fn jacobi<V: Scalar>(a: &Csr<u32, V>, b: &[V], tol: f64, max_iters: usize) -> SolveResult<V> {
     assert_eq!(a.nrows(), a.ncols(), "Jacobi needs a square matrix");
     let n = b.len();
     let mut diag = vec![V::zero(); n];
@@ -162,14 +157,8 @@ pub fn mixed_precision_refine(
 /// values) — the substrate for [`mixed_precision_refine`].
 pub fn narrow_csr(a: &Csr<u32, f64>) -> Csr<u32, f32> {
     let values: Vec<f32> = a.values().iter().map(|&v| v as f32).collect();
-    Csr::from_raw_parts(
-        a.nrows(),
-        a.ncols(),
-        a.row_ptr().to_vec(),
-        a.col_ind().to_vec(),
-        values,
-    )
-    .expect("narrowing preserves structure")
+    Csr::from_raw_parts(a.nrows(), a.ncols(), a.row_ptr().to_vec(), a.col_ind().to_vec(), values)
+        .expect("narrowing preserves structure")
 }
 
 /// Restarted GMRES(m) for general (non-symmetric) systems — the other

@@ -64,10 +64,7 @@ fn full_scale_shapes_on_representative_matrices() {
     let ml_entry = corpus.iter().find(|e| e.id == 5).unwrap();
     let r = evaluate_entry(ml_entry, &opts);
     let csr8 = r.speedup_vs_serial_csr("CSR", "8");
-    assert!(
-        (1.2..4.0).contains(&csr8),
-        "ML CSR 8T speedup {csr8} should be poor (paper avg 2.12)"
-    );
+    assert!((1.2..4.0).contains(&csr8), "ML CSR 8T speedup {csr8} should be poor (paper avg 2.12)");
     let du8 = r.speedup_vs_csr_same_threads("CSR-DU", "8");
     assert!(du8 > 1.02, "ML CSR-DU 8T gain {du8} (paper avg 1.20)");
 

@@ -38,10 +38,7 @@ fn check_matrix(name: &str, coo: &Coo<f64>) {
         let mut y = vec![f64::NAN; csr.nrows()];
         m.spmv(&x, &mut y);
         for (i, (a, b)) in y.iter().zip(&y_ref).enumerate() {
-            assert!(
-                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
-                "{name}/{fmt}: row {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{name}/{fmt}: row {i}: {a} vs {b}");
         }
     }
 }

@@ -1,0 +1,249 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the benchmark-definition surface this workspace uses
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros) with a simple
+//! fixed-budget timing loop: each benchmark is warmed up briefly, then run
+//! in batches until a wall-clock budget is spent, and the mean, best, and
+//! worst per-iteration times are printed to stdout. There is no statistical
+//! analysis, HTML report, or CLI filtering — benches exist to be runnable
+//! and give order-of-magnitude numbers without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(150), measure: Duration::from_millis(600) }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Overrides the per-benchmark warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { crit: self, name, throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_bench(self.warm_up, self.measure, &mut f);
+        println!("  {id}: {stats}");
+    }
+}
+
+/// Units for reporting throughput alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    crit: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.crit.measure = d;
+        self
+    }
+
+    /// Overrides the sample count; accepted for API compatibility (the
+    /// stub's loop is time-budgeted, not sample-counted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(self.crit.warm_up, self.crit.measure, &mut |b| f(b, input));
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(", {:.3} Melem/s", n as f64 / stats.mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(", {:.3} MiB/s", n as f64 / stats.mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("  {}/{}: {stats}{rate}", self.name, id.0);
+        self
+    }
+
+    /// Runs one benchmark with no distinguished input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.crit.warm_up, self.crit.measure, &mut f);
+        println!("  {}/{}: {stats}", self.name, id.into());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing statistics for one benchmark.
+struct Stats {
+    mean: Duration,
+    best: Duration,
+    worst: Duration,
+    iters: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:?} (best {:?}, worst {:?}, {} iters)",
+            self.mean, self.best, self.worst, self.iters
+        )
+    }
+}
+
+/// Hands the routine under test to the benchmark body.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(warm_up: Duration, measure: Duration, f: &mut F) -> Stats {
+    // Warm-up: also sizes the batch so each timed call lasts ~1ms, keeping
+    // timer overhead out of the per-iteration figure.
+    let mut b = Bencher { batch: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(1) {
+            b.batch = (b.batch * 2).min(1 << 30);
+        }
+    }
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    let run_start = Instant::now();
+    while run_start.elapsed() < measure {
+        f(&mut b);
+        let per = b.elapsed / b.batch.max(1) as u32;
+        best = best.min(per);
+        worst = worst.max(per);
+        total += b.elapsed;
+        iters += b.batch;
+    }
+    Stats { mean: total / iters.max(1) as u32, best, worst, iters }
+}
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut crit = $crate::Criterion::default();
+            $( $target(&mut crit); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_group_quickly() {
+        let mut crit = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = crit.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,683 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, numeric-range and tuple strategies,
+//! `collection::vec`, `any::<T>()`, and a small regex-subset string
+//! strategy — on top of a deterministic splitmix64 generator. There is no
+//! shrinking: a failing case reports its generated inputs via the panic
+//! message (cases are reproducible because the seed is derived from the
+//! test name).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+/// Deterministic generator driving all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name, so each test is deterministic
+    /// but different tests explore different corners.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// The case was rejected (filter exhausted).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and draws from
+    /// the produced strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Retains only values passing `keep` (bounded retries).
+    fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { base: self, reason, keep }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: &'static str,
+    keep: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 consecutive samples", self.reason);
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// Numeric ranges.
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix finite magnitudes with special values, like proptest's any.
+        match rng.below(16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => {
+                let m = rng.unit_f64() * 2.0 - 1.0;
+                let e = rng.below(600) as i32 - 300;
+                m * 10f64.powi(e)
+            }
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Ranges usable as a collection size.
+    pub trait SizeRange {
+        /// Draws a size.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// Generates vectors of `elem` values with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, like proptest's regex
+/// support. The stub understands the subset the workspace uses: literal
+/// text, top-level alternation groups `(a|b|c)`, and character classes
+/// `[chars]` (with `A-Z` ranges) followed by an optional `{m,n}` repeat.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => {
+                let close = matching(&chars, i, '(', ')');
+                let inner: String = chars[i + 1..close].iter().collect();
+                let alts: Vec<&str> = inner.split('|').collect();
+                let pick = rng.below(alts.len() as u64) as usize;
+                out.push_str(&generate_pattern(alts[pick], rng));
+                i = close + 1;
+            }
+            '[' => {
+                let close = matching(&chars, i, '[', ']');
+                let set = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = matching(&chars, i, '{', '}');
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    parse_repeat(&body)
+                } else {
+                    (1, 1)
+                };
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    let pick = rng.below(set.len() as u64) as usize;
+                    out.push(set[pick]);
+                }
+            }
+            '\\' if i + 1 < chars.len() => {
+                out.push(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn matching(chars: &[char], open_at: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (j, &c) in chars.iter().enumerate().skip(open_at) {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    panic!("regex stub: unbalanced {open}...{close} in pattern");
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            for c in body[i]..=body[i + 2] {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "regex stub: empty character class");
+    set
+}
+
+fn parse_repeat(body: &str) -> (usize, usize) {
+    match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("regex stub: bad repeat lower bound"),
+            hi.trim().parse().expect("regex stub: bad repeat upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("regex stub: bad repeat count");
+            (n, n)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Property-test assertion; returns `Err(TestCaseError)` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "{} == {}: {:?} vs {:?}", stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "{} == {}: {:?} vs {:?}: {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:literal => $s:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( ($w as u32, $crate::Strategy::boxed($s)) ),+ ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( (1u32, $crate::Strategy::boxed($s)) ),+ ])
+    };
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(file!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($pat,)+) = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest case {case} of {}: {e}", stringify!($name));
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! The usual imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::vec;
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs() {
+        let mut rng = TestRng::deterministic("t1");
+        let strat = (1usize..5, 0..10usize).prop_map(|(a, b)| a * 100 + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((100..500).contains(&(v / 100 * 100)) && v % 100 < 10);
+        }
+        let vs = vec(0u8..255, 3..=3).generate(&mut rng);
+        assert_eq!(vs.len(), 3);
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let mut rng = TestRng::deterministic("t2");
+        let strat = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let ones = (0..1000).filter(|_| strat.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "ones = {ones}");
+    }
+
+    #[test]
+    fn regex_subset_generator() {
+        let mut rng = TestRng::deterministic("t3");
+        for _ in 0..50 {
+            let s = "ab (x|yz) [0-9]{2,4}!".generate(&mut rng);
+            assert!(s.starts_with("ab "), "{s}");
+            let tail = s.strip_prefix("ab x ").or_else(|| s.strip_prefix("ab yz ")).unwrap();
+            let digits = tail.strip_suffix('!').unwrap();
+            assert!((2..=4).contains(&digits.len()), "{s}");
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(a in 0usize..50, b in vec(0u8..10, 0..6)) {
+            prop_assert!(a < 50);
+            prop_assert!(b.len() < 6);
+            prop_assert!(b.iter().all(|&v| v < 10));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline stub of `serde`'s `Serialize` half.
+//!
+//! The workspace only ever serializes plain data records *to JSON* (the
+//! `reproduce --out` artifacts), so instead of the full serde data model
+//! this stub exposes a single JSON-emitting [`Serializer`] and a
+//! [`Serialize`] trait over it. `#[derive(Serialize)]` comes from the
+//! sibling `serde_derive` stub and emits straightforward
+//! `begin_map`/`field`/`end_map` calls.
+
+pub use serde_derive::Serialize;
+
+/// A value serializable to JSON through [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` as one JSON value.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Streaming JSON writer with optional pretty-printing.
+#[derive(Debug)]
+pub struct Serializer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already has at least one element.
+    has_elem: Vec<bool>,
+}
+
+impl Serializer {
+    /// Creates a serializer; `pretty` enables 2-space indentation.
+    pub fn new(pretty: bool) -> Serializer {
+        Serializer { out: String::new(), pretty, depth: 0, has_elem: Vec::new() }
+    }
+
+    /// Serializes `value` and returns the JSON text.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T, pretty: bool) -> String {
+        let mut s = Serializer::new(pretty);
+        value.serialize(&mut s);
+        s.finish()
+    }
+
+    /// The accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Starts a JSON object.
+    pub fn begin_map(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_elem.push(false);
+    }
+
+    /// Writes the key of the next object entry; the caller serializes the
+    /// value immediately after.
+    pub fn map_key(&mut self, key: &str) {
+        self.elem_sep();
+        self.write_escaped(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Ends the current JSON object.
+    pub fn end_map(&mut self) {
+        self.depth -= 1;
+        if self.has_elem.pop() == Some(true) {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Starts a JSON array.
+    pub fn begin_seq(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_elem.push(false);
+    }
+
+    /// Introduces the next array element; the caller serializes it after.
+    pub fn seq_elem(&mut self) {
+        self.elem_sep();
+    }
+
+    /// Ends the current JSON array.
+    pub fn end_seq(&mut self) {
+        self.depth -= 1;
+        if self.has_elem.pop() == Some(true) {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Serializes one object field (key + value).
+    pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+        self.map_key(key);
+        value.serialize(self);
+    }
+
+    /// Writes a raw JSON token (number, `true`, `null`, ...).
+    pub fn atom(&mut self, token: &str) {
+        self.out.push_str(token);
+    }
+
+    /// Writes an escaped JSON string.
+    pub fn string(&mut self, s: &str) {
+        self.write_escaped(s);
+    }
+
+    fn elem_sep(&mut self) {
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        self.newline_indent();
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.atom(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                if self.is_finite() {
+                    // `{:?}` is the shortest representation that round-trips.
+                    s.atom(&format!("{:?}", self));
+                } else {
+                    // JSON has no NaN/inf; serde_json emits null.
+                    s.atom("null");
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.atom(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for v in self {
+            s.seq_elem();
+            v.serialize(s);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.atom("null"),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_seq();
+                $( s.seq_elem(); self.$n.serialize(s); )+
+                s.end_seq();
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers() {
+        assert_eq!(Serializer::to_string(&3usize, false), "3");
+        assert_eq!(Serializer::to_string(&1.5f64, false), "1.5");
+        assert_eq!(Serializer::to_string(&f64::NAN, false), "null");
+        assert_eq!(Serializer::to_string("a\"b", false), "\"a\\\"b\"");
+        assert_eq!(Serializer::to_string(&vec![1, 2], false), "[1,2]");
+        assert_eq!(
+            Serializer::to_string(&("x".to_string(), 2.0f64, 3usize), false),
+            "[\"x\",2.0,3]"
+        );
+        assert_eq!(Serializer::to_string(&Option::<u32>::None, false), "null");
+    }
+
+    #[test]
+    fn pretty_object() {
+        let mut s = Serializer::new(true);
+        s.begin_map();
+        s.field("a", &1u32);
+        s.field("b", &[1u32, 2]);
+        s.end_map();
+        assert_eq!(s.finish(), "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stub of serde's `#[derive(Serialize)]`.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields (serialized as JSON objects) and enums whose
+//! variants are all unit-like (serialized as their variant name). Anything
+//! else produces a compile error pointing here. The macro is written
+//! against the bare `proc_macro` API — no `syn`/`quote` — because the
+//! build environment has no network access to fetch them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("serde_derive stub: generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive stub: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive stub: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    // Generics are not needed by this workspace; reject them clearly.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde_derive stub: generic type `{name}` is not supported"));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("serde_derive stub: `{name}` must be a braced struct or enum")),
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = named_idents(body, true)?;
+            let mut code = format!(
+                "impl ::serde::Serialize for {name} {{\n    \
+                 fn serialize(&self, s: &mut ::serde::Serializer) {{\n        \
+                 s.begin_map();\n"
+            );
+            for f in &fields {
+                code.push_str(&format!("        s.field({f:?}, &self.{f});\n"));
+            }
+            code.push_str("        s.end_map();\n    }\n}\n");
+            Ok(code)
+        }
+        "enum" => {
+            let variants = named_idents(body, false)?;
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("            {name}::{v} => s.string({v:?}),\n"));
+            }
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{\n    \
+                 fn serialize(&self, s: &mut ::serde::Serializer) {{\n        \
+                 match self {{\n{arms}        }}\n    }}\n}}\n"
+            ))
+        }
+        other => Err(format!("serde_derive stub: unsupported item kind `{other}`")),
+    }
+}
+
+/// Extracts the leading identifier of each comma-separated entry in a brace
+/// body — field names (`expect_colon`) or unit variant names.
+fn named_idents(body: TokenStream, expect_colon: bool) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut entry_head = true; // at the start of an entry (before its name)
+    let mut seen_name = false;
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body group too.
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                entry_head = true;
+                seen_name = false;
+            }
+            TokenTree::Ident(id) if entry_head => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Visibility: stay at the entry head.
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(word);
+                    entry_head = false;
+                    seen_name = true;
+                    if expect_colon {
+                        match tokens.get(i + 1) {
+                            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                            other => {
+                                return Err(format!(
+                                "serde_derive stub: expected `:` after field name, got {other:?}"
+                            ))
+                            }
+                        }
+                    }
+                }
+            }
+            TokenTree::Group(g) if seen_name && !expect_colon => {
+                // Non-unit enum variant (tuple or struct payload).
+                return Err(format!(
+                    "serde_derive stub: non-unit enum variant payload {g} is not supported"
+                ));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(out)
+}

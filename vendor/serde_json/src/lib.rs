@@ -1,0 +1,76 @@
+//! Offline stub of `serde_json`'s writer functions, backed by the vendored
+//! `serde` stub's JSON [`serde::Serializer`].
+
+use serde::{Serialize, Serializer};
+
+/// Errors produced by the writer functions (I/O only — serialization
+/// itself is infallible in the stub data model).
+#[derive(Debug)]
+pub struct Error(std::io::Error);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON write error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(Serializer::to_string(value, false))
+}
+
+/// Serializes `value` as pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(Serializer::to_string(value, true))
+}
+
+/// Writes `value` as compact JSON to `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(Serializer::to_string(value, false).as_bytes()).map_err(Error)
+}
+
+/// Writes `value` as pretty-printed JSON to `writer`.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(Serializer::to_string(value, true).as_bytes()).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(serde::Serialize)]
+    struct Rec {
+        name: String,
+        score: f64,
+        tags: Vec<u32>,
+    }
+
+    #[test]
+    fn derive_and_write() {
+        let r = Rec { name: "m".into(), score: 0.5, tags: vec![1, 2] };
+        let compact = super::to_string(&r).unwrap();
+        assert_eq!(compact, "{\"name\":\"m\",\"score\":0.5,\"tags\":[1,2]}");
+        let mut buf = Vec::new();
+        super::to_writer_pretty(&mut buf, &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"score\": 0.5"), "{text}");
+    }
+
+    #[derive(serde::Serialize, Clone, Copy)]
+    enum Kind {
+        A,
+        LongerName,
+    }
+
+    #[test]
+    fn unit_enum_serializes_as_name() {
+        assert_eq!(super::to_string(&Kind::A).unwrap(), "\"A\"");
+        assert_eq!(super::to_string(&Kind::LongerName).unwrap(), "\"LongerName\"");
+    }
+}
