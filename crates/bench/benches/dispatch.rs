@@ -43,7 +43,7 @@ fn benches(c: &mut Criterion) {
         });
 
         // Persistent pool running the identical per-thread body.
-        let pool = WorkerPool::new(t);
+        let mut pool = WorkerPool::new(t);
         group.bench_with_input(BenchmarkId::new("pool", t), &t, |b, _| {
             b.iter(|| {
                 let slices = spmv_parallel::DisjointSlices::new(black_box(&mut y));
@@ -75,7 +75,7 @@ fn benches(c: &mut Criterion) {
                 })
             })
         });
-        let pool = WorkerPool::new(t);
+        let mut pool = WorkerPool::new(t);
         group.bench_function("pool", |b| {
             b.iter(|| {
                 pool.run(|tid| {

@@ -25,7 +25,11 @@
 //!   pool (each thread sums a disjoint output chunk across all private
 //!   vectors in fixed order, keeping results deterministic);
 //! * [`pool::IterationDriver`] layers the 128-iteration barrier loop on
-//!   top of one pool dispatch, with no barrier after the final round.
+//!   top of one pool dispatch, with no barrier after the final round;
+//! * dispatch takes `&mut self` (one in-flight job per pool, enforced by
+//!   the borrow checker) and is panic-robust: `run` always drains every
+//!   worker before returning or unwinding, and a panic on any thread is
+//!   re-raised on the caller with the pool left reusable.
 //!
 //! This crate provides:
 //!

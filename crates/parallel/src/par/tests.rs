@@ -309,7 +309,7 @@ fn repeated_iterations_with_driver() {
     // the paper's pthreads do.
     let cell = crate::pool::DisjointSlices::new(&mut y);
     let rounds = AtomicUsize::new(0);
-    let driver = IterationDriver::new(4, 16);
+    let mut driver = IterationDriver::new(4, 16);
     driver.run(|tid, _iter| {
         let range = part.part(tid);
         // SAFETY: partition blocks are disjoint; one tid per block.

@@ -9,16 +9,22 @@
 //! closure (the caller participates as thread 0) and returns once every
 //! thread has finished. Steady-state dispatch is two mutex round-trips and
 //! two condvar signals per call — no spawn, no join, no allocation.
+//! Dispatch takes `&mut self`, and a drop guard keeps the dispatch
+//! handshake intact across panics: `run` always waits for every worker
+//! before returning *or unwinding*, and a panic on any thread is re-raised
+//! on the caller with the pool left reusable.
 //!
 //! [`IterationDriver`] layers the paper's repeated-iteration protocol on
 //! top: one pool dispatch runs all rounds, with a [`Barrier`] between
 //! consecutive rounds (and none after the last — the pool's own completion
 //! handshake already joins it).
 
+use std::any::Any;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 // ---------------------------------------------------------------------
@@ -27,9 +33,10 @@ use std::thread::JoinHandle;
 
 /// A borrowed per-dispatch job: a type-erased pointer to the caller's
 /// `Fn(usize)` closure. The lifetime is erased when the job is published;
-/// soundness comes from [`WorkerPool::run`] not returning until every
-/// worker has finished calling through the pointer, so the pointee
-/// outlives all uses.
+/// soundness comes from [`WorkerPool::run`] not returning *or unwinding*
+/// until every worker has finished calling through the pointer (a drop
+/// guard performs the wait on both paths), so the pointee outlives all
+/// uses.
 #[derive(Clone, Copy)]
 struct Job(*const (dyn Fn(usize) + Sync));
 
@@ -47,6 +54,9 @@ struct State {
     active: usize,
     /// Set once by `Drop`; workers exit at the next wake-up.
     shutdown: bool,
+    /// First panic raised inside a worker's slice of the current job;
+    /// re-raised on the dispatching caller's stack by [`WorkerPool::run`].
+    panic_payload: Option<Box<dyn Any + Send>>,
 }
 
 struct Shared {
@@ -57,13 +67,57 @@ struct Shared {
     done_cv: Condvar,
 }
 
+/// Locks the pool state, ignoring poison: no code path holds the lock
+/// across a panic, and the drain guard must never itself panic while the
+/// caller is already unwinding.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks until every worker has finished the current job, then clears it
+/// and re-raises any worker panic. Runs on both the return and unwind
+/// paths of [`WorkerPool::run`]: the borrowed closure behind the
+/// type-erased job pointer must outlive every worker's use of it even when
+/// the caller's own `f(0)` panics.
+struct DrainGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.shared);
+        while st.active > 0 {
+            st = self.shared.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        // The borrow behind the job pointer dies when `run` exits.
+        st.job = None;
+        let payload = st.panic_payload.take();
+        drop(st);
+        if let Some(payload) = payload {
+            // A worker panicked inside the job: propagate on the caller's
+            // stack — unless the caller is already unwinding from its own
+            // `f(0)` panic, which takes precedence.
+            if !std::thread::panicking() {
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
 /// A persistent pool of `nthreads - 1` parked OS workers plus the caller.
 ///
 /// Created once per plan and reused for every `par_spmv` call, mirroring
-/// the paper's spawn-once protocol (§VI-A). The pool is `Send + Sync`;
-/// dispatching requires `&self` but callers must not dispatch from two
-/// threads at once onto the same pool (executors take `&mut self`, which
-/// enforces this structurally).
+/// the paper's spawn-once protocol (§VI-A). Dispatching takes `&mut self`,
+/// so two threads sharing the pool can never race a dispatch — to share a
+/// pool across threads, wrap it in a `Mutex` (or give each thread its own
+/// pool).
+///
+/// # Panics
+///
+/// A panic inside the dispatched closure — on any thread — propagates out
+/// of [`WorkerPool::run`] on the caller's stack after every other thread
+/// has finished its slice of the job; the pool itself remains usable for
+/// subsequent dispatches.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -75,7 +129,13 @@ impl WorkerPool {
     pub fn new(nthreads: usize) -> WorkerPool {
         assert!(nthreads >= 1, "need at least one thread");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { epoch: 0, job: None, active: 0, shutdown: false }),
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+                panic_payload: None,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -99,8 +159,11 @@ impl WorkerPool {
 
     /// Runs `f(tid)` once per thread, `tid` in `0..nthreads`, and returns
     /// after every thread has finished. The caller executes `tid == 0` on
-    /// its own stack; `f` may therefore borrow local data.
-    pub fn run<F>(&self, f: F)
+    /// its own stack; `f` may therefore borrow local data. Taking
+    /// `&mut self` makes concurrent dispatch onto one pool unrepresentable
+    /// in safe code — the soundness of the borrowed-job pointer depends on
+    /// exactly one dispatch being in flight.
+    pub fn run<F>(&mut self, f: F)
     where
         F: Fn(usize) + Sync,
     {
@@ -115,27 +178,27 @@ impl WorkerPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f_ref)
         });
         {
-            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            let mut st = lock_state(&self.shared);
             debug_assert_eq!(st.active, 0, "dispatch while previous job still active");
             st.job = Some(job);
             st.epoch += 1;
             st.active = self.nthreads - 1;
         }
         self.shared.work_cv.notify_all();
+        // From here workers may be running `f`. The guard waits for all of
+        // them (and clears the job) on both the return and the unwind path
+        // of `f(0)` below, so the borrow never dangles; it also re-raises
+        // a worker panic once the drain completes.
+        let guard = DrainGuard { shared: &self.shared };
         f(0);
-        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
-        while st.active > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
-        }
-        // The borrow behind the job pointer dies when `run` returns.
-        st.job = None;
+        drop(guard);
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -149,7 +212,7 @@ fn worker_loop(shared: &Shared, tid: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            let mut st = lock_state(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -158,13 +221,22 @@ fn worker_loop(shared: &Shared, tid: usize) {
                     seen_epoch = st.epoch;
                     break st.job.expect("epoch advanced without a job");
                 }
-                st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+                st = shared.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: `run` keeps the closure alive until `active` drains to
-        // zero, which happens only after this call returns.
-        unsafe { (*job.0)(tid) };
-        let mut st = shared.state.lock().expect("pool mutex poisoned");
+        // zero, which happens only after this call returns. A panic in the
+        // job must not unwind past the decrement below — it would strand
+        // `active` and deadlock the caller forever — so it is caught here
+        // and re-raised by `run` on the caller's stack instead.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        let mut st = lock_state(shared);
+        if let Err(payload) = outcome {
+            // Keep the first panic; later ones add nothing for the caller.
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(payload);
+            }
+        }
         st.active -= 1;
         if st.active == 0 {
             shared.done_cv.notify_one();
@@ -296,7 +368,12 @@ impl IterationDriver {
     /// Runs `body(tid, iter)` for every thread and round. Rounds are
     /// globally ordered: all threads finish round `i` before any starts
     /// round `i + 1`.
-    pub fn run<F>(&self, body: F)
+    ///
+    /// A panic in `body` propagates like [`WorkerPool::run`]'s — but if
+    /// other threads are already blocked in an inter-round barrier wait
+    /// they will never be released, so `body` should not panic except to
+    /// abort the process (measurement bodies here never do).
+    pub fn run<F>(&mut self, body: F)
     where
         F: Fn(usize, usize) + Sync,
     {
@@ -338,7 +415,7 @@ mod tests {
 
     #[test]
     fn pool_executes_each_tid_once() {
-        let pool = WorkerPool::new(4);
+        let mut pool = WorkerPool::new(4);
         let hits = Mutex::new(vec![0usize; 4]);
         pool.run(|tid| {
             hits.lock().unwrap()[tid] += 1;
@@ -348,7 +425,7 @@ mod tests {
 
     #[test]
     fn pool_serial_fast_path() {
-        let pool = WorkerPool::new(1);
+        let mut pool = WorkerPool::new(1);
         let count = AtomicUsize::new(0);
         pool.run(|tid| {
             assert_eq!(tid, 0);
@@ -361,7 +438,7 @@ mod tests {
     fn pool_reuse_many_dispatches() {
         // The core property the tentpole claims: one pool, many calls, no
         // worker ever lost or duplicated.
-        let pool = WorkerPool::new(3);
+        let mut pool = WorkerPool::new(3);
         let count = AtomicUsize::new(0);
         for _ in 0..200 {
             pool.run(|_tid| {
@@ -373,7 +450,7 @@ mod tests {
 
     #[test]
     fn pool_borrows_caller_stack() {
-        let pool = WorkerPool::new(4);
+        let mut pool = WorkerPool::new(4);
         let mut out = vec![0usize; 4];
         let cell = DisjointSlices::new(&mut out);
         pool.run(|tid| {
@@ -386,9 +463,58 @@ mod tests {
 
     #[test]
     fn pool_drop_joins_workers() {
-        let pool = WorkerPool::new(8);
+        let mut pool = WorkerPool::new(8);
         pool.run(|_| {});
         drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn pool_caller_panic_waits_for_workers_and_stays_usable() {
+        // If f(0) panics, `run` must not unwind until every worker has
+        // finished its slice of the job (the borrowed closure dies with
+        // the frame), and the pool must survive for later dispatches.
+        let mut pool = WorkerPool::new(4);
+        let worker_hits = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 0 {
+                    panic!("caller-side panic");
+                }
+                // Give the caller a head start into its panic path.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                worker_hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(caught.is_err());
+        // All three workers finished before `run` unwound.
+        assert_eq!(worker_hits.load(Ordering::SeqCst), 3);
+        let count = AtomicUsize::new(0);
+        pool.run(|_tid| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pool_worker_panic_propagates_to_caller_and_stays_usable() {
+        // A panic on a worker thread must not strand `active` (deadlock);
+        // it is re-raised on the caller with its original payload.
+        let mut pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 2 {
+                    panic!("worker-side panic");
+                }
+            });
+        }));
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "worker-side panic");
+        let count = AtomicUsize::new(0);
+        pool.run(|_tid| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
     }
 
     #[test]
@@ -416,7 +542,7 @@ mod tests {
         // max round spread ever observed.
         let current = AtomicUsize::new(0);
         let violations = AtomicUsize::new(0);
-        let driver = IterationDriver::new(4, 16);
+        let mut driver = IterationDriver::new(4, 16);
         driver.run(|_tid, iter| {
             let seen = current.load(Ordering::SeqCst);
             if iter > seen + 1 {
@@ -438,7 +564,7 @@ mod tests {
 
     #[test]
     fn iteration_driver_is_reusable() {
-        let driver = IterationDriver::new(2, 5);
+        let mut driver = IterationDriver::new(2, 5);
         let count = AtomicUsize::new(0);
         for _ in 0..20 {
             driver.run(|_, _| {
