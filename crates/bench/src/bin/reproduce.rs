@@ -434,10 +434,12 @@ fn measured(args: &Args) {
         let vi = CsrVi::from_csr(&csr);
         let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
         let iters = PAPER_ITERATIONS;
-        let m_csr = measure_serial(&csr, iters, 42);
-        let m_du = measure_serial(&du, iters, 42);
-        let m_vi = measure_serial(&vi, iters, 42);
-        let m_duvi = measure_serial(&duvi, iters, 42);
+        // Setup uses the checked SpMV entry point; the vectors are sized
+        // from the matrix itself, so a failure here is a format bug.
+        let m_csr = measure_serial(&csr, iters, 42).expect("CSR measurement setup");
+        let m_du = measure_serial(&du, iters, 42).expect("CSR-DU measurement setup");
+        let m_vi = measure_serial(&vi, iters, 42).expect("CSR-VI measurement setup");
+        let m_duvi = measure_serial(&duvi, iters, 42).expect("CSR-DU-VI measurement setup");
         println!(
             "{:<12} {:>9} {:>7.1} | {:>7.0} MF {:>6.0} MF {:>6.0} MF {:>6.0} MF",
             entry.name,

@@ -8,7 +8,7 @@
 //! faithfully on machines that do have the cores.
 
 use serde::Serialize;
-use spmv_core::{Scalar, SpMv};
+use spmv_core::{Scalar, SpMv, SparseError};
 use spmv_parallel::{IterationDriver, ParSpMv};
 use std::time::Instant;
 
@@ -43,18 +43,26 @@ pub fn random_x<V: Scalar>(ncols: usize, seed: u64) -> Vec<V> {
 }
 
 /// Measures `iters` serial SpMV iterations of `m`.
-pub fn measure_serial<V: Scalar>(m: &dyn SpMv<V>, iters: usize, seed: u64) -> Measurement {
+///
+/// Setup goes through the *checked* entry point ([`SpMv::try_spmv`]): a
+/// matrix/vector dimension disagreement surfaces as an `Err` here rather
+/// than as UB-adjacent debug-assert behavior inside the timed loop.
+pub fn measure_serial<V: Scalar>(
+    m: &dyn SpMv<V>,
+    iters: usize,
+    seed: u64,
+) -> Result<Measurement, SparseError> {
     let x = random_x::<V>(m.ncols(), seed);
     let mut y = vec![V::zero(); m.nrows()];
-    // Warm-up iteration (the paper measures with warm caches).
-    m.spmv(&x, &mut y);
+    // Warm-up iteration (the paper measures with warm caches), dimension-checked.
+    m.try_spmv(&x, &mut y)?;
     let start = Instant::now();
     for _ in 0..iters {
         m.spmv(&x, &mut y);
         std::hint::black_box(&mut y);
     }
     let total = start.elapsed().as_secs_f64();
-    finish(m.flops(), iters, total)
+    Ok(finish(m.flops(), iters, total))
 }
 
 /// Measures `iters` multithreaded iterations of a planned executor. The
@@ -79,14 +87,19 @@ pub fn measure_parallel<V: Scalar>(
 }
 
 /// Verifies that `par` produces the same y as the serial kernel before
-/// trusting its timing; returns the max abs difference.
-pub fn validate_parallel<V: Scalar>(m: &dyn SpMv<V>, par: &mut dyn ParSpMv<V>, seed: u64) -> f64 {
+/// trusting its timing; returns the max abs difference. The serial
+/// reference goes through the checked entry point.
+pub fn validate_parallel<V: Scalar>(
+    m: &dyn SpMv<V>,
+    par: &mut dyn ParSpMv<V>,
+    seed: u64,
+) -> Result<f64, SparseError> {
     let x = random_x::<V>(m.ncols(), seed);
     let mut y_serial = vec![V::zero(); m.nrows()];
     let mut y_par = vec![V::zero(); m.nrows()];
-    m.spmv(&x, &mut y_serial);
+    m.try_spmv(&x, &mut y_serial)?;
     par.par_spmv(&x, &mut y_par);
-    y_serial.iter().zip(&y_par).map(|(a, b)| (*a - *b).abs().to_f64()).fold(0.0, f64::max)
+    Ok(y_serial.iter().zip(&y_par).map(|(a, b)| (*a - *b).abs().to_f64()).fold(0.0, f64::max))
 }
 
 fn finish(flops_per_iter: usize, iters: usize, total_s: f64) -> Measurement {
@@ -116,7 +129,7 @@ mod tests {
     #[test]
     fn serial_measurement_is_sane() {
         let csr: Csr = spmv_matgen::gen::banded(5000, 4, 1.0, 1).to_csr();
-        let m = measure_serial(&csr, 4, 42);
+        let m = measure_serial(&csr, 4, 42).unwrap();
         assert_eq!(m.iterations, 4);
         assert!(m.total_s > 0.0);
         assert!(m.mflops > 1.0, "mflops {}", m.mflops);
@@ -127,7 +140,7 @@ mod tests {
         let csr: Csr = spmv_matgen::gen::banded(3000, 4, 1.0, 2).to_csr();
         let du = CsrDu::from_csr(&csr, &DuOptions::default());
         let mut par = ParCsrDu::new(&du, 3);
-        assert_eq!(validate_parallel(&du, &mut par, 7), 0.0);
+        assert_eq!(validate_parallel(&du, &mut par, 7).unwrap(), 0.0);
         let m = measure_parallel(&du, &mut par, 3, 7);
         assert!(m.per_iter_s > 0.0);
     }

@@ -1,0 +1,119 @@
+//! Dependency-free CRC-32 (IEEE 802.3, polynomial `0xEDB88320`).
+//!
+//! Used by the binary container ([`crate::io`]) to detect corruption of
+//! persisted matrices: a pre-encoded CSR-DU/CSR-VI container is a
+//! long-lived artifact that crosses trust boundaries (disk, network,
+//! other tenants), and a single flipped value byte would otherwise load
+//! silently and poison every subsequent SpMV.
+//!
+//! This is the ubiquitous reflected CRC-32 (zlib/gzip/PNG variant):
+//! initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`, table-driven one
+//! byte at a time. Throughput is far above what container I/O needs, and
+//! the implementation stays dependency-free per the workspace's offline
+//! build constraint.
+
+/// Byte-indexed lookup table for the reflected polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state, for hashing data that arrives in chunks.
+///
+/// ```
+/// use spmv_core::crc32::{crc32, Crc32};
+///
+/// let mut h = Crc32::new();
+/// h.update(b"123");
+/// h.update(b"456789");
+/// assert_eq!(h.finish(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC-32 "check" value and other standard vectors.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for split in [0, 1, 13, 4096, 9999, 10_000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"container payload with values".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

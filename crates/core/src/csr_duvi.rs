@@ -16,7 +16,6 @@ use crate::index::SpIndex;
 use crate::scalar::Scalar;
 use crate::spmv::{FormatKind, SpMv};
 use crate::stats::SizeReport;
-use std::collections::HashMap;
 
 /// A sparse matrix with delta-unit structure compression and value
 /// indirection.
@@ -29,30 +28,12 @@ pub struct CsrDuVi<V: Scalar = f64> {
 }
 
 impl<V: Scalar> CsrDuVi<V> {
-    /// Builds the combined format from CSR. `O(nnz)`.
+    /// Builds the combined format from CSR. `O(nnz)`. Value deduplication
+    /// uses the same canonical-bit-pattern rules as CSR-VI (NaNs collapse
+    /// to one table slot; `-0.0`/`+0.0` stay distinct).
     pub fn from_csr<I: SpIndex>(csr: &Csr<I, V>, opts: &DuOptions) -> CsrDuVi<V> {
         let du = CsrDu::from_csr(csr, opts);
-
-        let mut table: HashMap<V::Bits, u32> = HashMap::new();
-        let mut vals_unique: Vec<V> = Vec::new();
-        let mut wide: Vec<u32> = Vec::with_capacity(csr.nnz());
-        for &v in csr.values() {
-            let next_id = vals_unique.len() as u32;
-            let id = *table.entry(v.to_bits()).or_insert_with(|| {
-                vals_unique.push(v);
-                next_id
-            });
-            wide.push(id);
-        }
-        let uv = vals_unique.len();
-        let val_ind = if uv <= (1 << 8) {
-            ValInd::U8(wide.iter().map(|&i| i as u8).collect())
-        } else if uv <= (1 << 16) {
-            ValInd::U16(wide.iter().map(|&i| i as u16).collect())
-        } else {
-            ValInd::U32(wide)
-        };
-
+        let (vals_unique, val_ind) = crate::csr_vi::build::dedup_values(csr.values());
         let nnz = csr.nnz();
         CsrDuVi { du: du.without_values(), vals_unique, val_ind, nnz }
     }

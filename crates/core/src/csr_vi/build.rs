@@ -6,18 +6,35 @@ use crate::index::SpIndex;
 use crate::scalar::Scalar;
 use std::collections::HashMap;
 
-pub(super) fn build<I: SpIndex, V: Scalar>(csr: &Csr<I, V>) -> CsrVi<I, V> {
-    // First pass: assign each distinct bit pattern an id in first-occurrence
-    // order and record the id of every element. Ids are provisionally u32;
-    // matrices with more than 2^32 distinct values are not supported (they
-    // could not profit from CSR-VI anyway).
+/// Deduplicates a value array by *canonical* bit pattern, returning the
+/// unique-value table (first-occurrence order) and the width-narrowed
+/// per-element indices. Shared by CSR-VI and CSR-DU-VI construction.
+///
+/// Canonicalization rules:
+///
+/// * Distinct bit patterns are distinct values — in particular `-0.0` and
+///   `+0.0` stay separate (conflating them would change results:
+///   `1.0 / -0.0 == -inf`), exactly what a byte-level compressor would do.
+/// * **Except** NaNs: every NaN, regardless of payload bits, maps to one
+///   canonical NaN table slot. Arithmetic cannot distinguish NaN payloads
+///   (any NaN operand yields NaN), but an adversarial or bit-rotted input
+///   with per-element NaN payloads would otherwise explode the unique
+///   table to `nnz` entries and destroy the format's entire premise.
+pub(crate) fn dedup_values<V: Scalar>(values: &[V]) -> (Vec<V>, ValInd) {
+    // First pass: assign each canonical bit pattern an id in
+    // first-occurrence order and record the id of every element. Ids are
+    // provisionally u32; matrices with more than 2^32 distinct values are
+    // not supported (they could not profit from CSR-VI anyway).
+    let canonical_nan = V::from_f64(f64::NAN);
     let mut table: HashMap<V::Bits, u32> = HashMap::new();
     let mut vals_unique: Vec<V> = Vec::new();
-    let mut wide: Vec<u32> = Vec::with_capacity(csr.nnz());
-    for &v in csr.values() {
+    let mut wide: Vec<u32> = Vec::with_capacity(values.len());
+    for &v in values {
+        let (key_val, stored) =
+            if v.to_f64().is_nan() { (canonical_nan, canonical_nan) } else { (v, v) };
         let next_id = vals_unique.len() as u32;
-        let id = *table.entry(v.to_bits()).or_insert_with(|| {
-            vals_unique.push(v);
+        let id = *table.entry(key_val.to_bits()).or_insert_with(|| {
+            vals_unique.push(stored);
             next_id
         });
         wide.push(id);
@@ -37,7 +54,11 @@ pub(super) fn build<I: SpIndex, V: Scalar>(csr: &Csr<I, V>) -> CsrVi<I, V> {
     } else {
         ValInd::U32(wide)
     };
+    (vals_unique, val_ind)
+}
 
+pub(super) fn build<I: SpIndex, V: Scalar>(csr: &Csr<I, V>) -> CsrVi<I, V> {
+    let (vals_unique, val_ind) = dedup_values(csr.values());
     CsrVi {
         nrows: csr.nrows(),
         ncols: csr.ncols(),

@@ -18,7 +18,7 @@
 //! Applicability is gated by the **total-to-unique ratio** `ttu = nnz/uv`;
 //! the paper uses the empirical criterion `ttu > 5` (§VI-E).
 
-mod build;
+pub(crate) mod build;
 mod spmv;
 
 use crate::csr::Csr;

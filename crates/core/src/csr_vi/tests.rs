@@ -142,3 +142,57 @@ fn u16_structure_indices_supported() {
     coo.spmv_reference(&[1.0; 6], &mut y_ref);
     assert_eq!(y, y_ref);
 }
+
+// ---------------------------------------------------------------------
+// Canonical-bit-pattern deduplication pins (untrusted-input hardening):
+// NaN payloads must not explode the unique table, and -0.0/+0.0 must not
+// be conflated into a result-changing value.
+// ---------------------------------------------------------------------
+
+#[test]
+fn nan_payloads_collapse_to_one_table_slot() {
+    // 100 NaNs with distinct payload bits plus one real value. Without
+    // canonicalization the unique table would hold 101 entries.
+    let n = 100usize;
+    let triplets: Vec<(usize, usize, f64)> = (0..n)
+        .map(|i| (0usize, i, f64::from_bits(0x7FF8_0000_0000_0001 + i as u64)))
+        .chain(std::iter::once((0usize, n, 2.5)))
+        .collect();
+    assert!(triplets.iter().take(n).all(|(_, _, v)| v.is_nan()));
+    let csr: Csr<u32, f64> = Coo::from_triplets(1, n + 1, triplets).unwrap().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    assert_eq!(vi.unique_values(), 2, "all NaNs must share one canonical slot");
+    // Every NaN element reconstructs as (some) NaN; the real value survives.
+    let back = vi.to_csr().unwrap();
+    assert!(back.values()[..n].iter().all(|v| v.is_nan()));
+    assert_eq!(back.values()[n], 2.5);
+    // The combined format uses the same dedup.
+    let duvi = crate::csr_duvi::CsrDuVi::from_csr(&csr, &crate::csr_du::DuOptions::default());
+    assert_eq!(duvi.unique_values(), 2);
+}
+
+#[test]
+fn signed_zeros_stay_distinct() {
+    let csr: Csr<u32, f64> =
+        Coo::from_triplets(1, 2, vec![(0usize, 0usize, 0.0f64), (0, 1, -0.0)]).unwrap().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    assert_eq!(vi.unique_values(), 2, "-0.0 and +0.0 are different bit patterns");
+    let back = vi.to_csr().unwrap();
+    assert!(back.values()[0].is_sign_positive());
+    assert!(back.values()[1].is_sign_negative());
+    // The distinction is observable in arithmetic: 1/x differs.
+    assert_eq!(1.0 / back.values()[0], f64::INFINITY);
+    assert_eq!(1.0 / back.values()[1], f64::NEG_INFINITY);
+}
+
+#[test]
+fn nan_spmv_still_propagates() {
+    // A NaN entry must still poison exactly the rows it touches.
+    let csr: Csr<u32, f64> =
+        Coo::from_triplets(2, 2, vec![(0usize, 0usize, f64::NAN), (1, 1, 3.0)]).unwrap().to_csr();
+    let vi = CsrVi::from_csr(&csr);
+    let mut y = vec![0.0; 2];
+    vi.spmv(&[1.0, 1.0], &mut y);
+    assert!(y[0].is_nan());
+    assert_eq!(y[1], 3.0);
+}

@@ -47,6 +47,33 @@ pub enum SparseError {
     Parse(String),
     /// A format-specific structural constraint was violated.
     InvalidFormat(String),
+    /// A stored checksum does not match the data that was read: the input
+    /// was corrupted (bit rot, truncation splice, hostile tampering).
+    ChecksumMismatch {
+        /// Which part of the container failed verification (e.g. `"values"`).
+        section: String,
+        /// Checksum recorded in the container.
+        stored: u32,
+        /// Checksum recomputed over the bytes actually read.
+        computed: u32,
+    },
+    /// A container version newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build can read.
+        max_supported: u16,
+    },
+    /// An untrusted header declared a size exceeding the configured
+    /// [`LoadLimits`](crate::io::LoadLimits) — refused *before* allocating.
+    ResourceLimit {
+        /// Which quantity blew the limit (e.g. `"nnz"`, `"payload bytes"`).
+        what: String,
+        /// The size the input declared.
+        requested: u64,
+        /// The configured ceiling it exceeded.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -68,6 +95,17 @@ impl fmt::Display for SparseError {
             }
             SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
             SparseError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
+            SparseError::ChecksumMismatch { section, stored, computed } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SparseError::UnsupportedVersion { found, max_supported } => write!(
+                f,
+                "unsupported container version {found} (this build reads up to {max_supported})"
+            ),
+            SparseError::ResourceLimit { what, requested, limit } => {
+                write!(f, "input declares {what} = {requested}, exceeding the load limit {limit}")
+            }
         }
     }
 }
@@ -92,6 +130,21 @@ mod tests {
 
         let e = SparseError::UnsortedIndices { row: 3 };
         assert!(e.to_string().contains("row 3"));
+
+        let e = SparseError::ChecksumMismatch {
+            section: "values".into(),
+            stored: 0xDEADBEEF,
+            computed: 0x12345678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("values") && s.contains("0xdeadbeef") && s.contains("0x12345678"));
+
+        let e = SparseError::UnsupportedVersion { found: 7, max_supported: 2 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('2'));
+
+        let e = SparseError::ResourceLimit { what: "nnz".into(), requested: 1 << 60, limit: 1024 };
+        let s = e.to_string();
+        assert!(s.contains("nnz") && s.contains("1024"));
     }
 
     #[test]

@@ -9,9 +9,53 @@
 //! Concrete types only (`u32` indices, `f64` values — the paper's
 //! baseline widths); other widths can be converted on load.
 //!
-//! Layout: `"SPMV"` magic, `u16` version, `u8` format tag, then
-//! format-specific fields, all integers little-endian.
+//! # Container layout
+//!
+//! Version 2 (written by this build):
+//!
+//! ```text
+//! "SPMV" magic | u16 version | u8 format tag
+//! u64 payload length | u32 payload CRC-32
+//! payload:
+//!   scalar u64 fields (nrows, ncols, ...)
+//!   sections, each:  u64 element count | raw LE bytes | u32 section CRC-32
+//! ```
+//!
+//! Version 1 (still readable) had no declared length and no checksums:
+//! the header was followed directly by the scalar fields and `u64
+//! len`-prefixed arrays.
+//!
+//! # Trust boundaries
+//!
+//! A container is a long-lived artifact that crosses machines and tenants,
+//! so the readers treat every byte as untrusted:
+//!
+//! * **Truncation** is detected *before* parsing: the v2 header declares
+//!   the payload length, and a short read fails immediately.
+//! * **Corruption** is detected by CRC-32 checksums — one over the whole
+//!   payload and one per section (so the error names the damaged array).
+//!   A bit-flipped `f64` is rejected with
+//!   [`SparseError::ChecksumMismatch`] instead of silently poisoning every
+//!   subsequent SpMV. CRC-32 is an integrity check against *accidental*
+//!   corruption; it is **not** cryptographic authentication — an attacker
+//!   who can rewrite the file can also rewrite the checksums. Sign the
+//!   file externally if you need provenance.
+//! * **Resource exhaustion** is bounded by [`LoadLimits`]: every declared
+//!   length is checked against the configured ceilings *before any
+//!   allocation*, so a 16-byte file declaring `len = u64::MAX` can never
+//!   trigger a multi-gigabyte allocation. The default limits are generous
+//!   (see [`LoadLimits::default`]); [`LoadLimits::unlimited`] is the
+//!   escape hatch for trusted inputs.
+//! * **Structural invariants** are re-established on load regardless of
+//!   checksums: CSR pointer monotonicity and column bounds
+//!   ([`Csr::from_raw_parts`]), full bounds-checked re-validation of the
+//!   CSR-DU ctl stream ([`CsrDu::from_parts_checked`]), and value-index
+//!   range checks ([`CsrVi::from_parts_checked`]). Checksums catch what
+//!   structure cannot (a flipped value bit yields a perfectly well-formed
+//!   matrix); structure catches what checksums cannot (a well-checksummed
+//!   file written by a buggy or malicious encoder).
 
+use crate::crc32::crc32;
 use crate::csr::Csr;
 use crate::csr_du::CsrDu;
 use crate::csr_vi::{CsrVi, ValInd};
@@ -20,8 +64,10 @@ use std::io::{Read, Write};
 
 /// Container magic bytes.
 pub const MAGIC: &[u8; 4] = b"SPMV";
-/// Current container version.
-pub const VERSION: u16 = 1;
+/// Current container version (always written).
+pub const VERSION: u16 = 2;
+/// Oldest container version the readers still accept.
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
 
 const TAG_CSR: u8 = 1;
 const TAG_CSR_DU: u8 = 2;
@@ -34,35 +80,275 @@ fn io_err(e: std::io::Error) -> SparseError {
 }
 
 // ---------------------------------------------------------------------
-// primitive writers/readers
+// load limits
 // ---------------------------------------------------------------------
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
-    w.write_all(&v.to_le_bytes()).map_err(io_err)
+/// Ceilings applied to *declared* sizes in untrusted inputs before any
+/// allocation or parsing work is done on their behalf.
+///
+/// The defaults accommodate any matrix this workspace can realistically
+/// process (a billion rows, four billion non-zeros, 8 GiB of container
+/// payload) while refusing absurd headers outright. Tune them down for
+/// multi-tenant ingest (e.g. a service accepting uploads) or up — or off
+/// with [`LoadLimits::unlimited`] — for trusted batch jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadLimits {
+    /// Maximum accepted number of rows.
+    pub max_nrows: usize,
+    /// Maximum accepted number of columns.
+    pub max_ncols: usize,
+    /// Maximum accepted number of non-zeros (also caps array lengths).
+    pub max_nnz: usize,
+    /// Maximum accepted total payload bytes (container body / byte arrays).
+    pub max_bytes: u64,
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+impl Default for LoadLimits {
+    fn default() -> Self {
+        LoadLimits { max_nrows: 1 << 30, max_ncols: 1 << 30, max_nnz: 1 << 32, max_bytes: 8 << 30 }
+    }
+}
+
+impl LoadLimits {
+    /// No limits at all — for fully trusted inputs only.
+    pub fn unlimited() -> LoadLimits {
+        LoadLimits {
+            max_nrows: usize::MAX,
+            max_ncols: usize::MAX,
+            max_nnz: usize::MAX,
+            max_bytes: u64::MAX,
+        }
+    }
+
+    /// Tight limits suitable for fuzzing and tests: nothing a hostile
+    /// input declares can cost more than a few megabytes.
+    pub fn strict_for_tests() -> LoadLimits {
+        LoadLimits { max_nrows: 1 << 16, max_ncols: 1 << 16, max_nnz: 1 << 20, max_bytes: 4 << 20 }
+    }
+
+    fn check(&self, what: &str, requested: u64, limit: u64) -> Result<()> {
+        if requested > limit {
+            return Err(SparseError::ResourceLimit { what: what.into(), requested, limit });
+        }
+        Ok(())
+    }
+
+    fn check_dims(&self, nrows: u64, ncols: u64) -> Result<()> {
+        self.check("nrows", nrows, self.max_nrows as u64)?;
+        self.check("ncols", ncols, self.max_ncols as u64)
+    }
+
+    fn check_count(&self, what: &str, len: u64) -> Result<()> {
+        self.check(what, len, self.max_nnz as u64)
+    }
+
+    fn check_bytes(&self, what: &str, len: u64) -> Result<()> {
+        self.check(what, len, self.max_bytes)
+    }
+}
+
+/// Largest up-front allocation taken on the word of an untrusted v1
+/// header (v2 validates the declared payload length against the actual
+/// bytes first, so it can size exactly).
+const PREALLOC_CAP: usize = 1 << 16;
+
+// ---------------------------------------------------------------------
+// v2 writer: payload assembled in memory, sections carry their own CRC
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a section: `u64 count | data | u32 crc(data)`.
+fn put_section(out: &mut Vec<u8>, count: u64, data: &[u8]) {
+    put_u64(out, count);
+    out.extend_from_slice(data);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+}
+
+fn put_u32_section(out: &mut Vec<u8>, data: &[u32]) {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    put_section(out, data.len() as u64, &bytes);
+}
+
+fn put_u16_section(out: &mut Vec<u8>, data: &[u16]) {
+    let mut bytes = Vec::with_capacity(data.len() * 2);
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    put_section(out, data.len() as u64, &bytes);
+}
+
+fn put_f64_section(out: &mut Vec<u8>, data: &[f64]) {
+    let mut bytes = Vec::with_capacity(data.len() * 8);
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    put_section(out, data.len() as u64, &bytes);
+}
+
+fn put_byte_section(out: &mut Vec<u8>, data: &[u8]) {
+    put_section(out, data.len() as u64, data);
+}
+
+/// Writes the v2 frame: header, declared payload length, whole-payload
+/// checksum, payload.
+fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&[tag]).map_err(io_err)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&crc32(payload).to_le_bytes()).map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)
+}
+
+// ---------------------------------------------------------------------
+// v2 reader: in-memory payload cursor
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over the verified payload buffer.
+struct Payload<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SparseError::Parse(format!("payload truncated inside {what}")))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads one section (`u64 count | data | u32 crc`), enforcing
+    /// `count <= max_elems` *before* touching the data and verifying the
+    /// section checksum after. Returns the raw data bytes.
+    fn section(
+        &mut self,
+        what: &str,
+        elem_bytes: usize,
+        max_elems: u64,
+        limits: &LoadLimits,
+    ) -> Result<(u64, &'a [u8])> {
+        let count = self.u64(what)?;
+        limits.check(what, count, max_elems)?;
+        let nbytes = (count as usize).checked_mul(elem_bytes).ok_or_else(|| {
+            SparseError::Parse(format!("section {what} byte size overflows usize"))
+        })?;
+        let data = self.take(nbytes, what)?;
+        let stored = u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes"));
+        let computed = crc32(data);
+        if stored != computed {
+            return Err(SparseError::ChecksumMismatch { section: what.into(), stored, computed });
+        }
+        Ok((count, data))
+    }
+
+    fn u32_section(&mut self, what: &str, max: u64, limits: &LoadLimits) -> Result<Vec<u32>> {
+        let (_, data) = self.section(what, 4, max, limits)?;
+        Ok(data.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    fn u16_section(&mut self, what: &str, max: u64, limits: &LoadLimits) -> Result<Vec<u16>> {
+        let (_, data) = self.section(what, 2, max, limits)?;
+        Ok(data.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().expect("2"))).collect())
+    }
+
+    fn f64_section(&mut self, what: &str, max: u64, limits: &LoadLimits) -> Result<Vec<f64>> {
+        let (_, data) = self.section(what, 8, max, limits)?;
+        Ok(data.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8"))).collect())
+    }
+
+    fn byte_section(&mut self, what: &str, limits: &LoadLimits) -> Result<Vec<u8>> {
+        let (_, data) = self.section(what, 1, limits.max_bytes, limits)?;
+        Ok(data.to_vec())
+    }
+}
+
+/// Header parse result: version and format tag.
+struct Header {
+    version: u16,
+    tag: u8,
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<Header> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(SparseError::Parse("bad magic: not an SPMV container".into()));
+    }
+    let mut ver = [0u8; 2];
+    r.read_exact(&mut ver).map_err(io_err)?;
+    let version = u16::from_le_bytes(ver);
+    if !(MIN_SUPPORTED_VERSION..=VERSION).contains(&version) {
+        return Err(SparseError::UnsupportedVersion { found: version, max_supported: VERSION });
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag).map_err(io_err)?;
+    Ok(Header { version, tag: tag[0] })
+}
+
+fn check_tag(h: &Header, expected: u8, name: &str) -> Result<()> {
+    if h.tag != expected {
+        return Err(SparseError::Parse(format!("expected {name} container, found tag {}", h.tag)));
+    }
+    Ok(())
+}
+
+/// Reads the declared-length, checksum-verified v2 payload. The length is
+/// checked against `limits.max_bytes` *before* any allocation; the buffer
+/// then grows only as bytes actually arrive, so a truncated file costs at
+/// most its real size.
+fn read_payload<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<Vec<u8>> {
+    let mut head = [0u8; 12];
+    r.read_exact(&mut head).map_err(io_err)?;
+    let declared = u64::from_le_bytes(head[..8].try_into().expect("8 bytes"));
+    let stored = u32::from_le_bytes(head[8..].try_into().expect("4 bytes"));
+    limits.check_bytes("payload bytes", declared)?;
+    let mut payload = Vec::with_capacity((declared as usize).min(PREALLOC_CAP));
+    let mut remaining = declared as usize;
+    let mut chunk = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])
+            .map_err(|e| SparseError::Parse(format!("payload truncated: {e}")))?;
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(SparseError::ChecksumMismatch { section: "payload".into(), stored, computed });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// v1 streaming readers (no checksums, length-prefixed arrays)
+// ---------------------------------------------------------------------
+
+fn read_u64_v1<R: Read>(r: &mut R) -> Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf).map_err(io_err)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn write_u32_slice<W: Write>(w: &mut W, data: &[u32]) -> Result<()> {
-    write_u64(w, data.len() as u64)?;
-    for &v in data {
-        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
-    }
-    Ok(())
-}
-
-fn read_u32_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u32>> {
-    let len = read_u64(r)?;
-    if len > cap_hint {
-        return Err(SparseError::Parse(format!("array length {len} exceeds sanity bound")));
-    }
-    // Never pre-allocate from an untrusted length: a corrupt header could
-    // declare terabytes. Grow as bytes actually arrive (read_exact fails
-    // fast on truncated input).
+fn read_u32_vec_v1<R: Read>(r: &mut R, what: &str, limits: &LoadLimits) -> Result<Vec<u32>> {
+    let len = read_u64_v1(r)?;
+    limits.check_count(what, len)?;
+    // Never pre-allocate from an untrusted length: grow as bytes actually
+    // arrive (read_exact fails fast on truncated input).
     let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
     let mut buf = [0u8; 4];
     for _ in 0..len {
@@ -72,19 +358,9 @@ fn read_u32_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u32>> {
     Ok(out)
 }
 
-fn write_f64_slice<W: Write>(w: &mut W, data: &[f64]) -> Result<()> {
-    write_u64(w, data.len() as u64)?;
-    for &v in data {
-        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
-    }
-    Ok(())
-}
-
-fn read_f64_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<f64>> {
-    let len = read_u64(r)?;
-    if len > cap_hint {
-        return Err(SparseError::Parse(format!("array length {len} exceeds sanity bound")));
-    }
+fn read_f64_vec_v1<R: Read>(r: &mut R, what: &str, limits: &LoadLimits) -> Result<Vec<f64>> {
+    let len = read_u64_v1(r)?;
+    limits.check_count(what, len)?;
     let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
     let mut buf = [0u8; 8];
     for _ in 0..len {
@@ -94,16 +370,9 @@ fn read_f64_vec<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<f64>> {
     Ok(out)
 }
 
-fn write_bytes<W: Write>(w: &mut W, data: &[u8]) -> Result<()> {
-    write_u64(w, data.len() as u64)?;
-    w.write_all(data).map_err(io_err)
-}
-
-fn read_bytes<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u8>> {
-    let len = read_u64(r)?;
-    if len > cap_hint {
-        return Err(SparseError::Parse(format!("byte array {len} exceeds sanity bound")));
-    }
+fn read_bytes_v1<R: Read>(r: &mut R, what: &str, limits: &LoadLimits) -> Result<Vec<u8>> {
+    let len = read_u64_v1(r)?;
+    limits.check_bytes(what, len)?;
     // Chunked read: no untrusted up-front allocation.
     let mut out = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
     let mut remaining = len as usize;
@@ -117,64 +386,50 @@ fn read_bytes<R: Read>(r: &mut R, cap_hint: u64) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-fn write_header<W: Write>(w: &mut W, tag: u8) -> Result<()> {
-    w.write_all(MAGIC).map_err(io_err)?;
-    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
-    w.write_all(&[tag]).map_err(io_err)
-}
-
-fn read_header<R: Read>(r: &mut R) -> Result<u8> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
-        return Err(SparseError::Parse("bad magic: not an SPMV container".into()));
-    }
-    let mut ver = [0u8; 2];
-    r.read_exact(&mut ver).map_err(io_err)?;
-    let version = u16::from_le_bytes(ver);
-    if version != VERSION {
-        return Err(SparseError::Parse(format!(
-            "unsupported container version {version} (expected {VERSION})"
-        )));
-    }
-    let mut tag = [0u8; 1];
-    r.read_exact(&mut tag).map_err(io_err)?;
-    Ok(tag[0])
-}
-
-/// Generous sanity bound on element counts (guards against absurd
-/// corrupt headers outright; real protection is chunked allocation).
-const SANE: u64 = 1 << 40;
-
-/// Largest up-front allocation taken on the word of an untrusted header.
-const PREALLOC_CAP: usize = 1 << 16;
-
 // ---------------------------------------------------------------------
 // CSR
 // ---------------------------------------------------------------------
 
-/// Serializes a CSR matrix.
+/// Serializes a CSR matrix (always the current container version).
 pub fn write_csr<W: Write>(m: &Csr<u32, f64>, w: &mut W) -> Result<()> {
-    write_header(w, TAG_CSR)?;
-    write_u64(w, m.nrows() as u64)?;
-    write_u64(w, m.ncols() as u64)?;
-    write_u32_slice(w, m.row_ptr())?;
-    write_u32_slice(w, m.col_ind())?;
-    write_f64_slice(w, m.values())
+    let mut payload = Vec::new();
+    put_u64(&mut payload, m.nrows() as u64);
+    put_u64(&mut payload, m.ncols() as u64);
+    put_u32_section(&mut payload, m.row_ptr());
+    put_u32_section(&mut payload, m.col_ind());
+    put_f64_section(&mut payload, m.values());
+    write_frame(w, TAG_CSR, &payload)
 }
 
-/// Deserializes a CSR matrix (revalidates all invariants).
+/// Deserializes a CSR matrix with default [`LoadLimits`] (revalidates all
+/// invariants).
 pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr<u32, f64>> {
-    let tag = read_header(r)?;
-    if tag != TAG_CSR {
-        return Err(SparseError::Parse(format!("expected CSR container, found tag {tag}")));
+    read_csr_with(r, &LoadLimits::default())
+}
+
+/// Deserializes a CSR matrix under explicit [`LoadLimits`].
+pub fn read_csr_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<Csr<u32, f64>> {
+    let h = read_header(r)?;
+    check_tag(&h, TAG_CSR, "CSR")?;
+    let (nrows, ncols, row_ptr, col_ind, values);
+    if h.version == 1 {
+        nrows = read_u64_v1(r)?;
+        ncols = read_u64_v1(r)?;
+        limits.check_dims(nrows, ncols)?;
+        row_ptr = read_u32_vec_v1(r, "row_ptr", limits)?;
+        col_ind = read_u32_vec_v1(r, "col_ind", limits)?;
+        values = read_f64_vec_v1(r, "values", limits)?;
+    } else {
+        let payload = read_payload(r, limits)?;
+        let mut p = Payload { buf: &payload, pos: 0 };
+        nrows = p.u64("nrows")?;
+        ncols = p.u64("ncols")?;
+        limits.check_dims(nrows, ncols)?;
+        row_ptr = p.u32_section("row_ptr", (limits.max_nrows as u64).saturating_add(1), limits)?;
+        col_ind = p.u32_section("col_ind", limits.max_nnz as u64, limits)?;
+        values = p.f64_section("values", limits.max_nnz as u64, limits)?;
     }
-    let nrows = read_u64(r)? as usize;
-    let ncols = read_u64(r)? as usize;
-    let row_ptr = read_u32_vec(r, SANE)?;
-    let col_ind = read_u32_vec(r, SANE)?;
-    let values = read_f64_vec(r, SANE)?;
-    Csr::from_raw_parts(nrows, ncols, row_ptr, col_ind, values)
+    Csr::from_raw_parts(nrows as usize, ncols as usize, row_ptr, col_ind, values)
 }
 
 // ---------------------------------------------------------------------
@@ -183,26 +438,43 @@ pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr<u32, f64>> {
 
 /// Serializes a CSR-DU matrix (ctl stream + values).
 pub fn write_csr_du<W: Write>(m: &CsrDu<f64>, w: &mut W) -> Result<()> {
-    write_header(w, TAG_CSR_DU)?;
-    write_u64(w, m.nrows() as u64)?;
-    write_u64(w, m.ncols() as u64)?;
-    write_bytes(w, m.ctl())?;
-    write_f64_slice(w, m.values())
+    let mut payload = Vec::new();
+    put_u64(&mut payload, m.nrows() as u64);
+    put_u64(&mut payload, m.ncols() as u64);
+    put_byte_section(&mut payload, m.ctl());
+    put_f64_section(&mut payload, m.values());
+    write_frame(w, TAG_CSR_DU, &payload)
 }
 
-/// Deserializes a CSR-DU matrix. The ctl stream is *validated by
-/// re-decoding*: the reconstruction must produce a well-formed CSR with
-/// matching nnz, so corrupt streams are rejected rather than trusted.
+/// Deserializes a CSR-DU matrix with default [`LoadLimits`]. The ctl
+/// stream is *validated by re-decoding*: the reconstruction must produce
+/// a well-formed CSR with matching nnz, so corrupt streams are rejected
+/// rather than trusted.
 pub fn read_csr_du<R: Read>(r: &mut R) -> Result<CsrDu<f64>> {
-    let tag = read_header(r)?;
-    if tag != TAG_CSR_DU {
-        return Err(SparseError::Parse(format!("expected CSR-DU container, found tag {tag}")));
+    read_csr_du_with(r, &LoadLimits::default())
+}
+
+/// Deserializes a CSR-DU matrix under explicit [`LoadLimits`].
+pub fn read_csr_du_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<CsrDu<f64>> {
+    let h = read_header(r)?;
+    check_tag(&h, TAG_CSR_DU, "CSR-DU")?;
+    let (nrows, ncols, ctl, values);
+    if h.version == 1 {
+        nrows = read_u64_v1(r)?;
+        ncols = read_u64_v1(r)?;
+        limits.check_dims(nrows, ncols)?;
+        ctl = read_bytes_v1(r, "ctl", limits)?;
+        values = read_f64_vec_v1(r, "values", limits)?;
+    } else {
+        let payload = read_payload(r, limits)?;
+        let mut p = Payload { buf: &payload, pos: 0 };
+        nrows = p.u64("nrows")?;
+        ncols = p.u64("ncols")?;
+        limits.check_dims(nrows, ncols)?;
+        ctl = p.byte_section("ctl", limits)?;
+        values = p.f64_section("values", limits.max_nnz as u64, limits)?;
     }
-    let nrows = read_u64(r)? as usize;
-    let ncols = read_u64(r)? as usize;
-    let ctl = read_bytes(r, SANE)?;
-    let values = read_f64_vec(r, SANE)?;
-    CsrDu::from_parts_checked(nrows, ncols, ctl, values)
+    CsrDu::from_parts_checked(nrows as usize, ncols as usize, ctl, values)
 }
 
 // ---------------------------------------------------------------------
@@ -211,66 +483,89 @@ pub fn read_csr_du<R: Read>(r: &mut R) -> Result<CsrDu<f64>> {
 
 /// Serializes a CSR-VI matrix.
 pub fn write_csr_vi<W: Write>(m: &CsrVi<u32, f64>, w: &mut W) -> Result<()> {
-    write_header(w, TAG_CSR_VI)?;
-    write_u64(w, m.nrows() as u64)?;
-    write_u64(w, m.ncols() as u64)?;
-    write_u32_slice(w, m.row_ptr())?;
-    write_u32_slice(w, m.col_ind())?;
-    write_f64_slice(w, m.vals_unique())?;
+    let mut payload = Vec::new();
+    put_u64(&mut payload, m.nrows() as u64);
+    put_u64(&mut payload, m.ncols() as u64);
+    put_u32_section(&mut payload, m.row_ptr());
+    put_u32_section(&mut payload, m.col_ind());
+    put_f64_section(&mut payload, m.vals_unique());
+    put_u64(&mut payload, m.val_ind().width_bytes() as u64);
     match m.val_ind() {
-        ValInd::U8(v) => {
-            write_u64(w, 1)?;
-            write_bytes(w, v)
-        }
-        ValInd::U16(v) => {
-            write_u64(w, 2)?;
-            write_u64(w, v.len() as u64)?;
-            for &x in v {
-                w.write_all(&x.to_le_bytes()).map_err(io_err)?;
-            }
-            Ok(())
-        }
-        ValInd::U32(v) => {
-            write_u64(w, 4)?;
-            write_u32_slice(w, v)
-        }
+        ValInd::U8(v) => put_byte_section(&mut payload, v),
+        ValInd::U16(v) => put_u16_section(&mut payload, v),
+        ValInd::U32(v) => put_u32_section(&mut payload, v),
     }
+    write_frame(w, TAG_CSR_VI, &payload)
 }
 
-/// Deserializes a CSR-VI matrix (revalidates structure and value-index
-/// bounds).
+/// Deserializes a CSR-VI matrix with default [`LoadLimits`] (revalidates
+/// structure and value-index bounds).
 pub fn read_csr_vi<R: Read>(r: &mut R) -> Result<CsrVi<u32, f64>> {
-    let tag = read_header(r)?;
-    if tag != TAG_CSR_VI {
-        return Err(SparseError::Parse(format!("expected CSR-VI container, found tag {tag}")));
+    read_csr_vi_with(r, &LoadLimits::default())
+}
+
+/// Deserializes a CSR-VI matrix under explicit [`LoadLimits`].
+pub fn read_csr_vi_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<CsrVi<u32, f64>> {
+    let h = read_header(r)?;
+    check_tag(&h, TAG_CSR_VI, "CSR-VI")?;
+    let (nrows, ncols, row_ptr, col_ind, vals_unique, val_ind);
+    if h.version == 1 {
+        nrows = read_u64_v1(r)?;
+        ncols = read_u64_v1(r)?;
+        limits.check_dims(nrows, ncols)?;
+        row_ptr = read_u32_vec_v1(r, "row_ptr", limits)?;
+        col_ind = read_u32_vec_v1(r, "col_ind", limits)?;
+        vals_unique = read_f64_vec_v1(r, "vals_unique", limits)?;
+        let width = read_u64_v1(r)?;
+        val_ind = match width {
+            1 => ValInd::U8(read_bytes_v1(r, "val_ind", limits)?),
+            2 => {
+                let len = read_u64_v1(r)?;
+                limits.check_count("val_ind", len)?;
+                let mut v = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+                let mut buf = [0u8; 2];
+                for _ in 0..len {
+                    r.read_exact(&mut buf).map_err(io_err)?;
+                    v.push(u16::from_le_bytes(buf));
+                }
+                ValInd::U16(v)
+            }
+            4 => ValInd::U32(read_u32_vec_v1(r, "val_ind", limits)?),
+            other => {
+                return Err(SparseError::Parse(format!("invalid val_ind width {other}")));
+            }
+        };
+    } else {
+        let payload = read_payload(r, limits)?;
+        let mut p = Payload { buf: &payload, pos: 0 };
+        nrows = p.u64("nrows")?;
+        ncols = p.u64("ncols")?;
+        limits.check_dims(nrows, ncols)?;
+        row_ptr = p.u32_section("row_ptr", (limits.max_nrows as u64).saturating_add(1), limits)?;
+        col_ind = p.u32_section("col_ind", limits.max_nnz as u64, limits)?;
+        vals_unique = p.f64_section("vals_unique", limits.max_nnz as u64, limits)?;
+        let width = p.u64("val_ind width")?;
+        let max = limits.max_nnz as u64;
+        val_ind = match width {
+            1 => {
+                let (_, data) = p.section("val_ind", 1, max, limits)?;
+                ValInd::U8(data.to_vec())
+            }
+            2 => ValInd::U16(p.u16_section("val_ind", max, limits)?),
+            4 => ValInd::U32(p.u32_section("val_ind", max, limits)?),
+            other => {
+                return Err(SparseError::Parse(format!("invalid val_ind width {other}")));
+            }
+        };
     }
-    let nrows = read_u64(r)? as usize;
-    let ncols = read_u64(r)? as usize;
-    let row_ptr = read_u32_vec(r, SANE)?;
-    let col_ind = read_u32_vec(r, SANE)?;
-    let vals_unique = read_f64_vec(r, SANE)?;
-    let width = read_u64(r)?;
-    let val_ind = match width {
-        1 => ValInd::U8(read_bytes(r, SANE)?),
-        2 => {
-            let len = read_u64(r)?;
-            if len > SANE {
-                return Err(SparseError::Parse("val_ind length exceeds sanity bound".into()));
-            }
-            let mut v = Vec::with_capacity(len as usize);
-            let mut buf = [0u8; 2];
-            for _ in 0..len {
-                r.read_exact(&mut buf).map_err(io_err)?;
-                v.push(u16::from_le_bytes(buf));
-            }
-            ValInd::U16(v)
-        }
-        4 => ValInd::U32(read_u32_vec(r, SANE)?),
-        other => {
-            return Err(SparseError::Parse(format!("invalid val_ind width {other}")));
-        }
-    };
-    CsrVi::from_parts_checked(nrows, ncols, row_ptr, col_ind, vals_unique, val_ind)
+    CsrVi::from_parts_checked(
+        nrows as usize,
+        ncols as usize,
+        row_ptr,
+        col_ind,
+        vals_unique,
+        val_ind,
+    )
 }
 
 #[cfg(test)]
@@ -280,6 +575,77 @@ mod tests {
     use crate::examples::paper_matrix;
     use crate::SpMv;
     use std::io::Cursor;
+
+    // -----------------------------------------------------------------
+    // v1 fixture writers: reproduce the exact layout the version-1 code
+    // emitted, so old containers keep loading after the v2 bump.
+    // -----------------------------------------------------------------
+
+    fn v1_header(tag: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.push(tag);
+        out
+    }
+
+    fn v1_u32s(out: &mut Vec<u8>, data: &[u32]) {
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for &v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn v1_f64s(out: &mut Vec<u8>, data: &[f64]) {
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for &v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn v1_csr_fixture(m: &Csr<u32, f64>) -> Vec<u8> {
+        let mut out = v1_header(1);
+        out.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+        out.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+        v1_u32s(&mut out, m.row_ptr());
+        v1_u32s(&mut out, m.col_ind());
+        v1_f64s(&mut out, m.values());
+        out
+    }
+
+    fn v1_csr_du_fixture(m: &CsrDu<f64>) -> Vec<u8> {
+        let mut out = v1_header(2);
+        out.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+        out.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+        out.extend_from_slice(&(m.ctl().len() as u64).to_le_bytes());
+        out.extend_from_slice(m.ctl());
+        v1_f64s(&mut out, m.values());
+        out
+    }
+
+    fn v1_csr_vi_fixture(m: &CsrVi<u32, f64>) -> Vec<u8> {
+        let mut out = v1_header(3);
+        out.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+        out.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+        v1_u32s(&mut out, m.row_ptr());
+        v1_u32s(&mut out, m.col_ind());
+        v1_f64s(&mut out, m.vals_unique());
+        out.extend_from_slice(&(m.val_ind().width_bytes() as u64).to_le_bytes());
+        match m.val_ind() {
+            ValInd::U8(v) => {
+                out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            ValInd::U16(v) => {
+                out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                for &x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ValInd::U32(v) => v1_u32s(&mut out, v),
+        }
+        out
+    }
 
     #[test]
     fn csr_roundtrip() {
@@ -338,7 +704,19 @@ mod tests {
         write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
         buf[4] = 99; // version byte
         let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        assert!(matches!(
+            err,
+            SparseError::UnsupportedVersion { found: 99, max_supported: VERSION }
+        ));
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        buf[4] = 0;
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SparseError::UnsupportedVersion { found: 0, .. }));
     }
 
     #[test]
@@ -349,33 +727,162 @@ mod tests {
     }
 
     #[test]
-    fn truncation_rejected() {
+    fn truncation_rejected_at_every_byte_csr() {
         let mut buf = Vec::new();
         write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
-        for cut in [3, 7, 20, buf.len() - 1] {
+        for cut in 0..buf.len() {
             assert!(read_csr(&mut Cursor::new(&buf[..cut])).is_err(), "cut at {cut}");
         }
+        assert!(read_csr(&mut Cursor::new(&buf)).is_ok());
     }
 
     #[test]
-    fn corrupt_csr_structure_rejected() {
-        let mut buf = Vec::new();
-        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
-        // Flip a row_ptr byte to break monotonicity: header(7) + nrows(8)
-        // + ncols(8) + row_ptr len(8) + first entry...
-        buf[7 + 8 + 8 + 8 + 2] = 0xff;
-        assert!(read_csr(&mut Cursor::new(&buf)).is_err());
-    }
-
-    #[test]
-    fn corrupt_du_ctl_rejected() {
+    fn truncation_rejected_at_every_byte_csr_du() {
         let csr = paper_matrix().to_csr();
         let du = CsrDu::from_csr(&csr, &DuOptions::default());
         let mut buf = Vec::new();
         write_csr_du(&du, &mut buf).unwrap();
-        // Corrupt a ctl byte (first unit's usize -> 0 is invalid).
-        let ctl_start = 7 + 8 + 8 + 8;
-        buf[ctl_start + 1] = 0;
-        assert!(read_csr_du(&mut Cursor::new(&buf)).is_err());
+        for cut in 0..buf.len() {
+            assert!(read_csr_du(&mut Cursor::new(&buf[..cut])).is_err(), "cut at {cut}");
+        }
+        assert!(read_csr_du(&mut Cursor::new(&buf)).is_ok());
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_byte_csr_vi() {
+        let vi = CsrVi::from_csr(&paper_matrix().to_csr());
+        let mut buf = Vec::new();
+        write_csr_vi(&vi, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_csr_vi(&mut Cursor::new(&buf[..cut])).is_err(), "cut at {cut}");
+        }
+        assert!(read_csr_vi(&mut Cursor::new(&buf)).is_ok());
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_byte_v1_fixtures() {
+        let csr = paper_matrix().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        type ErrCheck = fn(&[u8]) -> bool;
+        let fixtures: [(Vec<u8>, ErrCheck); 3] = [
+            (v1_csr_fixture(&csr), |b| read_csr(&mut Cursor::new(b)).is_err()),
+            (v1_csr_du_fixture(&du), |b| read_csr_du(&mut Cursor::new(b)).is_err()),
+            (v1_csr_vi_fixture(&vi), |b| read_csr_vi(&mut Cursor::new(b)).is_err()),
+        ];
+        for (buf, errs) in &fixtures {
+            for cut in 0..buf.len() {
+                assert!(errs(&buf[..cut]), "v1 cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn v1_fixtures_still_load() {
+        // Regression guard for the v2 bump: byte-exact version-1 containers
+        // (no declared length, no checksums) must keep loading.
+        let csr = paper_matrix().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        assert_eq!(read_csr(&mut Cursor::new(v1_csr_fixture(&csr))).unwrap(), csr);
+        assert_eq!(read_csr_du(&mut Cursor::new(v1_csr_du_fixture(&du))).unwrap(), du);
+        assert_eq!(read_csr_vi(&mut Cursor::new(v1_csr_vi_fixture(&vi))).unwrap(), vi);
+    }
+
+    #[test]
+    fn bitflip_anywhere_in_v2_payload_is_detected() {
+        // Every flipped bit in the body must surface as ChecksumMismatch —
+        // including value bytes, which no structural validation can catch.
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap();
+        let body_start = 7 + 12; // header + (payload len, payload crc)
+        for byte in body_start..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= 0x10;
+            let err = read_csr(&mut Cursor::new(&corrupt)).unwrap_err();
+            assert!(
+                matches!(err, SparseError::ChecksumMismatch { .. }),
+                "byte {byte}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_checksum_names_damaged_array() {
+        // Zero out the whole-payload CRC so the per-section check is the
+        // one that fires; it must name the damaged section.
+        let csr = paper_matrix().to_csr();
+        let mut buf = Vec::new();
+        write_csr(&csr, &mut buf).unwrap();
+        // Corrupt the first byte of the values section's data: payload is
+        // nrows(8) ncols(8) row_ptr(8 + 7*4 + 4) col_ind(8 + 16*4 + 4) values...
+        let values_data = 7 + 12 + 8 + 8 + (8 + 7 * 4 + 4) + (8 + 16 * 4 + 4) + 8;
+        buf[values_data] ^= 0x01;
+        // Re-stamp the whole-payload CRC to match, isolating the section CRC.
+        let payload_crc = crc32(&buf[19..]);
+        buf[15..19].copy_from_slice(&payload_crc.to_le_bytes());
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        match err {
+            SparseError::ChecksumMismatch { section, .. } => assert_eq!(section, "values"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn length_inflated_header_trips_resource_limit() {
+        // A tiny file declaring a u64::MAX payload must be refused before
+        // any allocation happens.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(1); // CSR tag
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(err, SparseError::ResourceLimit { ref what, .. } if what == "payload bytes"),
+            "unexpected error {err}"
+        );
+    }
+
+    #[test]
+    fn length_inflated_v1_array_trips_resource_limit() {
+        // v1 has no payload framing; the per-array length check must fire.
+        let csr = paper_matrix().to_csr();
+        let mut buf = v1_csr_fixture(&csr);
+        // row_ptr length field sits right after header + nrows + ncols.
+        let len_at = 7 + 8 + 8;
+        buf[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SparseError::ResourceLimit { .. }), "unexpected error {err}");
+    }
+
+    #[test]
+    fn dimension_limits_enforced() {
+        let strict = LoadLimits { max_nrows: 4, ..LoadLimits::unlimited() };
+        let mut buf = Vec::new();
+        write_csr(&paper_matrix().to_csr(), &mut buf).unwrap(); // 6x6
+        let err = read_csr_with(&mut Cursor::new(&buf), &strict).unwrap_err();
+        assert!(matches!(err, SparseError::ResourceLimit { ref what, .. } if what == "nrows"));
+        // Unlimited accepts it.
+        assert!(read_csr_with(&mut Cursor::new(&buf), &LoadLimits::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn corrupt_du_ctl_rejected_even_with_fixed_checksums() {
+        // Structural validation still runs underneath the checksums: a
+        // well-checksummed container holding a garbage ctl stream (e.g.
+        // written by a buggy encoder) is rejected by validate_ctl.
+        let nrows = 2u64;
+        let ncols = 2u64;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, nrows);
+        put_u64(&mut payload, ncols);
+        put_byte_section(&mut payload, &[0x80, 0x00]); // zero-length unit
+        put_f64_section(&mut payload, &[]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CSR_DU, &payload).unwrap();
+        let err = read_csr_du(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidFormat(_)), "unexpected error {err}");
     }
 }

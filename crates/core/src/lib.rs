@@ -57,6 +57,7 @@
 pub mod bcsr;
 pub mod builder;
 pub mod coo;
+pub mod crc32;
 pub mod csc;
 pub mod csr;
 pub mod csr_du;
@@ -85,6 +86,7 @@ pub use csr::Csr;
 pub use dense::Dense;
 pub use error::SparseError;
 pub use index::SpIndex;
+pub use io::LoadLimits;
 pub use scalar::Scalar;
 pub use spmv::{FormatKind, SpMv};
 pub use stats::{SizeReport, WorkingSet};
@@ -102,5 +104,7 @@ pub mod prelude {
     pub use crate::hyb::Hyb;
     pub use crate::jad::Jad;
     pub use crate::sym::SymCsr;
-    pub use crate::{Coo, Csc, Csr, Dense, FormatKind, Scalar, SpIndex, SpMv, SparseError};
+    pub use crate::{
+        Coo, Csc, Csr, Dense, FormatKind, LoadLimits, Scalar, SpIndex, SpMv, SparseError,
+    };
 }

@@ -15,9 +15,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 ///
 /// Implemented for `f32` and `f64`. The [`Scalar::Bits`] associated type
 /// exposes the raw bit pattern, which CSR-VI uses to deduplicate values:
-/// two values are "the same" for compression purposes iff their bit patterns
-/// are identical (so `-0.0` and `0.0` are distinct, and `NaN`s with equal
-/// payloads deduplicate — exactly what a byte-level compressor would do).
+/// two values are "the same" for compression purposes iff their *canonical*
+/// bit patterns are identical — `-0.0` and `0.0` are distinct (conflating
+/// them would change results), while all `NaN`s collapse to one canonical
+/// slot regardless of payload (arithmetic cannot tell them apart, and
+/// per-element payloads would otherwise defeat deduplication entirely).
 pub trait Scalar:
     Copy
     + Default

@@ -1,6 +1,7 @@
 //! The [`SpMv`] trait — the common interface all storage formats implement —
 //! and the [`FormatKind`] tag used by the benchmark harness.
 
+use crate::error::SparseError;
 use crate::scalar::Scalar;
 
 /// Identifies a storage format, for reporting and dispatch in the harness.
@@ -75,6 +76,32 @@ pub trait SpMv<V: Scalar = f64>: Send + Sync {
     /// `y.len() != nrows`. `y` is fully overwritten.
     fn spmv(&self, x: &[V], y: &mut [V]);
 
+    /// Checked SpMV: returns [`SparseError::DimensionMismatch`] for
+    /// wrong-length `x`/`y` instead of panicking. This is the entry point
+    /// for callers handing in vectors from an untrusted or dynamic source
+    /// (request payloads, deserialized state) — unlike `debug_assert!`s,
+    /// the check cannot compile away in release builds.
+    fn try_spmv(&self, x: &[V], y: &mut [V]) -> Result<(), SparseError> {
+        if x.len() != self.ncols() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "x length {} != ncols {} for {} SpMV",
+                x.len(),
+                self.ncols(),
+                self.kind()
+            )));
+        }
+        if y.len() != self.nrows() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "y length {} != nrows {} for {} SpMV",
+                y.len(),
+                self.nrows(),
+                self.kind()
+            )));
+        }
+        self.spmv(x, y);
+        Ok(())
+    }
+
     /// Floating-point operations per multiplication (2 per non-zero:
     /// one multiply, one add) — the paper's FLOPS accounting (§VI-C).
     fn flops(&self) -> usize {
@@ -97,5 +124,35 @@ mod tests {
     fn flops_is_twice_nnz() {
         let csr: crate::Csr = crate::examples::paper_matrix().to_csr();
         assert_eq!(SpMv::<f64>::flops(&csr), 32);
+    }
+
+    #[test]
+    fn try_spmv_checks_dimensions_on_every_format() {
+        use crate::csr_du::{CsrDu, DuOptions};
+        use crate::csr_duvi::CsrDuVi;
+        use crate::csr_vi::CsrVi;
+
+        let csr: crate::Csr = crate::examples::paper_matrix().to_csr();
+        let formats: Vec<Box<dyn SpMv<f64>>> = vec![
+            Box::new(csr.clone()),
+            Box::new(CsrDu::from_csr(&csr, &DuOptions::default())),
+            Box::new(CsrVi::from_csr(&csr)),
+            Box::new(CsrDuVi::from_csr(&csr, &DuOptions::default())),
+        ];
+        let x = vec![1.0; 6];
+        for m in &formats {
+            // Wrong x length.
+            let mut y = vec![0.0; 6];
+            let err = m.try_spmv(&x[..5], &mut y).unwrap_err();
+            assert!(matches!(err, crate::SparseError::DimensionMismatch(_)), "{}", m.kind());
+            // Wrong y length.
+            let mut y_short = vec![0.0; 5];
+            assert!(m.try_spmv(&x, &mut y_short).is_err(), "{}", m.kind());
+            // Correct lengths succeed and match the panicking entry point.
+            let mut y_ref = vec![0.0; 6];
+            m.spmv(&x, &mut y_ref);
+            m.try_spmv(&x, &mut y).unwrap();
+            assert_eq!(y, y_ref, "{}", m.kind());
+        }
     }
 }

@@ -1,0 +1,445 @@
+//! Deterministic, dependency-free fuzz harness for the three byte-level
+//! parsers that sit on trust boundaries:
+//!
+//! * the binary container readers ([`spmv_core::io`]),
+//! * the MatrixMarket parser ([`spmv_matgen::mtx`]),
+//! * the CSR-DU ctl-stream validator
+//!   ([`spmv_core::csr_du::CsrDu::from_parts_checked`]).
+//!
+//! Each round takes a *valid* seed input, applies a seeded byte-level
+//! mutation (truncation at an arbitrary offset, bit flips, length-field
+//! inflation, valid-prefix splicing, block garbage), and asserts the
+//! parser's only outcomes are `Ok` or [`spmv_core::SparseError`] — never
+//! a panic, abort, or runaway allocation (allocations are bounded by
+//! [`LoadLimits::strict_for_tests`]).
+//!
+//! Everything is driven by a fixed-seed xorshift generator, so a failing
+//! case is reproducible from `(seed, case index)` alone — the harness
+//! re-derives the exact input bytes. CI runs this as a smoke gate (see
+//! `scripts/ci.sh`); longer exploratory runs just raise `--iters`.
+
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{io, Coo, Csr, LoadLimits};
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic xorshift64* generator — the harness's only entropy
+/// source, so every case is reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator (zero is mapped to a fixed odd constant).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Which parser a fuzz run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Binary container readers (`read_csr`, `read_csr_du`, `read_csr_vi`).
+    Io,
+    /// MatrixMarket text parser.
+    Mtx,
+    /// CSR-DU ctl-stream validation via `from_parts_checked`.
+    Ctl,
+}
+
+impl Target {
+    /// All targets, in report order.
+    pub const ALL: [Target; 3] = [Target::Io, Target::Mtx, Target::Ctl];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Io => "io-container",
+            Target::Mtx => "mtx",
+            Target::Ctl => "ctl-stream",
+        }
+    }
+}
+
+/// One reproducible failure: the parser panicked instead of returning
+/// `Ok`/`Err`.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Target that failed.
+    pub target: Target,
+    /// Case index within the run (input is re-derivable from seed + index).
+    pub case: usize,
+    /// Panic payload, if it was a string.
+    pub message: String,
+    /// The exact input bytes that triggered the panic.
+    pub input: Vec<u8>,
+}
+
+/// Outcome of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Target driven.
+    pub target: Target,
+    /// Mutated inputs executed.
+    pub executed: usize,
+    /// Inputs the parser accepted (sanity signal that seeds are valid).
+    pub ok: usize,
+    /// Inputs rejected with a clean `SparseError`.
+    pub rejected: usize,
+    /// Panics caught (must be empty for a passing run).
+    pub failures: Vec<Failure>,
+}
+
+// ---------------------------------------------------------------------
+// seed corpora: small, valid inputs the mutator starts from
+// ---------------------------------------------------------------------
+
+fn seed_matrices() -> Vec<Csr<u32, f64>> {
+    let mut out = Vec::new();
+    out.push(spmv_core::examples::paper_matrix().to_csr());
+    // Banded matrix with few unique values (deep CSR-VI/DU structure).
+    let n = 40usize;
+    let mut t = Vec::new();
+    for i in 0..n {
+        for d in 0..3usize {
+            if i + d < n {
+                t.push((i, i + d, [1.5, -2.0, 0.25][d]));
+            }
+        }
+    }
+    out.push(Coo::from_triplets(n, n, t).unwrap().to_csr());
+    // Matrix with empty rows and a wide row jump (RJMP ctl paths).
+    let t = vec![(0usize, 0usize, 1.0), (7, 19, 2.0), (7, 20, 3.0), (15, 3, -1.0)];
+    out.push(Coo::from_triplets(16, 21, t).unwrap().to_csr());
+    // Empty matrix.
+    out.push(Coo::new(3, 3).to_csr());
+    out
+}
+
+/// Valid v2 container bytes for every format and seed matrix.
+fn io_seeds() -> Vec<Vec<u8>> {
+    let mut seeds = Vec::new();
+    for csr in seed_matrices() {
+        let mut buf = Vec::new();
+        io::write_csr(&csr, &mut buf).expect("write csr seed");
+        seeds.push(buf);
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut buf = Vec::new();
+        io::write_csr_du(&du, &mut buf).expect("write du seed");
+        seeds.push(buf);
+        let vi = CsrVi::from_csr(&csr);
+        let mut buf = Vec::new();
+        io::write_csr_vi(&vi, &mut buf).expect("write vi seed");
+        seeds.push(buf);
+    }
+    // A byte-exact version-1 CSR container (no checksums), so the legacy
+    // read path is fuzzed too.
+    let csr = spmv_core::examples::paper_matrix().to_csr();
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(io::MAGIC);
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    v1.push(1); // CSR tag
+    v1.extend_from_slice(&(csr.nrows() as u64).to_le_bytes());
+    v1.extend_from_slice(&(csr.ncols() as u64).to_le_bytes());
+    for arr in [csr.row_ptr(), csr.col_ind()] {
+        v1.extend_from_slice(&(arr.len() as u64).to_le_bytes());
+        for &x in arr {
+            v1.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    v1.extend_from_slice(&(csr.values().len() as u64).to_le_bytes());
+    for &x in csr.values() {
+        v1.extend_from_slice(&x.to_le_bytes());
+    }
+    seeds.push(v1);
+    seeds
+}
+
+fn mtx_seeds() -> Vec<Vec<u8>> {
+    [
+        "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 4\n1 1 2.0\n1 3 -1.5\n2 2 3.0\n3 1 4.0\n",
+        "%%MatrixMarket matrix coordinate real symmetric\n4 4 3\n1 1 5.0\n3 1 7.0\n4 4 -2.5\n",
+        "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 2\n2 3\n",
+        "%%MatrixMarket matrix coordinate integer skew-symmetric\n3 3 2\n2 1 3\n3 2 -4\n",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+/// Valid `(nrows, ncols, ctl, nnz)` tuples for the ctl-stream target.
+fn ctl_seeds() -> Vec<(usize, usize, Vec<u8>, usize)> {
+    seed_matrices()
+        .into_iter()
+        .map(|csr| {
+            let du = CsrDu::from_csr(&csr, &DuOptions::default());
+            (du.nrows(), du.ncols(), du.ctl().to_vec(), du.nnz())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// mutations
+// ---------------------------------------------------------------------
+
+/// Applies one seeded byte-level mutation. The operation mix deliberately
+/// over-weights the attacks the parsers must survive: truncation at every
+/// offset, single/multi bit flips, length-field inflation (64-bit LE
+/// huge values at arbitrary offsets), and splicing a valid prefix onto
+/// foreign bytes.
+pub fn mutate(rng: &mut XorShift64, seed: &[u8]) -> Vec<u8> {
+    let mut buf = seed.to_vec();
+    match rng.below(8) {
+        // Truncate at an arbitrary offset.
+        0 => {
+            buf.truncate(rng.below(buf.len() + 1));
+        }
+        // Flip 1..=8 random bits.
+        1 => {
+            if !buf.is_empty() {
+                for _ in 0..1 + rng.below(8) {
+                    let at = rng.below(buf.len());
+                    buf[at] ^= 1 << rng.below(8);
+                }
+            }
+        }
+        // Length-field inflation: stamp a huge LE u64 somewhere.
+        2 => {
+            if buf.len() >= 8 {
+                let at = rng.below(buf.len() - 7);
+                let huge: u64 =
+                    [u64::MAX, u64::MAX / 2, 1 << 62, 1 << 40, u32::MAX as u64][rng.below(5)];
+                buf[at..at + 8].copy_from_slice(&huge.to_le_bytes());
+            }
+        }
+        // Valid-prefix splicing: keep a prefix, append random bytes.
+        3 => {
+            buf.truncate(rng.below(buf.len() + 1));
+            let extra = rng.below(64);
+            for _ in 0..extra {
+                buf.push(rng.next_u64() as u8);
+            }
+        }
+        // Splice two seeds' halves together (valid-prefix + valid-suffix).
+        4 => {
+            let cut = rng.below(buf.len() + 1);
+            let tail_from = rng.below(buf.len() + 1);
+            let tail: Vec<u8> = seed[tail_from..].to_vec();
+            buf.truncate(cut);
+            buf.extend_from_slice(&tail);
+        }
+        // Overwrite a random block with random bytes.
+        5 => {
+            if !buf.is_empty() {
+                let at = rng.below(buf.len());
+                let len = 1 + rng.below((buf.len() - at).min(16));
+                for b in &mut buf[at..at + len] {
+                    *b = rng.next_u64() as u8;
+                }
+            }
+        }
+        // Duplicate a random block (grows the input).
+        6 => {
+            if !buf.is_empty() {
+                let at = rng.below(buf.len());
+                let len = 1 + rng.below((buf.len() - at).min(32));
+                let block: Vec<u8> = buf[at..at + len].to_vec();
+                let insert_at = rng.below(buf.len() + 1);
+                buf.splice(insert_at..insert_at, block);
+            }
+        }
+        // Fully random bytes (header-less garbage).
+        _ => {
+            let len = rng.below(128);
+            buf = (0..len).map(|_| rng.next_u64() as u8).collect();
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// drivers
+// ---------------------------------------------------------------------
+
+fn catch(target: Target, case: usize, input: &[u8], f: impl FnOnce() -> bool) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(true) => CaseOutcome::Accepted,
+        Ok(false) => CaseOutcome::Rejected,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            CaseOutcome::Panicked(Failure { target, case, message, input: input.to_vec() })
+        }
+    }
+}
+
+enum CaseOutcome {
+    Accepted,
+    Rejected,
+    Panicked(Failure),
+}
+
+/// Runs `iters` mutated inputs against `target` with the given seed.
+/// Deterministic: identical `(target, seed, iters)` triples replay
+/// identical inputs.
+pub fn run(target: Target, seed: u64, iters: usize) -> Report {
+    let mut rng = XorShift64::new(seed ^ target.name().len() as u64);
+    let limits = LoadLimits::strict_for_tests();
+    let mut report = Report { target, executed: 0, ok: 0, rejected: 0, failures: Vec::new() };
+
+    let io_seeds = if target == Target::Io { io_seeds() } else { Vec::new() };
+    let mtx_seeds = if target == Target::Mtx { mtx_seeds() } else { Vec::new() };
+    let ctl_seeds = if target == Target::Ctl { ctl_seeds() } else { Vec::new() };
+
+    for case in 0..iters {
+        let outcome = match target {
+            Target::Io => {
+                let base = &io_seeds[rng.below(io_seeds.len())];
+                let input = mutate(&mut rng, base);
+                catch(target, case, &input, || {
+                    // Every mutated container is offered to all three
+                    // readers: a corrupted tag byte must fail cleanly in
+                    // whichever reader it lands.
+                    let a = io::read_csr_with(&mut Cursor::new(&input), &limits).is_ok();
+                    let b = io::read_csr_du_with(&mut Cursor::new(&input), &limits).is_ok();
+                    let c = io::read_csr_vi_with(&mut Cursor::new(&input), &limits).is_ok();
+                    a || b || c
+                })
+            }
+            Target::Mtx => {
+                let base = &mtx_seeds[rng.below(mtx_seeds.len())];
+                let input = mutate(&mut rng, base);
+                catch(target, case, &input, || {
+                    spmv_matgen::mtx::read_mtx_with(Cursor::new(&input), &limits).is_ok()
+                })
+            }
+            Target::Ctl => {
+                let (nrows, ncols, ctl, nnz) = {
+                    let (r, c, ctl, nnz) = &ctl_seeds[rng.below(ctl_seeds.len())];
+                    (*r, *c, ctl.clone(), *nnz)
+                };
+                let input = mutate(&mut rng, &ctl);
+                // Occasionally lie about the dimensions too.
+                let (nrows, ncols) = match rng.below(4) {
+                    0 => (rng.below(64), rng.below(64)),
+                    _ => (nrows, ncols),
+                };
+                let values = vec![1.0f64; nnz];
+                let ctl_input = input.clone();
+                catch(target, case, &input, move || {
+                    CsrDu::from_parts_checked(nrows, ncols, ctl_input, values).is_ok()
+                })
+            }
+        };
+        report.executed += 1;
+        match outcome {
+            CaseOutcome::Accepted => report.ok += 1,
+            CaseOutcome::Rejected => report.rejected += 1,
+            CaseOutcome::Panicked(f) => report.failures.push(f),
+        }
+    }
+    report
+}
+
+/// Runs all targets; panics are reported, not raised.
+pub fn run_all(seed: u64, iters_per_target: usize) -> Vec<Report> {
+    Target::ALL.iter().map(|&t| run(t, seed, iters_per_target)).collect()
+}
+
+/// Installs a silent panic hook for the duration of `f`, so expected
+/// caught panics don't spam stderr, then restores the previous hook.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(XorShift64::new(1).next_u64(), XorShift64::new(2).next_u64());
+    }
+
+    #[test]
+    fn mutations_are_reproducible() {
+        let seed = io_seeds().remove(0);
+        let m1: Vec<Vec<u8>> = {
+            let mut rng = XorShift64::new(7);
+            (0..50).map(|_| mutate(&mut rng, &seed)).collect()
+        };
+        let m2: Vec<Vec<u8>> = {
+            let mut rng = XorShift64::new(7);
+            (0..50).map(|_| mutate(&mut rng, &seed)).collect()
+        };
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn smoke_all_targets_no_panics() {
+        for report in with_quiet_panics(|| run_all(0xFEED_FACE, 500)) {
+            assert!(
+                report.failures.is_empty(),
+                "{}: {} panics, first: {:?}",
+                report.target.name(),
+                report.failures.len(),
+                report.failures.first().map(|f| &f.message)
+            );
+            assert_eq!(report.executed, 500);
+            // Some mutations must be rejected (the mutator is not a no-op)
+            // and the harness must see at least one clean parse overall.
+            assert!(report.rejected > 0, "{}", report.target.name());
+        }
+    }
+
+    #[test]
+    fn seeds_parse_clean() {
+        let limits = LoadLimits::strict_for_tests();
+        let mut any_ok = false;
+        for s in io_seeds() {
+            any_ok |= io::read_csr_with(&mut Cursor::new(&s), &limits).is_ok()
+                || io::read_csr_du_with(&mut Cursor::new(&s), &limits).is_ok()
+                || io::read_csr_vi_with(&mut Cursor::new(&s), &limits).is_ok();
+        }
+        assert!(any_ok);
+        for s in mtx_seeds() {
+            spmv_matgen::mtx::read_mtx_with(Cursor::new(&s), &limits).unwrap();
+        }
+        for (r, c, ctl, nnz) in ctl_seeds() {
+            CsrDu::from_parts_checked(r, c, ctl, vec![1.0f64; nnz]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! CLI entry point for the deterministic fuzz harness.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--target all|io|mtx|ctl]
+//! ```
+//!
+//! Runs `--iters` mutated inputs against each selected parser and exits
+//! nonzero if any input provoked a panic. Identical `(seed, iters,
+//! target)` arguments replay identical inputs, so a CI failure is
+//! reproducible locally with the numbers from the log.
+
+use spmv_fuzz::{run, with_quiet_panics, Report, Target};
+
+struct Args {
+    seed: u64,
+    iters: usize,
+    targets: Vec<Target>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 0xC0FF_EE00, iters: 12_000, targets: Target::ALL.to_vec() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|e| format!("bad --seed '{v}': {e}"))?;
+            }
+            "--iters" => {
+                let v = value("--iters")?;
+                args.iters = v.parse().map_err(|e| format!("bad --iters '{v}': {e}"))?;
+            }
+            "--target" => {
+                let v = value("--target")?;
+                args.targets = match v.as_str() {
+                    "all" => Target::ALL.to_vec(),
+                    "io" => vec![Target::Io],
+                    "mtx" => vec![Target::Mtx],
+                    "ctl" => vec![Target::Ctl],
+                    other => {
+                        return Err(format!("unknown --target '{other}' (expected all|io|mtx|ctl)"))
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("usage: fuzz [--seed N] [--iters N] [--target all|io|mtx|ctl]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_report(r: &Report) {
+    println!(
+        "  {:12} executed {:>7}  ok {:>6}  rejected {:>6}  panics {}",
+        r.target.name(),
+        r.executed,
+        r.ok,
+        r.rejected,
+        r.failures.len()
+    );
+    for f in r.failures.iter().take(5) {
+        let preview_len = f.input.len().min(64);
+        eprintln!(
+            "    PANIC case {} ({} bytes): {}\n      input[..{}] = {:02x?}",
+            f.case,
+            f.input.len(),
+            f.message,
+            preview_len,
+            &f.input[..preview_len]
+        );
+    }
+    if r.failures.len() > 5 {
+        eprintln!("    ... and {} more panics", r.failures.len() - 5);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "fuzz: seed={:#x} iters={} targets={:?}",
+        args.seed,
+        args.iters,
+        args.targets.iter().map(|t| t.name()).collect::<Vec<_>>()
+    );
+    let reports: Vec<Report> =
+        with_quiet_panics(|| args.targets.iter().map(|&t| run(t, args.seed, args.iters)).collect());
+    let mut failed = false;
+    for r in &reports {
+        print_report(r);
+        failed |= !r.failures.is_empty();
+    }
+    if failed {
+        eprintln!("fuzz: FAILED — reproduce with --seed {:#x} --iters {}", args.seed, args.iters);
+        std::process::exit(1);
+    }
+    println!("fuzz: all parsers survived");
+}

@@ -5,7 +5,7 @@
 //! {general|symmetric|skew-symmetric}`. Symmetric inputs are expanded to
 //! full storage on read (the paper's kernels operate on full patterns).
 
-use spmv_core::{Coo, SparseError};
+use spmv_core::{Coo, LoadLimits, SparseError};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -25,8 +25,19 @@ enum Symmetry {
     SkewSymmetric,
 }
 
-/// Parses a MatrixMarket stream into COO.
+/// Parses a MatrixMarket stream into COO with default [`LoadLimits`].
+///
+/// The parser is strict: declared dimensions and entry count are checked
+/// against the limits before any entry storage is reserved, every index
+/// must be 1-based and inside the declared dimensions, `real`/`integer`
+/// values must be finite, and the entry count must match the header
+/// exactly (too many entries fail as early as the first excess line).
 pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
+    read_mtx_with(reader, &LoadLimits::default())
+}
+
+/// Parses a MatrixMarket stream into COO under explicit [`LoadLimits`].
+pub fn read_mtx_with<R: BufRead>(reader: R, limits: &LoadLimits) -> Result<Coo<f64>, SparseError> {
     let mut lines = reader.lines();
 
     // Header line.
@@ -69,20 +80,38 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
         break;
     }
     let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    // `usize::from_str` rejects overflowing dimension literals; keep the
+    // offending token in the error for diagnosis.
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(e.to_string())))
+        .map(|t| {
+            t.parse::<usize>().map_err(|e| SparseError::Parse(format!("bad size field '{t}': {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(SparseError::Parse(format!("bad size line: {size_line}")));
     }
     let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+    let limit = |what: &str, requested: usize, limit: usize| -> Result<(), SparseError> {
+        if requested > limit {
+            return Err(SparseError::ResourceLimit {
+                what: what.into(),
+                requested: requested as u64,
+                limit: limit as u64,
+            });
+        }
+        Ok(())
+    };
+    limit("nrows", nrows, limits.max_nrows)?;
+    limit("ncols", ncols, limits.max_ncols)?;
+    limit("nnz", declared_nnz, limits.max_nnz)?;
 
-    let mut coo = Coo::with_capacity(
-        nrows,
-        ncols,
-        if symmetry == Symmetry::General { declared_nnz } else { 2 * declared_nnz },
-    );
+    // Capacity is a hint, not a trusted promise: cap the up-front
+    // reservation so a huge-but-within-limits declared nnz on a tiny file
+    // cannot allocate ahead of the bytes that actually arrive.
+    let expanded =
+        if symmetry == Symmetry::General { declared_nnz } else { declared_nnz.saturating_mul(2) };
+    let mut coo = Coo::with_capacity(nrows, ncols, expanded.min(1 << 16));
     let mut seen = 0usize;
     for line in lines {
         let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
@@ -90,19 +119,29 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
+        // Fail on the first excess entry rather than buffering an
+        // arbitrarily long tail of a lying header.
+        if seen == declared_nnz {
+            return Err(SparseError::Parse(format!(
+                "header declares {declared_nnz} entries but more follow: '{trimmed}'"
+            )));
+        }
         let mut it = trimmed.split_whitespace();
-        let r: usize = it
-            .next()
-            .ok_or_else(|| SparseError::Parse("missing row".into()))?
-            .parse()
-            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
-        let c: usize = it
-            .next()
-            .ok_or_else(|| SparseError::Parse("missing col".into()))?
-            .parse()
-            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let r: usize =
+            it.next().ok_or_else(|| SparseError::Parse("missing row".into()))?.parse().map_err(
+                |e: std::num::ParseIntError| SparseError::Parse(format!("bad row: {e}")),
+            )?;
+        let c: usize =
+            it.next().ok_or_else(|| SparseError::Parse("missing col".into()))?.parse().map_err(
+                |e: std::num::ParseIntError| SparseError::Parse(format!("bad col: {e}")),
+            )?;
         if r == 0 || c == 0 {
             return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+        }
+        if r > nrows || c > ncols {
+            return Err(SparseError::Parse(format!(
+                "entry ({r}, {c}) outside declared dimensions {nrows}x{ncols}"
+            )));
         }
         let v: f64 = match field {
             Field::Pattern => 1.0,
@@ -112,6 +151,11 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f64>, SparseError> {
                 .parse()
                 .map_err(|e: std::num::ParseFloatError| SparseError::Parse(e.to_string()))?,
         };
+        if !v.is_finite() {
+            return Err(SparseError::Parse(format!(
+                "non-finite value {v} at entry ({r}, {c}); real/integer fields must be finite"
+            )));
+        }
         let (r, c) = (r - 1, c - 1);
         coo.push(r, c, v)?;
         match symmetry {
@@ -236,6 +280,71 @@ mod tests {
     fn rejects_out_of_bounds() {
         let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_mtx(Cursor::new(s)).is_err());
+    }
+
+    #[test]
+    fn rejects_excess_entries_early() {
+        // Header declares 1 entry; the second data line must be the error.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n";
+        let err = read_mtx(Cursor::new(s)).unwrap_err();
+        assert!(matches!(err, SparseError::Parse(ref m) if m.contains("more follow")), "{err}");
+    }
+
+    #[test]
+    fn rejects_too_few_entries() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_mtx(Cursor::new(s)).unwrap_err();
+        assert!(matches!(err, SparseError::Parse(ref m) if m.contains("declares 2")), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_one_based_indices() {
+        // Row beyond nrows.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read_mtx(Cursor::new(s)).unwrap_err();
+        assert!(matches!(err, SparseError::Parse(ref m) if m.contains("(3, 1)")), "{err}");
+        // Column beyond ncols.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5 1.0\n";
+        let err = read_mtx(Cursor::new(s)).unwrap_err();
+        assert!(matches!(err, SparseError::Parse(ref m) if m.contains("(1, 5)")), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["inf", "-inf", "nan", "NaN", "Infinity"] {
+            let s = format!("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 {bad}\n");
+            let err = read_mtx(Cursor::new(s)).unwrap_err();
+            assert!(
+                matches!(err, SparseError::Parse(ref m) if m.contains("non-finite")),
+                "{bad}: {err}"
+            );
+        }
+        // 1e999 overflows f64 to +inf during parsing — also rejected.
+        let s = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e999\n";
+        assert!(read_mtx(Cursor::new(s)).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_dimensions() {
+        let s = "%%MatrixMarket matrix coordinate real general\n99999999999999999999999999 2 1\n1 1 1.0\n";
+        let err = read_mtx(Cursor::new(s)).unwrap_err();
+        assert!(matches!(err, SparseError::Parse(ref m) if m.contains("bad size field")), "{err}");
+    }
+
+    #[test]
+    fn declared_sizes_checked_against_limits_before_storage() {
+        let limits = LoadLimits { max_nnz: 10, ..LoadLimits::unlimited() };
+        // Declared nnz of a billion trips the limit without reading entries.
+        let s = "%%MatrixMarket matrix coordinate real general\n5 5 1000000000\n";
+        let err = read_mtx_with(Cursor::new(s), &limits).unwrap_err();
+        assert!(
+            matches!(err, SparseError::ResourceLimit { ref what, .. } if what == "nnz"),
+            "{err}"
+        );
+        let limits = LoadLimits { max_nrows: 4, ..LoadLimits::unlimited() };
+        let s = "%%MatrixMarket matrix coordinate real general\n5 5 1\n1 1 1.0\n";
+        let err = read_mtx_with(Cursor::new(s), &limits).unwrap_err();
+        assert!(matches!(err, SparseError::ResourceLimit { ref what, .. } if what == "nrows"));
     }
 
     #[test]

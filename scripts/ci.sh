@@ -21,4 +21,9 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== fuzz-smoke (deterministic, fixed seed) =="
+# 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
+# any panic fails the gate. Reproducible: same seed -> same inputs.
+cargo run -q --release -p spmv-fuzz -- --seed 3203334144 --iters 12000
+
 echo "CI gate passed."
