@@ -18,6 +18,7 @@
 //!   ablation-partition  row/column/block partitioning comparison (A3)
 //!   validate   analytic model vs exact cache-trace simulation
 //!   measured   wall-clock serial format comparison on sample matrices
+//!   verify     structural validate() + CSR cross-check of every format
 //!   all        everything above, in order
 //! ```
 //!
@@ -77,7 +78,7 @@ fn parse_args() -> Args {
 
 const HELP: &str = "reproduce [--scale S] [--out DIR] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
-ablation-ordering|ablation-partition|validate|measured|all>\n";
+ablation-ordering|ablation-partition|validate|measured|verify|all>\n";
 
 fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
     if let Some(dir) = out {
@@ -158,6 +159,11 @@ fn main() {
         "ablation-partition" => ablation_partition(),
         "validate" => validate_model(),
         "measured" => measured(&args),
+        "verify" => {
+            if !verify(&args) {
+                std::process::exit(1);
+            }
+        }
         other => {
             eprintln!("unknown command: {other}\n{HELP}");
             std::process::exit(2);
@@ -180,6 +186,7 @@ fn main() {
             "ablation-partition",
             "validate",
             "measured",
+            "verify",
         ] {
             run(cmd);
         }
@@ -337,7 +344,7 @@ fn ablation_partition() {
     println!("\n== Ablation A3: partitioning schemes (§II-C), wall-clock on this host ==\n");
     let coo = spmv_matgen::gen::stencil_2d(400, 400);
     let csr = coo.to_csr();
-    let csc = Csc::from_csr(&csr);
+    let csc = Csc::from_csr(&csr).unwrap();
     let x = spmv_bench::measured::random_x::<f64>(csr.ncols(), 1);
     let mut y = vec![0.0; csr.nrows()];
     let iters = 20;
@@ -451,4 +458,160 @@ fn measured(args: &Args) {
             m_duvi.mflops
         );
     }
+}
+
+/// Verify mode: for every corpus matrix, build every format, re-prove its
+/// structural invariants with `validate()`, and cross-check its SpMV result
+/// against the CSR baseline row-by-row within a ULP tolerance
+/// (`CheckedSpMv`). Returns `false` (and the process exits non-zero) if any
+/// format fails either check.
+fn verify(args: &Args) -> bool {
+    use spmv_core::prelude::*;
+
+    // Verification builds ~12 formats per matrix; cap the working sets the
+    // same way measured mode does so a full-corpus pass stays tractable.
+    let scale = args.scale.min(0.25);
+    let corpus = spmv_matgen::corpus::corpus_scaled(scale);
+    println!("\n== Verify mode: validate() + CSR cross-check (ULP tolerance) on every format ==\n");
+    println!("(corpus scale {scale}; padded formats are skipped where padding would explode)\n");
+
+    // Padded formats (ELL, DIA) materialise nrows*width / ndiags*nrows
+    // slots; scattered matrices would blow this up to gigabytes.
+    const PAD_SLOT_CAP: usize = 1 << 24;
+
+    let (mut pass, mut skip, mut fail) = (0usize, 0usize, 0usize);
+    for entry in &corpus {
+        let csr: Csr = entry.build().to_csr();
+        let x = spmv_bench::measured::random_x::<f64>(csr.ncols(), entry.id as u64);
+        // Small matrices get the full row-by-row cross-check; large ones a
+        // deterministic 256-row sample (still every format, every matrix).
+        let opts = CheckOptions {
+            sample_rows: if csr.nrows() <= 4096 { 0 } else { 256 },
+            ..CheckOptions::default()
+        };
+
+        let mut failures: Vec<String> = Vec::new();
+        let mut skips: Vec<&str> = Vec::new();
+        let mut checked_count = 0usize;
+        let check =
+            |name: &str, m: &dyn SpMv<f64>, failures: &mut Vec<String>, count: &mut usize| {
+                *count += 1;
+                if let Err(e) = m.validate() {
+                    failures.push(format!("{name}: validate(): {e}"));
+                    return;
+                }
+                let wrapped = match CheckedSpMv::with_options(m, &csr, opts) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        failures.push(format!("{name}: {e}"));
+                        return;
+                    }
+                };
+                let mut y = vec![0.0f64; csr.nrows()];
+                if let Err(e) = wrapped.spmv_verified(&x, &mut y) {
+                    failures.push(format!("{name}: {e}"));
+                }
+            };
+
+        // The baseline itself only gets the structural check — it *is* the
+        // cross-check reference.
+        if let Err(e) = csr.validate() {
+            failures.push(format!("CSR: validate(): {e}"));
+        }
+
+        check(
+            "CSR-DU",
+            &CsrDu::from_csr(&csr, &DuOptions::default()),
+            &mut failures,
+            &mut checked_count,
+        );
+        check(
+            "CSR-DU/seq",
+            &CsrDu::from_csr(&csr, &DuOptions::with_seq()),
+            &mut failures,
+            &mut checked_count,
+        );
+        check("CSR-VI", &CsrVi::from_csr(&csr), &mut failures, &mut checked_count);
+        check(
+            "CSR-DU-VI",
+            &CsrDuVi::from_csr(&csr, &DuOptions::default()),
+            &mut failures,
+            &mut checked_count,
+        );
+        check(
+            "DCSR",
+            &Dcsr::from_csr(&csr, &Default::default()),
+            &mut failures,
+            &mut checked_count,
+        );
+
+        match Csc::from_csr(&csr) {
+            Ok(csc) => check("CSC", &csc, &mut failures, &mut checked_count),
+            Err(e) => failures.push(format!("CSC: build: {e}")),
+        }
+        match Jad::from_csr(&csr) {
+            Ok(jad) => check("JAD", &jad, &mut failures, &mut checked_count),
+            Err(e) => failures.push(format!("JAD: build: {e}")),
+        }
+        match Bcsr::from_csr(&csr, 2, 2) {
+            Ok(b) => check("BCSR", &b, &mut failures, &mut checked_count),
+            Err(e) => failures.push(format!("BCSR: build: {e}")),
+        }
+        match Hyb::from_csr(&csr, 0.66) {
+            Ok(h) => check("HYB", &h, &mut failures, &mut checked_count),
+            Err(e) => failures.push(format!("HYB: build: {e}")),
+        }
+        // Symmetric storage only applies to symmetric matrices; a build
+        // rejection is the expected outcome elsewhere, not a failure.
+        if let Ok(s) = SymCsr::from_csr(&csr) {
+            check("SYM-CSR", &s, &mut failures, &mut checked_count);
+        } else {
+            skips.push("SYM-CSR");
+        }
+
+        let ell_slots = csr.nrows() * (0..csr.nrows()).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        if ell_slots <= PAD_SLOT_CAP {
+            match Ell::from_csr(&csr) {
+                Ok(e) => check("ELL", &e, &mut failures, &mut checked_count),
+                Err(e) => failures.push(format!("ELL: build: {e}")),
+            }
+        } else {
+            skips.push("ELL");
+        }
+        let ndiags = {
+            let mut s = std::collections::BTreeSet::new();
+            for (r, c, _) in csr.iter() {
+                s.insert(c as isize - r as isize);
+            }
+            s.len()
+        };
+        if ndiags * csr.nrows() <= PAD_SLOT_CAP {
+            check("DIA", &Dia::from_csr(&csr), &mut failures, &mut checked_count);
+        } else {
+            skips.push("DIA");
+        }
+
+        let verdict = if failures.is_empty() { "ok" } else { "FAIL" };
+        println!(
+            "  id {:>3} {:<12} nnz {:>9}  {:>2} formats {verdict}{}",
+            entry.id,
+            entry.name,
+            csr.nnz(),
+            checked_count,
+            if skips.is_empty() {
+                String::new()
+            } else {
+                format!("  (skipped: {})", skips.join(", "))
+            }
+        );
+        for f in &failures {
+            println!("       {f}");
+        }
+        pass += checked_count - failures.len().min(checked_count);
+        skip += skips.len();
+        fail += failures.len();
+    }
+
+    println!("\nverify: {pass} format instances ok, {skip} skipped, {fail} failed");
+    fail == 0
 }

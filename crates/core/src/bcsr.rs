@@ -178,6 +178,94 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Bcsr<I, V> {
             }
         }
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        if self.br == 0 || self.bc == 0 {
+            return Err(SparseError::InvalidFormat("block dimensions must be positive".into()));
+        }
+        let n_block_rows = self.nrows.div_ceil(self.br);
+        let n_block_cols = self.ncols.div_ceil(self.bc);
+        if self.block_row_ptr.len() != n_block_rows + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "block_row_ptr length {} != block rows + 1 = {}",
+                self.block_row_ptr.len(),
+                n_block_rows + 1
+            )));
+        }
+        if self.blocks.len() != self.block_col.len() * self.br * self.bc {
+            return Err(SparseError::MalformedPointers(format!(
+                "blocks length {} != num_blocks {} * {}x{}",
+                self.blocks.len(),
+                self.block_col.len(),
+                self.br,
+                self.bc
+            )));
+        }
+        if self.block_row_ptr[0].index() != 0
+            || self.block_row_ptr[n_block_rows].index() != self.block_col.len()
+        {
+            return Err(SparseError::MalformedPointers("block_row_ptr endpoints invalid".into()));
+        }
+        let mut stored = 0usize;
+        for brow in 0..n_block_rows {
+            let (lo, hi) = (self.block_row_ptr[brow].index(), self.block_row_ptr[brow + 1].index());
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "block_row_ptr decreases at block row {brow}"
+                )));
+            }
+            let mut prev: Option<usize> = None;
+            for b in lo..hi {
+                let bcol = self.block_col[b].index();
+                if bcol >= n_block_cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: brow * self.br,
+                        col: bcol * self.bc,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+                if let Some(p) = prev {
+                    if bcol <= p {
+                        return Err(SparseError::UnsortedIndices { row: brow * self.br });
+                    }
+                }
+                prev = Some(bcol);
+            }
+            // Count real non-zeros to cross-check the recorded nnz; padding
+            // slots outside the matrix must be zero or spmv would read them
+            // into out-of-range rows/columns of the logical matrix.
+            let row_hi = ((brow + 1) * self.br).min(self.nrows);
+            for b in lo..hi {
+                let col0 = self.block_col[b].index() * self.bc;
+                let patch = &self.blocks[b * self.br * self.bc..(b + 1) * self.br * self.bc];
+                for dr in 0..self.br {
+                    for dc in 0..self.bc {
+                        let v = patch[dr * self.bc + dc];
+                        if v == V::zero() {
+                            continue;
+                        }
+                        let (r, c) = (brow * self.br + dr, col0 + dc);
+                        if r >= row_hi || c >= self.ncols {
+                            return Err(SparseError::InvalidFormat(format!(
+                                "non-zero in padding slot maps to ({r}, {c}) outside {}x{}",
+                                self.nrows, self.ncols
+                            )));
+                        }
+                        stored += 1;
+                    }
+                }
+            }
+        }
+        if stored != self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "recorded nnz {} does not match stored non-zeros {stored}",
+                self.nnz
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

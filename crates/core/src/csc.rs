@@ -34,54 +34,23 @@ impl<I: SpIndex, V: Scalar> Csc<I, V> {
         row_ind: Vec<I>,
         values: Vec<V>,
     ) -> Result<Self> {
-        if col_ptr.len() != ncols + 1 {
-            return Err(SparseError::MalformedPointers(format!(
-                "col_ptr length {} != ncols + 1 = {}",
-                col_ptr.len(),
-                ncols + 1
-            )));
-        }
-        if row_ind.len() != values.len() {
-            return Err(SparseError::MalformedPointers("row_ind/values length mismatch".into()));
-        }
-        if col_ptr[0].index() != 0 || col_ptr[ncols].index() != row_ind.len() {
-            return Err(SparseError::MalformedPointers("col_ptr endpoints invalid".into()));
-        }
-        for c in 0..ncols {
-            let (lo, hi) = (col_ptr[c].index(), col_ptr[c + 1].index());
-            if lo > hi {
-                return Err(SparseError::MalformedPointers(format!(
-                    "col_ptr decreases at column {c}"
-                )));
-            }
-            let mut prev: Option<usize> = None;
-            for j in lo..hi {
-                let r = row_ind[j].index();
-                if r >= nrows {
-                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
-                }
-                if let Some(p) = prev {
-                    if r <= p {
-                        return Err(SparseError::UnsortedIndices { row: c });
-                    }
-                }
-                prev = Some(r);
-            }
-        }
+        check_csc_structure(nrows, ncols, &col_ptr, &row_ind, values.len())?;
         Ok(Csc { nrows, ncols, col_ptr, row_ind, values })
     }
 
-    /// Converts a CSR matrix to CSC. O(nnz + ncols).
-    pub fn from_csr(csr: &Csr<I, V>) -> Csc<I, V> {
-        let t = csr.transpose();
+    /// Converts a CSR matrix to CSC. O(nnz + ncols). Returns
+    /// [`SparseError::IndexOverflow`] when a row index does not fit in
+    /// `I` (CSR never stores row indices, CSC must).
+    pub fn from_csr(csr: &Csr<I, V>) -> Result<Csc<I, V>> {
+        let t = csr.transpose()?;
         // The transpose's rows are our columns; reuse its arrays directly.
-        Csc {
+        Ok(Csc {
             nrows: csr.nrows(),
             ncols: csr.ncols(),
             col_ptr: t.row_ptr().to_vec(),
             row_ind: t.col_ind().to_vec(),
             values: t.values().to_vec(),
-        }
+        })
     }
 
     /// Number of rows.
@@ -144,6 +113,51 @@ impl<I: SpIndex, V: Scalar> Csc<I, V> {
     }
 }
 
+/// The CSC invariants against borrowed arrays (mirror of
+/// [`crate::csr::check_csr_structure`] with CSC-flavoured messages).
+#[allow(clippy::needless_range_loop)] // explicit j-indexing mirrors the kernel
+fn check_csc_structure<I: SpIndex>(
+    nrows: usize,
+    ncols: usize,
+    col_ptr: &[I],
+    row_ind: &[I],
+    nvalues: usize,
+) -> Result<()> {
+    if col_ptr.len() != ncols + 1 {
+        return Err(SparseError::MalformedPointers(format!(
+            "col_ptr length {} != ncols + 1 = {}",
+            col_ptr.len(),
+            ncols + 1
+        )));
+    }
+    if row_ind.len() != nvalues {
+        return Err(SparseError::MalformedPointers("row_ind/values length mismatch".into()));
+    }
+    if col_ptr[0].index() != 0 || col_ptr[ncols].index() != row_ind.len() {
+        return Err(SparseError::MalformedPointers("col_ptr endpoints invalid".into()));
+    }
+    for c in 0..ncols {
+        let (lo, hi) = (col_ptr[c].index(), col_ptr[c + 1].index());
+        if lo > hi {
+            return Err(SparseError::MalformedPointers(format!("col_ptr decreases at column {c}")));
+        }
+        let mut prev: Option<usize> = None;
+        for j in lo..hi {
+            let r = row_ind[j].index();
+            if r >= nrows {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+            }
+            if let Some(p) = prev {
+                if r <= p {
+                    return Err(SparseError::UnsortedIndices { row: c });
+                }
+            }
+            prev = Some(r);
+        }
+    }
+    Ok(())
+}
+
 impl<I: SpIndex, V: Scalar> SpMv<V> for Csc<I, V> {
     fn nrows(&self) -> usize {
         self.nrows
@@ -169,6 +183,10 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Csc<I, V> {
         }
         self.spmv_cols_acc(0, self.ncols, x, y);
     }
+
+    fn validate(&self) -> std::result::Result<(), SparseError> {
+        check_csc_structure(self.nrows, self.ncols, &self.col_ptr, &self.row_ind, self.values.len())
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +198,7 @@ mod tests {
     fn from_csr_roundtrip() {
         let coo = paper_matrix();
         let csr = coo.to_csr();
-        let csc = Csc::from_csr(&csr);
+        let csc = Csc::from_csr(&csr).unwrap();
         assert_eq!(csc.nnz(), csr.nnz());
         let mut back = csc.to_coo();
         back.canonicalize();
@@ -190,7 +208,7 @@ mod tests {
     #[test]
     fn spmv_matches_reference() {
         let coo = paper_matrix();
-        let csc = Csc::from_csr(&coo.to_csr());
+        let csc = Csc::from_csr(&coo.to_csr()).unwrap();
         let x: Vec<f64> = (0..6).map(|i| 2.0 - i as f64 * 0.3).collect();
         let mut y = vec![1.0; 6];
         let mut y_ref = vec![0.0; 6];
@@ -204,7 +222,7 @@ mod tests {
     #[test]
     fn column_range_accumulation() {
         let coo = paper_matrix();
-        let csc = Csc::from_csr(&coo.to_csr());
+        let csc = Csc::from_csr(&coo.to_csr()).unwrap();
         let x = vec![1.0; 6];
         let mut y_full = vec![0.0; 6];
         csc.spmv(&x, &mut y_full);

@@ -39,51 +39,7 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
         col_ind: Vec<I>,
         values: Vec<V>,
     ) -> Result<Self> {
-        if row_ptr.len() != nrows + 1 {
-            return Err(SparseError::MalformedPointers(format!(
-                "row_ptr length {} != nrows + 1 = {}",
-                row_ptr.len(),
-                nrows + 1
-            )));
-        }
-        if col_ind.len() != values.len() {
-            return Err(SparseError::MalformedPointers(format!(
-                "col_ind length {} != values length {}",
-                col_ind.len(),
-                values.len()
-            )));
-        }
-        if row_ptr[0].index() != 0 {
-            return Err(SparseError::MalformedPointers("row_ptr[0] != 0".into()));
-        }
-        if row_ptr[nrows].index() != col_ind.len() {
-            return Err(SparseError::MalformedPointers(format!(
-                "row_ptr[nrows] = {} != nnz = {}",
-                row_ptr[nrows].index(),
-                col_ind.len()
-            )));
-        }
-        for r in 0..nrows {
-            let (lo, hi) = (row_ptr[r].index(), row_ptr[r + 1].index());
-            if lo > hi {
-                return Err(SparseError::MalformedPointers(format!(
-                    "row_ptr decreases at row {r}"
-                )));
-            }
-            let mut prev: Option<usize> = None;
-            for j in lo..hi {
-                let c = col_ind[j].index();
-                if c >= ncols {
-                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
-                }
-                if let Some(p) = prev {
-                    if c <= p {
-                        return Err(SparseError::UnsortedIndices { row: r });
-                    }
-                }
-                prev = Some(c);
-            }
-        }
+        check_csr_structure(nrows, ncols, &row_ptr, &col_ind, values.len())?;
         Ok(Csr { nrows, ncols, row_ptr, col_ind, values })
     }
 
@@ -249,7 +205,17 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
 
     /// Transposes into a new CSR (equivalently: interprets this matrix as
     /// CSC of the transpose). O(nnz + ncols).
-    pub fn transpose(&self) -> Csr<I, V> {
+    ///
+    /// Returns [`SparseError::IndexOverflow`] when a *row* index of this
+    /// matrix does not fit in `I`: CSR never stores row indices, so
+    /// `nrows` may exceed `I::MAX` for a valid matrix — but the transpose
+    /// must store them as its column indices.
+    pub fn transpose(&self) -> Result<Csr<I, V>> {
+        if self.nrows > 0 {
+            // Checking only the largest row index keeps the hot loop free
+            // of per-element branches.
+            I::from_usize(self.nrows - 1)?;
+        }
         let mut counts = vec![0usize; self.ncols + 1];
         for c in &self.col_ind {
             counts[c.index() + 1] += 1;
@@ -259,6 +225,8 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
         }
         let mut row_ptr: Vec<I> = Vec::with_capacity(self.ncols + 1);
         for &c in &counts {
+            // Safe: every prefix count <= nnz, and nnz fits in I because
+            // self.row_ptr already stores it.
             row_ptr.push(I::from_usize_unchecked(c));
         }
         let mut col_ind: Vec<I> = vec![I::default(); self.nnz()];
@@ -268,11 +236,11 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
             for (c, v) in self.row_iter(r) {
                 let dst = next[c];
                 next[c] += 1;
-                col_ind[dst] = I::from_usize_unchecked(r);
+                col_ind[dst] = I::from_usize_unchecked(r); // r < nrows, checked above
                 values[dst] = v;
             }
         }
-        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_ind, values }
+        Ok(Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_ind, values })
     }
 
     /// Working-set breakdown per the paper's §II-B formula.
@@ -308,6 +276,63 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
     }
 }
 
+/// Checks the CSR invariants (also CSC's, with rows/columns swapped)
+/// against borrowed arrays; shared by [`Csr::from_raw_parts`] and the
+/// `validate` methods of the CSR-layout formats.
+#[allow(clippy::needless_range_loop)] // explicit j-indexing mirrors the kernel
+pub(crate) fn check_csr_structure<I: SpIndex>(
+    nrows: usize,
+    ncols: usize,
+    row_ptr: &[I],
+    col_ind: &[I],
+    nvalues: usize,
+) -> Result<()> {
+    if row_ptr.len() != nrows + 1 {
+        return Err(SparseError::MalformedPointers(format!(
+            "row_ptr length {} != nrows + 1 = {}",
+            row_ptr.len(),
+            nrows + 1
+        )));
+    }
+    if col_ind.len() != nvalues {
+        return Err(SparseError::MalformedPointers(format!(
+            "col_ind length {} != values length {}",
+            col_ind.len(),
+            nvalues
+        )));
+    }
+    if row_ptr[0].index() != 0 {
+        return Err(SparseError::MalformedPointers("row_ptr[0] != 0".into()));
+    }
+    if row_ptr[nrows].index() != col_ind.len() {
+        return Err(SparseError::MalformedPointers(format!(
+            "row_ptr[nrows] = {} != nnz = {}",
+            row_ptr[nrows].index(),
+            col_ind.len()
+        )));
+    }
+    for r in 0..nrows {
+        let (lo, hi) = (row_ptr[r].index(), row_ptr[r + 1].index());
+        if lo > hi {
+            return Err(SparseError::MalformedPointers(format!("row_ptr decreases at row {r}")));
+        }
+        let mut prev: Option<usize> = None;
+        for j in lo..hi {
+            let c = col_ind[j].index();
+            if c >= ncols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+            }
+            if let Some(p) = prev {
+                if c <= p {
+                    return Err(SparseError::UnsortedIndices { row: r });
+                }
+            }
+            prev = Some(c);
+        }
+    }
+    Ok(())
+}
+
 impl<I: SpIndex, V: Scalar> SpMv<V> for Csr<I, V> {
     fn nrows(&self) -> usize {
         self.nrows
@@ -329,6 +354,10 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Csr<I, V> {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
         self.spmv_rows(0, self.nrows, x, y);
+    }
+
+    fn validate(&self) -> std::result::Result<(), SparseError> {
+        check_csr_structure(self.nrows, self.ncols, &self.row_ptr, &self.col_ind, self.values.len())
     }
 }
 
@@ -398,7 +427,7 @@ mod tests {
     #[test]
     fn transpose_involution() {
         let csr: Csr = paper_matrix().to_csr();
-        let tt = csr.transpose().transpose();
+        let tt = csr.transpose().unwrap().transpose().unwrap();
         assert_eq!(tt, csr);
     }
 
@@ -407,7 +436,7 @@ mod tests {
         // (A^T x)_i == sum over rows r of A[r, i] * x[r]
         let coo = paper_matrix();
         let csr: Csr = coo.to_csr();
-        let t = csr.transpose();
+        let t = csr.transpose().unwrap();
         let x = vec![1.0, -1.0, 2.0, 0.5, 3.0, -2.0];
         let mut y_t = vec![0.0; 6];
         t.spmv(&x, &mut y_t);
@@ -444,7 +473,7 @@ mod tests {
     fn spmv_transpose_matches_transposed_spmv() {
         let coo = paper_matrix();
         let csr: Csr = coo.to_csr();
-        let t = csr.transpose();
+        let t = csr.transpose().unwrap();
         let x: Vec<f64> = (0..6).map(|i| 0.3 * i as f64 - 1.0).collect();
         let mut y_t = vec![0.0; 6];
         let mut y_direct = vec![0.0; 6];

@@ -158,17 +158,21 @@ pub(super) fn to_csr<V: Scalar>(du: &CsrDu<V>) -> Result<Csr<u32, V>> {
     let mut current_row = 0usize;
     let cursor = DuCursor::new(du.ctl());
     let units: Vec<Unit> = du.cursor().collect();
+    // The reconstruction targets u32 indices regardless of how the stream
+    // was produced, so every column and prefix count is range-checked —
+    // an untrusted ctl stream must not silently wrap into a "valid" CSR.
+    use crate::index::SpIndex;
     for unit in &units {
         while current_row < unit.row {
-            row_ptr.push(col_ind.len() as u32);
+            row_ptr.push(u32::from_usize(col_ind.len())?);
             current_row += 1;
         }
         for c in cursor.unit_cols(unit) {
-            col_ind.push(c as u32);
+            col_ind.push(u32::from_usize(c)?);
         }
     }
     while current_row < du.nrows() {
-        row_ptr.push(col_ind.len() as u32);
+        row_ptr.push(u32::from_usize(col_ind.len())?);
         current_row += 1;
     }
     Csr::from_raw_parts(du.nrows(), du.ncols(), row_ptr, col_ind, du.values().to_vec())

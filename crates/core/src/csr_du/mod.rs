@@ -183,6 +183,13 @@ impl<V: Scalar> CsrDu<V> {
 
     /// Drops the value array, keeping only structure (used by the combined
     /// CSR-DU-VI format, which stores values separately).
+    /// Re-walks the ctl stream with full bounds checks, returning
+    /// `(nnz, units)`. Shared by [`SpMv::validate`] here and in the
+    /// combined DU-VI format, whose inner `CsrDu` carries no values.
+    pub(crate) fn validate_ctl_stream(&self) -> Result<(usize, usize)> {
+        validate::validate_ctl(&self.ctl, self.nrows.max(1), self.ncols.max(1))
+    }
+
     pub(crate) fn without_values(mut self) -> CsrDu<V> {
         self.values = Vec::new();
         self
@@ -301,6 +308,24 @@ impl<V: Scalar> SpMv<V> for CsrDu<V> {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
         spmv::spmv_range(self, 0..self.ctl.len(), 0, usize::MAX, 0, self.nrows, 0, x, y);
+    }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        let (nnz, units) = self.validate_ctl_stream()?;
+        if nnz != self.values.len() || nnz != self.nnz {
+            return Err(crate::error::SparseError::InvalidFormat(format!(
+                "ctl stream covers {nnz} non-zeros but header says {} and {} values stored",
+                self.nnz,
+                self.values.len()
+            )));
+        }
+        if units != self.units {
+            return Err(crate::error::SparseError::InvalidFormat(format!(
+                "ctl stream has {units} units but header says {}",
+                self.units
+            )));
+        }
+        Ok(())
     }
 }
 

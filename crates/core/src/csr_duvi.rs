@@ -227,6 +227,40 @@ impl<V: Scalar> SpMv<V> for CsrDuVi<V> {
         assert_eq!(y.len(), self.nrows(), "y length must equal nrows");
         self.spmv_impl(0..self.du.ctl().len(), 0, usize::MAX, 0, self.nrows(), 0, x, y);
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        let (nnz, units) = self.du.validate_ctl_stream()?;
+        if nnz != self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "ctl stream covers {nnz} non-zeros but header says {}",
+                self.nnz
+            )));
+        }
+        if units != self.du.units() {
+            return Err(SparseError::InvalidFormat(format!(
+                "ctl stream has {units} units but header says {}",
+                self.du.units()
+            )));
+        }
+        if self.val_ind.len() != self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "val_ind length {} != nnz {}",
+                self.val_ind.len(),
+                self.nnz
+            )));
+        }
+        let uv = self.vals_unique.len();
+        for j in 0..self.val_ind.len() {
+            if self.val_ind.get(j) >= uv {
+                return Err(SparseError::InvalidFormat(format!(
+                    "value index {} at element {j} exceeds unique count {uv}",
+                    self.val_ind.get(j)
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

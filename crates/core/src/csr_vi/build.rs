@@ -32,20 +32,18 @@ pub(crate) fn dedup_values<V: Scalar>(values: &[V]) -> (Vec<V>, ValInd) {
     for &v in values {
         let (key_val, stored) =
             if v.to_f64().is_nan() { (canonical_nan, canonical_nan) } else { (v, v) };
-        let next_id = vals_unique.len() as u32;
+        let next_id = u32::try_from(vals_unique.len())
+            .expect("more than 2^32 unique values cannot be indexed");
         let id = *table.entry(key_val.to_bits()).or_insert_with(|| {
             vals_unique.push(stored);
             next_id
         });
         wide.push(id);
     }
-    assert!(
-        vals_unique.len() <= u32::MAX as usize,
-        "more than 2^32 unique values cannot be indexed"
-    );
 
     // Second pass: narrow the id array to the width chosen by uv (§V):
-    // uv <= 2^8 -> u8, <= 2^16 -> u16, else u32.
+    // uv <= 2^8 -> u8, <= 2^16 -> u16, else u32. Every id is < uv, so the
+    // narrowing casts below are lossless by the branch condition.
     let uv = vals_unique.len();
     let val_ind = if uv <= (1 << 8) {
         ValInd::U8(wide.iter().map(|&i| i as u8).collect())

@@ -268,6 +268,27 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for CsrVi<I, V> {
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
         spmv::spmv_rows(self, 0, self.nrows, 0, x, y);
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        crate::csr::check_csr_structure(
+            self.nrows,
+            self.ncols,
+            &self.row_ptr,
+            &self.col_ind,
+            self.val_ind.len(),
+        )?;
+        let uv = self.vals_unique.len();
+        for j in 0..self.val_ind.len() {
+            if self.val_ind.get(j) >= uv {
+                return Err(SparseError::InvalidFormat(format!(
+                    "value index {} at element {j} exceeds unique count {uv}",
+                    self.val_ind.get(j)
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -554,6 +554,128 @@ impl<V: Scalar> SpMv<V> for Dcsr<V> {
             y[row] = acc;
         }
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        use crate::varint::try_read_varint;
+        let fail = |msg: String| SparseError::InvalidFormat(format!("DCSR stream: {msg}"));
+        let stream = &self.stream[..];
+        let mut pos = 0usize;
+        let mut row = usize::MAX; // wrapping: first row command lands on 0
+        let mut col = 0usize;
+        let mut val = 0usize;
+        let mut started = false;
+        let mut row_elems = 0usize;
+
+        // One bounds-checked decode of every element: `element` plays the
+        // roles the kernel's delta arms share (column advance + value
+        // consumption), erroring instead of indexing out of range.
+        let element = |delta: usize,
+                       row: usize,
+                       col: &mut usize,
+                       val: &mut usize,
+                       row_elems: &mut usize|
+         -> std::result::Result<(), SparseError> {
+            if *row_elems > 0 && delta == 0 {
+                return Err(SparseError::UnsortedIndices { row });
+            }
+            *col = col
+                .checked_add(delta)
+                .ok_or_else(|| fail(format!("column overflow in row {row}")))?;
+            if *col >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row,
+                    col: *col,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+            *val += 1;
+            *row_elems += 1;
+            Ok(())
+        };
+
+        while pos < stream.len() {
+            let cmd = stream[pos];
+            pos += 1;
+            if !started && cmd != CMD_NEW_ROW && cmd != CMD_ROW_JMP {
+                return Err(fail("stream must start with a row command".into()));
+            }
+            match cmd {
+                CMD_NEW_ROW | CMD_ROW_JMP => {
+                    if started && row_elems == 0 {
+                        return Err(fail(format!("row command for empty row after row {row}")));
+                    }
+                    let extra = if cmd == CMD_ROW_JMP {
+                        try_read_varint(stream, &mut pos)
+                            .ok_or_else(|| fail("truncated row jump".into()))?
+                            as usize
+                    } else {
+                        0
+                    };
+                    row = if started {
+                        row.checked_add(1 + extra).ok_or_else(|| fail("row overflow".into()))?
+                    } else {
+                        started = true;
+                        extra
+                    };
+                    if row >= self.nrows {
+                        return Err(fail(format!("row {row} >= nrows {}", self.nrows)));
+                    }
+                    col = 0;
+                    row_elems = 0;
+                }
+                CMD_RUN => {
+                    if pos >= stream.len() {
+                        return Err(fail("truncated run header".into()));
+                    }
+                    let count = stream[pos] as usize;
+                    pos += 1;
+                    if count == 0 {
+                        return Err(fail("zero-length run".into()));
+                    }
+                    if pos + count > stream.len() {
+                        return Err(fail("truncated run body".into()));
+                    }
+                    for _ in 0..count {
+                        let d = stream[pos] as usize;
+                        pos += 1;
+                        element(d, row, &mut col, &mut val, &mut row_elems)?;
+                    }
+                }
+                CMD_DELTA16 | CMD_DELTA32 | CMD_DELTA64 => {
+                    let width = match cmd {
+                        CMD_DELTA16 => 2,
+                        CMD_DELTA32 => 4,
+                        _ => 8,
+                    };
+                    if pos + width > stream.len() {
+                        return Err(fail("truncated wide delta".into()));
+                    }
+                    let mut bytes = [0u8; 8];
+                    bytes[..width].copy_from_slice(&stream[pos..pos + width]);
+                    pos += width;
+                    let d = u64::from_le_bytes(bytes);
+                    let d = usize::try_from(d)
+                        .map_err(|_| fail(format!("delta {d} exceeds usize in row {row}")))?;
+                    element(d, row, &mut col, &mut val, &mut row_elems)?;
+                }
+                literal => {
+                    element(literal as usize, row, &mut col, &mut val, &mut row_elems)?;
+                }
+            }
+        }
+        if started && row_elems == 0 {
+            return Err(fail(format!("trailing row command for empty row {row}")));
+        }
+        if val != self.values.len() {
+            return Err(fail(format!(
+                "stream encodes {val} non-zeros but {} values stored",
+                self.values.len()
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

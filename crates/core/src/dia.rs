@@ -125,6 +125,61 @@ impl<V: Scalar> SpMv<V> for Dia<V> {
             }
         }
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        if self.data.len() != self.offsets.len() * self.nrows {
+            return Err(SparseError::MalformedPointers(format!(
+                "DIA data length {} != diagonals {} * nrows {}",
+                self.data.len(),
+                self.offsets.len(),
+                self.nrows
+            )));
+        }
+        let mut stored = 0usize;
+        let mut prev: Option<isize> = None;
+        for (d, &off) in self.offsets.iter().enumerate() {
+            if let Some(p) = prev {
+                if off <= p {
+                    return Err(SparseError::InvalidFormat(format!(
+                        "diagonal offsets not strictly ascending at position {d}"
+                    )));
+                }
+            }
+            prev = Some(off);
+            if self.nrows > 0
+                && self.ncols > 0
+                && (off <= -(self.nrows as isize) || off >= self.ncols as isize)
+            {
+                return Err(SparseError::InvalidFormat(format!(
+                    "diagonal offset {off} lies entirely outside a {}x{} matrix",
+                    self.nrows, self.ncols
+                )));
+            }
+            for r in 0..self.nrows {
+                let v = self.data[d * self.nrows + r];
+                if v == V::zero() {
+                    continue;
+                }
+                let c = r as isize + off;
+                if c < 0 || c >= self.ncols as isize {
+                    return Err(SparseError::InvalidFormat(format!(
+                        "non-zero at row {r} of diagonal {off} maps outside the matrix"
+                    )));
+                }
+                stored += 1;
+            }
+        }
+        // CSR may carry explicit zeros, so stored can undercount nnz but
+        // never exceed it.
+        if stored > self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "recorded nnz {} below stored non-zeros {stored}",
+                self.nnz
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,47 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Ell<I, V> {
             *yv = acc;
         }
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        if self.col_ind.len() != self.nrows * self.width
+            || self.values.len() != self.nrows * self.width
+        {
+            return Err(SparseError::MalformedPointers(format!(
+                "ELL arrays must be nrows * width = {} entries (col_ind {}, values {})",
+                self.nrows * self.width,
+                self.col_ind.len(),
+                self.values.len()
+            )));
+        }
+        let mut stored = 0usize;
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.col_ind[r * self.width + k].index();
+                // Padding stores column 0 (always legal when width > 0 implies
+                // ncols > 0); any slot may point at column 0, but nothing may
+                // point past the matrix.
+                if c >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+                if self.values[r * self.width + k] != V::zero() {
+                    stored += 1;
+                }
+            }
+        }
+        if stored > self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "recorded nnz {} below stored non-zeros {stored}",
+                self.nnz
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

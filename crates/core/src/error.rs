@@ -64,6 +64,15 @@ pub enum SparseError {
         /// Highest version this build can read.
         max_supported: u16,
     },
+    /// A cross-kernel verification found a result element outside the
+    /// ULP tolerance: the compressed kernel and the CSR baseline disagree
+    /// beyond what summation-order differences can explain.
+    VerificationFailed {
+        /// Row of the first out-of-tolerance element.
+        row: usize,
+        /// What disagreed and by how much (values and ULP distance).
+        detail: String,
+    },
     /// An untrusted header declared a size exceeding the configured
     /// [`LoadLimits`](crate::io::LoadLimits) — refused *before* allocating.
     ResourceLimit {
@@ -103,6 +112,9 @@ impl fmt::Display for SparseError {
                 f,
                 "unsupported container version {found} (this build reads up to {max_supported})"
             ),
+            SparseError::VerificationFailed { row, detail } => {
+                write!(f, "verification failed at row {row}: {detail}")
+            }
             SparseError::ResourceLimit { what, requested, limit } => {
                 write!(f, "input declares {what} = {requested}, exceeding the load limit {limit}")
             }
@@ -145,6 +157,10 @@ mod tests {
         let e = SparseError::ResourceLimit { what: "nnz".into(), requested: 1 << 60, limit: 1024 };
         let s = e.to_string();
         assert!(s.contains("nnz") && s.contains("1024"));
+
+        let e = SparseError::VerificationFailed { row: 17, detail: "y=1 vs 2 (big)".into() };
+        let s = e.to_string();
+        assert!(s.contains("row 17") && s.contains("big"));
     }
 
     #[test]

@@ -155,6 +155,56 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Hyb<I, V> {
             y[r.index()] += v * x[c.index()];
         }
     }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        if self.ell_col.len() != self.nrows * self.width
+            || self.ell_val.len() != self.nrows * self.width
+        {
+            return Err(SparseError::MalformedPointers(format!(
+                "HYB ELL arrays must be nrows * width = {} entries (col {}, val {})",
+                self.nrows * self.width,
+                self.ell_col.len(),
+                self.ell_val.len()
+            )));
+        }
+        let mut stored = self.tail.len();
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.ell_col[r * self.width + k].index();
+                if c >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+                if self.ell_val[r * self.width + k] != V::zero() {
+                    stored += 1;
+                }
+            }
+        }
+        for &(r, c, _) in &self.tail {
+            if r.index() >= self.nrows || c.index() >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r.index(),
+                    col: c.index(),
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+        }
+        // The ELL part may carry explicit zeros from the source CSR, so
+        // `stored` can undercount nnz but never exceed it.
+        if stored > self.nnz {
+            return Err(SparseError::InvalidFormat(format!(
+                "recorded nnz {} below stored non-zeros {stored}",
+                self.nnz
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ use crate::csr::Csr;
 use crate::csr_du::CsrDu;
 use crate::csr_vi::{CsrVi, ValInd};
 use crate::error::SparseError;
+use crate::spmv::SpMv;
 use std::io::{Read, Write};
 
 /// Container magic bytes.
@@ -429,7 +430,13 @@ pub fn read_csr_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<Csr<u32,
         col_ind = p.u32_section("col_ind", limits.max_nnz as u64, limits)?;
         values = p.f64_section("values", limits.max_nnz as u64, limits)?;
     }
-    Csr::from_raw_parts(nrows as usize, ncols as usize, row_ptr, col_ind, values)
+    let m = Csr::from_raw_parts(nrows as usize, ncols as usize, row_ptr, col_ind, values)?;
+    // Final acceptance gate after the CRC pass: the checked constructor
+    // establishes the invariants, validate() re-proves them on the
+    // assembled object — so a future constructor shortcut cannot quietly
+    // weaken the untrusted-input path.
+    m.validate()?;
+    Ok(m)
 }
 
 // ---------------------------------------------------------------------
@@ -474,7 +481,9 @@ pub fn read_csr_du_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<CsrDu
         ctl = p.byte_section("ctl", limits)?;
         values = p.f64_section("values", limits.max_nnz as u64, limits)?;
     }
-    CsrDu::from_parts_checked(nrows as usize, ncols as usize, ctl, values)
+    let m = CsrDu::from_parts_checked(nrows as usize, ncols as usize, ctl, values)?;
+    m.validate()?; // final acceptance gate after the CRC pass
+    Ok(m)
 }
 
 // ---------------------------------------------------------------------
@@ -558,14 +567,16 @@ pub fn read_csr_vi_with<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<CsrVi
             }
         };
     }
-    CsrVi::from_parts_checked(
+    let m = CsrVi::from_parts_checked(
         nrows as usize,
         ncols as usize,
         row_ptr,
         col_ind,
         vals_unique,
         val_ind,
-    )
+    )?;
+    m.validate()?; // final acceptance gate after the CRC pass
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -883,6 +894,41 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, TAG_CSR_DU, &payload).unwrap();
         let err = read_csr_du(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidFormat(_)), "unexpected error {err}");
+    }
+
+    #[test]
+    fn structurally_bogus_csr_rejected_despite_valid_checksums() {
+        // Checksums only prove the bytes arrived as written; a hostile or
+        // buggy writer can stamp correct CRCs onto a CSR whose col_ind
+        // points outside the matrix. validate() must still reject it.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2); // nrows
+        put_u64(&mut payload, 2); // ncols
+        put_u32_section(&mut payload, &[0, 1, 2]); // row_ptr
+        put_u32_section(&mut payload, &[0, 7]); // col 7 >= ncols 2
+        put_f64_section(&mut payload, &[1.0, 2.0]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CSR, &payload).unwrap();
+        let err = read_csr(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { .. }), "unexpected error {err}");
+    }
+
+    #[test]
+    fn out_of_table_value_index_rejected_despite_valid_checksums() {
+        // A CSR-VI container with a val_ind entry past the unique table:
+        // structurally consistent CSR arrays, valid CRCs, bogus indirection.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2); // nrows
+        put_u64(&mut payload, 2); // ncols
+        put_u32_section(&mut payload, &[0, 1, 2]); // row_ptr
+        put_u32_section(&mut payload, &[0, 1]); // col_ind
+        put_f64_section(&mut payload, &[4.5]); // one unique value
+        put_u64(&mut payload, 1); // val_ind width = u8
+        put_byte_section(&mut payload, &[0, 3]); // index 3 >= unique count 1
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CSR_VI, &payload).unwrap();
+        let err = read_csr_vi(&mut Cursor::new(&buf)).unwrap_err();
         assert!(matches!(err, SparseError::InvalidFormat(_)), "unexpected error {err}");
     }
 }

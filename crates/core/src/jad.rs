@@ -51,7 +51,9 @@ impl<I: SpIndex, V: Scalar> Jad<I, V> {
             diag_ptr.push(I::from_usize(col_ind.len())?);
         }
 
-        let perm: Vec<I> = order.iter().map(|&r| I::from_usize_unchecked(r)).collect();
+        // Row indices become stored data here, so they must fit in I —
+        // checked, unlike CSR, which never materializes row numbers.
+        let perm: Vec<I> = order.iter().map(|&r| I::from_usize(r)).collect::<Result<_>>()?;
         Ok(Jad { nrows, ncols: csr.ncols(), perm, diag_ptr, col_ind, values })
     }
 
@@ -118,6 +120,69 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Jad<I, V> {
                 y[self.perm[slot].index()] += self.values[j] * x[self.col_ind[j].index()];
             }
         }
+    }
+
+    fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
+        use crate::error::SparseError;
+        if self.perm.len() != self.nrows {
+            return Err(SparseError::MalformedPointers(format!(
+                "perm length {} != nrows {}",
+                self.perm.len(),
+                self.nrows
+            )));
+        }
+        let mut seen = vec![false; self.nrows];
+        for p in &self.perm {
+            let r = p.index();
+            if r >= self.nrows || seen[r] {
+                return Err(SparseError::InvalidFormat(format!(
+                    "perm is not a permutation of 0..{} (entry {r})",
+                    self.nrows
+                )));
+            }
+            seen[r] = true;
+        }
+        if self.col_ind.len() != self.values.len() {
+            return Err(SparseError::MalformedPointers("col_ind/values length mismatch".into()));
+        }
+        if self.diag_ptr.is_empty()
+            || self.diag_ptr[0].index() != 0
+            || self.diag_ptr[self.diag_ptr.len() - 1].index() != self.values.len()
+        {
+            return Err(SparseError::MalformedPointers("diag_ptr endpoints invalid".into()));
+        }
+        let mut prev_len = usize::MAX;
+        for k in 0..self.diag_ptr.len() - 1 {
+            let (lo, hi) = (self.diag_ptr[k].index(), self.diag_ptr[k + 1].index());
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "diag_ptr decreases at diagonal {k}"
+                )));
+            }
+            let len = hi - lo;
+            // The kernel indexes perm[slot] for slot < len: each diagonal
+            // must be no longer than the row count, and lengths must be
+            // non-increasing (rows are sorted by descending nnz).
+            if len > self.nrows || len > prev_len {
+                return Err(SparseError::InvalidFormat(format!(
+                    "jagged diagonal {k} has length {len} (previous {prev_len}, nrows {})",
+                    self.nrows
+                )));
+            }
+            prev_len = len;
+            for (slot, j) in (lo..hi).enumerate() {
+                let c = self.col_ind[j].index();
+                if c >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: self.perm[slot].index(),
+                        col: c,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 

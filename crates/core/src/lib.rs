@@ -56,6 +56,7 @@
 
 pub mod bcsr;
 pub mod builder;
+pub mod checked;
 pub mod coo;
 pub mod crc32;
 pub mod csc;
@@ -80,6 +81,7 @@ pub mod sym;
 pub mod varint;
 
 pub use builder::CsrBuilder;
+pub use checked::{CheckOptions, CheckedSpMv};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
@@ -95,6 +97,7 @@ pub use sym::SymCsr;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::bcsr::Bcsr;
+    pub use crate::checked::{CheckOptions, CheckedSpMv};
     pub use crate::csr_du::{CsrDu, DuOptions};
     pub use crate::csr_duvi::CsrDuVi;
     pub use crate::csr_vi::CsrVi;

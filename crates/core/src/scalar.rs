@@ -61,6 +61,40 @@ pub trait Scalar:
     fn abs(self) -> Self;
     /// `true` if the value is finite (not NaN/inf).
     fn is_finite(self) -> bool;
+
+    /// Distance between `self` and `other` in units of least precision:
+    /// the number of representable values strictly between them (plus one
+    /// if they differ), computed on the monotone integer mapping of the
+    /// float bit pattern. Adjacent floats are 1 apart, `x` and `x` are 0,
+    /// `+0.0` and `-0.0` are 0. Any comparison involving NaN returns
+    /// `u64::MAX` — NaNs never verify as "close".
+    ///
+    /// This is the tolerance metric for cross-kernel verification
+    /// ([`crate::checked::CheckedSpMv`]): summation-order differences
+    /// between formats shift results by a few ULPs, while real corruption
+    /// (wrong value, wrong column, dropped entry) lands whole exponents
+    /// away.
+    fn ulp_distance(self, other: Self) -> u64;
+}
+
+/// Maps a float bit pattern to an integer whose ordering matches the
+/// ordering of the floats (negative range mirrored below the positive).
+#[inline]
+fn monotone_bits_u64(bits: u64) -> u64 {
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[inline]
+fn monotone_bits_u32(bits: u32) -> u32 {
+    if bits >> 31 == 0 {
+        bits | (1 << 31)
+    } else {
+        !bits
+    }
 }
 
 impl Scalar for f64 {
@@ -98,6 +132,16 @@ impl Scalar for f64 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline]
+    fn ulp_distance(self, other: Self) -> u64 {
+        if self.is_nan() || other.is_nan() {
+            return u64::MAX;
+        }
+        if self == other {
+            return 0; // covers +0.0 vs -0.0
+        }
+        monotone_bits_u64(self.to_bits()).abs_diff(monotone_bits_u64(other.to_bits()))
     }
 }
 
@@ -137,6 +181,16 @@ impl Scalar for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline]
+    fn ulp_distance(self, other: Self) -> u64 {
+        if self.is_nan() || other.is_nan() {
+            return u64::MAX;
+        }
+        if self == other {
+            return 0;
+        }
+        monotone_bits_u32(self.to_bits()).abs_diff(monotone_bits_u32(other.to_bits())) as u64
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +227,31 @@ mod tests {
     fn identities() {
         assert_eq!(<f64 as Scalar>::zero() + <f64 as Scalar>::one(), 1.0);
         assert_eq!(<f32 as Scalar>::one() * <f32 as Scalar>::one(), 1.0);
+    }
+
+    #[test]
+    fn ulp_distance_adjacent_and_identical() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(a.ulp_distance(a), 0);
+        assert_eq!(a.ulp_distance(b), 1);
+        assert_eq!(b.ulp_distance(a), 1);
+        assert_eq!(0.0f64.ulp_distance(-0.0f64), 0);
+        // Crossing zero counts the representable values in between; +0.0
+        // and -0.0 are distinct steps of the mapping (3 = -0.0, +0.0 and
+        // the endpoint), even though they compare equal to each other.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(tiny.ulp_distance(-tiny), 3);
+    }
+
+    #[test]
+    fn ulp_distance_flags_gross_errors() {
+        assert!(1.0f64.ulp_distance(-1.0) > 1 << 60);
+        assert!(1.0f64.ulp_distance(2.0) > 1 << 50);
+        assert_eq!(1.0f64.ulp_distance(f64::NAN), u64::MAX);
+        assert_eq!(f32::NAN.ulp_distance(1.0), u64::MAX);
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 3);
+        assert_eq!(a.ulp_distance(b), 3);
     }
 }

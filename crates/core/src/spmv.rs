@@ -76,6 +76,24 @@ pub trait SpMv<V: Scalar = f64>: Send + Sync {
     /// `y.len() != nrows`. `y` is fully overwritten.
     fn spmv(&self, x: &[V], y: &mut [V]);
 
+    /// Checks every structural invariant of the stored representation,
+    /// returning the first violation as a precise [`SparseError`]
+    /// (typically [`SparseError::InvalidFormat`],
+    /// [`SparseError::MalformedPointers`],
+    /// [`SparseError::IndexOutOfBounds`] or
+    /// [`SparseError::UnsortedIndices`]).
+    ///
+    /// Constructors establish these invariants; `validate` re-proves them
+    /// on demand, which matters in two places: after deserializing a
+    /// container (the CRC pass catches transport corruption, this pass
+    /// catches a well-checksummed but structurally bogus payload) and in
+    /// `--verify` runs that guard against encoder bugs. A matrix whose
+    /// `validate` returns `Ok` cannot make `spmv` read out of bounds.
+    ///
+    /// Cost is `O(size of the representation)` — one full scan, no
+    /// allocation proportional to `nnz`.
+    fn validate(&self) -> Result<(), SparseError>;
+
     /// Checked SpMV: returns [`SparseError::DimensionMismatch`] for
     /// wrong-length `x`/`y` instead of panicking. This is the entry point
     /// for callers handing in vectors from an untrusted or dynamic source

@@ -37,7 +37,7 @@ impl<I: SpIndex, V: Scalar> SymCsr<I, V> {
                 "symmetric storage needs a square matrix".into(),
             ));
         }
-        let t = full.transpose();
+        let t = full.transpose()?;
         if t != *full {
             return Err(SparseError::InvalidFormat(
                 "matrix is not symmetric (A != A^T bitwise)".into(),
@@ -134,6 +134,33 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for SymCsr<I, V> {
             }
             y[i] += acc;
         }
+    }
+
+    fn validate(&self) -> std::result::Result<(), SparseError> {
+        self.lower.validate()?;
+        if self.lower.nrows() != self.lower.ncols() {
+            return Err(SparseError::DimensionMismatch(
+                "symmetric storage needs a square matrix".into(),
+            ));
+        }
+        let mut off_diag = 0usize;
+        for (r, c, _) in self.lower.iter() {
+            if c > r {
+                return Err(SparseError::InvalidFormat(format!(
+                    "entry ({r}, {c}) above the diagonal in lower-triangle storage"
+                )));
+            }
+            if c < r {
+                off_diag += 1;
+            }
+        }
+        if off_diag != self.off_diag {
+            return Err(SparseError::InvalidFormat(format!(
+                "off-diagonal count {} does not match stored triangle ({off_diag})",
+                self.off_diag
+            )));
+        }
+        Ok(())
     }
 }
 

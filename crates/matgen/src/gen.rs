@@ -232,7 +232,7 @@ mod tests {
     fn stencils_are_symmetric_patterns() {
         let coo = stencil_2d(7, 9);
         let csr = coo.to_csr();
-        let t = csr.transpose();
+        let t = csr.transpose().unwrap();
         assert_eq!(t, csr); // values are symmetric 1.0 placeholders
     }
 

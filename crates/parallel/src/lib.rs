@@ -56,14 +56,49 @@
 //! by the `spmv-memsim` performance model (this container cannot pin
 //! cores), while the kernels themselves run on however many OS threads are
 //! requested.
+//!
+//! ## Fault tolerance
+//!
+//! Long-running multithreaded SpMV must survive its workers, not trust
+//! them. Two layers provide that (see the README's *Failure model*
+//! section for the full contract):
+//!
+//! * [`pool::WorkerPool`] dispatches are watchdog-supervised: the caller
+//!   monitors per-worker heartbeats against a deadline, takes over the
+//!   slice of a worker that died, re-raises worker panics after draining
+//!   the dispatch, flags (but waits for) merely-slow workers, and
+//!   respawns lost threads on the next dispatch — surfacing everything as
+//!   [`pool::PoolEvent`]s.
+//! * [`supervised::SupervisedSpMv`] runs chunk-granular SpMV with typed
+//!   fault handling: under [`supervised::RecoveryPolicy::Degrade`] any
+//!   panicked, stalled, dead, or (with `verify_every`) corrupted chunk is
+//!   re-executed serially on the caller — the result is bit-identical to
+//!   a serial run and the call reports a [`supervised::HealthReport`];
+//!   under [`supervised::RecoveryPolicy::FailFast`] the first fault
+//!   returns a typed [`supervised::PoolError`] with `y` untouched. Either
+//!   way the executor remains reusable.
+//!
+//! The `fault-injection` feature compiles in a deterministic scripted
+//! fault harness ([`faults`], test-only) that drives panics, stalls,
+//! thread deaths, and silent corruption through both layers; the recovery
+//! matrix lives in `tests/fault_injection.rs`, and feature-independent
+//! guarantees (tight-deadline correctness, self-check on honest kernels)
+//! in the workspace-root `tests/fault_tolerance.rs`.
 
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod par;
 pub mod partition;
 pub mod pool;
+pub mod supervised;
 
 pub use par::{
     ParCscColumns, ParCsr, ParCsrBlock2d, ParCsrDu, ParCsrDuVi, ParCsrVi, ParDcsr, ParSpMv,
     ParSymCsr,
 };
 pub use partition::{ColPartition, Grid2d, RowPartition};
-pub use pool::{run_on_threads, DisjointSlices, IterationDriver, WorkerPool};
+pub use pool::{run_on_threads, DisjointSlices, IterationDriver, PoolEvent, WorkerPool};
+pub use supervised::{
+    ChunkKernel, CsrChunks, CsrDuChunks, CsrDuViChunks, CsrViChunks, FaultEvent, HealthReport,
+    PoolError, RecoveryPolicy, SupervisedSpMv, WatchdogOpts,
+};

@@ -111,7 +111,7 @@ fn par_csc_columns_matches_reference_numerically() {
     // Column partitioning reorders additions, so compare with tolerance.
     let coo = irregular(120, 120, 5);
     let csr = coo.to_csr();
-    let csc = Csc::from_csr(&csr);
+    let csc = Csc::from_csr(&csr).unwrap();
     let x = x_for(120);
     let mut y_ref = vec![0.0; 120];
     coo.spmv_reference(&x, &mut y_ref);
@@ -264,7 +264,7 @@ fn pool_reuse_interleaved_plans() {
     // pools must not interfere with one another.
     let coo = irregular(130, 130, 22);
     let csr = coo.to_csr();
-    let csc = Csc::from_csr(&csr);
+    let csc = Csc::from_csr(&csr).unwrap();
     let du = spmv_core::csr_du::CsrDu::from_csr(&csr, &DuOptions::default());
     let x = x_for(130);
     let mut y_serial = vec![0.0; 130];

@@ -1,0 +1,984 @@
+//! Supervised parallel SpMV: watchdog, graceful degradation, self-healing.
+//!
+//! The borrowed-job [`crate::pool::WorkerPool`] is the *fast* path: zero
+//! allocation per dispatch, but a live straggler can never be abandoned —
+//! the dispatched closure borrows the caller's stack, so `run` must wait
+//! for every worker it woke (its watchdog can only take over work from
+//! threads that *died*). This module is the *resilient* path: everything a
+//! worker touches is owned by an `Arc`'d per-call state, so the caller may
+//! walk away from a wedged worker without any dangling borrow. That buys
+//! the full fault model:
+//!
+//! * **worker panic** — caught on the worker, reported, and the chunk is
+//!   re-executed serially by the caller (no deadline wait);
+//! * **worker death** (thread terminated without finishing) — detected at
+//!   the deadline, chunk re-executed serially, worker respawned;
+//! * **worker stall** (alive but past the deadline) — the worker is
+//!   *abandoned*: the caller re-executes its chunk serially, a
+//!   replacement thread takes its roster slot, and the stuck thread exits
+//!   on its own whenever its computation finally returns (it only holds
+//!   `Arc`s, so nothing dangles);
+//! * **silent chunk corruption** — optionally caught by re-executing
+//!   sampled chunks serially and comparing bit patterns (the chunk kernel
+//!   is deterministic, so any discrepancy is corruption, not roundoff).
+//!
+//! Under [`RecoveryPolicy::Degrade`] every fault above still yields a
+//! **correct** result — recovery re-runs the identical chunk kernel over
+//! the identical partition, so output is bit-identical to a serial run —
+//! plus a [`HealthReport`] saying what happened. Under
+//! [`RecoveryPolicy::FailFast`] the first fault aborts the call with a
+//! typed [`PoolError`] instead (the output buffer is left untouched); the
+//! executor itself stays usable either way.
+//!
+//! The price of resilience: `x` is copied into the call state and chunk
+//! outputs are staged in per-chunk buffers before assembly into `y`
+//! (workers must never hold a borrow of caller memory). Use the plain
+//! `Par*` executors when raw throughput matters more than fault
+//! isolation.
+
+use crate::partition::RowPartition;
+use crate::pool::watchdog_deadline;
+use spmv_core::csr_du::{CsrDu, DuSplit};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Csr, Scalar, SpIndex};
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Chunk kernels
+// ---------------------------------------------------------------------
+
+/// A matrix pre-partitioned into independently computable row chunks.
+///
+/// Implementors own their matrix (`'static`, typically behind an `Arc`),
+/// so a chunk computation can outlive any particular `spmv` call — the
+/// property that makes stall abandonment sound. `compute` must be
+/// **deterministic** (same chunk + same `x` ⇒ bit-identical output): the
+/// watchdog re-executes chunks after faults and the self-check compares
+/// recomputed chunks bit-for-bit.
+pub trait ChunkKernel<V: Scalar>: Send + Sync + 'static {
+    /// Rows of the matrix (length of `y`).
+    fn nrows(&self) -> usize;
+    /// Columns of the matrix (length of `x`).
+    fn ncols(&self) -> usize;
+    /// Number of chunks. Chunk row ranges are pairwise disjoint; rows not
+    /// covered by any chunk are zeroed at assembly.
+    fn nchunks(&self) -> usize;
+    /// Row range `chunk` covers.
+    fn chunk_rows(&self, chunk: usize) -> Range<usize>;
+    /// Computes `out = (A·x)[chunk_rows(chunk)]`; `out` has exactly
+    /// `chunk_rows(chunk).len()` elements, pre-zeroed.
+    fn compute(&self, chunk: usize, x: &[V], out: &mut [V]);
+}
+
+/// Row-partitioned chunks over a CSR matrix (nnz-balanced).
+pub struct CsrChunks<I: SpIndex, V: Scalar> {
+    matrix: Arc<Csr<I, V>>,
+    partition: RowPartition,
+}
+
+impl<I: SpIndex, V: Scalar> CsrChunks<I, V> {
+    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks.
+    pub fn new(matrix: Arc<Csr<I, V>>, nchunks: usize) -> CsrChunks<I, V> {
+        let partition = RowPartition::for_csr(&matrix, nchunks.max(1));
+        CsrChunks { matrix, partition }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ChunkKernel<V> for CsrChunks<I, V> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn nchunks(&self) -> usize {
+        self.partition.nparts()
+    }
+    fn chunk_rows(&self, chunk: usize) -> Range<usize> {
+        self.partition.part(chunk)
+    }
+    fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
+        let r = self.partition.part(chunk);
+        self.matrix.spmv_rows_local(r.start, r.end, x, out);
+    }
+}
+
+/// Row-partitioned chunks over a CSR-VI matrix (nnz-balanced).
+pub struct CsrViChunks<I: SpIndex = u32, V: Scalar = f64> {
+    matrix: Arc<CsrVi<I, V>>,
+    partition: RowPartition,
+}
+
+impl<I: SpIndex, V: Scalar> CsrViChunks<I, V> {
+    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks.
+    pub fn new(matrix: Arc<CsrVi<I, V>>, nchunks: usize) -> CsrViChunks<I, V> {
+        let partition = RowPartition::by_nnz(matrix.row_ptr(), nchunks.max(1));
+        CsrViChunks { matrix, partition }
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ChunkKernel<V> for CsrViChunks<I, V> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn nchunks(&self) -> usize {
+        self.partition.nparts()
+    }
+    fn chunk_rows(&self, chunk: usize) -> Range<usize> {
+        self.partition.part(chunk)
+    }
+    fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
+        let r = self.partition.part(chunk);
+        self.matrix.spmv_rows_local(r.start, r.end, x, out);
+    }
+}
+
+/// Ctl-stream chunks over a CSR-DU matrix (each chunk is a [`DuSplit`]).
+pub struct CsrDuChunks<V: Scalar> {
+    matrix: Arc<CsrDu<V>>,
+    splits: Vec<DuSplit>,
+    bounds: Vec<usize>,
+}
+
+impl<V: Scalar> CsrDuChunks<V> {
+    /// Plans `nchunks` nnz-balanced ctl-stream splits (possibly fewer for
+    /// tiny matrices; zero for an empty one).
+    pub fn new(matrix: Arc<CsrDu<V>>, nchunks: usize) -> CsrDuChunks<V> {
+        let splits = matrix.splits(nchunks.max(1));
+        let mut bounds = vec![0usize];
+        bounds.extend(splits.iter().map(|s| s.row_end));
+        CsrDuChunks { matrix, splits, bounds }
+    }
+}
+
+impl<V: Scalar> ChunkKernel<V> for CsrDuChunks<V> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn nchunks(&self) -> usize {
+        self.splits.len()
+    }
+    fn chunk_rows(&self, chunk: usize) -> Range<usize> {
+        self.bounds[chunk]..self.bounds[chunk + 1]
+    }
+    fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
+        self.matrix.spmv_split_local(&self.splits[chunk], x, out);
+    }
+}
+
+/// Ctl-stream chunks over a CSR-DU-VI matrix.
+pub struct CsrDuViChunks<V: Scalar> {
+    matrix: Arc<CsrDuVi<V>>,
+    splits: Vec<DuSplit>,
+    bounds: Vec<usize>,
+}
+
+impl<V: Scalar> CsrDuViChunks<V> {
+    /// Plans `nchunks` nnz-balanced ctl-stream splits.
+    pub fn new(matrix: Arc<CsrDuVi<V>>, nchunks: usize) -> CsrDuViChunks<V> {
+        let splits = matrix.splits(nchunks.max(1));
+        let mut bounds = vec![0usize];
+        bounds.extend(splits.iter().map(|s| s.row_end));
+        CsrDuViChunks { matrix, splits, bounds }
+    }
+}
+
+impl<V: Scalar> ChunkKernel<V> for CsrDuViChunks<V> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn nchunks(&self) -> usize {
+        self.splits.len()
+    }
+    fn chunk_rows(&self, chunk: usize) -> Range<usize> {
+        self.bounds[chunk]..self.bounds[chunk + 1]
+    }
+    fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
+        self.matrix.spmv_split_local(&self.splits[chunk], x, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog configuration, errors, health
+// ---------------------------------------------------------------------
+
+/// What the supervisor does when a fault is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Recover: re-execute affected chunks serially on the caller,
+    /// respawn lost workers, return `Ok` with the events in the
+    /// [`HealthReport`]. The result is bit-identical to a serial run.
+    Degrade,
+    /// Abort: return the first fault as a typed [`PoolError`], leaving
+    /// the output buffer untouched. Lost workers are still respawned, so
+    /// the executor remains usable.
+    FailFast,
+}
+
+/// Watchdog configuration for [`SupervisedSpMv`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogOpts {
+    /// How long a call waits for outstanding chunks before triaging
+    /// their workers for death or stall. Any positive value is safe: a
+    /// low deadline can only cause spurious (correct) serial recovery,
+    /// never a wrong result.
+    pub deadline: Duration,
+    /// Degrade-and-recover or fail-fast.
+    pub policy: RecoveryPolicy,
+    /// `0` disables the self-check; `n > 0` re-executes every `n`-th
+    /// chunk serially after all chunks complete and compares bit
+    /// patterns, replacing any corrupted chunk with the serial result
+    /// (`1` checks every chunk).
+    pub verify_every: usize,
+    /// When `true` (default) the calling thread claims chunks alongside
+    /// the workers before supervising. `false` dedicates the caller to
+    /// supervision — all chunks go to workers, which also makes fault
+    /// injection deterministic in tests (the caller consults no hooks).
+    pub caller_participates: bool,
+}
+
+impl Default for WatchdogOpts {
+    /// Deadline from `SPMV_WATCHDOG_MS` (default 1 s), degrade-and-
+    /// recover, self-check off.
+    fn default() -> WatchdogOpts {
+        WatchdogOpts {
+            deadline: watchdog_deadline(),
+            policy: RecoveryPolicy::Degrade,
+            verify_every: 0,
+            caller_participates: true,
+        }
+    }
+}
+
+/// Typed faults surfaced by [`RecoveryPolicy::FailFast`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked while computing `chunk`.
+    WorkerPanicked { tid: usize, chunk: usize },
+    /// A worker exceeded the watchdog deadline while holding `chunk`.
+    WorkerStalled { tid: usize, chunk: usize, waited: Duration },
+    /// A worker's thread terminated without completing `chunk`.
+    WorkerDied { tid: usize, chunk: usize },
+    /// A chunk's published result did not match its serial re-execution.
+    ChunkCorrupted { chunk: usize },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { tid, chunk } => {
+                write!(f, "worker {tid} panicked while computing chunk {chunk}")
+            }
+            PoolError::WorkerStalled { tid, chunk, waited } => {
+                write!(f, "worker {tid} stalled on chunk {chunk} ({waited:?} past deadline)")
+            }
+            PoolError::WorkerDied { tid, chunk } => {
+                write!(f, "worker {tid} died without completing chunk {chunk}")
+            }
+            PoolError::ChunkCorrupted { chunk } => {
+                write!(f, "chunk {chunk} failed the serial cross-check (corrupted result)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One observed-and-handled fault (see [`HealthReport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A worker panicked; the chunk was re-executed serially.
+    WorkerPanicked { tid: usize, chunk: usize },
+    /// A worker thread died mid-chunk; the chunk was re-executed
+    /// serially.
+    WorkerDied { tid: usize, chunk: usize },
+    /// A live worker blew the deadline; it was abandoned (it exits on
+    /// its own once its computation returns) and the chunk re-executed
+    /// serially.
+    WorkerStalled { tid: usize, chunk: usize, waited: Duration },
+    /// A fresh thread took over a lost worker's roster slot.
+    WorkerRespawned { tid: usize },
+    /// The self-check caught a corrupted chunk and replaced it with the
+    /// serial result.
+    ChunkCorrupted { chunk: usize },
+}
+
+/// What happened during one supervised call. `events` empty ⇒ fully
+/// healthy parallel execution; otherwise the call *degraded* — some
+/// chunks ran serially on the caller — but the result is still correct.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Faults observed, in detection order.
+    pub events: Vec<FaultEvent>,
+    /// Chunks the caller re-executed serially (recovery work).
+    pub recovered_chunks: usize,
+    /// Per-thread heartbeat counters at the end of the call (index =
+    /// tid; the caller is 0). Each thread bumps its counter at chunk
+    /// claim and completion, so a low even count identifies the thread
+    /// that did little work — diagnostic context for the events above.
+    pub heartbeats: Vec<u64>,
+}
+
+impl HealthReport {
+    /// `true` if any fault was observed (some work ran degraded).
+    pub fn degraded(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-call shared state
+// ---------------------------------------------------------------------
+
+/// Claim marker: chunk not yet claimed by any thread.
+const UNCLAIMED: usize = usize::MAX;
+
+struct Progress {
+    /// Chunks with a published result.
+    done: usize,
+    /// `(chunk, tid)` pairs whose worker panicked (chunk unpublished).
+    failed: Vec<(usize, usize)>,
+}
+
+/// Everything the workers touch during one call. Fully owned (behind an
+/// `Arc`), so an abandoned worker can finish — or never finish — without
+/// endangering the caller.
+struct CallState<V: Scalar> {
+    x: Vec<V>,
+    nchunks: usize,
+    /// Next unclaimed chunk.
+    next: AtomicUsize,
+    /// `claims[k]`: tid that claimed chunk `k`, or [`UNCLAIMED`].
+    claims: Vec<AtomicUsize>,
+    /// First published result per chunk wins; later publishes (an
+    /// abandoned straggler finishing after recovery) are discarded.
+    results: Vec<Mutex<Option<Vec<V>>>>,
+    progress: Mutex<Progress>,
+    done_cv: Condvar,
+    /// Per-thread heartbeats (index = tid), bumped at chunk claim and
+    /// completion. Diagnostic only; exposed through
+    /// [`SupervisedSpMv::heartbeats`].
+    hb: Vec<AtomicU64>,
+    #[cfg(feature = "fault-injection")]
+    fault: crate::faults::FaultHandle,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<V: Scalar> CallState<V> {
+    /// Publishes `out` for chunk `k` unless someone already did; returns
+    /// whether this publish won.
+    fn publish(&self, k: usize, out: Vec<V>) -> bool {
+        {
+            let mut slot = lock(&self.results[k]);
+            if slot.is_some() {
+                return false;
+            }
+            *slot = Some(out);
+        }
+        let mut p = lock(&self.progress);
+        p.done += 1;
+        if p.done == self.nchunks {
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Records a worker panic on chunk `k` and wakes the supervisor.
+    fn mark_failed(&self, k: usize, tid: usize) {
+        let mut p = lock(&self.progress);
+        p.failed.push((k, tid));
+        self.done_cv.notify_all();
+    }
+
+    fn done(&self) -> usize {
+        lock(&self.progress).done
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+struct SupState<V: Scalar> {
+    epoch: u64,
+    job: Option<Arc<CallState<V>>>,
+    shutdown: bool,
+}
+
+struct SupShared<V: Scalar> {
+    state: Mutex<SupState<V>>,
+    work_cv: Condvar,
+}
+
+/// Outcome of one worker chunk attempt.
+enum ChunkRun<V> {
+    Done(Vec<V>),
+    #[cfg(feature = "fault-injection")]
+    Exit,
+}
+
+/// Runs chunk `k` on a worker; returns `true` if the thread must exit
+/// (injected death). Panics — injected or real — are caught and recorded
+/// so the supervisor can recover without waiting for the deadline.
+fn worker_chunk<V: Scalar>(
+    job: &CallState<V>,
+    kernel: &dyn ChunkKernel<V>,
+    k: usize,
+    tid: usize,
+) -> bool {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-injection")]
+        let injected = job.fault.before_compute(Some(k), tid);
+        #[cfg(feature = "fault-injection")]
+        if injected == Some(crate::faults::FaultAction::ExitThread) {
+            // Simulated thread death: the claimed chunk stays unfinished.
+            return ChunkRun::Exit;
+        }
+        let rows = kernel.chunk_rows(k);
+        let mut out = vec![V::zero(); rows.len()];
+        kernel.compute(k, &job.x, &mut out);
+        #[cfg(feature = "fault-injection")]
+        if injected == Some(crate::faults::FaultAction::CorruptChunk) {
+            if let Some(v0) = out.first_mut() {
+                *v0 = -*v0; // silent corruption only the self-check sees
+            }
+        }
+        ChunkRun::Done(out)
+    }));
+    match outcome {
+        Ok(ChunkRun::Done(out)) => {
+            job.publish(k, out);
+            false
+        }
+        #[cfg(feature = "fault-injection")]
+        Ok(ChunkRun::Exit) => true,
+        Err(_) => {
+            job.mark_failed(k, tid);
+            false
+        }
+    }
+}
+
+fn sup_worker_loop<V: Scalar>(
+    shared: Arc<SupShared<V>>,
+    kernel: Arc<dyn ChunkKernel<V>>,
+    tid: usize,
+    alive: Arc<AtomicBool>,
+    mut seen_epoch: u64,
+) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown || !alive.load(Ordering::Acquire) {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break Arc::clone(st.job.as_ref().expect("epoch advanced without a job"));
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        loop {
+            if !alive.load(Ordering::Acquire) {
+                // Abandoned mid-call: our roster slot has a replacement;
+                // exit quietly (the job state is Arc-owned, nothing
+                // dangles).
+                return;
+            }
+            let k = job.next.fetch_add(1, Ordering::AcqRel);
+            if k >= job.nchunks {
+                break;
+            }
+            job.claims[k].store(tid, Ordering::Release);
+            job.hb[tid].fetch_add(1, Ordering::AcqRel);
+            if worker_chunk(&job, &*kernel, k, tid) {
+                return;
+            }
+            job.hb[tid].fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+struct WorkerSlot {
+    handle: JoinHandle<()>,
+    alive: Arc<AtomicBool>,
+}
+
+// ---------------------------------------------------------------------
+// The supervisor
+// ---------------------------------------------------------------------
+
+/// Fault-tolerant parallel SpMV executor over a [`ChunkKernel`].
+///
+/// Construction spawns `nthreads - 1` persistent workers (the caller
+/// participates as thread 0). Each [`SupervisedSpMv::spmv`] call fans the
+/// kernel's chunks out over the threads with dynamic claiming, supervises
+/// them against the watchdog deadline, recovers per the policy, and
+/// assembles `y`. See the module docs for the fault model.
+pub struct SupervisedSpMv<V: Scalar> {
+    kernel: Arc<dyn ChunkKernel<V>>,
+    shared: Arc<SupShared<V>>,
+    workers: Vec<WorkerSlot>,
+    nthreads: usize,
+    opts: WatchdogOpts,
+}
+
+impl<V: Scalar> SupervisedSpMv<V> {
+    /// Spawns the worker roster for `kernel` with `nthreads` total
+    /// threads and the given watchdog options.
+    pub fn with_opts(
+        kernel: Arc<dyn ChunkKernel<V>>,
+        nthreads: usize,
+        opts: WatchdogOpts,
+    ) -> SupervisedSpMv<V> {
+        assert!(nthreads >= 1, "need at least one thread");
+        let shared = Arc::new(SupShared {
+            state: Mutex::new(SupState { epoch: 0, job: None, shutdown: false }),
+            work_cv: Condvar::new(),
+        });
+        let workers = (1..nthreads).map(|tid| spawn_sup_worker(&shared, &kernel, tid, 0)).collect();
+        SupervisedSpMv { kernel, shared, workers, nthreads, opts }
+    }
+
+    /// [`SupervisedSpMv::with_opts`] with [`WatchdogOpts::default`].
+    pub fn new(kernel: Arc<dyn ChunkKernel<V>>, nthreads: usize) -> SupervisedSpMv<V> {
+        SupervisedSpMv::with_opts(kernel, nthreads, WatchdogOpts::default())
+    }
+
+    /// Threads per call (including the caller).
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The watchdog options in effect.
+    pub fn opts(&self) -> &WatchdogOpts {
+        &self.opts
+    }
+
+    /// Computes `y = A·x` under supervision.
+    ///
+    /// Returns the call's [`HealthReport`] (empty events ⇒ fully healthy
+    /// parallel run). Under [`RecoveryPolicy::FailFast`] the first fault
+    /// aborts with a [`PoolError`] and `y` is left untouched.
+    pub fn spmv(&mut self, x: &[V], y: &mut [V]) -> Result<HealthReport, PoolError> {
+        assert_eq!(x.len(), self.kernel.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.kernel.nrows(), "y length must equal nrows");
+        let mut report = HealthReport::default();
+        let nchunks = self.kernel.nchunks();
+        if nchunks == 0 {
+            y.fill(V::zero());
+            return Ok(report);
+        }
+        let state = Arc::new(CallState {
+            x: x.to_vec(),
+            nchunks,
+            next: AtomicUsize::new(0),
+            claims: (0..nchunks).map(|_| AtomicUsize::new(UNCLAIMED)).collect(),
+            results: (0..nchunks).map(|_| Mutex::new(None)).collect(),
+            progress: Mutex::new(Progress { done: 0, failed: Vec::new() }),
+            done_cv: Condvar::new(),
+            hb: (0..self.nthreads).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(feature = "fault-injection")]
+            fault: crate::faults::FaultHandle::capture(),
+        });
+        if self.nthreads > 1 {
+            let mut st = lock(&self.shared.state);
+            st.epoch += 1;
+            st.job = Some(Arc::clone(&state));
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+        // The caller participates as thread 0 (never fault-injected: a
+        // scripted fault on the supervisor would be a fault in the test
+        // harness, not in the system under test).
+        if self.opts.caller_participates {
+            loop {
+                let k = state.next.fetch_add(1, Ordering::AcqRel);
+                if k >= nchunks {
+                    break;
+                }
+                state.claims[k].store(0, Ordering::Release);
+                state.hb[0].fetch_add(1, Ordering::AcqRel);
+                let rows = self.kernel.chunk_rows(k);
+                let mut out = vec![V::zero(); rows.len()];
+                self.kernel.compute(k, &state.x, &mut out);
+                state.publish(k, out);
+                state.hb[0].fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        self.supervise(&state, &mut report)?;
+        if self.opts.verify_every > 0 {
+            self.self_check(&state, &mut report)?;
+        }
+        report.heartbeats = state.hb.iter().map(|h| h.load(Ordering::Acquire)).collect();
+        // Assemble: zero y (covers rows outside every chunk), then copy
+        // each chunk's winning result into its row range.
+        y.fill(V::zero());
+        for k in 0..nchunks {
+            let rows = self.kernel.chunk_rows(k);
+            let slot = lock(&state.results[k]);
+            let out = slot.as_ref().expect("all chunks resolved before assembly");
+            y[rows].copy_from_slice(out);
+        }
+        Ok(report)
+    }
+
+    /// Waits for all chunks, recovering panics immediately and triaging
+    /// stragglers at the deadline.
+    fn supervise(
+        &mut self,
+        state: &Arc<CallState<V>>,
+        report: &mut HealthReport,
+    ) -> Result<(), PoolError> {
+        let start = Instant::now();
+        loop {
+            // Handle recorded worker panics without waiting for the
+            // deadline.
+            let failed = std::mem::take(&mut lock(&state.progress).failed);
+            for (chunk, tid) in failed {
+                report.events.push(FaultEvent::WorkerPanicked { tid, chunk });
+                if self.opts.policy == RecoveryPolicy::FailFast {
+                    return Err(PoolError::WorkerPanicked { tid, chunk });
+                }
+                self.recover_chunk(state, chunk, report);
+            }
+            if state.done() == state.nchunks {
+                return Ok(());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.opts.deadline {
+                return self.triage(state, report, elapsed);
+            }
+            let p = lock(&state.progress);
+            if p.done < state.nchunks && p.failed.is_empty() {
+                let _unused = state
+                    .done_cv
+                    .wait_timeout(p, self.opts.deadline - elapsed)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Deadline expired with chunks outstanding: classify each straggling
+    /// worker (dead vs stalled), abandon/respawn it, and re-execute its
+    /// chunk serially (Degrade) or abort (FailFast).
+    fn triage(
+        &mut self,
+        state: &Arc<CallState<V>>,
+        report: &mut HealthReport,
+        waited: Duration,
+    ) -> Result<(), PoolError> {
+        for chunk in 0..state.nchunks {
+            if lock(&state.results[chunk]).is_some() {
+                continue;
+            }
+            let tid = state.claims[chunk].load(Ordering::Acquire);
+            let fault = if tid == UNCLAIMED || tid == 0 {
+                // Unclaimed (workers died before reaching it) or the
+                // supervisor's own — no worker to blame; just recover.
+                None
+            } else if self.workers[tid - 1].handle.is_finished() {
+                Some((FaultEvent::WorkerDied { tid, chunk }, PoolError::WorkerDied { tid, chunk }))
+            } else {
+                Some((
+                    FaultEvent::WorkerStalled { tid, chunk, waited },
+                    PoolError::WorkerStalled { tid, chunk, waited },
+                ))
+            };
+            if let Some((event, error)) = fault {
+                report.events.push(event);
+                self.respawn(tid, report);
+                if self.opts.policy == RecoveryPolicy::FailFast {
+                    return Err(error);
+                }
+            }
+            // Unclaimed chunks carry no fault to report (the work just
+            // has to happen somewhere) — recover them under both
+            // policies.
+            self.recover_chunk(state, chunk, report);
+        }
+        // Every chunk now has a published result; panics that raced the
+        // scan still deserve their event (their chunk was recovered by
+        // the loop above, so no further work is needed).
+        let failed = std::mem::take(&mut lock(&state.progress).failed);
+        for (chunk, tid) in failed {
+            report.events.push(FaultEvent::WorkerPanicked { tid, chunk });
+            if self.opts.policy == RecoveryPolicy::FailFast {
+                return Err(PoolError::WorkerPanicked { tid, chunk });
+            }
+        }
+        debug_assert_eq!(state.done(), state.nchunks, "triage must resolve every chunk");
+        Ok(())
+    }
+
+    /// Re-executes `chunk` serially on the caller and publishes the
+    /// result (first publish wins; a late straggler's result is
+    /// discarded).
+    fn recover_chunk(&self, state: &Arc<CallState<V>>, chunk: usize, report: &mut HealthReport) {
+        let rows = self.kernel.chunk_rows(chunk);
+        let mut out = vec![V::zero(); rows.len()];
+        self.kernel.compute(chunk, &state.x, &mut out);
+        state.publish(chunk, out);
+        report.recovered_chunks += 1;
+    }
+
+    /// Abandons worker `tid`'s current thread (if still running) and
+    /// installs a fresh one in its roster slot, so the pool returns to
+    /// full strength for subsequent calls.
+    fn respawn(&mut self, tid: usize, report: &mut HealthReport) {
+        self.workers[tid - 1].alive.store(false, Ordering::Release);
+        let epoch = lock(&self.shared.state).epoch;
+        // Dropping the old handle detaches the thread; an abandoned
+        // straggler exits on its own when its computation returns and it
+        // observes `alive == false`.
+        self.workers[tid - 1] = spawn_sup_worker(&self.shared, &self.kernel, tid, epoch);
+        report.events.push(FaultEvent::WorkerRespawned { tid });
+    }
+
+    /// Re-executes sampled chunks serially and compares bit patterns;
+    /// replaces corrupted chunks with the serial result (Degrade) or
+    /// aborts (FailFast).
+    fn self_check(
+        &self,
+        state: &Arc<CallState<V>>,
+        report: &mut HealthReport,
+    ) -> Result<(), PoolError> {
+        for chunk in (0..state.nchunks).step_by(self.opts.verify_every) {
+            let rows = self.kernel.chunk_rows(chunk);
+            let mut expect = vec![V::zero(); rows.len()];
+            self.kernel.compute(chunk, &state.x, &mut expect);
+            let mut slot = lock(&state.results[chunk]);
+            let got = slot.as_ref().expect("all chunks resolved before self-check");
+            let clean = got.len() == expect.len()
+                && got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+            if clean {
+                continue;
+            }
+            report.events.push(FaultEvent::ChunkCorrupted { chunk });
+            if self.opts.policy == RecoveryPolicy::FailFast {
+                return Err(PoolError::ChunkCorrupted { chunk });
+            }
+            *slot = Some(expect); // the serial result is authoritative
+            report.recovered_chunks += 1;
+        }
+        Ok(())
+    }
+}
+
+fn spawn_sup_worker<V: Scalar>(
+    shared: &Arc<SupShared<V>>,
+    kernel: &Arc<dyn ChunkKernel<V>>,
+    tid: usize,
+    seen_epoch: u64,
+) -> WorkerSlot {
+    let alive = Arc::new(AtomicBool::new(true));
+    let handle = {
+        let shared = Arc::clone(shared);
+        let kernel = Arc::clone(kernel);
+        let alive = Arc::clone(&alive);
+        std::thread::Builder::new()
+            .name(format!("spmv-supervised-{tid}"))
+            .spawn(move || sup_worker_loop(shared, kernel, tid, alive, seen_epoch))
+            .expect("failed to spawn supervised worker")
+    };
+    WorkerSlot { handle, alive }
+}
+
+impl<V: Scalar> Drop for SupervisedSpMv<V> {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            st.job = None;
+        }
+        self.shared.work_cv.notify_all();
+        for slot in self.workers.drain(..) {
+            let _ = slot.handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::csr_du::DuOptions;
+    use spmv_core::{Coo, SpMv};
+
+    fn irregular(nrows: usize, ncols: usize, seed: u64) -> Coo<f64> {
+        let mut t: Vec<(usize, usize, f64)> = Vec::new();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for r in 0..nrows {
+            if r % 11 == 3 {
+                continue; // empty row
+            }
+            let len = 1 + (next() as usize) % 9;
+            for _ in 0..len {
+                t.push((r, (next() as usize) % ncols, ((next() % 17) as f64) - 8.0));
+            }
+        }
+        let mut coo = Coo::from_triplets(nrows, ncols, t).unwrap();
+        coo.canonicalize();
+        coo
+    }
+
+    fn x_for(ncols: usize) -> Vec<f64> {
+        (0..ncols).map(|i| ((i % 23) as f64) * 0.37 - 3.0).collect()
+    }
+
+    /// Opts with a deadline generous enough that healthy runs never
+    /// degrade, regardless of any `SPMV_WATCHDOG_MS` in the environment.
+    fn calm() -> WatchdogOpts {
+        WatchdogOpts { deadline: Duration::from_secs(60), ..WatchdogOpts::default() }
+    }
+
+    fn kernels(
+        csr: &Csr<u32, f64>,
+        nchunks: usize,
+    ) -> Vec<(&'static str, Arc<dyn ChunkKernel<f64>>)> {
+        let du = CsrDu::from_csr(csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(csr);
+        let duvi = CsrDuVi::from_csr(csr, &DuOptions::default());
+        vec![
+            ("csr", Arc::new(CsrChunks::new(Arc::new(csr.clone()), nchunks))),
+            ("csr-du", Arc::new(CsrDuChunks::new(Arc::new(du), nchunks))),
+            ("csr-vi", Arc::new(CsrViChunks::new(Arc::new(vi), nchunks))),
+            ("csr-duvi", Arc::new(CsrDuViChunks::new(Arc::new(duvi), nchunks))),
+        ]
+    }
+
+    #[test]
+    fn healthy_run_matches_serial_bit_exact_all_kernels() {
+        let coo = irregular(180, 140, 7);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(140);
+        let mut y_serial = vec![0.0; 180];
+        csr.spmv(&x, &mut y_serial);
+        for nthreads in [1usize, 2, 4, 7] {
+            for (name, kernel) in kernels(&csr, nthreads * 2) {
+                let mut sup = SupervisedSpMv::with_opts(kernel, nthreads, calm());
+                let mut y = vec![99.0; 180];
+                let report = sup.spmv(&x, &mut y).expect("healthy run");
+                assert_eq!(y, y_serial, "{name} nthreads={nthreads}");
+                assert!(!report.degraded(), "{name}: unexpected events {:?}", report.events);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_plan_is_reusable() {
+        let coo = irregular(90, 70, 3);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(70);
+        let mut y_serial = vec![0.0; 90];
+        csr.spmv(&x, &mut y_serial);
+        let mut sup = SupervisedSpMv::new(Arc::new(CsrChunks::new(Arc::new(csr), 8)), 4);
+        for call in 0..50 {
+            let mut y = vec![-1.0; 90];
+            sup.spmv(&x, &mut y).expect("healthy run");
+            assert_eq!(y, y_serial, "call {call}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_y() {
+        let csr: Csr<u32, f64> = Coo::from_triplets(5, 4, vec![]).unwrap().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut sup = SupervisedSpMv::new(Arc::new(CsrDuChunks::new(Arc::new(du), 4)), 3);
+        let mut y = vec![7.0; 5];
+        let report = sup.spmv(&[0.0; 4], &mut y).expect("empty matrix");
+        assert_eq!(y, vec![0.0; 5]);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn self_check_passes_on_healthy_run() {
+        let coo = irregular(120, 100, 9);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(100);
+        let mut y_serial = vec![0.0; 120];
+        csr.spmv(&x, &mut y_serial);
+        let opts = WatchdogOpts { verify_every: 1, ..calm() };
+        let mut sup =
+            SupervisedSpMv::with_opts(Arc::new(CsrChunks::new(Arc::new(csr), 6)), 4, opts);
+        let mut y = vec![0.0; 120];
+        let report = sup.spmv(&x, &mut y).expect("healthy verified run");
+        assert_eq!(y, y_serial);
+        assert!(!report.degraded(), "self-check must not trip on clean chunks");
+    }
+
+    #[test]
+    fn failfast_on_healthy_run_is_ok() {
+        let coo = irregular(60, 60, 5);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(60);
+        let opts = WatchdogOpts { policy: RecoveryPolicy::FailFast, ..calm() };
+        let mut sup =
+            SupervisedSpMv::with_opts(Arc::new(CsrChunks::new(Arc::new(csr), 4)), 4, opts);
+        let mut y = vec![0.0; 60];
+        sup.spmv(&x, &mut y).expect("no fault, no error");
+    }
+
+    #[test]
+    fn tight_deadline_never_corrupts_results() {
+        // The no-false-trips property: an aggressively low deadline may
+        // cause spurious serial recovery, but results stay bit-identical
+        // and no error is returned under Degrade.
+        let coo = irregular(150, 150, 11);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(150);
+        let mut y_serial = vec![0.0; 150];
+        csr.spmv(&x, &mut y_serial);
+        let opts = WatchdogOpts {
+            deadline: Duration::from_micros(1),
+            policy: RecoveryPolicy::Degrade,
+            ..WatchdogOpts::default()
+        };
+        let mut sup =
+            SupervisedSpMv::with_opts(Arc::new(CsrChunks::new(Arc::new(csr), 16)), 4, opts);
+        for _ in 0..10 {
+            let mut y = vec![0.0; 150];
+            sup.spmv(&x, &mut y).expect("degrade mode never errors");
+            assert_eq!(y, y_serial);
+        }
+    }
+
+    #[test]
+    fn heartbeats_cover_all_threads() {
+        let coo = irregular(100, 80, 2);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(80);
+        let mut sup =
+            SupervisedSpMv::with_opts(Arc::new(CsrChunks::new(Arc::new(csr), 8)), 3, calm());
+        let mut y = vec![0.0; 100];
+        let report = sup.spmv(&x, &mut y).expect("healthy run");
+        assert_eq!(report.heartbeats.len(), 3);
+        // All chunk work is accounted for: 2 beats per chunk, 8 chunks.
+        assert_eq!(report.heartbeats.iter().sum::<u64>(), 16);
+    }
+}

@@ -21,6 +21,17 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== fault-smoke (scripted fault recovery matrix) =="
+# Deterministic injected panics/stalls/deaths/corruption through both
+# parallel layers; every recovery must be bit-identical to serial.
+cargo test -q -p spmv-parallel --features fault-injection
+
+echo "== tier-1 under a 5 ms watchdog deadline =="
+# An aggressively low deadline forces spurious stall triage on this
+# single-CPU host; it may only cause (correct) serial recovery — any
+# wrong result or error fails the gate.
+SPMV_WATCHDOG_MS=5 cargo test -q --test fault_tolerance
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.

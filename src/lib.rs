@@ -81,6 +81,12 @@ impl<V: Scalar> SpMv<V> for AutoFormat<V> {
             AutoFormat::DuVi(m) => m.spmv(x, y),
         }
     }
+    fn validate(&self) -> Result<(), spmv_core::SparseError> {
+        match self {
+            AutoFormat::Du(m) => m.validate(),
+            AutoFormat::DuVi(m) => m.validate(),
+        }
+    }
 }
 
 /// Compresses `csr` with the format the paper's criteria recommend:

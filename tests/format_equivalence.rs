@@ -8,7 +8,7 @@ use spmv_core::Coo;
 fn all_formats(csr: &Csr) -> Vec<(String, Box<dyn SpMv<f64> + '_>)> {
     vec![
         ("CSR".into(), Box::new(csr.clone())),
-        ("CSC".into(), Box::new(Csc::from_csr(csr))),
+        ("CSC".into(), Box::new(Csc::from_csr(csr).unwrap())),
         ("BCSR2x2".into(), Box::new(Bcsr::from_csr(csr, 2, 2).unwrap())),
         ("BCSR3x3".into(), Box::new(Bcsr::from_csr(csr, 3, 3).unwrap())),
         ("ELL".into(), Box::new(Ell::from_csr(csr).unwrap())),

@@ -85,7 +85,7 @@ proptest! {
     #[test]
     fn csc_roundtrip_and_spmv(coo in arb_matrix()) {
         let csr: Csr = coo.to_csr();
-        let csc = Csc::from_csr(&csr);
+        let csc = Csc::from_csr(&csr).unwrap();
         let mut back = csc.to_coo();
         back.canonicalize();
         prop_assert_eq!(back.entries(), coo.entries());
