@@ -1,7 +1,7 @@
 //! `reproduce` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--scale S] [--out DIR] <command>
+//! reproduce [--scale S] [--out DIR] [--iters N] <command> [arg]
 //!
 //! commands:
 //!   fig1       CSR arrays for the worked example (Fig. 1)
@@ -19,14 +19,20 @@
 //!   validate   analytic model vs exact cache-trace simulation
 //!   measured   wall-clock serial format comparison on sample matrices
 //!   verify     structural validate() + CSR cross-check of every format
-//!   all        everything above, in order
+//!   bench      measured formats x thread counts -> schema-versioned BENCH.json
+//!   check-bench [FILE]   validate a BENCH.json against the schema (CI gate)
+//!   all        everything above (except check-bench), in order
 //! ```
 //!
 //! `--scale` shrinks the corpus working sets (default 1.0 = paper scale;
 //! use e.g. 0.05 for a quick run). Scaling changes absolute working sets,
 //! so set membership stays keyed to matrix ids as in the paper.
 //! `--out DIR` additionally writes each artifact as JSON for downstream
-//! plotting.
+//! plotting (and is where `bench` puts `BENCH.json`; default `.`).
+//! `--iters N` overrides the timed iteration count of `bench`.
+//!
+//! Build with `--features telemetry` for BENCH.json records to include
+//! per-worker busy times and load-imbalance ratios.
 
 use spmv_bench::figures::{figure_series, format_figure};
 use spmv_bench::measured::{measure_serial, PAPER_ITERATIONS};
@@ -44,13 +50,18 @@ use std::path::PathBuf;
 struct Args {
     scale: f64,
     out: Option<PathBuf>,
+    iters: Option<usize>,
     command: String,
+    /// Optional positional argument after the command (check-bench FILE).
+    arg: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut scale = 1.0f64;
     let mut out = None;
+    let mut iters = None;
     let mut command = None;
+    let mut extra = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,23 +73,32 @@ fn parse_args() -> Args {
                     .expect("--scale needs a number");
             }
             "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            "--iters" => {
+                iters = Some(
+                    it.next()
+                        .expect("--iters needs a value")
+                        .parse()
+                        .expect("--iters needs a positive integer"),
+                );
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
                 std::process::exit(0);
             }
             c if command.is_none() => command = Some(c.to_string()),
+            c if extra.is_none() => extra = Some(c.to_string()),
             other => {
                 eprintln!("unexpected argument: {other}");
                 std::process::exit(2);
             }
         }
     }
-    Args { scale, out, command: command.unwrap_or_else(|| "all".to_string()) }
+    Args { scale, out, iters, command: command.unwrap_or_else(|| "all".to_string()), arg: extra }
 }
 
-const HELP: &str = "reproduce [--scale S] [--out DIR] \
+const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
-ablation-ordering|ablation-partition|validate|measured|verify|all>\n";
+ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|all> [arg]\n";
 
 fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
     if let Some(dir) = out {
@@ -164,6 +184,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "bench" => bench(&args),
+        "check-bench" => {
+            if !check_bench(&args) {
+                std::process::exit(1);
+            }
+        }
         other => {
             eprintln!("unknown command: {other}\n{HELP}");
             std::process::exit(2);
@@ -187,6 +213,7 @@ fn main() {
             "validate",
             "measured",
             "verify",
+            "bench",
         ] {
             run(cmd);
         }
@@ -614,4 +641,89 @@ fn verify(args: &Args) -> bool {
 
     println!("\nverify: {pass} format instances ok, {skip} skipped, {fail} failed");
     fail == 0
+}
+
+/// Bench mode: run the measurement matrix (sample matrices x all four
+/// formats x thread counts), print a bandwidth summary, and emit the
+/// schema-versioned `BENCH.json` observability artifact (validated
+/// through the same reader `check-bench` uses before it is trusted).
+fn bench(args: &Args) {
+    use spmv_bench::metrics::{collect_bench, validate_bench_text, BenchOptions};
+    let opts = BenchOptions {
+        scale: args.scale.min(0.25), // keep bench mode quick, like measured
+        iters: args.iters.unwrap_or(BenchOptions::default().iters),
+        ..BenchOptions::default()
+    };
+    println!(
+        "\n== Bench mode: {} iterations/cell, corpus scale {} -> BENCH.json ==\n",
+        opts.iters, opts.scale
+    );
+    let file = collect_bench(&opts).expect("bench collection");
+    println!(
+        "{:<12} {:<9} {:>3} | {:>10} {:>8} {:>9} {:>9} {:>9} | {:>9}",
+        "matrix", "format", "thr", "median", "cv", "MFLOP/s", "eff GB/s", "adj GB/s", "imbalance"
+    );
+    for r in &file.records {
+        let imbalance = match &r.telemetry {
+            Some(t) => format!("{:>9.2}", t.imbalance),
+            None => format!("{:>9}", "-"),
+        };
+        println!(
+            "{:<12} {:<9} {:>3} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} | {imbalance}",
+            r.matrix,
+            r.format,
+            r.threads,
+            r.stats.median_s * 1e6,
+            r.stats.cv,
+            r.mflops,
+            r.effective_bandwidth_gbs,
+            r.compression_adjusted_gbs,
+        );
+    }
+    let text = {
+        let mut t = serde_json::to_string_pretty(&file).expect("serialize BENCH.json");
+        t.push('\n');
+        t
+    };
+    validate_bench_text(&text).expect("freshly emitted BENCH.json must satisfy its own schema");
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH.json");
+    std::fs::write(&path, text).expect("write BENCH.json");
+    println!(
+        "\nwrote {} ({} records, schema v{}{})",
+        path.display(),
+        file.records.len(),
+        file.schema_version,
+        if cfg!(feature = "telemetry") { ", telemetry on" } else { ", telemetry off" }
+    );
+}
+
+/// Check-bench mode: validate an existing BENCH.json (path from the
+/// positional argument, else `--out`/`.`) against the schema. Returns
+/// `false` on any violation (the process exits non-zero) — CI's
+/// bench-smoke gate.
+fn check_bench(args: &Args) -> bool {
+    use spmv_bench::metrics::validate_bench_text;
+    let path = match &args.arg {
+        Some(p) => PathBuf::from(p),
+        None => args.out.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH.json"),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-bench: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    match validate_bench_text(&text) {
+        Ok(()) => {
+            println!("check-bench: {} is schema-valid", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("check-bench: {} FAILED: {e}", path.display());
+            false
+        }
+    }
 }

@@ -7,9 +7,18 @@
 //! Every table and figure of the paper maps to one harness command; see
 //! DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
 //! paper-vs-reproduction numbers.
+//!
+//! The observability layer lives in [`measured`] (per-iteration
+//! [`measured::TimingStats`], adaptive warm-up) and [`metrics`] (the
+//! bandwidth model joining time to working-set bytes, and the
+//! schema-versioned `BENCH.json` artifact validated through the
+//! [`jsonv`] reader). Enable the `telemetry` feature to also record
+//! per-worker busy times and imbalance ratios into each record.
 
 pub mod figures;
+pub mod jsonv;
 pub mod measured;
+pub mod metrics;
 pub mod runner;
 pub mod tables;
 

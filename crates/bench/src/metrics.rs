@@ -1,0 +1,464 @@
+//! The metrics model: joining measured time to the working-set model,
+//! and the `BENCH.json` artifact.
+//!
+//! The paper's whole argument is that SpMV is *bandwidth*-bound, so a
+//! measured time only becomes interpretable once it is divided into the
+//! bytes the kernel streamed ([`spmv_core::stats::effective_bandwidth`]).
+//! Each [`BenchRecord`] therefore carries three derived figures next to
+//! its raw [`TimingStats`]:
+//!
+//! * **effective bandwidth** — the format's own matrix bytes over the
+//!   median iteration time: how fast the memory system actually moved
+//!   this format's data;
+//! * **compression-adjusted bandwidth** — the *CSR baseline's* bytes over
+//!   the same time: the rate an uncompressed kernel would have needed to
+//!   match it. When this exceeds the machine's sustained bandwidth, the
+//!   compressed format is doing something CSR physically cannot — the
+//!   paper's Figs. 7–8 in one number;
+//! * **traffic per nnz** — the format's matrix bytes per non-zero, the
+//!   §II-B quantity compression reduces.
+//!
+//! [`collect_bench`] runs the measurement matrix (corpus entries ×
+//! formats × thread counts) and returns a schema-versioned [`BenchFile`]
+//! that the `reproduce bench` command serializes as `BENCH.json`;
+//! [`validate_bench_text`] re-parses and checks that artifact (CI's
+//! `bench-smoke` gate, and `reproduce check-bench`). With the `telemetry`
+//! feature enabled, multithreaded records also carry per-worker busy
+//! times and the load-imbalance ratio ([`TelemetryRecord`]).
+
+use crate::jsonv::Json;
+use crate::measured::{
+    measure_parallel_with, measure_serial_with, validate_parallel, TimingStats, WarmupOpts,
+};
+use serde::Serialize;
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::stats::effective_bandwidth;
+use spmv_core::{Csr, SpMv, SparseError};
+use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMv, PoolTelemetry};
+
+/// Version stamped into every `BENCH.json`; bump on any breaking change
+/// to the record layout (consumers must check it before reading fields).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The formats the benchmark matrix covers, in emission order.
+pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
+
+/// Where a `BENCH.json` was produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MachineInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Hardware threads the host advertises (0 if undetectable).
+    pub available_threads: usize,
+}
+
+impl MachineInfo {
+    /// Describes the current host.
+    pub fn detect() -> MachineInfo {
+        MachineInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            available_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+        }
+    }
+}
+
+/// Per-worker execution telemetry attached to a multithreaded record
+/// (requires the `telemetry` feature; absent → `null` in the JSON).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetryRecord {
+    /// Nanoseconds each thread spent executing dispatched work over the
+    /// timed iterations (index = tid; 0 is the dispatching caller).
+    pub busy_ns: Vec<u64>,
+    /// Work items per thread over the timed iterations.
+    pub chunks: Vec<u64>,
+    /// Pool dispatches covered (≥ iterations; reduction formats dispatch
+    /// twice per call).
+    pub dispatches: u64,
+    /// Busiest thread's busy time over the mean (1.0 = perfectly
+    /// balanced; see [`PoolTelemetry::imbalance`]).
+    pub imbalance: f64,
+}
+
+impl From<PoolTelemetry> for TelemetryRecord {
+    fn from(t: PoolTelemetry) -> TelemetryRecord {
+        let imbalance = t.imbalance();
+        TelemetryRecord {
+            busy_ns: t.busy_ns,
+            chunks: t.chunks,
+            dispatches: t.dispatches,
+            imbalance,
+        }
+    }
+}
+
+/// One measured (matrix, format, thread count) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Corpus matrix name.
+    pub matrix: String,
+    /// Corpus matrix id.
+    pub matrix_id: u64,
+    /// Format key (one of [`BENCH_FORMATS`]).
+    pub format: String,
+    /// Threads used (1 = the serial kernel, no pool).
+    pub threads: usize,
+    /// Matrix rows.
+    pub nrows: usize,
+    /// Matrix columns.
+    pub ncols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// This format's matrix bytes (structure + values, vectors excluded).
+    pub matrix_bytes: usize,
+    /// The CSR baseline's matrix bytes for the same matrix.
+    pub csr_matrix_bytes: usize,
+    /// `matrix_bytes / nnz` — the §II-B per-nnz streaming cost.
+    pub traffic_per_nnz: f64,
+    /// Adaptive warm-up iterations that ran before timing.
+    pub warmup_iterations: usize,
+    /// Per-iteration timing summary.
+    pub stats: TimingStats,
+    /// MFLOP/s at the median iteration time.
+    pub mflops: f64,
+    /// `matrix_bytes / median_s`, in GB/s.
+    pub effective_bandwidth_gbs: f64,
+    /// `csr_matrix_bytes / median_s`, in GB/s — the bandwidth an
+    /// uncompressed CSR kernel would need to match this time.
+    pub compression_adjusted_gbs: f64,
+    /// Per-worker telemetry (`telemetry` feature, threads > 1 only).
+    pub telemetry: Option<TelemetryRecord>,
+}
+
+/// A complete `BENCH.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchFile {
+    /// [`BENCH_SCHEMA_VERSION`] at emission time.
+    pub schema_version: u64,
+    /// Producing host.
+    pub machine: MachineInfo,
+    /// Corpus scale factor the matrices were built at.
+    pub scale: f64,
+    /// Timed iterations per record.
+    pub iterations: usize,
+    /// x-vector seed.
+    pub seed: u64,
+    /// One record per (matrix, format, thread count).
+    pub records: Vec<BenchRecord>,
+}
+
+/// What [`collect_bench`] measures.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Corpus scale factor (1.0 = paper scale).
+    pub scale: f64,
+    /// Timed iterations per record (≥ 1; rejected otherwise).
+    pub iters: usize,
+    /// x-vector seed.
+    pub seed: u64,
+    /// Corpus matrix ids to measure.
+    pub matrix_ids: Vec<u32>,
+    /// Thread counts to measure (1 runs the serial kernel).
+    pub thread_counts: Vec<usize>,
+    /// Warm-up policy.
+    pub warmup: WarmupOpts,
+}
+
+impl Default for BenchOptions {
+    /// Two small corpus matrices (ids 3 and 26: MS and MS-vi picks), the
+    /// four formats, 1/2/4 threads, 16 iterations at 5% scale.
+    fn default() -> BenchOptions {
+        BenchOptions {
+            scale: 0.05,
+            iters: 16,
+            seed: 42,
+            matrix_ids: vec![3, 26],
+            thread_counts: vec![1, 2, 4],
+            warmup: WarmupOpts::default(),
+        }
+    }
+}
+
+/// Plans the parallel executor for `format` (thread counts > 1).
+fn plan<'m>(
+    format: &str,
+    csr: &'m Csr<u32, f64>,
+    du: &'m CsrDu<f64>,
+    vi: &'m CsrVi<u32, f64>,
+    duvi: &'m CsrDuVi<f64>,
+    threads: usize,
+) -> Box<dyn ParSpMv<f64> + 'm> {
+    match format {
+        "csr" => Box::new(ParCsr::new(csr, threads)),
+        "csr-du" => Box::new(ParCsrDu::new(du, threads)),
+        "csr-vi" => Box::new(ParCsrVi::new(vi, threads)),
+        "csr-duvi" => Box::new(ParCsrDuVi::new(duvi, threads)),
+        other => unreachable!("unknown bench format {other}"),
+    }
+}
+
+/// Runs the full measurement matrix and returns the artifact. Every
+/// multithreaded plan is validated against the CSR baseline (typed
+/// ULP comparison) *before* its timing is trusted.
+pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
+    if opts.iters == 0 {
+        return Err(SparseError::InvalidArgument("bench requires iters >= 1".into()));
+    }
+    let corpus = spmv_matgen::corpus::corpus_scaled(opts.scale);
+    let mut records = Vec::new();
+    for &id in &opts.matrix_ids {
+        let entry = corpus.iter().find(|e| e.id == id).ok_or_else(|| {
+            SparseError::InvalidArgument(format!("matrix id {id} is not in the corpus"))
+        })?;
+        let csr: Csr = entry.build().to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        let csr_bytes = csr.working_set().matrix_bytes();
+        let cells: [(&str, &dyn SpMv<f64>, usize); 4] = [
+            ("csr", &csr, csr_bytes),
+            ("csr-du", &du, du.size_bytes()),
+            ("csr-vi", &vi, vi.size_bytes()),
+            ("csr-duvi", &duvi, duvi.size_bytes()),
+        ];
+        for (format, serial, fmt_bytes) in cells {
+            for &threads in &opts.thread_counts {
+                let (m, telemetry) = if threads <= 1 {
+                    (measure_serial_with(serial, opts.iters, opts.seed, &opts.warmup)?, None)
+                } else {
+                    let mut par = plan(format, &csr, &du, &vi, &duvi, threads);
+                    validate_parallel(serial, &csr, &mut *par, opts.seed)?;
+                    let m = measure_parallel_with(
+                        serial,
+                        &mut *par,
+                        opts.iters,
+                        opts.seed,
+                        &opts.warmup,
+                    )?;
+                    let telemetry = par.take_telemetry().map(TelemetryRecord::from);
+                    (m, telemetry)
+                };
+                let median = m.stats.median_s;
+                records.push(BenchRecord {
+                    matrix: entry.name.clone(),
+                    matrix_id: u64::from(id),
+                    format: format.to_string(),
+                    threads,
+                    nrows: csr.nrows(),
+                    ncols: csr.ncols(),
+                    nnz: csr.nnz(),
+                    matrix_bytes: fmt_bytes,
+                    csr_matrix_bytes: csr_bytes,
+                    traffic_per_nnz: fmt_bytes as f64 / csr.nnz().max(1) as f64,
+                    warmup_iterations: m.warmup_iterations,
+                    mflops: m.mflops,
+                    effective_bandwidth_gbs: effective_bandwidth(fmt_bytes, 1, median) / 1e9,
+                    compression_adjusted_gbs: effective_bandwidth(csr_bytes, 1, median) / 1e9,
+                    stats: m.stats,
+                    telemetry,
+                });
+            }
+        }
+    }
+    Ok(BenchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        machine: MachineInfo::detect(),
+        scale: opts.scale,
+        iterations: opts.iters,
+        seed: opts.seed,
+        records,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Schema validation (the reading half of the BENCH.json contract)
+// ---------------------------------------------------------------------
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field {key:?}"))
+}
+
+fn require_str(obj: &Json, key: &str, ctx: &str) -> Result<(), String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(|_| ())
+        .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
+}
+
+/// Validates `text` as a schema-version-1 `BENCH.json`: parses the JSON,
+/// checks the version stamp, and requires every field the schema promises
+/// with the right shape. Used by `reproduce check-bench` and the
+/// `bench-smoke` CI gate, and by the golden-file tests.
+pub fn validate_bench_text(text: &str) -> Result<(), String> {
+    let root = Json::parse(text).map_err(|e| format!("BENCH.json does not parse: {e}"))?;
+    if !root.is_obj() {
+        return Err("top level must be an object".into());
+    }
+    let version = require_num(&root, "schema_version", "top level")?;
+    if version != BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} unsupported (this build reads {BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    let machine = root.get("machine").ok_or("top level: missing \"machine\"")?;
+    require_str(machine, "os", "machine")?;
+    require_str(machine, "arch", "machine")?;
+    require_num(machine, "available_threads", "machine")?;
+    require_num(&root, "scale", "top level")?;
+    let iters = require_num(&root, "iterations", "top level")?;
+    if iters < 1.0 {
+        return Err(format!("iterations {iters} must be >= 1"));
+    }
+    require_num(&root, "seed", "top level")?;
+    let records = root
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("top level: missing or non-array \"records\"")?;
+    if records.is_empty() {
+        return Err("records array is empty (nothing was measured)".into());
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let ctx = format!("records[{i}]");
+        require_str(rec, "matrix", &ctx)?;
+        let fmt = rec
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing or non-string field \"format\""))?;
+        if !BENCH_FORMATS.contains(&fmt) {
+            return Err(format!("{ctx}: unknown format {fmt:?}"));
+        }
+        let threads = require_num(rec, "threads", &ctx)?;
+        if threads < 1.0 {
+            return Err(format!("{ctx}: threads {threads} must be >= 1"));
+        }
+        for key in ["matrix_id", "nrows", "ncols", "nnz", "matrix_bytes", "csr_matrix_bytes"] {
+            require_num(rec, key, &ctx)?;
+        }
+        for key in [
+            "traffic_per_nnz",
+            "warmup_iterations",
+            "mflops",
+            "effective_bandwidth_gbs",
+            "compression_adjusted_gbs",
+        ] {
+            require_num(rec, key, &ctx)?;
+        }
+        let stats = rec.get("stats").ok_or_else(|| format!("{ctx}: missing \"stats\""))?;
+        for key in ["samples", "min_s", "median_s", "mean_s", "mad_s", "p95_s", "cv"] {
+            require_num(stats, key, &format!("{ctx}.stats"))?;
+        }
+        match rec.get("telemetry") {
+            None => return Err(format!("{ctx}: missing \"telemetry\" (null when disabled)")),
+            Some(t) if t.is_null() => {}
+            Some(t) => {
+                let tctx = format!("{ctx}.telemetry");
+                for key in ["busy_ns", "chunks"] {
+                    let arr = t
+                        .get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("{tctx}: missing or non-array {key:?}"))?;
+                    if arr.iter().any(|v| v.as_f64().is_none()) {
+                        return Err(format!("{tctx}: {key:?} has non-numeric entries"));
+                    }
+                }
+                require_num(t, "dispatches", &tctx)?;
+                let imb = require_num(t, "imbalance", &tctx)?;
+                if imb < 1.0 {
+                    return Err(format!("{tctx}: imbalance {imb} below the 1.0 floor"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> BenchOptions {
+        BenchOptions {
+            scale: 0.002,
+            iters: 3,
+            matrix_ids: vec![3],
+            thread_counts: vec![1, 2],
+            ..BenchOptions::default()
+        }
+    }
+
+    #[test]
+    fn collect_bench_covers_the_matrix_and_validates() {
+        let file = collect_bench(&tiny_opts()).unwrap();
+        assert_eq!(file.schema_version, BENCH_SCHEMA_VERSION);
+        // 1 matrix x 4 formats x 2 thread counts.
+        assert_eq!(file.records.len(), 8);
+        for rec in &file.records {
+            assert!(BENCH_FORMATS.contains(&rec.format.as_str()));
+            assert!(rec.stats.median_s > 0.0, "{}/{}", rec.format, rec.threads);
+            assert!(rec.effective_bandwidth_gbs > 0.0);
+            // Both bandwidths divide the same median time, so their ratio
+            // must equal the byte ratio exactly.
+            let got = rec.compression_adjusted_gbs / rec.effective_bandwidth_gbs;
+            let want = rec.csr_matrix_bytes as f64 / rec.matrix_bytes as f64;
+            assert!((got - want).abs() < 1e-9, "{}/{}: {got} vs {want}", rec.format, rec.threads);
+            assert!(rec.traffic_per_nnz > 0.0);
+            if rec.threads == 1 {
+                assert!(rec.telemetry.is_none(), "serial records carry no telemetry");
+            }
+        }
+        // Compressed formats stream fewer bytes than the CSR baseline, so
+        // their compression-adjusted figure exceeds their effective one.
+        let du = file.records.iter().find(|r| r.format == "csr-du").unwrap();
+        assert!(du.matrix_bytes < du.csr_matrix_bytes);
+        let text = serde_json::to_string_pretty(&file).unwrap();
+        validate_bench_text(&text).unwrap();
+    }
+
+    #[test]
+    fn telemetry_presence_tracks_the_feature() {
+        let file = collect_bench(&tiny_opts()).unwrap();
+        let parallel: Vec<_> = file.records.iter().filter(|r| r.threads > 1).collect();
+        assert!(!parallel.is_empty());
+        for rec in parallel {
+            #[cfg(feature = "telemetry")]
+            {
+                let t = rec.telemetry.as_ref().expect("telemetry feature is on");
+                assert!(t.imbalance >= 1.0);
+                assert_eq!(t.busy_ns.len(), t.chunks.len());
+                assert!(t.dispatches >= file.iterations as u64, "window covers the timed loop");
+                assert!(t.busy_ns.iter().sum::<u64>() > 0);
+            }
+            #[cfg(not(feature = "telemetry"))]
+            assert!(rec.telemetry.is_none());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_iterations_and_unknown_matrices() {
+        let err = collect_bench(&BenchOptions { iters: 0, ..tiny_opts() }).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidArgument(_)), "{err}");
+        let err =
+            collect_bench(&BenchOptions { matrix_ids: vec![9999], ..tiny_opts() }).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_broken_artifacts() {
+        let file = collect_bench(&tiny_opts()).unwrap();
+        let good = serde_json::to_string_pretty(&file).unwrap();
+        assert!(validate_bench_text("not json").is_err());
+        assert!(validate_bench_text("{}").is_err());
+        let wrong_version = good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        assert!(validate_bench_text(&wrong_version).unwrap_err().contains("schema_version"));
+        let no_records = good.replacen("\"records\"", "\"recs\"", 1);
+        assert!(validate_bench_text(&no_records).is_err());
+        let bad_format = good.replacen("\"csr-du\"", "\"csr-zz\"", 1);
+        assert!(validate_bench_text(&bad_format).unwrap_err().contains("csr-zz"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The BENCH.json contract: serialize -> parse -> field-by-field
+//! agreement (golden schema), determinism of non-timing fields across
+//! runs, and telemetry presence tracking the feature flag.
+
+use spmv_bench::jsonv::Json;
+use spmv_bench::measured::TimingStats;
+use spmv_bench::metrics::{
+    collect_bench, validate_bench_text, BenchFile, BenchOptions, BenchRecord, MachineInfo,
+    TelemetryRecord, BENCH_SCHEMA_VERSION,
+};
+
+/// A hand-built artifact with every field at a distinctive value, so the
+/// roundtrip test notices a dropped, renamed, or reordered field.
+fn golden_file() -> BenchFile {
+    BenchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        machine: MachineInfo { os: "linux".into(), arch: "x86_64".into(), available_threads: 8 },
+        scale: 0.25,
+        iterations: 12,
+        seed: 99,
+        records: vec![BenchRecord {
+            matrix: "band_026".into(),
+            matrix_id: 26,
+            format: "csr-du".into(),
+            threads: 4,
+            nrows: 1000,
+            ncols: 1000,
+            nnz: 8000,
+            matrix_bytes: 70_000,
+            csr_matrix_bytes: 100_004,
+            traffic_per_nnz: 8.75,
+            warmup_iterations: 5,
+            stats: TimingStats {
+                samples: 12,
+                min_s: 1.0e-4,
+                median_s: 1.25e-4,
+                mean_s: 1.3e-4,
+                mad_s: 5.0e-6,
+                p95_s: 2.0e-4,
+                cv: 0.07,
+            },
+            mflops: 128.0,
+            effective_bandwidth_gbs: 0.56,
+            compression_adjusted_gbs: 0.8,
+            telemetry: Some(TelemetryRecord {
+                busy_ns: vec![400, 300, 500, 200],
+                chunks: vec![12, 12, 12, 12],
+                dispatches: 12,
+                imbalance: 500.0 / 350.0,
+            }),
+        }],
+    }
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key}"))
+}
+
+#[test]
+fn golden_schema_roundtrips_field_by_field() {
+    let file = golden_file();
+    let text = serde_json::to_string_pretty(&file).unwrap();
+    validate_bench_text(&text).unwrap();
+    let root = Json::parse(&text).unwrap();
+
+    assert_eq!(num(&root, "schema_version"), BENCH_SCHEMA_VERSION as f64);
+    assert_eq!(num(&root, "scale"), 0.25);
+    assert_eq!(num(&root, "iterations"), 12.0);
+    assert_eq!(num(&root, "seed"), 99.0);
+    let machine = root.get("machine").expect("machine object");
+    assert_eq!(machine.get("os").unwrap().as_str(), Some("linux"));
+    assert_eq!(machine.get("arch").unwrap().as_str(), Some("x86_64"));
+    assert_eq!(num(machine, "available_threads"), 8.0);
+
+    let records = root.get("records").and_then(Json::as_arr).expect("records array");
+    assert_eq!(records.len(), 1);
+    let r = &records[0];
+    assert_eq!(r.get("matrix").unwrap().as_str(), Some("band_026"));
+    assert_eq!(r.get("format").unwrap().as_str(), Some("csr-du"));
+    assert_eq!(num(r, "matrix_id"), 26.0);
+    assert_eq!(num(r, "threads"), 4.0);
+    assert_eq!(num(r, "nrows"), 1000.0);
+    assert_eq!(num(r, "ncols"), 1000.0);
+    assert_eq!(num(r, "nnz"), 8000.0);
+    assert_eq!(num(r, "matrix_bytes"), 70_000.0);
+    assert_eq!(num(r, "csr_matrix_bytes"), 100_004.0);
+    assert_eq!(num(r, "traffic_per_nnz"), 8.75);
+    assert_eq!(num(r, "warmup_iterations"), 5.0);
+    assert_eq!(num(r, "mflops"), 128.0);
+    assert_eq!(num(r, "effective_bandwidth_gbs"), 0.56);
+    assert_eq!(num(r, "compression_adjusted_gbs"), 0.8);
+
+    let stats = r.get("stats").expect("stats object");
+    assert_eq!(num(stats, "samples"), 12.0);
+    assert_eq!(num(stats, "min_s"), 1.0e-4);
+    assert_eq!(num(stats, "median_s"), 1.25e-4);
+    assert_eq!(num(stats, "mean_s"), 1.3e-4);
+    assert_eq!(num(stats, "mad_s"), 5.0e-6);
+    assert_eq!(num(stats, "p95_s"), 2.0e-4);
+    assert_eq!(num(stats, "cv"), 0.07);
+
+    let t = r.get("telemetry").expect("telemetry field");
+    let busy: Vec<f64> =
+        t.get("busy_ns").unwrap().as_arr().unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+    assert_eq!(busy, vec![400.0, 300.0, 500.0, 200.0]);
+    let chunks: Vec<f64> =
+        t.get("chunks").unwrap().as_arr().unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+    assert_eq!(chunks, vec![12.0; 4]);
+    assert_eq!(num(t, "dispatches"), 12.0);
+    assert!((num(t, "imbalance") - 500.0 / 350.0).abs() < 1e-12);
+}
+
+#[test]
+fn golden_schema_detects_field_removal() {
+    // The validator is only a gate if deleting a promised field trips it.
+    let text = serde_json::to_string_pretty(&golden_file()).unwrap();
+    for field in ["\"median_s\"", "\"imbalance\"", "\"machine\"", "\"format\""] {
+        let renamed = format!("\"x{}", &field[1..]);
+        let broken = text.replacen(field, &renamed, 1);
+        assert!(validate_bench_text(&broken).is_err(), "removing {field} should fail validation");
+    }
+}
+
+#[test]
+fn two_runs_agree_on_all_non_timing_fields() {
+    let opts = BenchOptions {
+        scale: 0.002,
+        iters: 2,
+        matrix_ids: vec![3],
+        thread_counts: vec![1, 2],
+        ..BenchOptions::default()
+    };
+    let a = collect_bench(&opts).unwrap();
+    let b = collect_bench(&opts).unwrap();
+    assert_eq!(a.schema_version, b.schema_version);
+    assert_eq!(a.machine, b.machine);
+    assert_eq!(a.scale, b.scale);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.matrix, rb.matrix);
+        assert_eq!(ra.matrix_id, rb.matrix_id);
+        assert_eq!(ra.format, rb.format);
+        assert_eq!(ra.threads, rb.threads);
+        assert_eq!(ra.nrows, rb.nrows);
+        assert_eq!(ra.ncols, rb.ncols);
+        assert_eq!(ra.nnz, rb.nnz);
+        assert_eq!(ra.matrix_bytes, rb.matrix_bytes);
+        assert_eq!(ra.csr_matrix_bytes, rb.csr_matrix_bytes);
+        assert_eq!(ra.traffic_per_nnz, rb.traffic_per_nnz);
+        // Timing fields (stats, mflops, bandwidths, warmup count, and
+        // telemetry busy times) legitimately differ between runs.
+    }
+}
+
+#[test]
+fn emitted_artifact_telemetry_matches_feature() {
+    let opts = BenchOptions {
+        scale: 0.002,
+        iters: 2,
+        matrix_ids: vec![3],
+        thread_counts: vec![1, 2],
+        ..BenchOptions::default()
+    };
+    let file = collect_bench(&opts).unwrap();
+    let text = serde_json::to_string_pretty(&file).unwrap();
+    validate_bench_text(&text).unwrap();
+    let root = Json::parse(&text).unwrap();
+    for rec in root.get("records").and_then(Json::as_arr).unwrap() {
+        let threads = num(rec, "threads");
+        let t = rec.get("telemetry").expect("field always present");
+        if threads <= 1.0 {
+            assert!(t.is_null(), "serial records have null telemetry");
+        } else if cfg!(feature = "telemetry") {
+            assert!(t.is_obj(), "parallel records carry telemetry when the feature is on");
+        } else {
+            assert!(t.is_null(), "telemetry is null with the feature off");
+        }
+    }
+}

@@ -73,6 +73,10 @@ pub enum SparseError {
         /// What disagreed and by how much (values and ULP distance).
         detail: String,
     },
+    /// A caller-supplied argument is outside the domain an operation can
+    /// meaningfully handle (e.g. a zero-iteration measurement request) —
+    /// rejected up front instead of silently producing NaN/inf results.
+    InvalidArgument(String),
     /// An untrusted header declared a size exceeding the configured
     /// [`LoadLimits`](crate::io::LoadLimits) — refused *before* allocating.
     ResourceLimit {
@@ -115,6 +119,7 @@ impl fmt::Display for SparseError {
             SparseError::VerificationFailed { row, detail } => {
                 write!(f, "verification failed at row {row}: {detail}")
             }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SparseError::ResourceLimit { what, requested, limit } => {
                 write!(f, "input declares {what} = {requested}, exceeding the load limit {limit}")
             }
@@ -161,6 +166,9 @@ mod tests {
         let e = SparseError::VerificationFailed { row: 17, detail: "y=1 vs 2 (big)".into() };
         let s = e.to_string();
         assert!(s.contains("row 17") && s.contains("big"));
+
+        let e = SparseError::InvalidArgument("iters must be nonzero".into());
+        assert!(e.to_string().contains("iters must be nonzero"));
     }
 
     #[test]

@@ -58,6 +58,27 @@ impl WorkingSet {
     pub fn total_mb(&self) -> f64 {
         self.total() as f64 / MB as f64
     }
+
+    /// Matrix traffic per non-zero in bytes — the per-nnz streaming cost
+    /// that index/value compression reduces (§II-B; 12 B/nnz for CSR with
+    /// 4-byte indices and 8-byte values, ignoring `row_ptr`).
+    pub fn matrix_bytes_per_nnz(&self, nnz: usize) -> f64 {
+        self.matrix_bytes() as f64 / nnz.max(1) as f64
+    }
+}
+
+/// Effective bandwidth in bytes/second of streaming `bytes_per_iter` bytes
+/// `iters` times in `seconds` — the measured-time side of the working-set
+/// model. For a memory-bound SpMV this approaches the machine's sustained
+/// memory bandwidth; for a compressed format, computing it over the *CSR*
+/// byte count instead yields the compression-adjusted bandwidth (the rate
+/// an uncompressed kernel would have needed to match the measured time).
+/// Returns NaN for non-positive `seconds` (no measurement to normalize).
+pub fn effective_bandwidth(bytes_per_iter: usize, iters: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::NAN;
+    }
+    bytes_per_iter as f64 * iters as f64 / seconds
 }
 
 /// Size comparison of a compressed format against its CSR baseline.
@@ -105,6 +126,17 @@ mod tests {
         let ws = WorkingSet::for_csr::<u32, f64>(1000, 1000, 100_000);
         let frac = ws.value_bytes as f64 / (ws.value_bytes + ws.index_bytes) as f64;
         assert!((frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_and_traffic_helpers() {
+        let ws = WorkingSet::for_csr::<u32, f64>(1000, 1000, 100_000);
+        // 12 B/nnz for col_ind + values, plus the row_ptr share.
+        let per_nnz = ws.matrix_bytes_per_nnz(100_000);
+        assert!((12.0..12.1).contains(&per_nnz), "{per_nnz}");
+        // 1 MB streamed 10 times in 0.01 s = 1 GB/s.
+        assert!((effective_bandwidth(MB, 10, 0.01) - 1.048576e9).abs() < 1.0);
+        assert!(effective_bandwidth(MB, 1, 0.0).is_nan());
     }
 
     #[test]

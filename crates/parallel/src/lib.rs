@@ -84,6 +84,19 @@
 //! matrix lives in `tests/fault_injection.rs`, and feature-independent
 //! guarantees (tight-deadline correctness, self-check on honest kernels)
 //! in the workspace-root `tests/fault_tolerance.rs`.
+//!
+//! ## Observability
+//!
+//! The `telemetry` feature compiles per-worker busy-time and work-item
+//! counters ([`telemetry::PoolTelemetry`]) into the pool dispatch path
+//! and the supervised executor, recorded lock-free into cache-line-
+//! aligned relaxed atomics that each thread writes alone. Drain a window
+//! with [`pool::WorkerPool::take_telemetry`] / [`ParSpMv::take_telemetry`]
+//! or read [`supervised::HealthReport::telemetry`]; the derived
+//! [`telemetry::PoolTelemetry::imbalance`] ratio (busiest thread over the
+//! mean) is what the benchmark harness stores in `BENCH.json`. With the
+//! feature off the types still compile (so signatures never change) but
+//! every recording site is compiled out and the queries return `None`.
 
 #[cfg(feature = "fault-injection")]
 pub mod faults;
@@ -91,6 +104,7 @@ pub mod par;
 pub mod partition;
 pub mod pool;
 pub mod supervised;
+pub mod telemetry;
 
 pub use par::{
     ParCscColumns, ParCsr, ParCsrBlock2d, ParCsrDu, ParCsrDuVi, ParCsrVi, ParDcsr, ParSpMv,
@@ -102,3 +116,4 @@ pub use supervised::{
     ChunkKernel, CsrChunks, CsrDuChunks, CsrDuViChunks, CsrViChunks, FaultEvent, HealthReport,
     PoolError, RecoveryPolicy, SupervisedSpMv, WatchdogOpts,
 };
+pub use telemetry::PoolTelemetry;

@@ -15,6 +15,7 @@
 
 use crate::partition::{ColPartition, Grid2d, RowPartition};
 use crate::pool::{chunk, DisjointSlices, WorkerPool};
+use crate::telemetry::PoolTelemetry;
 use spmv_core::csr_du::{CsrDu, DuSplit};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
@@ -33,6 +34,13 @@ pub trait ParSpMv<V: Scalar>: Send {
     fn nthreads(&self) -> usize;
     /// Computes `y = A·x` using the planned partition.
     fn par_spmv(&mut self, x: &[V], y: &mut [V]);
+    /// Drains this plan's per-worker telemetry accumulated since the last
+    /// drain (see [`WorkerPool::take_telemetry`]). Returns `None` when the
+    /// crate's `telemetry` feature is off. The default exists for external
+    /// implementors; every executor in this module forwards to its pool.
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        None
+    }
 }
 
 /// Row bounds implied by ctl-stream splits: `[0, splits[0].row_end, ...]`.
@@ -70,6 +78,10 @@ impl<'m, I: SpIndex, V: Scalar> ParCsr<'m, I, V> {
 impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
     fn nthreads(&self) -> usize {
         self.partition.nparts()
+    }
+
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
     }
 
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
@@ -118,6 +130,10 @@ impl<'m, V: Scalar> ParCsrDu<'m, V> {
 impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
     fn nthreads(&self) -> usize {
         self.splits.len()
+    }
+
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
     }
 
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
@@ -170,6 +186,10 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
         self.partition.nparts()
     }
 
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
+    }
+
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
@@ -210,6 +230,10 @@ impl<'m, V: Scalar> ParCsrDuVi<'m, V> {
 impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
     fn nthreads(&self) -> usize {
         self.splits.len()
+    }
+
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
     }
 
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
@@ -263,6 +287,10 @@ impl<'m, I: SpIndex, V: Scalar> ParCscColumns<'m, I, V> {
 impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCscColumns<'_, I, V> {
     fn nthreads(&self) -> usize {
         self.partition.nparts()
+    }
+
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
     }
 
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
@@ -370,6 +398,10 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrBlock2d<'_, I, V> {
         self.grid.len()
     }
 
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
+    }
+
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
@@ -455,6 +487,10 @@ impl<V: Scalar> ParSpMv<V> for ParDcsr<'_, V> {
         self.splits.len()
     }
 
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
+    }
+
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.matrix.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.matrix.nrows(), "y length must equal nrows");
@@ -508,6 +544,10 @@ impl<'m, I: SpIndex, V: Scalar> ParSymCsr<'m, I, V> {
 impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParSymCsr<'_, I, V> {
     fn nthreads(&self) -> usize {
         self.partition.nparts()
+    }
+
+    fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        self.pool.take_telemetry()
     }
 
     fn par_spmv(&mut self, x: &[V], y: &mut [V]) {

@@ -19,6 +19,7 @@
 //! consecutive rounds (and none after the last — the pool's own completion
 //! handshake already joins it).
 
+use crate::telemetry::PoolTelemetry;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -80,6 +81,28 @@ struct Shared {
     /// completion; a counter that stops advancing while the worker is
     /// active marks it as stalled or dead for the watchdog.
     heartbeats: Vec<AtomicU64>,
+    /// Per-thread busy-time/job counters (slot 0 = caller); drained by
+    /// [`WorkerPool::take_telemetry`].
+    #[cfg(feature = "telemetry")]
+    telemetry: crate::telemetry::TelemetrySink,
+}
+
+/// Runs `f`, crediting its wall time to `tid`'s telemetry slot. Compiles
+/// to a plain call without the `telemetry` feature.
+#[inline]
+fn record_busy<R>(shared: &Shared, tid: usize, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "telemetry")]
+    {
+        let t0 = Instant::now();
+        let r = f();
+        shared.telemetry.record(tid, t0.elapsed());
+        r
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (shared, tid);
+        f()
+    }
 }
 
 /// Something the pool's watchdog observed and recovered from (or flagged).
@@ -187,10 +210,14 @@ impl Drop for DrainGuard<'_> {
                 drop(st);
                 // SAFETY: we are inside `run`, so the pointee is live; the
                 // dead worker can no longer touch it (`is_finished`
-                // synchronizes with the thread's termination).
-                let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-                    (*self.job.0)(tid);
-                }));
+                // synchronizes with the thread's termination). The re-run
+                // happens on the caller's stack, so its time is credited
+                // to telemetry slot 0.
+                let outcome = record_busy(self.shared, 0, || {
+                    panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                        (*self.job.0)(tid);
+                    }))
+                });
                 st = lock_state(self.shared);
                 if let Err(payload) = outcome {
                     if st.panic_payload.is_none() {
@@ -274,6 +301,8 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             heartbeats: (1..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(feature = "telemetry")]
+            telemetry: crate::telemetry::TelemetrySink::new(nthreads),
         });
         let handles = (1..nthreads).map(|tid| spawn_worker(&shared, tid, 0)).collect();
         WorkerPool { shared, handles, nthreads, deadline: deadline.max(Duration::from_millis(1)) }
@@ -298,6 +327,22 @@ impl WorkerPool {
     /// the healthy path.
     pub fn take_events(&mut self) -> Vec<PoolEvent> {
         std::mem::take(&mut lock_state(&self.shared).events)
+    }
+
+    /// Drains per-thread telemetry (busy time, job counts, dispatch
+    /// count) accumulated since construction or the last drain. Returns
+    /// `None` unless the crate's `telemetry` feature is enabled —
+    /// recording code is compiled out entirely when off, so the method
+    /// exists (and types check) in both configurations at zero cost.
+    pub fn take_telemetry(&mut self) -> Option<PoolTelemetry> {
+        #[cfg(feature = "telemetry")]
+        {
+            Some(self.shared.telemetry.snapshot_and_reset())
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            None
+        }
     }
 
     /// Replaces any worker whose thread has terminated (death is observed
@@ -344,10 +389,14 @@ impl WorkerPool {
     {
         if self.nthreads == 1 {
             // Serial fast path: no handshake at all.
-            f(0);
+            #[cfg(feature = "telemetry")]
+            self.shared.telemetry.record_dispatch();
+            record_busy(&self.shared, 0, || f(0));
             return;
         }
         self.ensure_workers();
+        #[cfg(feature = "telemetry")]
+        self.shared.telemetry.record_dispatch();
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
         // Erase the borrow's lifetime; see `Job` for why this is sound.
         let job = Job(unsafe {
@@ -375,7 +424,7 @@ impl WorkerPool {
             job,
             deadline: self.deadline,
         };
-        f(0);
+        record_busy(&self.shared, 0, || f(0));
         drop(guard);
     }
 }
@@ -439,7 +488,9 @@ fn worker_loop(shared: &Shared, tid: usize, mut seen_epoch: u64) {
         // job must not unwind past the decrement below — it would strand
         // `active` and deadlock the caller forever — so it is caught here
         // and re-raised by `run` on the caller's stack instead.
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        let outcome = record_busy(shared, tid, || {
+            panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }))
+        });
         let mut st = lock_state(shared);
         if let Err(payload) = outcome {
             // Keep the first panic; later ones add nothing for the caller.
@@ -733,6 +784,42 @@ mod tests {
             count.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn take_telemetry_matches_feature_state() {
+        let mut pool = WorkerPool::new(3);
+        for _ in 0..5 {
+            pool.run(|_tid| {
+                std::hint::black_box(0u64);
+            });
+        }
+        let t = pool.take_telemetry();
+        #[cfg(feature = "telemetry")]
+        {
+            let t = t.expect("telemetry feature enabled");
+            assert_eq!(t.busy_ns.len(), 3);
+            assert_eq!(t.dispatches, 5);
+            // Every thread ran exactly one job per dispatch.
+            assert_eq!(t.chunks, vec![5, 5, 5]);
+            assert!(t.imbalance() >= 1.0);
+            // The drain resets the window.
+            assert_eq!(pool.take_telemetry().expect("still enabled").dispatches, 0);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        assert!(t.is_none(), "telemetry must be absent when the feature is off");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_covers_serial_fast_path() {
+        let mut pool = WorkerPool::new(1);
+        pool.run(|_tid| {
+            std::hint::black_box(0u64);
+        });
+        let t = pool.take_telemetry().expect("telemetry feature enabled");
+        assert_eq!(t.dispatches, 1);
+        assert_eq!(t.chunks, vec![1]);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 use crate::partition::RowPartition;
 use crate::pool::watchdog_deadline;
+use crate::telemetry::PoolTelemetry;
 use spmv_core::csr_du::{CsrDu, DuSplit};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
@@ -332,6 +333,10 @@ pub struct HealthReport {
     /// claim and completion, so a low even count identifies the thread
     /// that did little work — diagnostic context for the events above.
     pub heartbeats: Vec<u64>,
+    /// Per-thread busy time and chunk counts for this call (`dispatches`
+    /// is always 1). `None` unless the crate's `telemetry` feature is
+    /// enabled; recording is compiled out entirely when off.
+    pub telemetry: Option<PoolTelemetry>,
 }
 
 impl HealthReport {
@@ -374,12 +379,35 @@ struct CallState<V: Scalar> {
     /// completion. Diagnostic only; exposed through
     /// [`SupervisedSpMv::heartbeats`].
     hb: Vec<AtomicU64>,
+    /// Per-thread busy nanoseconds (index = tid); each thread adds only
+    /// to its own counter, relaxed ordering (diagnostics, not
+    /// synchronization).
+    #[cfg(feature = "telemetry")]
+    busy_ns: Vec<AtomicU64>,
     #[cfg(feature = "fault-injection")]
     fault: crate::faults::FaultHandle,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f`, crediting its wall time to `tid`'s busy counter. Compiles to
+/// a plain call without the `telemetry` feature.
+#[inline]
+fn timed<V: Scalar, R>(state: &CallState<V>, tid: usize, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "telemetry")]
+    {
+        let t0 = Instant::now();
+        let r = f();
+        state.busy_ns[tid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (state, tid);
+        f()
+    }
 }
 
 impl<V: Scalar> CallState<V> {
@@ -511,7 +539,7 @@ fn sup_worker_loop<V: Scalar>(
             }
             job.claims[k].store(tid, Ordering::Release);
             job.hb[tid].fetch_add(1, Ordering::AcqRel);
-            if worker_chunk(&job, &*kernel, k, tid) {
+            if timed(&job, tid, || worker_chunk(&job, &*kernel, k, tid)) {
                 return;
             }
             job.hb[tid].fetch_add(1, Ordering::AcqRel);
@@ -598,6 +626,8 @@ impl<V: Scalar> SupervisedSpMv<V> {
             progress: Mutex::new(Progress { done: 0, failed: Vec::new() }),
             done_cv: Condvar::new(),
             hb: (0..self.nthreads).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(feature = "telemetry")]
+            busy_ns: (0..self.nthreads).map(|_| AtomicU64::new(0)).collect(),
             #[cfg(feature = "fault-injection")]
             fault: crate::faults::FaultHandle::capture(),
         });
@@ -621,7 +651,7 @@ impl<V: Scalar> SupervisedSpMv<V> {
                 state.hb[0].fetch_add(1, Ordering::AcqRel);
                 let rows = self.kernel.chunk_rows(k);
                 let mut out = vec![V::zero(); rows.len()];
-                self.kernel.compute(k, &state.x, &mut out);
+                timed(&state, 0, || self.kernel.compute(k, &state.x, &mut out));
                 state.publish(k, out);
                 state.hb[0].fetch_add(1, Ordering::AcqRel);
             }
@@ -631,6 +661,24 @@ impl<V: Scalar> SupervisedSpMv<V> {
             self.self_check(&state, &mut report)?;
         }
         report.heartbeats = state.hb.iter().map(|h| h.load(Ordering::Acquire)).collect();
+        #[cfg(feature = "telemetry")]
+        {
+            // Chunk counts come from the claim ledger: who *claimed* each
+            // chunk (recovery re-executions are credited to tid 0's busy
+            // time but not double-counted as chunks).
+            let mut chunks = vec![0u64; self.nthreads];
+            for claim in &state.claims {
+                let tid = claim.load(Ordering::Acquire);
+                if tid != UNCLAIMED {
+                    chunks[tid] += 1;
+                }
+            }
+            report.telemetry = Some(PoolTelemetry {
+                busy_ns: state.busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                chunks,
+                dispatches: 1,
+            });
+        }
         // Assemble: zero y (covers rows outside every chunk), then copy
         // each chunk's winning result into its row range.
         y.fill(V::zero());
@@ -737,7 +785,8 @@ impl<V: Scalar> SupervisedSpMv<V> {
     fn recover_chunk(&self, state: &Arc<CallState<V>>, chunk: usize, report: &mut HealthReport) {
         let rows = self.kernel.chunk_rows(chunk);
         let mut out = vec![V::zero(); rows.len()];
-        self.kernel.compute(chunk, &state.x, &mut out);
+        // Recovery runs on the caller: credit its busy time to tid 0.
+        timed(state, 0, || self.kernel.compute(chunk, &state.x, &mut out));
         state.publish(chunk, out);
         report.recovered_chunks += 1;
     }
@@ -980,5 +1029,27 @@ mod tests {
         assert_eq!(report.heartbeats.len(), 3);
         // All chunk work is accounted for: 2 beats per chunk, 8 chunks.
         assert_eq!(report.heartbeats.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn report_telemetry_matches_feature_state() {
+        let coo = irregular(100, 80, 4);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(80);
+        let mut sup =
+            SupervisedSpMv::with_opts(Arc::new(CsrChunks::new(Arc::new(csr), 8)), 3, calm());
+        let mut y = vec![0.0; 100];
+        let report = sup.spmv(&x, &mut y).expect("healthy run");
+        #[cfg(not(feature = "telemetry"))]
+        assert!(report.telemetry.is_none());
+        #[cfg(feature = "telemetry")]
+        {
+            let t = report.telemetry.expect("telemetry on");
+            assert_eq!(t.busy_ns.len(), 3);
+            assert_eq!(t.dispatches, 1);
+            // Every chunk was claimed by exactly one thread.
+            assert_eq!(t.chunks.iter().sum::<u64>(), 8);
+            assert!(t.imbalance() >= 1.0);
+        }
     }
 }

@@ -1,0 +1,159 @@
+//! Per-worker execution telemetry for the parallel executors.
+//!
+//! Wall-clock totals answer *how fast*; they cannot answer *why slow*. On
+//! a multithreaded SpMV the dominant "why" is load imbalance — one thread
+//! holding a heavy partition while the rest idle at the barrier — which a
+//! single end-to-end time hides completely. This module records, per
+//! thread, the time spent actually executing dispatched work and the
+//! number of work items (pool jobs, or dynamically claimed chunks for the
+//! supervised executor) so imbalance becomes a measured quantity.
+//!
+//! Recording is **feature-gated** (`telemetry`) and **lock-free**: each
+//! thread owns one cache-line-aligned slot of relaxed atomic counters and
+//! only ever writes its own slot, so enabling telemetry adds two relaxed
+//! atomic adds and one `Instant` read per job — and with the feature off,
+//! zero code (query methods still exist but return `None`, keeping
+//! signatures identical across feature combinations).
+//!
+//! Snapshots are drained through [`crate::pool::WorkerPool::take_telemetry`]
+//! (and the [`crate::ParSpMv::take_telemetry`] forwarding method) or
+//! arrive attached to a [`crate::HealthReport`] from the supervised
+//! executor; the benchmark harness serializes them into `BENCH.json`.
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "telemetry")]
+use std::time::Duration;
+
+/// A drained snapshot of per-worker counters.
+///
+/// Index convention throughout: `tid` — slot 0 is the dispatching caller,
+/// slots `1..` the pool workers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// Nanoseconds each thread spent executing dispatched work.
+    pub busy_ns: Vec<u64>,
+    /// Work items each thread executed: one per pool dispatch for the
+    /// static executors (two when a reduction runs as a second dispatch),
+    /// one per claimed chunk for the supervised executor.
+    pub chunks: Vec<u64>,
+    /// Dispatches (or supervised calls) covered by this snapshot.
+    pub dispatches: u64,
+}
+
+impl PoolTelemetry {
+    /// Total busy nanoseconds across all threads.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+
+    /// Load-imbalance ratio: busiest thread's busy time over the mean
+    /// busy time. `1.0` is perfect balance; `nthreads` means one thread
+    /// did everything while the rest idled. Returns `1.0` for an empty or
+    /// all-idle snapshot (nothing to be imbalanced about).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_busy_ns();
+        if self.busy_ns.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.busy_ns.len() as f64;
+        *self.busy_ns.iter().max().expect("non-empty") as f64 / mean
+    }
+}
+
+/// One thread's counters, padded to a cache line so concurrent writers
+/// never share one (the slot is written only by its owning thread; the
+/// drain reads all slots).
+#[cfg(feature = "telemetry")]
+#[derive(Default)]
+#[repr(align(64))]
+struct Slot {
+    busy_ns: AtomicU64,
+    items: AtomicU64,
+}
+
+/// Lock-free per-worker accumulator owned by a pool or supervised
+/// executor. Compiled only with the `telemetry` feature.
+#[cfg(feature = "telemetry")]
+pub(crate) struct TelemetrySink {
+    slots: Vec<Slot>,
+    dispatches: AtomicU64,
+}
+
+#[cfg(feature = "telemetry")]
+impl TelemetrySink {
+    /// A sink with one slot per thread (`tid` in `0..nthreads`).
+    pub(crate) fn new(nthreads: usize) -> TelemetrySink {
+        TelemetrySink {
+            slots: (0..nthreads).map(|_| Slot::default()).collect(),
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    /// Credits `elapsed` busy time and one work item to `tid`'s slot.
+    /// Relaxed ordering suffices: counters are diagnostics read at drain
+    /// time, never synchronization.
+    pub(crate) fn record(&self, tid: usize, elapsed: Duration) {
+        let slot = &self.slots[tid];
+        slot.busy_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        slot.items.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one dispatch.
+    pub(crate) fn record_dispatch(&self) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the accumulated counters and resets them to zero, so
+    /// consecutive drains cover disjoint windows (warm-up can be excluded
+    /// by draining right before the timed loop).
+    pub(crate) fn snapshot_and_reset(&self) -> PoolTelemetry {
+        PoolTelemetry {
+            busy_ns: self.slots.iter().map(|s| s.busy_ns.swap(0, Ordering::Relaxed)).collect(),
+            chunks: self.slots.iter().map(|s| s.items.swap(0, Ordering::Relaxed)).collect(),
+            dispatches: self.dispatches.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_balanced_and_skewed_loads() {
+        let balanced =
+            PoolTelemetry { busy_ns: vec![100, 100, 100, 100], chunks: vec![1; 4], dispatches: 1 };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+        // One thread does all the work of four: max / mean = 400 / 100.
+        let skewed =
+            PoolTelemetry { busy_ns: vec![400, 0, 0, 0], chunks: vec![4, 0, 0, 0], dispatches: 1 };
+        assert!((skewed.imbalance() - 4.0).abs() < 1e-12);
+        assert_eq!(skewed.total_busy_ns(), 400);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        assert_eq!(PoolTelemetry::default().imbalance(), 1.0);
+        let idle = PoolTelemetry { busy_ns: vec![0, 0], chunks: vec![0, 0], dispatches: 0 };
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sink_accumulates_and_resets() {
+        let sink = TelemetrySink::new(3);
+        sink.record_dispatch();
+        sink.record(0, Duration::from_nanos(50));
+        sink.record(2, Duration::from_nanos(150));
+        sink.record(2, Duration::from_nanos(50));
+        let snap = sink.snapshot_and_reset();
+        assert_eq!(snap.busy_ns, vec![50, 0, 200]);
+        assert_eq!(snap.chunks, vec![1, 0, 2]);
+        assert_eq!(snap.dispatches, 1);
+        // Drained: the next snapshot starts from zero.
+        let empty = sink.snapshot_and_reset();
+        assert_eq!(empty.total_busy_ns(), 0);
+        assert_eq!(empty.dispatches, 0);
+    }
+}

@@ -32,6 +32,21 @@ echo "== tier-1 under a 5 ms watchdog deadline =="
 # wrong result or error fails the gate.
 SPMV_WATCHDOG_MS=5 cargo test -q --test fault_tolerance
 
+echo "== telemetry feature matrix =="
+# The telemetry feature must not change results, only observability:
+# both crates that gate on it are tested with it enabled.
+cargo test -q -p spmv-parallel --features telemetry
+cargo test -q -p spmv-bench --features telemetry
+
+echo "== bench-smoke (BENCH.json emission + schema gate) =="
+# Emit a tiny-but-real benchmark artifact with per-worker telemetry and
+# re-validate it through the independent jsonv reader; a schema drift or
+# a non-finite metric fails the gate.
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    --scale 0.002 --iters 6 --out target/bench-smoke bench
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    check-bench target/bench-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.
