@@ -30,6 +30,8 @@
 //! `--out DIR` additionally writes each artifact as JSON for downstream
 //! plotting (and is where `bench` puts `BENCH.json`; default `.`).
 //! `--iters N` overrides the timed iteration count of `bench`.
+//! `--k LIST` sets the SpMM right-hand-side panel widths `bench` sweeps
+//! (comma-separated, default `1,2,4,8`; `1` is plain SpMV).
 //!
 //! Build with `--features telemetry` for BENCH.json records to include
 //! per-worker busy times and load-imbalance ratios.
@@ -51,6 +53,8 @@ struct Args {
     scale: f64,
     out: Option<PathBuf>,
     iters: Option<usize>,
+    /// Panel widths for `bench` (`--k 1,2,4,8`); `None` keeps the default.
+    k_values: Option<Vec<usize>>,
     command: String,
     /// Optional positional argument after the command (check-bench FILE).
     arg: Option<String>,
@@ -60,6 +64,7 @@ fn parse_args() -> Args {
     let mut scale = 1.0f64;
     let mut out = None;
     let mut iters = None;
+    let mut k_values = None;
     let mut command = None;
     let mut extra = None;
     let mut it = std::env::args().skip(1);
@@ -81,6 +86,14 @@ fn parse_args() -> Args {
                         .expect("--iters needs a positive integer"),
                 );
             }
+            "--k" => {
+                let list = it.next().expect("--k needs a comma-separated list, e.g. 1,2,4,8");
+                k_values = Some(
+                    list.split(',')
+                        .map(|s| s.trim().parse().expect("--k entries must be positive integers"))
+                        .collect(),
+                );
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
                 std::process::exit(0);
@@ -93,12 +106,20 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { scale, out, iters, command: command.unwrap_or_else(|| "all".to_string()), arg: extra }
+    Args {
+        scale,
+        out,
+        iters,
+        k_values,
+        command: command.unwrap_or_else(|| "all".to_string()),
+        arg: extra,
+    }
 }
 
-const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] \
+const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] [--k LIST] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
-ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|all> [arg]\n";
+ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|all> [arg]\n\
+--k takes a comma-separated list of SpMM panel widths for bench (default 1,2,4,8)\n";
 
 fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
     if let Some(dir) = out {
@@ -644,24 +665,36 @@ fn verify(args: &Args) -> bool {
 }
 
 /// Bench mode: run the measurement matrix (sample matrices x all four
-/// formats x thread counts), print a bandwidth summary, and emit the
-/// schema-versioned `BENCH.json` observability artifact (validated
-/// through the same reader `check-bench` uses before it is trusted).
+/// formats x thread counts x SpMM panel widths), print a bandwidth
+/// summary, and emit the schema-versioned `BENCH.json` observability
+/// artifact (validated through the same reader `check-bench` uses before
+/// it is trusted).
 fn bench(args: &Args) {
     use spmv_bench::metrics::{collect_bench, validate_bench_text, BenchOptions};
     let opts = BenchOptions {
         scale: args.scale.min(0.25), // keep bench mode quick, like measured
         iters: args.iters.unwrap_or(BenchOptions::default().iters),
+        k_values: args.k_values.clone().unwrap_or(BenchOptions::default().k_values),
         ..BenchOptions::default()
     };
     println!(
-        "\n== Bench mode: {} iterations/cell, corpus scale {} -> BENCH.json ==\n",
-        opts.iters, opts.scale
+        "\n== Bench mode: {} iterations/cell, corpus scale {}, k {:?} -> BENCH.json ==\n",
+        opts.iters, opts.scale, opts.k_values
     );
     let file = collect_bench(&opts).expect("bench collection");
     println!(
-        "{:<12} {:<9} {:>3} | {:>10} {:>8} {:>9} {:>9} {:>9} | {:>9}",
-        "matrix", "format", "thr", "median", "cv", "MFLOP/s", "eff GB/s", "adj GB/s", "imbalance"
+        "{:<12} {:<9} {:>3} {:>3} | {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "matrix",
+        "format",
+        "thr",
+        "k",
+        "median",
+        "cv",
+        "MFLOP/s",
+        "eff GB/s",
+        "adj GB/s",
+        "GB/s/vec",
+        "imbalance"
     );
     for r in &file.records {
         let imbalance = match &r.telemetry {
@@ -669,15 +702,18 @@ fn bench(args: &Args) {
             None => format!("{:>9}", "-"),
         };
         println!(
-            "{:<12} {:<9} {:>3} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} | {imbalance}",
+            "{:<12} {:<9} {:>3} {:>3} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} {:>9.2} \
+             | {imbalance}",
             r.matrix,
             r.format,
             r.threads,
+            r.k,
             r.stats.median_s * 1e6,
             r.stats.cv,
             r.mflops,
             r.effective_bandwidth_gbs,
             r.compression_adjusted_gbs,
+            r.per_vector_bandwidth_gbs,
         );
     }
     let text = {

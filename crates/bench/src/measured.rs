@@ -18,8 +18,8 @@
 
 use serde::Serialize;
 use spmv_core::checked::{CheckOptions, CheckedSpMv};
-use spmv_core::{Csr, Scalar, SpIndex, SpMv, SparseError};
-use spmv_parallel::{IterationDriver, ParSpMv};
+use spmv_core::{Csr, DenseBlock, DenseBlockMut, Scalar, SpIndex, SpMm, SpMv, SparseError};
+use spmv_parallel::{IterationDriver, ParSpMm, ParSpMv};
 use std::time::Instant;
 
 /// Default iteration count, as in the paper.
@@ -264,6 +264,98 @@ pub fn measure_parallel_with<V: Scalar>(
     summarize(m.flops(), warmed, &samples)
 }
 
+/// Measures `iters` serial SpMM iterations of `m` with a `k`-wide
+/// row-major x panel. FLOPs per iteration are `2 * nnz * k` (one
+/// multiply-add per non-zero per vector); the matrix bytes stream once
+/// per iteration regardless of `k` — that amortization is the point.
+pub fn measure_serial_spmm_with<V: Scalar>(
+    m: &dyn SpMm<V>,
+    k: usize,
+    iters: usize,
+    seed: u64,
+    warmup: &WarmupOpts,
+) -> Result<Measurement, SparseError> {
+    if iters == 0 {
+        return Err(SparseError::InvalidArgument(
+            "measure_serial_spmm requires iters >= 1 (a zero-iteration measurement has no data)"
+                .into(),
+        ));
+    }
+    let x = random_x::<V>(m.ncols() * k, seed);
+    let mut y = vec![V::zero(); m.nrows() * k];
+    // First warm-up iteration is shape-checked; the rest (and the timed
+    // loop) use the unchecked entry point.
+    m.try_spmm(DenseBlock::new(m.ncols(), k, &x), DenseBlockMut::new(m.nrows(), k, &mut y))?;
+    let warmed = 1 + adaptive_warmup(warmup, || {
+        m.spmm(DenseBlock::new(m.ncols(), k, &x), DenseBlockMut::new(m.nrows(), k, &mut y));
+        std::hint::black_box(&mut y);
+    });
+    let samples = collect_samples(iters, || {
+        m.spmm(DenseBlock::new(m.ncols(), k, &x), DenseBlockMut::new(m.nrows(), k, &mut y));
+        std::hint::black_box(&mut y);
+    });
+    summarize(m.flops() * k, warmed, &samples)
+}
+
+/// Measures `iters` multithreaded SpMM iterations of a planned executor;
+/// the SpMM analogue of [`measure_parallel_with`] (spawn-once pool, warm-
+/// up telemetry drained before the timed loop).
+pub fn measure_parallel_spmm_with<V: Scalar>(
+    m: &dyn SpMv<V>,
+    par: &mut dyn ParSpMm<V>,
+    k: usize,
+    iters: usize,
+    seed: u64,
+    warmup: &WarmupOpts,
+) -> Result<Measurement, SparseError> {
+    if iters == 0 {
+        return Err(SparseError::InvalidArgument(
+            "measure_parallel_spmm requires iters >= 1 (a zero-iteration measurement has no data)"
+                .into(),
+        ));
+    }
+    if k == 0 {
+        return Err(SparseError::InvalidArgument("spmm requires k >= 1".into()));
+    }
+    let x = random_x::<V>(m.ncols() * k, seed);
+    let mut y = vec![V::zero(); m.nrows() * k];
+    let warmed = adaptive_warmup(warmup, || {
+        par.par_spmm(&x, k, &mut y);
+        std::hint::black_box(&mut y);
+    });
+    // Reset the telemetry window so it covers only the timed loop.
+    let _ = par.take_telemetry();
+    let samples = collect_samples(iters, || {
+        par.par_spmm(&x, k, &mut y);
+        std::hint::black_box(&mut y);
+    });
+    summarize(m.flops() * k, warmed, &samples)
+}
+
+/// Verifies a parallel SpMM panel against the serial CSR reference,
+/// column by column, through the same ULP/L1 comparator as
+/// [`validate_parallel`] — never a raw `==`. Each of the `k` columns of
+/// the panel is extracted and checked as an independent SpMV result.
+pub fn validate_parallel_spmm<I: SpIndex, V: Scalar>(
+    m: &dyn SpMv<V>,
+    baseline: &Csr<I, V>,
+    par: &mut dyn ParSpMm<V>,
+    k: usize,
+    seed: u64,
+) -> Result<(), SparseError> {
+    let x = random_x::<V>(m.ncols() * k, seed);
+    let mut y = vec![V::zero(); m.nrows() * k];
+    par.par_spmm(&x, k, &mut y);
+    let opts = CheckOptions { sample_rows: 0, ..CheckOptions::default() };
+    let checked = CheckedSpMv::with_options(m, baseline, opts)?;
+    for v in 0..k {
+        let xv: Vec<V> = (0..m.ncols()).map(|c| x[c * k + v]).collect();
+        let yv: Vec<V> = (0..m.nrows()).map(|r| y[r * k + v]).collect();
+        checked.verify_against(&xv, &yv)?;
+    }
+    Ok(())
+}
+
 /// Times `iters` calls of `iter`, one sample per call.
 fn collect_samples(iters: usize, mut iter: impl FnMut()) -> Vec<f64> {
     (0..iters)
@@ -390,6 +482,33 @@ mod tests {
         let mut par = ParCsrDu::new(&du, 2);
         let err = validate_parallel(&du, &csr, &mut par, 3).unwrap_err();
         assert!(matches!(err, SparseError::VerificationFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn spmm_measurement_and_validation_work() {
+        let csr: Csr = spmv_matgen::gen::banded(2000, 4, 1.0, 2).to_csr();
+        let m = measure_serial_spmm_with(&csr, 4, 3, 42, &WarmupOpts::default()).unwrap();
+        assert_eq!(m.iterations, 3);
+        assert!(m.mflops > 0.0);
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let mut par = ParCsrDu::new(&du, 3);
+        validate_parallel_spmm(&du, &csr, &mut par, 4, 7).unwrap();
+        let mp =
+            measure_parallel_spmm_with(&du, &mut par, 4, 3, 7, &WarmupOpts::default()).unwrap();
+        assert!(mp.per_iter_s > 0.0);
+        assert_eq!(mp.stats.samples, 3);
+    }
+
+    #[test]
+    fn spmm_flops_scale_with_panel_width() {
+        // FLOPs per iteration must be 2 * nnz * k: the k = 4 measurement
+        // reports 4x the per-iteration work of the k = 1 one.
+        let csr: Csr = spmv_matgen::gen::banded(50, 2, 1.0, 1).to_csr();
+        let flops = csr.flops();
+        let m1 = measure_serial_spmm_with(&csr, 1, 2, 1, &WarmupOpts::default()).unwrap();
+        let m4 = measure_serial_spmm_with(&csr, 4, 2, 1, &WarmupOpts::default()).unwrap();
+        assert!((m1.mflops * m1.stats.median_s * 1e6 - flops as f64).abs() < 1e-6);
+        assert!((m4.mflops * m4.stats.median_s * 1e6 - (flops * 4) as f64).abs() < 1e-6);
     }
 
     #[test]

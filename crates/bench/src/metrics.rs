@@ -28,19 +28,22 @@
 
 use crate::jsonv::Json;
 use crate::measured::{
-    measure_parallel_with, measure_serial_with, validate_parallel, TimingStats, WarmupOpts,
+    measure_parallel_spmm_with, measure_serial_spmm_with, validate_parallel_spmm, TimingStats,
+    WarmupOpts,
 };
 use serde::Serialize;
 use spmv_core::csr_du::{CsrDu, DuOptions};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
 use spmv_core::stats::effective_bandwidth;
-use spmv_core::{Csr, SpMv, SparseError};
-use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMv, PoolTelemetry};
+use spmv_core::{Csr, SpMm, SparseError};
+use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemetry};
 
 /// Version stamped into every `BENCH.json`; bump on any breaking change
 /// to the record layout (consumers must check it before reading fields).
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the SpMM dimension: every record carries the panel
+/// width `k` (1 = plain SpMV) and the per-vector amortized bandwidth.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
@@ -96,7 +99,7 @@ impl From<PoolTelemetry> for TelemetryRecord {
     }
 }
 
-/// One measured (matrix, format, thread count) cell.
+/// One measured (matrix, format, thread count, panel width) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
     /// Corpus matrix name.
@@ -107,6 +110,9 @@ pub struct BenchRecord {
     pub format: String,
     /// Threads used (1 = the serial kernel, no pool).
     pub threads: usize,
+    /// Right-hand-side panel width (1 = plain SpMV; > 1 = SpMM, which
+    /// streams the matrix once and reuses each decoded value `k` times).
+    pub k: usize,
     /// Matrix rows.
     pub nrows: usize,
     /// Matrix columns.
@@ -130,6 +136,11 @@ pub struct BenchRecord {
     /// `csr_matrix_bytes / median_s`, in GB/s — the bandwidth an
     /// uncompressed CSR kernel would need to match this time.
     pub compression_adjusted_gbs: f64,
+    /// `effective_bandwidth_gbs / k` — the matrix traffic charged to each
+    /// of the `k` output vectors. SpMM amortization shows up here: the
+    /// matrix streams once per iteration, so doubling `k` roughly halves
+    /// the per-vector cost.
+    pub per_vector_bandwidth_gbs: f64,
     /// Per-worker telemetry (`telemetry` feature, threads > 1 only).
     pub telemetry: Option<TelemetryRecord>,
 }
@@ -164,13 +175,15 @@ pub struct BenchOptions {
     pub matrix_ids: Vec<u32>,
     /// Thread counts to measure (1 runs the serial kernel).
     pub thread_counts: Vec<usize>,
+    /// Right-hand-side panel widths to measure (1 = plain SpMV).
+    pub k_values: Vec<usize>,
     /// Warm-up policy.
     pub warmup: WarmupOpts,
 }
 
 impl Default for BenchOptions {
     /// Two small corpus matrices (ids 3 and 26: MS and MS-vi picks), the
-    /// four formats, 1/2/4 threads, 16 iterations at 5% scale.
+    /// four formats, 1/2/4 threads, k 1/2/4/8, 16 iterations at 5% scale.
     fn default() -> BenchOptions {
         BenchOptions {
             scale: 0.05,
@@ -178,6 +191,7 @@ impl Default for BenchOptions {
             seed: 42,
             matrix_ids: vec![3, 26],
             thread_counts: vec![1, 2, 4],
+            k_values: vec![1, 2, 4, 8],
             warmup: WarmupOpts::default(),
         }
     }
@@ -191,7 +205,7 @@ fn plan<'m>(
     vi: &'m CsrVi<u32, f64>,
     duvi: &'m CsrDuVi<f64>,
     threads: usize,
-) -> Box<dyn ParSpMv<f64> + 'm> {
+) -> Box<dyn ParSpMm<f64> + 'm> {
     match format {
         "csr" => Box::new(ParCsr::new(csr, threads)),
         "csr-du" => Box::new(ParCsrDu::new(du, threads)),
@@ -201,12 +215,17 @@ fn plan<'m>(
     }
 }
 
-/// Runs the full measurement matrix and returns the artifact. Every
-/// multithreaded plan is validated against the CSR baseline (typed
-/// ULP comparison) *before* its timing is trusted.
+/// Runs the full measurement matrix (corpus entries × formats × thread
+/// counts × panel widths) and returns the artifact. Every multithreaded
+/// plan is validated per-column against the CSR baseline (typed ULP
+/// comparison) *before* its timing is trusted. `k = 1` cells time the
+/// SpMM entry point at panel width 1, which is bit-identical to SpMV.
 pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
     if opts.iters == 0 {
         return Err(SparseError::InvalidArgument("bench requires iters >= 1".into()));
+    }
+    if opts.k_values.contains(&0) {
+        return Err(SparseError::InvalidArgument("bench requires every k >= 1".into()));
     }
     let corpus = spmv_matgen::corpus::corpus_scaled(opts.scale);
     let mut records = Vec::new();
@@ -219,7 +238,7 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
         let vi = CsrVi::from_csr(&csr);
         let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
         let csr_bytes = csr.working_set().matrix_bytes();
-        let cells: [(&str, &dyn SpMv<f64>, usize); 4] = [
+        let cells: [(&str, &dyn SpMm<f64>, usize); 4] = [
             ("csr", &csr, csr_bytes),
             ("csr-du", &du, du.size_bytes()),
             ("csr-vi", &vi, vi.size_bytes()),
@@ -227,40 +246,55 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
         ];
         for (format, serial, fmt_bytes) in cells {
             for &threads in &opts.thread_counts {
-                let (m, telemetry) = if threads <= 1 {
-                    (measure_serial_with(serial, opts.iters, opts.seed, &opts.warmup)?, None)
-                } else {
-                    let mut par = plan(format, &csr, &du, &vi, &duvi, threads);
-                    validate_parallel(serial, &csr, &mut *par, opts.seed)?;
-                    let m = measure_parallel_with(
-                        serial,
-                        &mut *par,
-                        opts.iters,
-                        opts.seed,
-                        &opts.warmup,
-                    )?;
-                    let telemetry = par.take_telemetry().map(TelemetryRecord::from);
-                    (m, telemetry)
-                };
-                let median = m.stats.median_s;
-                records.push(BenchRecord {
-                    matrix: entry.name.clone(),
-                    matrix_id: u64::from(id),
-                    format: format.to_string(),
-                    threads,
-                    nrows: csr.nrows(),
-                    ncols: csr.ncols(),
-                    nnz: csr.nnz(),
-                    matrix_bytes: fmt_bytes,
-                    csr_matrix_bytes: csr_bytes,
-                    traffic_per_nnz: fmt_bytes as f64 / csr.nnz().max(1) as f64,
-                    warmup_iterations: m.warmup_iterations,
-                    mflops: m.mflops,
-                    effective_bandwidth_gbs: effective_bandwidth(fmt_bytes, 1, median) / 1e9,
-                    compression_adjusted_gbs: effective_bandwidth(csr_bytes, 1, median) / 1e9,
-                    stats: m.stats,
-                    telemetry,
-                });
+                for &k in &opts.k_values {
+                    let (m, telemetry) = if threads <= 1 {
+                        (
+                            measure_serial_spmm_with(
+                                serial,
+                                k,
+                                opts.iters,
+                                opts.seed,
+                                &opts.warmup,
+                            )?,
+                            None,
+                        )
+                    } else {
+                        let mut par = plan(format, &csr, &du, &vi, &duvi, threads);
+                        validate_parallel_spmm(serial, &csr, &mut *par, k, opts.seed)?;
+                        let m = measure_parallel_spmm_with(
+                            serial,
+                            &mut *par,
+                            k,
+                            opts.iters,
+                            opts.seed,
+                            &opts.warmup,
+                        )?;
+                        let telemetry = par.take_telemetry().map(TelemetryRecord::from);
+                        (m, telemetry)
+                    };
+                    let median = m.stats.median_s;
+                    let effective = effective_bandwidth(fmt_bytes, 1, median) / 1e9;
+                    records.push(BenchRecord {
+                        matrix: entry.name.clone(),
+                        matrix_id: u64::from(id),
+                        format: format.to_string(),
+                        threads,
+                        k,
+                        nrows: csr.nrows(),
+                        ncols: csr.ncols(),
+                        nnz: csr.nnz(),
+                        matrix_bytes: fmt_bytes,
+                        csr_matrix_bytes: csr_bytes,
+                        traffic_per_nnz: fmt_bytes as f64 / csr.nnz().max(1) as f64,
+                        warmup_iterations: m.warmup_iterations,
+                        mflops: m.mflops,
+                        effective_bandwidth_gbs: effective,
+                        compression_adjusted_gbs: effective_bandwidth(csr_bytes, 1, median) / 1e9,
+                        per_vector_bandwidth_gbs: effective / k as f64,
+                        stats: m.stats,
+                        telemetry,
+                    });
+                }
             }
         }
     }
@@ -291,7 +325,7 @@ fn require_str(obj: &Json, key: &str, ctx: &str) -> Result<(), String> {
         .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
 }
 
-/// Validates `text` as a schema-version-1 `BENCH.json`: parses the JSON,
+/// Validates `text` as a schema-version-2 `BENCH.json`: parses the JSON,
 /// checks the version stamp, and requires every field the schema promises
 /// with the right shape. Used by `reproduce check-bench` and the
 /// `bench-smoke` CI gate, and by the golden-file tests.
@@ -337,6 +371,10 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
         if threads < 1.0 {
             return Err(format!("{ctx}: threads {threads} must be >= 1"));
         }
+        let k = require_num(rec, "k", &ctx)?;
+        if k < 1.0 {
+            return Err(format!("{ctx}: k {k} must be >= 1"));
+        }
         for key in ["matrix_id", "nrows", "ncols", "nnz", "matrix_bytes", "csr_matrix_bytes"] {
             require_num(rec, key, &ctx)?;
         }
@@ -346,6 +384,7 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
             "mflops",
             "effective_bandwidth_gbs",
             "compression_adjusted_gbs",
+            "per_vector_bandwidth_gbs",
         ] {
             require_num(rec, key, &ctx)?;
         }
@@ -388,6 +427,7 @@ mod tests {
             iters: 3,
             matrix_ids: vec![3],
             thread_counts: vec![1, 2],
+            k_values: vec![1, 4],
             ..BenchOptions::default()
         }
     }
@@ -396,20 +436,33 @@ mod tests {
     fn collect_bench_covers_the_matrix_and_validates() {
         let file = collect_bench(&tiny_opts()).unwrap();
         assert_eq!(file.schema_version, BENCH_SCHEMA_VERSION);
-        // 1 matrix x 4 formats x 2 thread counts.
-        assert_eq!(file.records.len(), 8);
+        // 1 matrix x 4 formats x 2 thread counts x 2 panel widths.
+        assert_eq!(file.records.len(), 16);
         for rec in &file.records {
             assert!(BENCH_FORMATS.contains(&rec.format.as_str()));
             assert!(rec.stats.median_s > 0.0, "{}/{}", rec.format, rec.threads);
+            assert!(rec.k >= 1);
             assert!(rec.effective_bandwidth_gbs > 0.0);
             // Both bandwidths divide the same median time, so their ratio
             // must equal the byte ratio exactly.
             let got = rec.compression_adjusted_gbs / rec.effective_bandwidth_gbs;
             let want = rec.csr_matrix_bytes as f64 / rec.matrix_bytes as f64;
             assert!((got - want).abs() < 1e-9, "{}/{}: {got} vs {want}", rec.format, rec.threads);
+            // Per-vector bandwidth is the effective figure split over k.
+            let amortized = rec.effective_bandwidth_gbs / rec.k as f64;
+            assert!((rec.per_vector_bandwidth_gbs - amortized).abs() < 1e-12);
             assert!(rec.traffic_per_nnz > 0.0);
             if rec.threads == 1 {
                 assert!(rec.telemetry.is_none(), "serial records carry no telemetry");
+            }
+        }
+        // The k dimension is fully covered for every format.
+        for format in BENCH_FORMATS {
+            for k in [1usize, 4] {
+                assert!(
+                    file.records.iter().any(|r| r.format == format && r.k == k),
+                    "missing {format} k={k}"
+                );
             }
         }
         // Compressed formats stream fewer bytes than the CSR baseline, so
@@ -446,6 +499,8 @@ mod tests {
         let err =
             collect_bench(&BenchOptions { matrix_ids: vec![9999], ..tiny_opts() }).unwrap_err();
         assert!(matches!(err, SparseError::InvalidArgument(_)), "{err}");
+        let err = collect_bench(&BenchOptions { k_values: vec![0], ..tiny_opts() }).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidArgument(_)), "{err}");
     }
 
     #[test]
@@ -454,7 +509,7 @@ mod tests {
         let good = serde_json::to_string_pretty(&file).unwrap();
         assert!(validate_bench_text("not json").is_err());
         assert!(validate_bench_text("{}").is_err());
-        let wrong_version = good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let wrong_version = good.replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
         assert!(validate_bench_text(&wrong_version).unwrap_err().contains("schema_version"));
         let no_records = good.replacen("\"records\"", "\"recs\"", 1);
         assert!(validate_bench_text(&no_records).is_err());

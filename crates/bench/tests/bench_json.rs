@@ -23,6 +23,7 @@ fn golden_file() -> BenchFile {
             matrix_id: 26,
             format: "csr-du".into(),
             threads: 4,
+            k: 4,
             nrows: 1000,
             ncols: 1000,
             nnz: 8000,
@@ -42,6 +43,7 @@ fn golden_file() -> BenchFile {
             mflops: 128.0,
             effective_bandwidth_gbs: 0.56,
             compression_adjusted_gbs: 0.8,
+            per_vector_bandwidth_gbs: 0.14,
             telemetry: Some(TelemetryRecord {
                 busy_ns: vec![400, 300, 500, 200],
                 chunks: vec![12, 12, 12, 12],
@@ -79,6 +81,7 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(r.get("format").unwrap().as_str(), Some("csr-du"));
     assert_eq!(num(r, "matrix_id"), 26.0);
     assert_eq!(num(r, "threads"), 4.0);
+    assert_eq!(num(r, "k"), 4.0);
     assert_eq!(num(r, "nrows"), 1000.0);
     assert_eq!(num(r, "ncols"), 1000.0);
     assert_eq!(num(r, "nnz"), 8000.0);
@@ -89,6 +92,7 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(num(r, "mflops"), 128.0);
     assert_eq!(num(r, "effective_bandwidth_gbs"), 0.56);
     assert_eq!(num(r, "compression_adjusted_gbs"), 0.8);
+    assert_eq!(num(r, "per_vector_bandwidth_gbs"), 0.14);
 
     let stats = r.get("stats").expect("stats object");
     assert_eq!(num(stats, "samples"), 12.0);
@@ -114,7 +118,14 @@ fn golden_schema_roundtrips_field_by_field() {
 fn golden_schema_detects_field_removal() {
     // The validator is only a gate if deleting a promised field trips it.
     let text = serde_json::to_string_pretty(&golden_file()).unwrap();
-    for field in ["\"median_s\"", "\"imbalance\"", "\"machine\"", "\"format\""] {
+    for field in [
+        "\"median_s\"",
+        "\"imbalance\"",
+        "\"machine\"",
+        "\"format\"",
+        "\"k\"",
+        "\"per_vector_bandwidth_gbs\"",
+    ] {
         let renamed = format!("\"x{}", &field[1..]);
         let broken = text.replacen(field, &renamed, 1);
         assert!(validate_bench_text(&broken).is_err(), "removing {field} should fail validation");
@@ -128,6 +139,7 @@ fn two_runs_agree_on_all_non_timing_fields() {
         iters: 2,
         matrix_ids: vec![3],
         thread_counts: vec![1, 2],
+        k_values: vec![1, 2],
         ..BenchOptions::default()
     };
     let a = collect_bench(&opts).unwrap();
@@ -143,6 +155,7 @@ fn two_runs_agree_on_all_non_timing_fields() {
         assert_eq!(ra.matrix_id, rb.matrix_id);
         assert_eq!(ra.format, rb.format);
         assert_eq!(ra.threads, rb.threads);
+        assert_eq!(ra.k, rb.k);
         assert_eq!(ra.nrows, rb.nrows);
         assert_eq!(ra.ncols, rb.ncols);
         assert_eq!(ra.nnz, rb.nnz);
@@ -161,6 +174,7 @@ fn emitted_artifact_telemetry_matches_feature() {
         iters: 2,
         matrix_ids: vec![3],
         thread_counts: vec![1, 2],
+        k_values: vec![1, 2],
         ..BenchOptions::default()
     };
     let file = collect_bench(&opts).unwrap();

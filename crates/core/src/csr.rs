@@ -177,23 +177,63 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
     /// row-major (`x[col * k + v]`, `y[row * k + v]`). Amortizes each
     /// matrix element over `k` FMAs — the classic remedy for SpMV's
     /// bandwidth-boundedness when multiple vectors are available (block
-    /// solvers), complementary to the paper's compression.
+    /// solvers), complementary to the paper's compression. Raw-slice
+    /// convenience wrapper over [`Csr::spmm_rows_local`]; the trait-level
+    /// panel entry point is [`crate::SpMm::spmm`].
     pub fn spmm(&self, x: &[V], k: usize, y: &mut [V]) {
         assert!(k >= 1, "need at least one right-hand side");
         assert_eq!(x.len(), self.ncols * k, "x must be ncols x k row-major");
         assert_eq!(y.len(), self.nrows * k, "y must be nrows x k row-major");
-        for i in 0..self.nrows {
-            let out = &mut y[i * k..(i + 1) * k];
-            for v in out.iter_mut() {
-                *v = V::zero();
+        self.spmm_rows_local(0, self.nrows, x, k, y);
+    }
+
+    /// SpMM over the half-open row range `[row_begin, row_end)`, writing
+    /// into a *local* panel whose row 0 corresponds to `row_begin`
+    /// (`y_local[(i - row_begin) * k + v]`) — the multi-vector analogue of
+    /// [`Csr::spmv_rows_local`] used by the parallel drivers. Register
+    /// blocked: `k ∈ {1, 2, 4, 8}` run with a fixed-size in-register
+    /// accumulator, other widths with a generic fallback. `k = 1` performs
+    /// exactly the [`Csr::spmv_rows_local`] operations (bit-identical).
+    #[inline]
+    pub fn spmm_rows_local(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
+        debug_assert!(row_end <= self.nrows);
+        debug_assert_eq!(x.len(), self.ncols * k);
+        debug_assert_eq!(y_local.len(), (row_end - row_begin) * k);
+        crate::spmm::with_row_acc!(k, acc => {
+            self.spmm_rows_acc(row_begin, row_end, x, k, y_local, &mut acc)
+        });
+    }
+
+    /// Accumulator-generic SpMM row loop (monomorphized per panel width).
+    #[inline]
+    fn spmm_rows_acc<A: crate::spmm::RowAcc<V>>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+        acc: &mut A,
+    ) {
+        let col_ind = &self.col_ind[..];
+        let values = &self.values[..];
+        for i in row_begin..row_end {
+            let lo = self.row_ptr[i].index();
+            let hi = self.row_ptr[i + 1].index();
+            acc.reset();
+            for j in lo..hi {
+                let c = col_ind[j].index();
+                acc.fma(values[j], &x[c * k..c * k + k]);
             }
-            for j in self.row_range(i) {
-                let a = self.values[j];
-                let xin = &x[self.col_ind[j].index() * k..self.col_ind[j].index() * k + k];
-                for (o, &xv) in out.iter_mut().zip(xin) {
-                    *o += a * xv;
-                }
-            }
+            let base = (i - row_begin) * k;
+            acc.store(&mut y_local[base..base + k]);
         }
     }
 
@@ -358,6 +398,13 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for Csr<I, V> {
 
     fn validate(&self) -> std::result::Result<(), SparseError> {
         check_csr_structure(self.nrows, self.ncols, &self.row_ptr, &self.col_ind, self.values.len())
+    }
+}
+
+impl<I: SpIndex, V: Scalar> crate::spmm::SpMm<V> for Csr<I, V> {
+    fn spmm(&self, x: crate::DenseBlock<'_, V>, mut y: crate::DenseBlockMut<'_, V>) {
+        let k = crate::spmm::assert_panel_shapes(self.nrows, self.ncols, &x, &y);
+        self.spmm_rows_local(0, self.nrows, x.data(), k, y.data_mut());
     }
 }
 

@@ -40,7 +40,7 @@ pub use decode::{DuCursor, Unit};
 pub use encode::DuOptions;
 pub use stats::DuStats;
 
-pub(crate) use spmv::spmv_ctl_range;
+pub(crate) use spmv::{spmm_ctl_range, spmv_ctl_range};
 
 use crate::csr::Csr;
 use crate::error::Result;
@@ -285,6 +285,46 @@ impl<V: Scalar> CsrDu<V> {
             y_local,
         );
     }
+
+    /// SpMM over one split: the multi-vector analogue of
+    /// [`CsrDu::spmv_split`]. `x`/`y` are full-size row-major panels
+    /// (`ncols × k` / `nrows × k`); only the split's own row panels are
+    /// written (zeroed first). Each ctl unit is decoded once and its
+    /// values broadcast across the `k`-wide accumulator.
+    pub fn spmm_split(&self, split: &DuSplit, x: &[V], k: usize, y: &mut [V]) {
+        spmv::spmm_range(
+            self,
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            0,
+            x,
+            k,
+            y,
+        );
+    }
+
+    /// Like [`CsrDu::spmm_split`], but `y_local` covers only the split's
+    /// own row panels (`y_local.len() == (row_end - row_start) * k`) —
+    /// the entry point for parallel drivers handing each thread a
+    /// disjoint sub-slice of `y`.
+    pub fn spmm_split_local(&self, split: &DuSplit, x: &[V], k: usize, y_local: &mut [V]) {
+        debug_assert_eq!(y_local.len(), (split.row_end - split.row_start) * k);
+        spmv::spmm_range(
+            self,
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            split.row_start,
+            x,
+            k,
+            y_local,
+        );
+    }
 }
 
 impl<V: Scalar> SpMv<V> for CsrDu<V> {
@@ -326,6 +366,24 @@ impl<V: Scalar> SpMv<V> for CsrDu<V> {
             )));
         }
         Ok(())
+    }
+}
+
+impl<V: Scalar> crate::spmm::SpMm<V> for CsrDu<V> {
+    fn spmm(&self, x: crate::DenseBlock<'_, V>, mut y: crate::DenseBlockMut<'_, V>) {
+        let k = crate::spmm::assert_panel_shapes(self.nrows, self.ncols, &x, &y);
+        spmv::spmm_range(
+            self,
+            0..self.ctl.len(),
+            0,
+            usize::MAX,
+            0,
+            self.nrows,
+            0,
+            x.data(),
+            k,
+            y.data_mut(),
+        );
     }
 }
 

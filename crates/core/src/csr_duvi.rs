@@ -142,6 +142,40 @@ impl<V: Scalar> CsrDuVi<V> {
         );
     }
 
+    /// SpMM over one split (full-size row-major panels): the multi-vector
+    /// analogue of [`CsrDuVi::spmv_split`]. One decode of the ctl stream
+    /// *and* one value-table indirection per non-zero feed `k` FMAs.
+    pub fn spmm_split(&self, split: &DuSplit, x: &[V], k: usize, y: &mut [V]) {
+        self.spmm_impl(
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            0,
+            x,
+            k,
+            y,
+        );
+    }
+
+    /// Like [`CsrDuVi::spmm_split`], but `y_local` covers only the split's
+    /// own row panels (for parallel drivers).
+    pub fn spmm_split_local(&self, split: &DuSplit, x: &[V], k: usize, y_local: &mut [V]) {
+        debug_assert_eq!(y_local.len(), (split.row_end - split.row_start) * k);
+        self.spmm_impl(
+            split.ctl_range.clone(),
+            split.val_start,
+            split.row_wrap_base,
+            split.row_start,
+            split.row_end,
+            split.row_start,
+            x,
+            k,
+            y_local,
+        );
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn spmv_impl(
         &self,
@@ -195,6 +229,73 @@ impl<V: Scalar> CsrDuVi<V> {
                 x,
                 y,
             ),
+        }
+    }
+
+    /// SpMM twin of [`CsrDuVi::spmv_impl`]: dispatches on the value-index
+    /// width, then on the panel width `k` (register accumulators for
+    /// `k ∈ {1, 2, 4, 8}`), into the shared ctl decode loop.
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_impl(
+        &self,
+        ctl_range: std::ops::Range<usize>,
+        val_start: usize,
+        row_wrap_base: usize,
+        row_start: usize,
+        row_end: usize,
+        y_base: usize,
+        x: &[V],
+        k: usize,
+        y: &mut [V],
+    ) {
+        use crate::spmm::with_row_acc;
+        let vals = &self.vals_unique[..];
+        match &self.val_ind {
+            ValInd::U8(ind) => with_row_acc!(k, acc => crate::csr_du::spmm_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range.clone(),
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                k,
+                y,
+                &mut acc,
+            )),
+            ValInd::U16(ind) => with_row_acc!(k, acc => crate::csr_du::spmm_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range.clone(),
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                k,
+                y,
+                &mut acc,
+            )),
+            ValInd::U32(ind) => with_row_acc!(k, acc => crate::csr_du::spmm_ctl_range(
+                self.du.ctl(),
+                #[inline(always)]
+                |j| vals[ind[j] as usize],
+                ctl_range.clone(),
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                k,
+                y,
+                &mut acc,
+            )),
         }
     }
 
@@ -260,6 +361,23 @@ impl<V: Scalar> SpMv<V> for CsrDuVi<V> {
             }
         }
         Ok(())
+    }
+}
+
+impl<V: Scalar> crate::spmm::SpMm<V> for CsrDuVi<V> {
+    fn spmm(&self, x: crate::DenseBlock<'_, V>, mut y: crate::DenseBlockMut<'_, V>) {
+        let k = crate::spmm::assert_panel_shapes(self.nrows(), self.ncols(), &x, &y);
+        self.spmm_impl(
+            0..self.du.ctl().len(),
+            0,
+            usize::MAX,
+            0,
+            self.nrows(),
+            0,
+            x.data(),
+            k,
+            y.data_mut(),
+        );
     }
 }
 

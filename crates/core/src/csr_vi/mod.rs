@@ -244,6 +244,23 @@ impl<I: SpIndex, V: Scalar> CsrVi<I, V> {
         debug_assert_eq!(y_local.len(), row_end - row_begin);
         spmv::spmv_rows(self, row_begin, row_end, row_begin, x, y_local);
     }
+
+    /// SpMM over the half-open row range `[row_begin, row_end)`, writing
+    /// into a local row-major panel whose row 0 corresponds to `row_begin`
+    /// — the multi-vector analogue of [`CsrVi::spmv_rows_local`]. Each
+    /// value-table indirection is resolved once per non-zero and broadcast
+    /// across the `k`-wide accumulator (`k = 1` is bit-identical to SpMV).
+    pub fn spmm_rows_local(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
+        debug_assert_eq!(y_local.len(), (row_end - row_begin) * k);
+        spmv::spmm_rows(self, row_begin, row_end, row_begin, x, k, y_local);
+    }
 }
 
 impl<I: SpIndex, V: Scalar> SpMv<V> for CsrVi<I, V> {
@@ -288,6 +305,13 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for CsrVi<I, V> {
             }
         }
         Ok(())
+    }
+}
+
+impl<I: SpIndex, V: Scalar> crate::spmm::SpMm<V> for CsrVi<I, V> {
+    fn spmm(&self, x: crate::DenseBlock<'_, V>, mut y: crate::DenseBlockMut<'_, V>) {
+        let k = crate::spmm::assert_panel_shapes(self.nrows, self.ncols, &x, &y);
+        spmv::spmm_rows(self, 0, self.nrows, 0, x.data(), k, y.data_mut());
     }
 }
 

@@ -1,10 +1,16 @@
 //! The CSR-VI SpMV kernel (Fig. 5 of the paper): CSR's kernel with the
 //! direct value load replaced by an indirection through `vals_unique`.
 //! Specialized per index width so the inner loop stays monomorphic.
+//!
+//! The SpMM variant ([`spmm_rows`]) additionally specializes per panel
+//! width through the [`RowAcc`] accumulator: each `val_ind` entry is
+//! resolved through the unique-value table **once** and the value
+//! broadcast across `k` FMAs, amortizing the indirection.
 
 use super::{CsrVi, ValInd};
 use crate::index::SpIndex;
 use crate::scalar::Scalar;
+use crate::spmm::{with_row_acc, RowAcc};
 
 /// Row-range kernel. `y_base` is subtracted from the row number when
 /// indexing `y`, so parallel drivers can pass disjoint local slices
@@ -55,5 +61,68 @@ fn kernel<I: SpIndex, V: Scalar, W: Copy + Into<u32>>(
             acc += val * x[col_ind[j].index()];
         }
         y[i - y_base] = acc;
+    }
+}
+
+/// SpMM row-range kernel: `x`/`y` are row-major panels of width `k`
+/// (`y[(i - y_base) * k ..][..k]` receives row `i`). Width-dispatched on
+/// both the value-index type and the panel width.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn spmm_rows<I: SpIndex, V: Scalar>(
+    m: &CsrVi<I, V>,
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[V],
+    k: usize,
+    y: &mut [V],
+) {
+    debug_assert!(row_end <= m.nrows());
+    debug_assert_eq!(x.len(), m.ncols() * k);
+    match &m.val_ind {
+        ValInd::U8(ind) => with_row_acc!(k, acc => kernel_mm(
+            &m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, k, y,
+            &mut acc,
+        )),
+        ValInd::U16(ind) => with_row_acc!(k, acc => kernel_mm(
+            &m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, k, y,
+            &mut acc,
+        )),
+        ValInd::U32(ind) => with_row_acc!(k, acc => kernel_mm(
+            &m.row_ptr, &m.col_ind, &m.vals_unique, ind, row_begin, row_end, y_base, x, k, y,
+            &mut acc,
+        )),
+    }
+}
+
+/// Width- and accumulator-generic SpMM inner kernel. The `k = 1`
+/// instantiation performs exactly [`kernel`]'s operations in the same
+/// order (bit-identical results).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn kernel_mm<I: SpIndex, V: Scalar, W: Copy + Into<u32>, A: RowAcc<V>>(
+    row_ptr: &[I],
+    col_ind: &[I],
+    vals_unique: &[V],
+    val_ind: &[W],
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[V],
+    k: usize,
+    y: &mut [V],
+    acc: &mut A,
+) {
+    for i in row_begin..row_end {
+        let lo = row_ptr[i].index();
+        let hi = row_ptr[i + 1].index();
+        acc.reset();
+        for j in lo..hi {
+            let val = vals_unique[Into::<u32>::into(val_ind[j]) as usize];
+            let c = col_ind[j].index();
+            acc.fma(val, &x[c * k..c * k + k]);
+        }
+        let base = (i - y_base) * k;
+        acc.store(&mut y[base..base + k]);
     }
 }

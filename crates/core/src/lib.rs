@@ -75,6 +75,7 @@ pub mod index;
 pub mod io;
 pub mod jad;
 pub mod scalar;
+pub mod spmm;
 pub mod spmv;
 pub mod stats;
 pub mod sym;
@@ -90,6 +91,7 @@ pub use error::SparseError;
 pub use index::SpIndex;
 pub use io::LoadLimits;
 pub use scalar::Scalar;
+pub use spmm::{DenseBlock, DenseBlockMut, SpMm};
 pub use spmv::{FormatKind, SpMv};
 pub use stats::{SizeReport, WorkingSet};
 pub use sym::SymCsr;
@@ -108,6 +110,7 @@ pub mod prelude {
     pub use crate::jad::Jad;
     pub use crate::sym::SymCsr;
     pub use crate::{
-        Coo, Csc, Csr, Dense, FormatKind, LoadLimits, Scalar, SpIndex, SpMv, SparseError,
+        Coo, Csc, Csr, Dense, DenseBlock, DenseBlockMut, FormatKind, LoadLimits, Scalar, SpIndex,
+        SpMm, SpMv, SparseError,
     };
 }

@@ -107,8 +107,8 @@ pub mod supervised;
 pub mod telemetry;
 
 pub use par::{
-    ParCscColumns, ParCsr, ParCsrBlock2d, ParCsrDu, ParCsrDuVi, ParCsrVi, ParDcsr, ParSpMv,
-    ParSymCsr,
+    ParCscColumns, ParCsr, ParCsrBlock2d, ParCsrDu, ParCsrDuVi, ParCsrVi, ParDcsr, ParSpMm,
+    ParSpMv, ParSymCsr,
 };
 pub use partition::{ColPartition, Grid2d, RowPartition};
 pub use pool::{run_on_threads, DisjointSlices, IterationDriver, PoolEvent, WorkerPool};

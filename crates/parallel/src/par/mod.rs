@@ -43,6 +43,28 @@ pub trait ParSpMv<V: Scalar>: Send {
     }
 }
 
+/// Multi-vector extension of [`ParSpMv`]: `Y = A·X` for a row-major panel
+/// of `k` right-hand sides (`x[col * k + v]`, `y[row * k + v]` — the
+/// [`spmv_core::DenseBlock`] layout), reusing the executor's planned
+/// partition and persistent pool. Implemented by the four paper-format
+/// executors ([`ParCsr`], [`ParCsrDu`], [`ParCsrVi`], [`ParCsrDuVi`]):
+/// each thread decodes its row block **once** and broadcasts every
+/// decoded scalar across the `k`-wide panel, so the per-thread decode
+/// cost of the compressed formats is amortized `k`-fold. With `k = 1`
+/// the result is bit-identical to [`ParSpMv::par_spmv`].
+pub trait ParSpMm<V: Scalar>: ParSpMv<V> {
+    /// Computes `Y = A·X` using the planned partition. Panics if
+    /// `x.len() != ncols * k` or `y.len() != nrows * k` or `k == 0`.
+    fn par_spmm(&mut self, x: &[V], k: usize, y: &mut [V]);
+}
+
+/// Shared panel-shape preamble of the `par_spmm` implementations.
+fn assert_panel_lens<V>(nrows: usize, ncols: usize, x: &[V], k: usize, y: &[V]) {
+    assert!(k >= 1, "need at least one right-hand side");
+    assert_eq!(x.len(), ncols * k, "x must be ncols x k row-major");
+    assert_eq!(y.len(), nrows * k, "y must be nrows x k row-major");
+}
+
 /// Row bounds implied by ctl-stream splits: `[0, splits[0].row_end, ...]`.
 fn split_row_bounds(row_ends: impl Iterator<Item = usize>) -> Vec<usize> {
     let mut bounds = vec![0usize];
@@ -95,6 +117,22 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
             // SAFETY: partition blocks are disjoint; one tid per block.
             let y_local = unsafe { slices.range(range.clone()) };
             m.spmv_rows_local(range.start, range.end, x, y_local);
+        });
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMm<V> for ParCsr<'_, I, V> {
+    fn par_spmm(&mut self, x: &[V], k: usize, y: &mut [V]) {
+        assert_panel_lens(self.matrix.nrows(), self.matrix.ncols(), x, k, y);
+        let slices = DisjointSlices::new(y);
+        let partition = &self.partition;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            let range = partition.part(tid);
+            // SAFETY: partition blocks are disjoint; one tid per block
+            // (panel ranges scale the disjoint row ranges by k).
+            let y_local = unsafe { slices.range(range.start * k..range.end * k) };
+            m.spmm_rows_local(range.start, range.end, x, k, y_local);
         });
     }
 }
@@ -160,6 +198,28 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
     }
 }
 
+impl<V: Scalar> ParSpMm<V> for ParCsrDu<'_, V> {
+    fn par_spmm(&mut self, x: &[V], k: usize, y: &mut [V]) {
+        assert_panel_lens(self.matrix.nrows(), self.matrix.ncols(), x, k, y);
+        let covered = *self.row_bounds.last().expect("nonempty bounds");
+        for v in y[covered * k..].iter_mut() {
+            *v = V::zero();
+        }
+        if self.splits.is_empty() {
+            return;
+        }
+        let slices = DisjointSlices::new(y);
+        let splits = &self.splits;
+        let bounds = &self.row_bounds;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            // SAFETY: split row ranges are disjoint; one tid per split.
+            let y_local = unsafe { slices.range(bounds[tid] * k..bounds[tid + 1] * k) };
+            m.spmm_split_local(&splits[tid], x, k, y_local);
+        });
+    }
+}
+
 // ---------------------------------------------------------------------
 // CSR-VI — row partitioning
 // ---------------------------------------------------------------------
@@ -201,6 +261,21 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
             // SAFETY: partition blocks are disjoint; one tid per block.
             let y_local = unsafe { slices.range(range.clone()) };
             m.spmv_rows_local(range.start, range.end, x, y_local);
+        });
+    }
+}
+
+impl<I: SpIndex, V: Scalar> ParSpMm<V> for ParCsrVi<'_, I, V> {
+    fn par_spmm(&mut self, x: &[V], k: usize, y: &mut [V]) {
+        assert_panel_lens(self.matrix.nrows(), self.matrix.ncols(), x, k, y);
+        let slices = DisjointSlices::new(y);
+        let partition = &self.partition;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            let range = partition.part(tid);
+            // SAFETY: partition blocks are disjoint; one tid per block.
+            let y_local = unsafe { slices.range(range.start * k..range.end * k) };
+            m.spmm_rows_local(range.start, range.end, x, k, y_local);
         });
     }
 }
@@ -254,6 +329,28 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
             // SAFETY: split row ranges are disjoint; one tid per split.
             let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
             m.spmv_split_local(&splits[tid], x, y_local);
+        });
+    }
+}
+
+impl<V: Scalar> ParSpMm<V> for ParCsrDuVi<'_, V> {
+    fn par_spmm(&mut self, x: &[V], k: usize, y: &mut [V]) {
+        assert_panel_lens(self.matrix.nrows(), self.matrix.ncols(), x, k, y);
+        let covered = *self.row_bounds.last().expect("nonempty bounds");
+        for v in y[covered * k..].iter_mut() {
+            *v = V::zero();
+        }
+        if self.splits.is_empty() {
+            return;
+        }
+        let slices = DisjointSlices::new(y);
+        let splits = &self.splits;
+        let bounds = &self.row_bounds;
+        let m = self.matrix;
+        self.pool.run(|tid| {
+            // SAFETY: split row ranges are disjoint; one tid per split.
+            let y_local = unsafe { slices.range(bounds[tid] * k..bounds[tid + 1] * k) };
+            m.spmm_split_local(&splits[tid], x, k, y_local);
         });
     }
 }

@@ -249,6 +249,131 @@ fn supervised_repeated_faults_across_calls_stay_correct() {
 }
 
 // ---------------------------------------------------------------------
+// SpMM (multi-vector) chunks: same fault model, panel outputs
+// ---------------------------------------------------------------------
+
+fn x_panel_for(ncols: usize, k: usize) -> Vec<f64> {
+    (0..ncols * k).map(|i| ((i % 29) as f64) * 0.23 - 2.0).collect()
+}
+
+/// SpMM analogue of [`supervised_recovers_from`]: a fault during a
+/// multi-vector chunk must recover under Degrade with a panel
+/// bit-identical to the serial SpMM.
+fn supervised_spmm_recovers_from(action: FaultAction, expect_fires: bool) {
+    let coo = irregular(160, 120, 42);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let k = 4;
+    let x = x_panel_for(120, k);
+    let mut y_serial = vec![0.0; 160 * k];
+    csr.spmm(&x, k, &mut y_serial);
+    for &nthreads in &THREAD_COUNTS {
+        let kernel: Arc<dyn ChunkKernel<f64>> =
+            Arc::new(CsrChunks::new(Arc::new(csr.clone()), nthreads.max(2) * 2));
+        let mut sup =
+            SupervisedSpMv::with_opts(kernel, nthreads, injection_opts(RecoveryPolicy::Degrade));
+        let armed = FaultPlan::new().inject(FaultSite::chunk(0, 0), action).arm();
+        let mut y = vec![-7.0; 160 * k];
+        let report = sup.spmm(&x, k, &mut y).expect("degrade mode recovers");
+        assert_eq!(
+            y, y_serial,
+            "recovered panel must be bit-identical ({action:?}, {nthreads} threads)"
+        );
+        if nthreads >= 2 && expect_fires {
+            assert_eq!(armed.fired_count(), 1, "{action:?} must fire once");
+            assert!(report.degraded(), "{action:?}: expected an event, got {:?}", report.events);
+        }
+        drop(armed);
+        // Reusability: a healthy follow-up SpMM on the same plan.
+        let mut y2 = vec![0.0; 160 * k];
+        let report2 = sup.spmm(&x, k, &mut y2).expect("pool reusable after recovery");
+        assert_eq!(y2, y_serial, "follow-up call after {action:?}");
+        assert!(!report2.degraded(), "follow-up must be healthy, got {:?}", report2.events);
+    }
+}
+
+#[test]
+fn supervised_spmm_recovers_from_worker_panic() {
+    supervised_spmm_recovers_from(FaultAction::PanicOnce, true);
+}
+
+#[test]
+fn supervised_spmm_recovers_from_worker_stall() {
+    supervised_spmm_recovers_from(FaultAction::DelayOnce(Duration::from_millis(150)), true);
+}
+
+#[test]
+fn supervised_spmm_recovers_from_worker_death() {
+    supervised_spmm_recovers_from(FaultAction::ExitThread, true);
+}
+
+#[test]
+fn supervised_spmm_self_check_catches_injected_corruption() {
+    // CorruptChunk flips the first element of the chunk's *panel*; the
+    // bit-exact self-check must catch it and restore the serial panel.
+    let coo = irregular(140, 110, 8);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let k = 3;
+    let x = x_panel_for(110, k);
+    let mut y_serial = vec![0.0; 140 * k];
+    csr.spmm(&x, k, &mut y_serial);
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let kernel: Arc<dyn ChunkKernel<f64>> = Arc::new(CsrDuChunks::new(Arc::new(du), 6));
+    let opts = WatchdogOpts { verify_every: 1, ..injection_opts(RecoveryPolicy::Degrade) };
+    let mut sup = SupervisedSpMv::with_opts(kernel, 3, opts);
+    let armed = FaultPlan::new().inject(FaultSite::chunk(0, 0), FaultAction::CorruptChunk).arm();
+    let mut y = vec![0.0; 140 * k];
+    let report = sup.spmm(&x, k, &mut y).expect("degrade replaces corrupted chunk");
+    assert_eq!(armed.fired_count(), 1);
+    assert_eq!(y, y_serial, "self-check must restore the corrupted panel");
+    assert!(
+        report.events.iter().any(|e| matches!(e, FaultEvent::ChunkCorrupted { .. })),
+        "events: {:?}",
+        report.events
+    );
+}
+
+#[test]
+fn supervised_spmm_failfast_leaves_panel_untouched() {
+    let coo = irregular(120, 100, 5);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let k = 4;
+    let x = x_panel_for(100, k);
+    let cases: Vec<(FaultAction, fn(&PoolError) -> bool)> = vec![
+        (FaultAction::PanicOnce, |e| matches!(e, PoolError::WorkerPanicked { .. })),
+        (FaultAction::DelayOnce(Duration::from_millis(200)), |e| {
+            matches!(e, PoolError::WorkerStalled { .. })
+        }),
+        (FaultAction::ExitThread, |e| matches!(e, PoolError::WorkerDied { .. })),
+    ];
+    for (action, matches_err) in cases {
+        let kernel: Arc<dyn ChunkKernel<f64>> = Arc::new(CsrChunks::new(Arc::new(csr.clone()), 4));
+        let mut sup =
+            SupervisedSpMv::with_opts(kernel, 2, injection_opts(RecoveryPolicy::FailFast));
+        let _armed = FaultPlan::new().inject(FaultSite::chunk(0, 0), action).arm();
+        let mut y = vec![123.0; 120 * k];
+        let err = sup.spmm(&x, k, &mut y).expect_err("failfast surfaces the fault");
+        assert!(matches_err(&err), "{action:?} yielded {err:?}");
+        assert_eq!(y, vec![123.0; 120 * k], "failfast must leave the panel untouched");
+    }
+}
+
+#[test]
+fn supervised_spmm_failfast_corruption_error() {
+    let coo = irregular(80, 80, 6);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let k = 2;
+    let x = x_panel_for(80, k);
+    let kernel: Arc<dyn ChunkKernel<f64>> = Arc::new(CsrChunks::new(Arc::new(csr), 4));
+    let opts = WatchdogOpts { verify_every: 1, ..injection_opts(RecoveryPolicy::FailFast) };
+    let mut sup = SupervisedSpMv::with_opts(kernel, 2, opts);
+    let _armed = FaultPlan::new().inject(FaultSite::chunk(0, 0), FaultAction::CorruptChunk).arm();
+    let mut y = vec![9.5; 80 * k];
+    let err = sup.spmm(&x, k, &mut y).expect_err("corruption must fail fast");
+    assert!(matches!(err, PoolError::ChunkCorrupted { .. }), "{err:?}");
+    assert_eq!(y, vec![9.5; 80 * k], "failfast corruption must leave the panel untouched");
+}
+
+// ---------------------------------------------------------------------
 // Borrowed-job pool layer
 // ---------------------------------------------------------------------
 

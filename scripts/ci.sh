@@ -47,6 +47,17 @@ cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
 cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
     check-bench target/bench-smoke/BENCH.json
 
+echo "== spmm-smoke (multi-vector kernel differential matrix + k records) =="
+# The SpMM differential matrix (formats x k x threads, ULP-compared per
+# column) plus a tiny k=4 bench run whose artifact must carry k and
+# per-vector bandwidth fields and re-validate through check-bench.
+cargo test -q --test spmm_equivalence
+cargo test -q --test proptest_spmm
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    --scale 0.002 --iters 4 --k 4 --out target/spmm-smoke bench
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    check-bench target/spmm-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.

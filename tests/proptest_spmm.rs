@@ -1,0 +1,183 @@
+//! Property-based SpMM tests: on arbitrary sparse matrices and arbitrary
+//! panel widths, every format's fused multi-vector kernel equals the
+//! per-column SpMV decomposition, and the `k = 1` instantiation is
+//! bit-identical to `SpMv::spmv`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spmv_core::prelude::*;
+use spmv_core::Coo;
+
+/// Strategy: an arbitrary canonical sparse matrix up to 40x40 with up to
+/// 160 entries (palette-biased values exercise CSR-VI's dedup).
+fn arb_matrix() -> impl Strategy<Value = Coo<f64>> {
+    (1usize..40, 1usize..40)
+        .prop_flat_map(|(nrows, ncols)| {
+            let entry = (0..nrows, 0..ncols, arb_value());
+            (Just(nrows), Just(ncols), vec(entry, 0..160))
+        })
+        .prop_map(|(nrows, ncols, entries)| {
+            let mut coo = Coo::from_triplets(nrows, ncols, entries).expect("in bounds");
+            coo.canonicalize();
+            coo
+        })
+}
+
+fn arb_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => prop_oneof![Just(1.0), Just(-1.0), Just(2.5), Just(0.0), Just(-0.0)],
+        1 => (-1e6f64..1e6).prop_filter("finite", |v| v.is_finite()),
+    ]
+}
+
+/// Row-major `ncols x k` panel matched to the matrix.
+fn arb_panel(ncols: usize, k: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(-100.0f64..100.0, ncols * k..=ncols * k)
+}
+
+/// The four paper formats as `SpMm` trait objects.
+fn paper_formats(csr: &Csr) -> Vec<Box<dyn SpMm<f64>>> {
+    vec![
+        Box::new(csr.clone()),
+        Box::new(CsrDu::from_csr(csr, &DuOptions::default())),
+        Box::new(CsrVi::from_csr(csr)),
+        Box::new(CsrDuVi::from_csr(csr, &DuOptions::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spmm_equals_per_column_spmv(
+        (coo, k, x) in arb_matrix().prop_flat_map(|coo| {
+            let ncols = coo.ncols();
+            (1usize..10).prop_flat_map(move |k| {
+                (Just(coo.clone()), Just(k), arb_panel(ncols, k))
+            })
+        })
+    ) {
+        let csr: Csr = coo.to_csr();
+        for m in paper_formats(&csr) {
+            let mut y = vec![f64::NAN; csr.nrows() * k];
+            m.spmm(
+                DenseBlock::new(csr.ncols(), k, &x),
+                DenseBlockMut::new(csr.nrows(), k, &mut y),
+            );
+            // Each panel column must equal the same format's own SpMV on
+            // the corresponding x column (identical op order per row, so
+            // bit equality holds — no tolerance needed here).
+            for v in 0..k {
+                let xv: Vec<f64> = (0..csr.ncols()).map(|c| x[c * k + v]).collect();
+                let mut yv = vec![0.0; csr.nrows()];
+                m.spmv(&xv, &mut yv);
+                for r in 0..csr.nrows() {
+                    prop_assert_eq!(
+                        y[r * k + v].to_bits(), yv[r].to_bits(),
+                        "{:?} k={} col {} row {}: {} vs {}",
+                        m.kind(), k, v, r, y[r * k + v], yv[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_agree_with_coo_reference(
+        (coo, k, x) in arb_matrix().prop_flat_map(|coo| {
+            let ncols = coo.ncols();
+            (1usize..7).prop_flat_map(move |k| {
+                (Just(coo.clone()), Just(k), arb_panel(ncols, k))
+            })
+        })
+    ) {
+        // Cross-format oracle: every column of every format's panel is
+        // close (tolerance, not bits — formats may reorder ties) to the
+        // COO reference applied to that column.
+        let csr: Csr = coo.to_csr();
+        for m in paper_formats(&csr) {
+            let mut y = vec![f64::NAN; csr.nrows() * k];
+            m.spmm(
+                DenseBlock::new(csr.ncols(), k, &x),
+                DenseBlockMut::new(csr.nrows(), k, &mut y),
+            );
+            for v in 0..k {
+                let xv: Vec<f64> = (0..csr.ncols()).map(|c| x[c * k + v]).collect();
+                let mut y_ref = vec![0.0; csr.nrows()];
+                coo.spmv_reference(&xv, &mut y_ref);
+                for r in 0..csr.nrows() {
+                    let (a, b) = (y[r * k + v], y_ref[r]);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                        "{:?} k={} col {} row {}: {} vs {}", m.kind(), k, v, r, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_k1_bit_identical_to_spmv(
+        (coo, x) in arb_matrix().prop_flat_map(|coo| {
+            let ncols = coo.ncols();
+            (Just(coo), arb_panel(ncols, 1))
+        })
+    ) {
+        let csr: Csr = coo.to_csr();
+        for m in paper_formats(&csr) {
+            let mut y_mv = vec![0.0; csr.nrows()];
+            m.spmv(&x, &mut y_mv);
+            let mut y_mm = vec![f64::NAN; csr.nrows()];
+            m.spmm(
+                DenseBlock::new(csr.ncols(), 1, &x),
+                DenseBlockMut::new(csr.nrows(), 1, &mut y_mm),
+            );
+            for r in 0..csr.nrows() {
+                prop_assert_eq!(
+                    y_mm[r].to_bits(), y_mv[r].to_bits(),
+                    "{:?} row {}: {} vs {}", m.kind(), r, y_mm[r], y_mv[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_spmm_matches_serial_spmm(
+        (coo, k, x) in arb_matrix().prop_flat_map(|coo| {
+            let ncols = coo.ncols();
+            (1usize..6).prop_flat_map(move |k| {
+                (Just(coo.clone()), Just(k), arb_panel(ncols, k))
+            })
+        }),
+        nthreads in 1usize..6,
+    ) {
+        use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm};
+        let csr: Csr = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+
+        let mut y_serial = vec![f64::NAN; csr.nrows() * k];
+        SpMm::spmm(
+            &csr,
+            DenseBlock::new(csr.ncols(), k, &x),
+            DenseBlockMut::new(csr.nrows(), k, &mut y_serial),
+        );
+
+        let mut y = vec![1.0; csr.nrows() * k];
+        ParCsr::new(&csr, nthreads).par_spmm(&x, k, &mut y);
+        prop_assert_eq!(&y, &y_serial);
+
+        let mut y = vec![2.0; csr.nrows() * k];
+        ParCsrDu::new(&du, nthreads).par_spmm(&x, k, &mut y);
+        prop_assert_eq!(&y, &y_serial);
+
+        let mut y = vec![3.0; csr.nrows() * k];
+        ParCsrVi::new(&vi, nthreads).par_spmm(&x, k, &mut y);
+        prop_assert_eq!(&y, &y_serial);
+
+        let mut y = vec![4.0; csr.nrows() * k];
+        ParCsrDuVi::new(&duvi, nthreads).par_spmm(&x, k, &mut y);
+        prop_assert_eq!(&y, &y_serial);
+    }
+}

@@ -1,0 +1,249 @@
+//! The SpMM differential test matrix: every multi-vector kernel (serial
+//! and parallel, all four paper formats) must agree with `k` independent
+//! baseline-CSR SpMV calls on every column of the panel.
+//!
+//! Comparison always goes through the `CheckedSpMv` ULP/L1 comparator —
+//! never a raw `==` — because parallel executors and fused panels may
+//! legitimately reorder floating-point sums. The matrix covers
+//! format × k ∈ {1, 2, 3, 4, 5, 8, 17} × threads ∈ {1, 2, 4, 7}, over
+//! shapes that exercise empty rows, dense rows, and the 1×1 and 0-nnz
+//! degenerate cases.
+
+use spmv_core::checked::{CheckOptions, CheckedSpMv};
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Coo, Csr, DenseBlock, DenseBlockMut, SpMm, SpMv};
+use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm};
+
+const KS: [usize; 7] = [1, 2, 3, 4, 5, 8, 17];
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Deterministic x panel (row-major, `ncols x k`), values in [-2, 2).
+fn x_panel(ncols: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..ncols * k)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) % 4000) as f64 / 1000.0 - 2.0
+        })
+        .collect()
+}
+
+/// Irregular sparse matrix with interleaved empty rows and a few dense
+/// rows (row 5 and row 17 touch every column).
+fn mixed_matrix(nrows: usize, ncols: usize, seed: u64) -> Coo<f64> {
+    let mut t: Vec<(usize, usize, f64)> = Vec::new();
+    let mut state = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in 0..nrows {
+        if r % 7 == 2 {
+            continue; // empty row
+        }
+        if r == 5 || r == 17 {
+            // dense row: every column populated
+            for c in 0..ncols {
+                t.push((r, c, ((next() % 13) as f64) - 6.0));
+            }
+            continue;
+        }
+        let len = 1 + (next() as usize) % 8;
+        for _ in 0..len {
+            t.push((r, (next() as usize) % ncols, ((next() % 17) as f64) - 8.0));
+        }
+    }
+    let mut coo = Coo::from_triplets(nrows, ncols, t).unwrap();
+    coo.canonicalize();
+    coo
+}
+
+/// The shape suite: general + degenerate cases.
+fn suite() -> Vec<(&'static str, Coo<f64>)> {
+    vec![
+        ("mixed", mixed_matrix(60, 45, 3)),
+        ("mixed-wide", mixed_matrix(25, 90, 11)),
+        ("one-by-one", Coo::from_triplets(1, 1, vec![(0usize, 0usize, 2.5)]).unwrap()),
+        ("zero-nnz", Coo::new(6, 4)),
+        ("all-empty-rows", Coo::from_triplets(9, 9, vec![(4usize, 4usize, 1.0)]).unwrap()),
+    ]
+}
+
+/// Verifies a row-major `nrows x k` panel column-by-column against the
+/// baseline CSR through the ULP/L1 comparator (`sample_rows: 0` checks
+/// every row of every column).
+fn verify_panel(
+    label: &str,
+    serial: &dyn SpMv<f64>,
+    baseline: &Csr<u32, f64>,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+) {
+    let opts = CheckOptions { sample_rows: 0, ..CheckOptions::default() };
+    let checked = CheckedSpMv::with_options(serial, baseline, opts).unwrap();
+    for v in 0..k {
+        let xv: Vec<f64> = (0..baseline.ncols()).map(|c| x[c * k + v]).collect();
+        let yv: Vec<f64> = (0..baseline.nrows()).map(|r| y[r * k + v]).collect();
+        checked.verify_against(&xv, &yv).unwrap_or_else(|e| panic!("{label} column {v}: {e}"));
+    }
+}
+
+#[test]
+fn serial_spmm_matches_per_column_spmv_all_formats() {
+    for (name, coo) in suite() {
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        let formats: Vec<(&str, &dyn SpMm<f64>)> =
+            vec![("csr", &csr), ("csr-du", &du), ("csr-vi", &vi), ("csr-duvi", &duvi)];
+        for k in KS {
+            let x = x_panel(csr.ncols(), k, 7 + k as u64);
+            for (fmt, m) in &formats {
+                let mut y = vec![f64::NAN; csr.nrows() * k];
+                m.spmm(
+                    DenseBlock::new(csr.ncols(), k, &x),
+                    DenseBlockMut::new(csr.nrows(), k, &mut y),
+                );
+                verify_panel(&format!("{name}/{fmt}/k={k}"), *m, &csr, &x, &y, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_spmm_matches_per_column_spmv_all_formats() {
+    for (name, coo) in suite() {
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        for k in KS {
+            let x = x_panel(csr.ncols(), k, 31 + k as u64);
+            for &threads in &THREADS[1..] {
+                type Exec<'a> = (&'a str, &'a dyn SpMv<f64>, Box<dyn ParSpMm<f64> + 'a>);
+                let mut execs: Vec<Exec> = vec![
+                    ("csr", &csr, Box::new(ParCsr::new(&csr, threads))),
+                    ("csr-du", &du, Box::new(ParCsrDu::new(&du, threads))),
+                    ("csr-vi", &vi, Box::new(ParCsrVi::new(&vi, threads))),
+                    ("csr-duvi", &duvi, Box::new(ParCsrDuVi::new(&duvi, threads))),
+                ];
+                for (fmt, serial, par) in &mut execs {
+                    let mut y = vec![f64::NAN; csr.nrows() * k];
+                    par.par_spmm(&x, k, &mut y);
+                    verify_panel(
+                        &format!("{name}/{fmt}/k={k}/t={threads}"),
+                        *serial,
+                        &csr,
+                        &x,
+                        &y,
+                        k,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spmm_k1_is_bit_identical_to_spmv() {
+    // The k = 1 instantiation must degenerate to the scalar kernel's
+    // exact operations — compared by bit pattern, which is stricter than
+    // the comparator and valid here because the op order is identical.
+    for (name, coo) in suite() {
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let vi = CsrVi::from_csr(&csr);
+        let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+        let formats: Vec<(&str, &dyn SpMm<f64>)> =
+            vec![("csr", &csr), ("csr-du", &du), ("csr-vi", &vi), ("csr-duvi", &duvi)];
+        let x = x_panel(csr.ncols(), 1, 99);
+        for (fmt, m) in &formats {
+            let mut y_mv = vec![0.0; csr.nrows()];
+            m.spmv(&x, &mut y_mv);
+            let mut y_mm = vec![f64::NAN; csr.nrows()];
+            m.spmm(
+                DenseBlock::new(csr.ncols(), 1, &x),
+                DenseBlockMut::new(csr.nrows(), 1, &mut y_mm),
+            );
+            for (i, (a, b)) in y_mm.iter().zip(&y_mv).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}/{fmt} row {i}: spmm k=1 {a} != spmv {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_spmm_k1_is_bit_identical_to_par_spmv() {
+    let coo = mixed_matrix(80, 64, 5);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let vi = CsrVi::from_csr(&csr);
+    let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+    let x = x_panel(csr.ncols(), 1, 13);
+    for threads in [2usize, 4, 7] {
+        let mut execs: Vec<(&str, Box<dyn ParSpMm<f64>>)> = vec![
+            ("csr", Box::new(ParCsr::new(&csr, threads))),
+            ("csr-du", Box::new(ParCsrDu::new(&du, threads))),
+            ("csr-vi", Box::new(ParCsrVi::new(&vi, threads))),
+            ("csr-duvi", Box::new(ParCsrDuVi::new(&duvi, threads))),
+        ];
+        for (fmt, par) in &mut execs {
+            let mut y_mv = vec![0.0; csr.nrows()];
+            par.par_spmv(&x, &mut y_mv);
+            let mut y_mm = vec![f64::NAN; csr.nrows()];
+            par.par_spmm(&x, 1, &mut y_mm);
+            for (i, (a, b)) in y_mm.iter().zip(&y_mv).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{fmt} t={threads} row {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn try_spmm_rejects_mismatched_panels_on_every_format() {
+    let coo = mixed_matrix(12, 9, 1);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let du = CsrDu::from_csr(&csr, &DuOptions::default());
+    let vi = CsrVi::from_csr(&csr);
+    let duvi = CsrDuVi::from_csr(&csr, &DuOptions::default());
+    let formats: Vec<(&str, &dyn SpMm<f64>)> =
+        vec![("csr", &csr), ("csr-du", &du), ("csr-vi", &vi), ("csr-duvi", &duvi)];
+    let k = 3;
+    for (fmt, m) in formats {
+        // x.cols != y.cols
+        let x = vec![0.0; 9 * k];
+        let mut y = vec![0.0; 12 * (k + 1)];
+        let err = m
+            .try_spmm(DenseBlock::new(9, k, &x), DenseBlockMut::new(12, k + 1, &mut y))
+            .unwrap_err();
+        assert!(matches!(err, spmv_core::SparseError::DimensionMismatch(_)), "{fmt}: {err}");
+        // x.rows != ncols
+        let x_bad = vec![0.0; 10 * k];
+        let mut y = vec![0.0; 12 * k];
+        let err = m
+            .try_spmm(DenseBlock::new(10, k, &x_bad), DenseBlockMut::new(12, k, &mut y))
+            .unwrap_err();
+        assert!(matches!(err, spmv_core::SparseError::DimensionMismatch(_)), "{fmt}: {err}");
+        // y.rows != nrows
+        let mut y_bad = vec![0.0; 11 * k];
+        let err = m
+            .try_spmm(DenseBlock::new(9, k, &x), DenseBlockMut::new(11, k, &mut y_bad))
+            .unwrap_err();
+        assert!(matches!(err, spmv_core::SparseError::DimensionMismatch(_)), "{fmt}: {err}");
+        // and the well-formed call succeeds
+        let mut y_ok = vec![0.0; 12 * k];
+        m.try_spmm(DenseBlock::new(9, k, &x), DenseBlockMut::new(12, k, &mut y_ok)).unwrap();
+    }
+}
