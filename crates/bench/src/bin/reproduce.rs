@@ -31,7 +31,11 @@
 //! plotting (and is where `bench` puts `BENCH.json`; default `.`).
 //! `--iters N` overrides the timed iteration count of `bench`.
 //! `--k LIST` sets the SpMM right-hand-side panel widths `bench` sweeps
-//! (comma-separated, default `1,2,4,8`; `1` is plain SpMV).
+//! (comma-separated, validated/sorted/deduped; default `1,2,4,8`; `1` is
+//! plain SpMV).
+//! `--isa {auto,scalar,avx2}` selects the kernel instruction set `bench`
+//! measures with (default `auto` = runtime detection; requesting an ISA
+//! the host lacks is a CLI error).
 //!
 //! Build with `--features telemetry` for BENCH.json records to include
 //! per-worker busy times and load-imbalance ratios.
@@ -49,50 +53,97 @@ use spmv_parallel::{ParCscColumns, ParCsr, ParCsrBlock2d, ParSpMv};
 use std::io::Write;
 use std::path::PathBuf;
 
+#[derive(Debug)]
 struct Args {
     scale: f64,
     out: Option<PathBuf>,
     iters: Option<usize>,
     /// Panel widths for `bench` (`--k 1,2,4,8`); `None` keeps the default.
     k_values: Option<Vec<usize>>,
+    /// Kernel ISA for `bench` (`--isa scalar`); `None` = auto-detect.
+    isa: Option<spmv_core::Isa>,
     command: String,
     /// Optional positional argument after the command (check-bench FILE).
     arg: Option<String>,
 }
 
-fn parse_args() -> Args {
+/// Typed command-line failures — every malformed flag becomes one of
+/// these (printed with usage, exit code 2) instead of an `expect` panic.
+#[derive(Debug)]
+enum CliError {
+    /// A flag was given without its value.
+    MissingValue(&'static str),
+    /// A flag's value failed validation; carries the reason.
+    Invalid { flag: &'static str, reason: String },
+    /// A stray positional argument after command and arg were consumed.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::Invalid { flag, reason } => write!(f, "{flag}: {reason}"),
+            CliError::Unexpected(arg) => write!(f, "unexpected argument: {arg}"),
+        }
+    }
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, CliError> {
     let mut scale = 1.0f64;
     let mut out = None;
     let mut iters = None;
     let mut k_values = None;
+    let mut isa = None;
     let mut command = None;
     let mut extra = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
+    let value = |flag: &'static str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or(CliError::MissingValue(flag))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = it
-                    .next()
-                    .expect("--scale needs a value")
-                    .parse()
-                    .expect("--scale needs a number");
+                scale = value("--scale", &mut it)?.parse().map_err(|e| CliError::Invalid {
+                    flag: "--scale",
+                    reason: format!("not a number ({e})"),
+                })?;
             }
-            "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            "--out" => out = Some(PathBuf::from(value("--out", &mut it)?)),
             "--iters" => {
-                iters = Some(
-                    it.next()
-                        .expect("--iters needs a value")
-                        .parse()
-                        .expect("--iters needs a positive integer"),
-                );
+                let n: usize =
+                    value("--iters", &mut it)?.parse().map_err(|e| CliError::Invalid {
+                        flag: "--iters",
+                        reason: format!("not a positive integer ({e})"),
+                    })?;
+                if n == 0 {
+                    return Err(CliError::Invalid {
+                        flag: "--iters",
+                        reason: "must be >= 1".into(),
+                    });
+                }
+                iters = Some(n);
             }
             "--k" => {
-                let list = it.next().expect("--k needs a comma-separated list, e.g. 1,2,4,8");
+                let list = value("--k", &mut it)?;
                 k_values = Some(
-                    list.split(',')
-                        .map(|s| s.trim().parse().expect("--k entries must be positive integers"))
-                        .collect(),
+                    spmv_bench::metrics::parse_k_list(&list)
+                        .map_err(|reason| CliError::Invalid { flag: "--k", reason })?,
                 );
+            }
+            "--isa" => {
+                let choice = value("--isa", &mut it)?;
+                let parsed = spmv_core::simd::parse_choice(&choice)
+                    .map_err(|reason| CliError::Invalid { flag: "--isa", reason })?;
+                if let Some(requested) = parsed {
+                    if !requested.available() {
+                        return Err(CliError::Invalid {
+                            flag: "--isa",
+                            reason: format!("{requested} is not available on this host"),
+                        });
+                    }
+                }
+                isa = parsed;
             }
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -100,26 +151,25 @@ fn parse_args() -> Args {
             }
             c if command.is_none() => command = Some(c.to_string()),
             c if extra.is_none() => extra = Some(c.to_string()),
-            other => {
-                eprintln!("unexpected argument: {other}");
-                std::process::exit(2);
-            }
+            other => return Err(CliError::Unexpected(other.to_string())),
         }
     }
-    Args {
+    Ok(Args {
         scale,
         out,
         iters,
         k_values,
+        isa,
         command: command.unwrap_or_else(|| "all".to_string()),
         arg: extra,
-    }
+    })
 }
 
-const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] [--k LIST] \
+const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] [--k LIST] [--isa ISA] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
 ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|all> [arg]\n\
---k takes a comma-separated list of SpMM panel widths for bench (default 1,2,4,8)\n";
+--k takes a comma-separated list of SpMM panel widths for bench (default 1,2,4,8)\n\
+--isa selects the bench kernel instruction set: auto (default), scalar, avx2\n";
 
 fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
     if let Some(dir) = out {
@@ -133,7 +183,13 @@ fn write_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) 
 }
 
 fn main() {
-    let args = parse_args();
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("reproduce: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
     let needs_corpus =
         matches!(args.command.as_str(), "table2" | "table3" | "table4" | "fig7" | "fig8" | "all");
 
@@ -675,25 +731,35 @@ fn bench(args: &Args) {
         scale: args.scale.min(0.25), // keep bench mode quick, like measured
         iters: args.iters.unwrap_or(BenchOptions::default().iters),
         k_values: args.k_values.clone().unwrap_or(BenchOptions::default().k_values),
+        isa: args.isa,
         ..BenchOptions::default()
     };
     println!(
-        "\n== Bench mode: {} iterations/cell, corpus scale {}, k {:?} -> BENCH.json ==\n",
-        opts.iters, opts.scale, opts.k_values
+        "\n== Bench mode: {} iterations/cell, corpus scale {}, k {:?}, isa {} -> BENCH.json ==\n",
+        opts.iters,
+        opts.scale,
+        opts.k_values,
+        opts.isa.map_or("auto".to_string(), |i| i.to_string()),
     );
     let file = collect_bench(&opts).expect("bench collection");
     println!(
-        "{:<12} {:<9} {:>3} {:>3} | {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "machine stream bandwidth: {:.2} GB/s (roofline ceiling)\n",
+        file.machine.machine_bandwidth_gbs
+    );
+    println!(
+        "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} | {:>9}",
         "matrix",
         "format",
         "thr",
         "k",
+        "isa",
         "median",
         "cv",
         "MFLOP/s",
         "eff GB/s",
         "adj GB/s",
         "GB/s/vec",
+        "roof",
         "imbalance"
     );
     for r in &file.records {
@@ -702,18 +768,20 @@ fn bench(args: &Args) {
             None => format!("{:>9}", "-"),
         };
         println!(
-            "{:<12} {:<9} {:>3} {:>3} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} {:>9.2} \
-             | {imbalance}",
+            "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} {:>9.2} \
+             {:>6.2} | {imbalance}",
             r.matrix,
             r.format,
             r.threads,
             r.k,
+            r.kernel_isa,
             r.stats.median_s * 1e6,
             r.stats.cv,
             r.mflops,
             r.effective_bandwidth_gbs,
             r.compression_adjusted_gbs,
             r.per_vector_bandwidth_gbs,
+            r.roofline_fraction,
         );
     }
     let text = {
@@ -761,5 +829,68 @@ fn check_bench(args: &Args) -> bool {
             eprintln!("check-bench: {} FAILED: {e}", path.display());
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, CliError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, "all");
+        assert!(a.k_values.is_none() && a.isa.is_none());
+        let a = parse(&["--scale", "0.1", "--iters", "8", "bench"]).unwrap();
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.iters, Some(8));
+        assert_eq!(a.command, "bench");
+    }
+
+    #[test]
+    fn k_list_is_validated_sorted_and_deduped() {
+        // Regression: "--k 0", duplicates and unsorted lists used to pass
+        // straight through to the measurement matrix (0 then panicking
+        // deep inside the kernels, duplicates double-measuring cells).
+        let a = parse(&["--k", "8,2,2,4", "bench"]).unwrap();
+        assert_eq!(a.k_values, Some(vec![2, 4, 8]));
+        for bad in ["0", "1,0", "x", ""] {
+            let err = parse(&["--k", bad, "bench"]).unwrap_err();
+            assert!(matches!(err, CliError::Invalid { flag: "--k", .. }), "{bad:?}: {err}");
+        }
+        assert!(matches!(parse(&["--k"]).unwrap_err(), CliError::MissingValue("--k")));
+    }
+
+    #[test]
+    fn isa_flag_parses_and_rejects_garbage() {
+        let a = parse(&["--isa", "auto", "bench"]).unwrap();
+        assert_eq!(a.isa, None);
+        let a = parse(&["--isa", "scalar", "bench"]).unwrap();
+        assert_eq!(a.isa, Some(spmv_core::Isa::Scalar));
+        let err = parse(&["--isa", "sse9", "bench"]).unwrap_err();
+        assert!(matches!(err, CliError::Invalid { flag: "--isa", .. }), "{err}");
+        // avx2 either parses (host has it) or errors as unavailable.
+        match parse(&["--isa", "avx2", "bench"]) {
+            Ok(a) => {
+                assert!(spmv_core::Isa::Avx2.available());
+                assert_eq!(a.isa, Some(spmv_core::Isa::Avx2));
+            }
+            Err(e) => {
+                assert!(!spmv_core::Isa::Avx2.available());
+                assert!(matches!(e, CliError::Invalid { flag: "--isa", .. }), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn stray_arguments_are_typed_errors() {
+        let err = parse(&["bench", "x", "y"]).unwrap_err();
+        assert!(matches!(err, CliError::Unexpected(_)), "{err}");
+        let err = parse(&["--iters", "0", "bench"]).unwrap_err();
+        assert!(matches!(err, CliError::Invalid { flag: "--iters", .. }), "{err}");
     }
 }

@@ -137,6 +137,11 @@ impl Parser<'_> {
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
+            // JSON has no representation for inf/NaN, so a literal whose
+            // parse overflows (e.g. "1e999" -> inf) is invalid input, not
+            // a number — admitting it would let non-finite metrics sneak
+            // through every downstream finiteness check.
+            .filter(|v| v.is_finite())
             .map(Json::Num)
             .ok_or_else(|| format!("invalid number at byte {start}"))
     }
@@ -267,6 +272,19 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "nul", "1 2", "\"abc"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_overflowing_number_literals() {
+        // Regression: "1e999" parses to f64::INFINITY, which used to slip
+        // through as Json::Num(inf) — non-finite metrics then defeated
+        // every downstream finiteness check. JSON has no inf/NaN, so the
+        // literal must be rejected outright.
+        for bad in ["1e999", "-1e999", "[1.0, 1e999]", r#"{"bw": 1e309}"#] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // The largest finite doubles still parse.
+        assert_eq!(Json::parse("1.7976931348623157e308").unwrap().as_f64(), Some(f64::MAX));
     }
 
     #[test]

@@ -133,6 +133,17 @@ impl Default for WarmupOpts {
     }
 }
 
+/// Whether a trailing warm-up window has stabilized: relative spread
+/// `(max - min) / min` within `tolerance`. A window whose fastest sample
+/// is zero (kernel faster than the timer tick) is *unstable* by fiat —
+/// the spread quotient would be a divide-by-zero, and a timer that can't
+/// resolve the kernel has said nothing about cache steady state.
+fn window_is_stable(recent: &[f64], tolerance: f64) -> bool {
+    let mx = recent.iter().fold(f64::MIN, |a, &b| a.max(b));
+    let mn = recent.iter().fold(f64::MAX, |a, &b| a.min(b));
+    mn > 0.0 && (mx - mn) / mn <= tolerance
+}
+
 /// Runs `iter` until the trailing window stabilizes per `opts`; returns
 /// how many warm-up iterations ran.
 fn adaptive_warmup(opts: &WarmupOpts, mut iter: impl FnMut()) -> usize {
@@ -148,12 +159,11 @@ fn adaptive_warmup(opts: &WarmupOpts, mut iter: impl FnMut()) -> usize {
         }
         recent.push(t0.elapsed().as_secs_f64());
         count += 1;
-        if count >= opts.min_iters && recent.len() == window {
-            let mx = recent.iter().fold(f64::MIN, |a, &b| a.max(b));
-            let mn = recent.iter().fold(f64::MAX, |a, &b| a.min(b));
-            if mn > 0.0 && (mx - mn) / mn <= opts.tolerance {
-                break;
-            }
+        if count >= opts.min_iters
+            && recent.len() == window
+            && window_is_stable(&recent, opts.tolerance)
+        {
+            break;
         }
     }
     count
@@ -373,8 +383,17 @@ fn summarize(
     samples: &[f64],
 ) -> Result<Measurement, SparseError> {
     let stats = TimingStats::from_samples(samples)?;
+    // A sub-timer-resolution median clamps to 0.0 MFLOP/s instead of NaN:
+    // the figure is meaningless either way, but NaN is unrepresentable in
+    // BENCH.json and would poison the artifact.
     let mflops =
-        if stats.median_s > 0.0 { flops_per_iter as f64 / stats.median_s / 1e6 } else { f64::NAN };
+        if stats.median_s > 0.0 { flops_per_iter as f64 / stats.median_s / 1e6 } else { 0.0 };
+    if !mflops.is_finite() {
+        return Err(SparseError::InvalidArgument(format!(
+            "non-finite MFLOP/s from median {}s",
+            stats.median_s
+        )));
+    }
     Ok(Measurement {
         iterations: stats.samples,
         warmup_iterations,
@@ -578,6 +597,26 @@ mod tests {
         // resolution) but the cap still terminates it.
         let opts = WarmupOpts { min_iters: 1, max_iters: 4, window: 3, tolerance: 0.0 };
         assert_eq!(adaptive_warmup(&opts, || {}), 4);
+    }
+
+    #[test]
+    fn zero_min_window_is_unstable_not_a_division() {
+        // Regression: a window containing a 0 ns sample used to feed the
+        // (max - min) / min spread a zero divisor. The helper must call
+        // such a window unstable — even with an infinite tolerance — and
+        // adaptive_warmup must still terminate at max_iters.
+        assert!(!window_is_stable(&[0.0, 0.0, 0.0], f64::INFINITY));
+        assert!(!window_is_stable(&[0.0, 1e-9, 2e-9], f64::INFINITY));
+        assert!(window_is_stable(&[1e-6, 1.1e-6, 1.05e-6], 0.2));
+        assert!(!window_is_stable(&[1e-6, 2e-6, 1e-6], 0.2));
+        // A kernel the timer genuinely reads as 0 ns never stabilizes but
+        // still terminates at the cap (Instant is monotonic and mocked
+        // here by construction: every all-zero window is unstable, so the
+        // loop can only exit via max_iters).
+        let opts = WarmupOpts { min_iters: 1, max_iters: 7, window: 2, tolerance: f64::INFINITY };
+        let mut calls = 0usize;
+        let n = adaptive_warmup(&opts, || calls += 1);
+        assert!(n <= 7 && calls == n, "warmup must terminate within the cap ({n}, {calls})");
     }
 
     #[test]

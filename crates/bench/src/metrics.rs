@@ -31,25 +31,29 @@ use crate::measured::{
     measure_parallel_spmm_with, measure_serial_spmm_with, validate_parallel_spmm, TimingStats,
     WarmupOpts,
 };
+use crate::roofline;
 use serde::Serialize;
 use spmv_core::csr_du::{CsrDu, DuOptions};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
 use spmv_core::stats::effective_bandwidth;
-use spmv_core::{Csr, SpMm, SparseError};
+use spmv_core::{Csr, Isa, SpMm, SparseError};
 use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemetry};
 
 /// Version stamped into every `BENCH.json`; bump on any breaking change
 /// to the record layout (consumers must check it before reading fields).
 /// Version 2 added the SpMM dimension: every record carries the panel
 /// width `k` (1 = plain SpMV) and the per-vector amortized bandwidth.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// Version 3 added the roofline layer: the machine's measured stream
+/// bandwidth (`machine.machine_bandwidth_gbs`) plus per-record
+/// `kernel_isa` and `roofline_fraction`.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
 
 /// Where a `BENCH.json` was produced.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MachineInfo {
     /// Operating system (`std::env::consts::OS`).
     pub os: String,
@@ -57,15 +61,31 @@ pub struct MachineInfo {
     pub arch: String,
     /// Hardware threads the host advertises (0 if undetectable).
     pub available_threads: usize,
+    /// Sustained memory bandwidth in GB/s measured by the stream-triad
+    /// micro-benchmark ([`roofline::measure_stream_bandwidth`]) — the
+    /// denominator of every record's `roofline_fraction`.
+    pub machine_bandwidth_gbs: f64,
 }
 
 impl MachineInfo {
-    /// Describes the current host.
+    /// Describes the current host *without* measuring bandwidth (the
+    /// field stays 0.0). Cheap; use [`MachineInfo::measure`] for the
+    /// artifact-grade version.
     pub fn detect() -> MachineInfo {
         MachineInfo {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             available_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+            machine_bandwidth_gbs: 0.0,
+        }
+    }
+
+    /// [`MachineInfo::detect`] plus the stream-bandwidth measurement
+    /// (hundreds of milliseconds of deliberate memory traffic).
+    pub fn measure() -> MachineInfo {
+        MachineInfo {
+            machine_bandwidth_gbs: roofline::measure_stream_bandwidth(),
+            ..Self::detect()
         }
     }
 }
@@ -141,6 +161,13 @@ pub struct BenchRecord {
     /// matrix streams once per iteration, so doubling `k` roughly halves
     /// the per-vector cost.
     pub per_vector_bandwidth_gbs: f64,
+    /// Kernel instruction set this record was measured with (`"scalar"`
+    /// or `"avx2"`), resolved once at plan time.
+    pub kernel_isa: String,
+    /// `effective_bandwidth_gbs / machine_bandwidth_gbs` — how close this
+    /// cell runs to the measured stream ceiling. May exceed 1.0 for
+    /// cache-resident working sets (the ceiling is a *memory* figure).
+    pub roofline_fraction: f64,
     /// Per-worker telemetry (`telemetry` feature, threads > 1 only).
     pub telemetry: Option<TelemetryRecord>,
 }
@@ -179,6 +206,10 @@ pub struct BenchOptions {
     pub k_values: Vec<usize>,
     /// Warm-up policy.
     pub warmup: WarmupOpts,
+    /// Kernel ISA override: `None` auto-detects; `Some(isa)` forces the
+    /// choice for the whole run (unavailable ISAs degrade to scalar, and
+    /// the records report what actually ran).
+    pub isa: Option<Isa>,
 }
 
 impl Default for BenchOptions {
@@ -193,8 +224,32 @@ impl Default for BenchOptions {
             thread_counts: vec![1, 2, 4],
             k_values: vec![1, 2, 4, 8],
             warmup: WarmupOpts::default(),
+            isa: None,
         }
     }
+}
+
+/// Parses a comma-separated panel-width list for the CLI (`--k 1,2,4`):
+/// every entry must be a positive integer; duplicates are collapsed and
+/// the result is sorted, so the emission order of records is canonical
+/// regardless of how the flag was spelled.
+pub fn parse_k_list(s: &str) -> Result<Vec<usize>, String> {
+    let mut ks = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        let k: usize =
+            part.parse().map_err(|_| format!("--k entry {part:?} is not a positive integer"))?;
+        if k == 0 {
+            return Err("--k entries must be >= 1 (k = 0 means no right-hand sides)".into());
+        }
+        ks.push(k);
+    }
+    if ks.is_empty() {
+        return Err("--k needs at least one panel width".into());
+    }
+    ks.sort_unstable();
+    ks.dedup();
+    Ok(ks)
 }
 
 /// Plans the parallel executor for `format` (thread counts > 1).
@@ -226,6 +281,29 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
     }
     if opts.k_values.contains(&0) {
         return Err(SparseError::InvalidArgument("bench requires every k >= 1".into()));
+    }
+    // Force the requested ISA for the whole run (serial kernels read the
+    // global selection; parallel plans snapshot it at construction); the
+    // guard restores the previous state on every exit path.
+    struct IsaForceGuard(Option<Isa>);
+    impl Drop for IsaForceGuard {
+        fn drop(&mut self) {
+            spmv_core::simd::force(self.0);
+        }
+    }
+    let _isa_guard = opts.isa.map(|isa| {
+        let prev = spmv_core::simd::forced();
+        spmv_core::simd::force(Some(isa));
+        IsaForceGuard(prev)
+    });
+    // What actually runs (a forced-but-unavailable ISA degrades here).
+    let kernel_isa = spmv_core::simd::selected();
+    let machine = MachineInfo::measure();
+    if machine.machine_bandwidth_gbs <= 0.0 || !machine.machine_bandwidth_gbs.is_finite() {
+        return Err(SparseError::InvalidArgument(format!(
+            "stream bandwidth measurement returned {} GB/s; no roofline ceiling available",
+            machine.machine_bandwidth_gbs
+        )));
     }
     let corpus = spmv_matgen::corpus::corpus_scaled(opts.scale);
     let mut records = Vec::new();
@@ -291,6 +369,11 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
                         effective_bandwidth_gbs: effective,
                         compression_adjusted_gbs: effective_bandwidth(csr_bytes, 1, median) / 1e9,
                         per_vector_bandwidth_gbs: effective / k as f64,
+                        kernel_isa: kernel_isa.as_str().to_string(),
+                        roofline_fraction: roofline::roofline_fraction(
+                            effective,
+                            machine.machine_bandwidth_gbs,
+                        ),
                         stats: m.stats,
                         telemetry,
                     });
@@ -300,7 +383,7 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
     }
     Ok(BenchFile {
         schema_version: BENCH_SCHEMA_VERSION,
-        machine: MachineInfo::detect(),
+        machine,
         scale: opts.scale,
         iterations: opts.iters,
         seed: opts.seed,
@@ -313,9 +396,16 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
 // ---------------------------------------------------------------------
 
 fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
-    obj.get(key)
+    let v = obj
+        .get(key)
         .and_then(Json::as_f64)
-        .ok_or_else(|| format!("{ctx}: missing or non-numeric field {key:?}"))
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field {key:?}"))?;
+    // The jsonv parser already refuses non-finite literals; this guards
+    // against any future reader that doesn't.
+    if !v.is_finite() {
+        return Err(format!("{ctx}: field {key:?} is non-finite ({v})"));
+    }
+    Ok(v)
 }
 
 fn require_str(obj: &Json, key: &str, ctx: &str) -> Result<(), String> {
@@ -325,7 +415,7 @@ fn require_str(obj: &Json, key: &str, ctx: &str) -> Result<(), String> {
         .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
 }
 
-/// Validates `text` as a schema-version-2 `BENCH.json`: parses the JSON,
+/// Validates `text` as a schema-version-3 `BENCH.json`: parses the JSON,
 /// checks the version stamp, and requires every field the schema promises
 /// with the right shape. Used by `reproduce check-bench` and the
 /// `bench-smoke` CI gate, and by the golden-file tests.
@@ -344,6 +434,10 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
     require_str(machine, "os", "machine")?;
     require_str(machine, "arch", "machine")?;
     require_num(machine, "available_threads", "machine")?;
+    let ceiling = require_num(machine, "machine_bandwidth_gbs", "machine")?;
+    if ceiling <= 0.0 {
+        return Err(format!("machine: machine_bandwidth_gbs {ceiling} must be > 0"));
+    }
     require_num(&root, "scale", "top level")?;
     let iters = require_num(&root, "iterations", "top level")?;
     if iters < 1.0 {
@@ -387,6 +481,17 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
             "per_vector_bandwidth_gbs",
         ] {
             require_num(rec, key, &ctx)?;
+        }
+        let isa = rec
+            .get("kernel_isa")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing or non-string field \"kernel_isa\""))?;
+        if spmv_core::simd::Isa::parse(isa).is_none() {
+            return Err(format!("{ctx}: unknown kernel_isa {isa:?}"));
+        }
+        let roof = require_num(rec, "roofline_fraction", &ctx)?;
+        if roof < 0.0 {
+            return Err(format!("{ctx}: roofline_fraction {roof} must be >= 0"));
         }
         let stats = rec.get("stats").ok_or_else(|| format!("{ctx}: missing \"stats\""))?;
         for key in ["samples", "min_s", "median_s", "mean_s", "mad_s", "p95_s", "cv"] {
@@ -438,11 +543,21 @@ mod tests {
         assert_eq!(file.schema_version, BENCH_SCHEMA_VERSION);
         // 1 matrix x 4 formats x 2 thread counts x 2 panel widths.
         assert_eq!(file.records.len(), 16);
+        assert!(
+            file.machine.machine_bandwidth_gbs.is_finite()
+                && file.machine.machine_bandwidth_gbs > 0.0
+        );
         for rec in &file.records {
             assert!(BENCH_FORMATS.contains(&rec.format.as_str()));
             assert!(rec.stats.median_s > 0.0, "{}/{}", rec.format, rec.threads);
             assert!(rec.k >= 1);
             assert!(rec.effective_bandwidth_gbs > 0.0);
+            // Roofline placement is the effective figure over the stamped
+            // ceiling, finite by construction.
+            assert!(rec.roofline_fraction.is_finite() && rec.roofline_fraction >= 0.0);
+            let want_roof = rec.effective_bandwidth_gbs / file.machine.machine_bandwidth_gbs;
+            assert!((rec.roofline_fraction - want_roof).abs() < 1e-12);
+            assert!(spmv_core::simd::Isa::parse(&rec.kernel_isa).is_some(), "{}", rec.kernel_isa);
             // Both bandwidths divide the same median time, so their ratio
             // must equal the byte ratio exactly.
             let got = rec.compression_adjusted_gbs / rec.effective_bandwidth_gbs;
@@ -509,11 +624,42 @@ mod tests {
         let good = serde_json::to_string_pretty(&file).unwrap();
         assert!(validate_bench_text("not json").is_err());
         assert!(validate_bench_text("{}").is_err());
-        let wrong_version = good.replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
+        let wrong_version = good.replacen("\"schema_version\": 3", "\"schema_version\": 99", 1);
         assert!(validate_bench_text(&wrong_version).unwrap_err().contains("schema_version"));
         let no_records = good.replacen("\"records\"", "\"recs\"", 1);
         assert!(validate_bench_text(&no_records).is_err());
         let bad_format = good.replacen("\"csr-du\"", "\"csr-zz\"", 1);
         assert!(validate_bench_text(&bad_format).unwrap_err().contains("csr-zz"));
+        // Schema-v3 additions: a bogus ISA name, a negative roofline and
+        // a zero machine ceiling must all be rejected.
+        let bad_isa = good.replace(
+            &format!("\"kernel_isa\": \"{}\"", file.records[0].kernel_isa),
+            "\"kernel_isa\": \"mmx\"",
+        );
+        assert!(validate_bench_text(&bad_isa).unwrap_err().contains("mmx"));
+        let no_ceiling = good.replacen(
+            &format!("\"machine_bandwidth_gbs\": {}", file.machine.machine_bandwidth_gbs),
+            "\"machine_bandwidth_gbs\": 0.0",
+            1,
+        );
+        assert_ne!(no_ceiling, good, "replacement must hit the ceiling field");
+        assert!(validate_bench_text(&no_ceiling).unwrap_err().contains("machine_bandwidth_gbs"));
+    }
+
+    #[test]
+    fn forced_scalar_run_reports_scalar_and_restores_the_global() {
+        let before = spmv_core::simd::forced();
+        let file = collect_bench(&BenchOptions { isa: Some(Isa::Scalar), ..tiny_opts() }).unwrap();
+        assert!(file.records.iter().all(|r| r.kernel_isa == "scalar"));
+        assert_eq!(spmv_core::simd::forced(), before, "force guard must restore");
+    }
+
+    #[test]
+    fn parse_k_list_validates_sorts_and_dedups() {
+        assert_eq!(parse_k_list("1").unwrap(), vec![1]);
+        assert_eq!(parse_k_list("8, 2,4,2").unwrap(), vec![2, 4, 8]);
+        for bad in ["", "0", "1,0", "-2", "a", "1,,2", "1.5"] {
+            assert!(parse_k_list(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

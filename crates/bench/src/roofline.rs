@@ -1,0 +1,168 @@
+//! Machine bandwidth ceiling and roofline placement.
+//!
+//! The paper's argument is that SpMV is bandwidth-bound, so the natural
+//! yardstick for any measured kernel is the *machine's* sustained memory
+//! bandwidth: a kernel at 90% of the STREAM ceiling has nothing left to
+//! gain from better code, only from moving fewer bytes — which is exactly
+//! what index/value compression does. This module supplies both halves of
+//! that comparison:
+//!
+//! * [`measure_stream_bandwidth`] — a multithreaded STREAM-triad style
+//!   micro-benchmark (`a[i] = b[i] + s * c[i]`, counted at 24 bytes per
+//!   element) that estimates the sustained ceiling on the current host;
+//! * [`roofline_fraction`] — where a measured effective bandwidth sits
+//!   relative to that ceiling.
+//!
+//! The ceiling is measured once per `reproduce bench` invocation and
+//! stamped into `BENCH.json` (`machine_bandwidth_gbs`), so every record's
+//! `roofline_fraction` is interpretable offline without re-running
+//! anything on the producing machine.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Options for the stream micro-benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOpts {
+    /// `f64` elements *per array per thread* (three arrays are streamed).
+    /// The default (2 Mi elements = 48 MiB of triad traffic per thread)
+    /// comfortably overflows typical last-level caches.
+    pub elems_per_thread: usize,
+    /// Timed repetitions; the fastest is reported (standard STREAM
+    /// practice — slower reps measure interference, not the machine).
+    pub reps: usize,
+    /// Threads to run; 0 = min(available_parallelism, 8).
+    pub threads: usize,
+}
+
+impl Default for StreamOpts {
+    fn default() -> StreamOpts {
+        StreamOpts { elems_per_thread: 2 << 20, reps: 3, threads: 0 }
+    }
+}
+
+/// Bytes of memory traffic one triad element costs: read `b[i]`, read
+/// `c[i]`, write `a[i]` — three 8-byte doubles. (Write-allocate traffic
+/// for `a` is not counted, again standard STREAM accounting.)
+pub const TRIAD_BYTES_PER_ELEM: usize = 24;
+
+/// Runs the triad kernel over one thread's arrays.
+fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
+    for i in 0..a.len() {
+        a[i] = b[i] + s * c[i];
+    }
+}
+
+/// Measures sustained memory bandwidth in GB/s with a multithreaded
+/// STREAM-triad micro-benchmark. All threads start each repetition on a
+/// barrier so their traffic overlaps (a serial sum of per-thread rates
+/// would overstate the ceiling). Returns the best repetition's aggregate
+/// rate; `0.0` only if the timer misbehaves (caller must treat that as
+/// "no ceiling available", not as a real measurement).
+pub fn measure_stream_bandwidth_with(opts: &StreamOpts) -> f64 {
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    } else {
+        opts.threads
+    };
+    let n = opts.elems_per_thread.max(1);
+    let reps = opts.reps.max(1);
+    let total_bytes = (threads * n * TRIAD_BYTES_PER_ELEM) as f64;
+    let barrier = Barrier::new(threads);
+    let mut best = f64::INFINITY;
+    let mut times = vec![0.0f64; threads * reps];
+    let time_slices: Vec<&mut [f64]> = times.chunks_mut(reps).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for slot in time_slices {
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut a = vec![0.0f64; n];
+                let b = vec![1.5f64; n];
+                let c = vec![2.5f64; n];
+                // Untimed warm-up rep faults the pages in.
+                triad(&mut a, &b, &c, 3.0);
+                for t in slot.iter_mut() {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    triad(&mut a, &b, &c, 3.0);
+                    std::hint::black_box(&mut a);
+                    *t = t0.elapsed().as_secs_f64();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("stream worker panicked");
+        }
+    });
+    // A repetition lasts until its *slowest* thread finishes.
+    for r in 0..reps {
+        let slowest = (0..threads).map(|t| times[t * reps + r]).fold(0.0f64, |acc, v| acc.max(v));
+        if slowest > 0.0 {
+            best = best.min(slowest);
+        }
+    }
+    if best.is_finite() && best > 0.0 {
+        total_bytes / best / 1e9
+    } else {
+        0.0
+    }
+}
+
+/// [`measure_stream_bandwidth_with`] at the default size (per-thread
+/// working set well past cache) and thread count.
+pub fn measure_stream_bandwidth() -> f64 {
+    measure_stream_bandwidth_with(&StreamOpts::default())
+}
+
+/// Fraction of the machine ceiling a measured effective bandwidth
+/// achieves. Degenerate inputs (non-finite or non-positive ceiling,
+/// non-finite measurement) clamp to `0.0` so the figure stays finite all
+/// the way into `BENCH.json`. Values above 1.0 are possible and
+/// meaningful: a compressed format's *compression-adjusted* bandwidth
+/// exceeding the ceiling is the paper's headline effect.
+pub fn roofline_fraction(effective_gbs: f64, ceiling_gbs: f64) -> f64 {
+    if !effective_gbs.is_finite() || !ceiling_gbs.is_finite() || ceiling_gbs <= 0.0 {
+        return 0.0;
+    }
+    let frac = (effective_gbs / ceiling_gbs).max(0.0);
+    if frac.is_finite() {
+        frac
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_bandwidth_is_positive_and_finite() {
+        // Tiny arrays: this asserts plumbing (barriers, per-thread timing,
+        // aggregation), not a realistic ceiling.
+        let opts = StreamOpts { elems_per_thread: 64 << 10, reps: 2, threads: 2 };
+        let bw = measure_stream_bandwidth_with(&opts);
+        assert!(bw.is_finite() && bw > 0.0, "bw {bw}");
+    }
+
+    #[test]
+    fn roofline_fraction_clamps_degenerate_inputs() {
+        assert_eq!(roofline_fraction(5.0, 10.0), 0.5);
+        assert!(roofline_fraction(30.0, 10.0) > 1.0, "above-roof is meaningful");
+        for (e, c) in [
+            (f64::NAN, 10.0),
+            (f64::INFINITY, 10.0),
+            (5.0, 0.0),
+            (5.0, -1.0),
+            (5.0, f64::NAN),
+            (5.0, f64::INFINITY),
+            (1e308, 1e-308),
+        ] {
+            let f = roofline_fraction(e, c);
+            assert!(f.is_finite(), "({e}, {c}) -> {f}");
+        }
+        assert_eq!(roofline_fraction(5.0, 0.0), 0.0);
+        assert_eq!(roofline_fraction(f64::NAN, 10.0), 0.0);
+    }
+}

@@ -14,7 +14,12 @@ use spmv_bench::metrics::{
 fn golden_file() -> BenchFile {
     BenchFile {
         schema_version: BENCH_SCHEMA_VERSION,
-        machine: MachineInfo { os: "linux".into(), arch: "x86_64".into(), available_threads: 8 },
+        machine: MachineInfo {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            available_threads: 8,
+            machine_bandwidth_gbs: 12.5,
+        },
         scale: 0.25,
         iterations: 12,
         seed: 99,
@@ -44,6 +49,8 @@ fn golden_file() -> BenchFile {
             effective_bandwidth_gbs: 0.56,
             compression_adjusted_gbs: 0.8,
             per_vector_bandwidth_gbs: 0.14,
+            kernel_isa: "avx2".into(),
+            roofline_fraction: 0.56 / 12.5,
             telemetry: Some(TelemetryRecord {
                 busy_ns: vec![400, 300, 500, 200],
                 chunks: vec![12, 12, 12, 12],
@@ -73,6 +80,7 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(machine.get("os").unwrap().as_str(), Some("linux"));
     assert_eq!(machine.get("arch").unwrap().as_str(), Some("x86_64"));
     assert_eq!(num(machine, "available_threads"), 8.0);
+    assert_eq!(num(machine, "machine_bandwidth_gbs"), 12.5);
 
     let records = root.get("records").and_then(Json::as_arr).expect("records array");
     assert_eq!(records.len(), 1);
@@ -93,6 +101,8 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(num(r, "effective_bandwidth_gbs"), 0.56);
     assert_eq!(num(r, "compression_adjusted_gbs"), 0.8);
     assert_eq!(num(r, "per_vector_bandwidth_gbs"), 0.14);
+    assert_eq!(r.get("kernel_isa").unwrap().as_str(), Some("avx2"));
+    assert_eq!(num(r, "roofline_fraction"), 0.56 / 12.5);
 
     let stats = r.get("stats").expect("stats object");
     assert_eq!(num(stats, "samples"), 12.0);
@@ -125,6 +135,9 @@ fn golden_schema_detects_field_removal() {
         "\"format\"",
         "\"k\"",
         "\"per_vector_bandwidth_gbs\"",
+        "\"machine_bandwidth_gbs\"",
+        "\"kernel_isa\"",
+        "\"roofline_fraction\"",
     ] {
         let renamed = format!("\"x{}", &field[1..]);
         let broken = text.replacen(field, &renamed, 1);
@@ -145,7 +158,13 @@ fn two_runs_agree_on_all_non_timing_fields() {
     let a = collect_bench(&opts).unwrap();
     let b = collect_bench(&opts).unwrap();
     assert_eq!(a.schema_version, b.schema_version);
-    assert_eq!(a.machine, b.machine);
+    // The machine description is deterministic, but the measured
+    // bandwidth ceiling is a timing and may differ between runs.
+    assert_eq!(a.machine.os, b.machine.os);
+    assert_eq!(a.machine.arch, b.machine.arch);
+    assert_eq!(a.machine.available_threads, b.machine.available_threads);
+    assert!(a.machine.machine_bandwidth_gbs > 0.0);
+    assert!(b.machine.machine_bandwidth_gbs > 0.0);
     assert_eq!(a.scale, b.scale);
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.seed, b.seed);
@@ -162,8 +181,10 @@ fn two_runs_agree_on_all_non_timing_fields() {
         assert_eq!(ra.matrix_bytes, rb.matrix_bytes);
         assert_eq!(ra.csr_matrix_bytes, rb.csr_matrix_bytes);
         assert_eq!(ra.traffic_per_nnz, rb.traffic_per_nnz);
-        // Timing fields (stats, mflops, bandwidths, warmup count, and
-        // telemetry busy times) legitimately differ between runs.
+        assert_eq!(ra.kernel_isa, rb.kernel_isa);
+        // Timing fields (stats, mflops, bandwidths, roofline fraction,
+        // warmup count, and telemetry busy times) legitimately differ
+        // between runs.
     }
 }
 

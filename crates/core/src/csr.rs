@@ -9,6 +9,7 @@ use crate::coo::Coo;
 use crate::error::{Result, SparseError};
 use crate::index::SpIndex;
 use crate::scalar::Scalar;
+use crate::simd::Isa;
 use crate::spmv::{FormatKind, SpMv};
 use crate::stats::WorkingSet;
 
@@ -115,23 +116,12 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
     /// disjoint row block and therefore a disjoint slice of `y`.
     ///
     /// The kernel follows the paper's optimization of accumulating into a
-    /// register and storing `y[i]` once per row (§VI-A).
+    /// register and storing `y[i]` once per row (§VI-A). The ISA is
+    /// re-selected per call ([`crate::simd::selected`]); parallel plans
+    /// use [`Csr::spmv_rows_local_isa`] with a snapshot instead.
     #[inline]
-    #[allow(clippy::needless_range_loop)] // paper-style explicit index loop
     pub fn spmv_rows(&self, row_begin: usize, row_end: usize, x: &[V], y: &mut [V]) {
-        debug_assert!(row_end <= self.nrows);
-        debug_assert_eq!(x.len(), self.ncols);
-        let col_ind = &self.col_ind[..];
-        let values = &self.values[..];
-        for i in row_begin..row_end {
-            let lo = self.row_ptr[i].index();
-            let hi = self.row_ptr[i + 1].index();
-            let mut acc = V::zero();
-            for j in lo..hi {
-                acc += values[j] * x[col_ind[j].index()];
-            }
-            y[i] = acc;
-        }
+        self.spmv_rows_dispatch(crate::simd::selected(), row_begin, row_end, 0, x, y);
     }
 
     /// Like [`Csr::spmv_rows`], but writes into a *local* slice whose
@@ -139,8 +129,64 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
     /// parallel driver hands each thread a disjoint sub-slice of `y`.
     #[inline]
     pub fn spmv_rows_local(&self, row_begin: usize, row_end: usize, x: &[V], y_local: &mut [V]) {
-        debug_assert!(row_end <= self.nrows);
+        self.spmv_rows_local_isa(crate::simd::selected(), row_begin, row_end, x, y_local);
+    }
+
+    /// [`Csr::spmv_rows_local`] with an explicit, pre-selected [`Isa`] —
+    /// the entry point for parallel plans that snapshot the ISA once at
+    /// construction. An unavailable ISA degrades to the scalar path.
+    #[inline]
+    pub fn spmv_rows_local_isa(
+        &self,
+        isa: Isa,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), row_end - row_begin);
+        self.spmv_rows_dispatch(isa, row_begin, row_end, row_begin, x, y_local);
+    }
+
+    /// Row-range SpMV with explicit ISA and output rebasing
+    /// (`y[i - y_base]` receives row `i`).
+    #[inline]
+    fn spmv_rows_dispatch(
+        &self,
+        isa: Isa,
+        row_begin: usize,
+        row_end: usize,
+        y_base: usize,
+        x: &[V],
+        y: &mut [V],
+    ) {
+        debug_assert!(row_end <= self.nrows);
+        debug_assert_eq!(x.len(), self.ncols);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_ok(isa) && self.ncols <= i32::MAX as usize {
+            use crate::simd::{as_f64s, as_f64s_mut, as_u32s, avx2};
+            if let (Some(rp), Some(ci), Some(vs)) =
+                (as_u32s(&self.row_ptr), as_u32s(&self.col_ind), as_f64s(&self.values))
+            {
+                let (xs, ys) = (as_f64s(x).expect("V is f64"), as_f64s_mut(y).expect("V is f64"));
+                // Safety: AVX2 verified by avx2_ok; CSR invariants give
+                // in-bounds columns; ncols fits the i32 gather lanes.
+                unsafe {
+                    avx2::rows_k1(
+                        rp,
+                        ci,
+                        avx2::ValSrc::Direct(vs),
+                        row_begin,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    );
+                }
+                return;
+            }
+        }
+        let _ = isa;
         let col_ind = &self.col_ind[..];
         let values = &self.values[..];
         for i in row_begin..row_end {
@@ -150,7 +196,7 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
             for j in lo..hi {
                 acc += values[j] * x[col_ind[j].index()];
             }
-            y_local[i - row_begin] = acc;
+            y[i - y_base] = acc;
         }
     }
 
@@ -203,9 +249,52 @@ impl<I: SpIndex, V: Scalar> Csr<I, V> {
         k: usize,
         y_local: &mut [V],
     ) {
+        self.spmm_rows_local_isa(crate::simd::selected(), row_begin, row_end, x, k, y_local);
+    }
+
+    /// [`Csr::spmm_rows_local`] with an explicit, pre-selected [`Isa`]
+    /// (see [`Csr::spmv_rows_local_isa`]). `k ∈ {1, 2, 4, 8}` with
+    /// `u32`/`f64` arrays run the AVX2 panel kernels when available;
+    /// everything else falls back to the register-blocked scalar path.
+    #[inline]
+    pub fn spmm_rows_local_isa(
+        &self,
+        isa: Isa,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
         debug_assert!(row_end <= self.nrows);
         debug_assert_eq!(x.len(), self.ncols * k);
         debug_assert_eq!(y_local.len(), (row_end - row_begin) * k);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_ok(isa)
+            && matches!(k, 1 | 2 | 4 | 8)
+            && self.ncols <= i32::MAX as usize
+        {
+            use crate::simd::{as_f64s, as_f64s_mut, as_u32s, avx2};
+            if let (Some(rp), Some(ci), Some(vs)) =
+                (as_u32s(&self.row_ptr), as_u32s(&self.col_ind), as_f64s(&self.values))
+            {
+                let xs = as_f64s(x).expect("V is f64");
+                let ys = as_f64s_mut(y_local).expect("V is f64");
+                let src = avx2::ValSrc::Direct(vs);
+                // Safety: AVX2 verified by avx2_ok; CSR invariants give
+                // in-bounds columns; ncols fits the i32 gather lanes.
+                unsafe {
+                    match k {
+                        1 => avx2::rows_k1(rp, ci, src, row_begin, row_end, row_begin, xs, ys),
+                        2 => avx2::rows_k2(rp, ci, src, row_begin, row_end, row_begin, xs, ys),
+                        4 => avx2::rows_k4(rp, ci, src, row_begin, row_end, row_begin, xs, ys),
+                        _ => avx2::rows_k8(rp, ci, src, row_begin, row_end, row_begin, xs, ys),
+                    }
+                }
+                return;
+            }
+        }
+        let _ = isa;
         crate::spmm::with_row_acc!(k, acc => {
             self.spmm_rows_acc(row_begin, row_end, x, k, y_local, &mut acc)
         });

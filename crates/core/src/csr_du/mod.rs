@@ -256,6 +256,7 @@ impl<V: Scalar> CsrDu<V> {
     pub fn spmv_split(&self, split: &DuSplit, x: &[V], y: &mut [V]) {
         spmv::spmv_range(
             self,
+            crate::simd::selected(),
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -272,9 +273,23 @@ impl<V: Scalar> CsrDu<V> {
     /// entry point for parallel drivers that hand each thread a disjoint
     /// sub-slice of `y`.
     pub fn spmv_split_local(&self, split: &DuSplit, x: &[V], y_local: &mut [V]) {
+        self.spmv_split_local_isa(crate::simd::selected(), split, x, y_local);
+    }
+
+    /// [`CsrDu::spmv_split_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] — for parallel plans that snapshot the ISA at
+    /// construction. An unavailable ISA degrades to the scalar decode.
+    pub fn spmv_split_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        split: &DuSplit,
+        x: &[V],
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), split.row_end - split.row_start);
         spmv::spmv_range(
             self,
+            isa,
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -294,6 +309,7 @@ impl<V: Scalar> CsrDu<V> {
     pub fn spmm_split(&self, split: &DuSplit, x: &[V], k: usize, y: &mut [V]) {
         spmv::spmm_range(
             self,
+            crate::simd::selected(),
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -311,9 +327,23 @@ impl<V: Scalar> CsrDu<V> {
     /// the entry point for parallel drivers handing each thread a
     /// disjoint sub-slice of `y`.
     pub fn spmm_split_local(&self, split: &DuSplit, x: &[V], k: usize, y_local: &mut [V]) {
+        self.spmm_split_local_isa(crate::simd::selected(), split, x, k, y_local);
+    }
+
+    /// [`CsrDu::spmm_split_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] (see [`CsrDu::spmv_split_local_isa`]).
+    pub fn spmm_split_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        split: &DuSplit,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), (split.row_end - split.row_start) * k);
         spmv::spmm_range(
             self,
+            isa,
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -347,7 +377,18 @@ impl<V: Scalar> SpMv<V> for CsrDu<V> {
     fn spmv(&self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
-        spmv::spmv_range(self, 0..self.ctl.len(), 0, usize::MAX, 0, self.nrows, 0, x, y);
+        spmv::spmv_range(
+            self,
+            crate::simd::selected(),
+            0..self.ctl.len(),
+            0,
+            usize::MAX,
+            0,
+            self.nrows,
+            0,
+            x,
+            y,
+        );
     }
 
     fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
@@ -374,6 +415,7 @@ impl<V: Scalar> crate::spmm::SpMm<V> for CsrDu<V> {
         let k = crate::spmm::assert_panel_shapes(self.nrows, self.ncols, &x, &y);
         spmv::spmm_range(
             self,
+            crate::simd::selected(),
             0..self.ctl.len(),
             0,
             usize::MAX,

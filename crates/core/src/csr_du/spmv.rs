@@ -23,6 +23,7 @@
 
 use super::{CsrDu, UnitType, FLAG_NEW_ROW, FLAG_ROW_JMP};
 use crate::scalar::Scalar;
+use crate::simd::Isa;
 use crate::spmm::{with_row_acc, FixedAcc, RowAcc};
 use crate::varint::read_varint;
 
@@ -184,9 +185,12 @@ pub(crate) fn spmv_ctl_range<V: Scalar, G: Fn(usize) -> V>(
 }
 
 /// CSR-DU entry point: direct value loads from the `values` array.
+/// `isa` is the pre-selected kernel ISA (unavailable choices degrade to
+/// the scalar decode loop).
 #[allow(clippy::too_many_arguments)]
 pub(super) fn spmv_range<V: Scalar>(
     du: &CsrDu<V>,
+    isa: Isa,
     ctl_range: std::ops::Range<usize>,
     val_start: usize,
     row_wrap_base: usize,
@@ -196,6 +200,32 @@ pub(super) fn spmv_range<V: Scalar>(
     x: &[V],
     y: &mut [V],
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_ok(isa) && du.ncols() <= i32::MAX as usize {
+        use crate::simd::{as_f64s, as_f64s_mut, avx2};
+        if let Some(vs) = as_f64s(du.values()) {
+            let (xs, ys) = (as_f64s(x).expect("V is f64"), as_f64s_mut(y).expect("V is f64"));
+            // Safety: AVX2 verified by avx2_ok; the ctl stream was built
+            // by this crate's encoder (same trust as the scalar decode);
+            // ncols fits the i32 gather lanes.
+            unsafe {
+                avx2::du_ctl_k1(
+                    du.ctl(),
+                    avx2::ValSrc::Direct(vs),
+                    ctl_range,
+                    val_start,
+                    row_wrap_base,
+                    row_start,
+                    row_end,
+                    y_base,
+                    xs,
+                    ys,
+                );
+            }
+            return;
+        }
+    }
+    let _ = isa;
     let values = du.values();
     spmv_ctl_range(
         du.ctl(),
@@ -213,10 +243,12 @@ pub(super) fn spmv_range<V: Scalar>(
 }
 
 /// CSR-DU SpMM entry point: direct value loads, panel width `k`
-/// dispatched to the specialized accumulators.
+/// dispatched to the specialized accumulators (AVX2 panel kernels for
+/// `k ∈ {1, 2, 4, 8}` with `f64` values when the ISA allows).
 #[allow(clippy::too_many_arguments)]
 pub(super) fn spmm_range<V: Scalar>(
     du: &CsrDu<V>,
+    isa: Isa,
     ctl_range: std::ops::Range<usize>,
     val_start: usize,
     row_wrap_base: usize,
@@ -227,6 +259,69 @@ pub(super) fn spmm_range<V: Scalar>(
     k: usize,
     y: &mut [V],
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_ok(isa) && matches!(k, 1 | 2 | 4 | 8) && du.ncols() <= i32::MAX as usize {
+        use crate::simd::{as_f64s, as_f64s_mut, avx2};
+        if let Some(vs) = as_f64s(du.values()) {
+            let (xs, ys) = (as_f64s(x).expect("V is f64"), as_f64s_mut(y).expect("V is f64"));
+            let src = avx2::ValSrc::Direct(vs);
+            // Safety: as on spmv_range's dispatch above.
+            unsafe {
+                match k {
+                    1 => avx2::du_ctl_k1(
+                        du.ctl(),
+                        src,
+                        ctl_range,
+                        val_start,
+                        row_wrap_base,
+                        row_start,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    ),
+                    2 => avx2::du_ctl_k2(
+                        du.ctl(),
+                        src,
+                        ctl_range,
+                        val_start,
+                        row_wrap_base,
+                        row_start,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    ),
+                    4 => avx2::du_ctl_k4(
+                        du.ctl(),
+                        src,
+                        ctl_range,
+                        val_start,
+                        row_wrap_base,
+                        row_start,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    ),
+                    _ => avx2::du_ctl_k8(
+                        du.ctl(),
+                        src,
+                        ctl_range,
+                        val_start,
+                        row_wrap_base,
+                        row_start,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    ),
+                }
+            }
+            return;
+        }
+    }
+    let _ = isa;
     let values = du.values();
     with_row_acc!(k, acc => {
         spmm_ctl_range(

@@ -129,8 +129,22 @@ impl<V: Scalar> CsrDuVi<V> {
     /// Like [`CsrDuVi::spmv_split`], but writes into a local slice covering
     /// only the split's rows (for parallel drivers).
     pub fn spmv_split_local(&self, split: &DuSplit, x: &[V], y_local: &mut [V]) {
+        self.spmv_split_local_isa(crate::simd::selected(), split, x, y_local);
+    }
+
+    /// [`CsrDuVi::spmv_split_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] — for parallel plans that snapshot the ISA at
+    /// construction. An unavailable ISA degrades to the scalar decode.
+    pub fn spmv_split_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        split: &DuSplit,
+        x: &[V],
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), split.row_end - split.row_start);
-        self.spmv_impl(
+        self.spmv_impl_isa(
+            isa,
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -162,8 +176,22 @@ impl<V: Scalar> CsrDuVi<V> {
     /// Like [`CsrDuVi::spmm_split`], but `y_local` covers only the split's
     /// own row panels (for parallel drivers).
     pub fn spmm_split_local(&self, split: &DuSplit, x: &[V], k: usize, y_local: &mut [V]) {
+        self.spmm_split_local_isa(crate::simd::selected(), split, x, k, y_local);
+    }
+
+    /// [`CsrDuVi::spmm_split_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] (see [`CsrDuVi::spmv_split_local_isa`]).
+    pub fn spmm_split_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        split: &DuSplit,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), (split.row_end - split.row_start) * k);
-        self.spmm_impl(
+        self.spmm_impl_isa(
+            isa,
             split.ctl_range.clone(),
             split.val_start,
             split.row_wrap_base,
@@ -174,6 +202,22 @@ impl<V: Scalar> CsrDuVi<V> {
             k,
             y_local,
         );
+    }
+
+    /// Palette value source for the AVX2 decode, when `V` is `f64` and
+    /// the unique-value table fits the i32 gather lanes.
+    #[cfg(target_arch = "x86_64")]
+    fn val_src(&self) -> Option<crate::simd::avx2::ValSrc<'_>> {
+        use crate::simd::avx2::ValSrc;
+        let pal = crate::simd::as_f64s(&self.vals_unique)?;
+        if pal.len() > i32::MAX as usize {
+            return None;
+        }
+        Some(match &self.val_ind {
+            ValInd::U8(ind) => ValSrc::Pal8(pal, ind),
+            ValInd::U16(ind) => ValSrc::Pal16(pal, ind),
+            ValInd::U32(ind) => ValSrc::Pal32(pal, ind),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -188,6 +232,58 @@ impl<V: Scalar> CsrDuVi<V> {
         x: &[V],
         y: &mut [V],
     ) {
+        self.spmv_impl_isa(
+            crate::simd::selected(),
+            ctl_range,
+            val_start,
+            row_wrap_base,
+            row_start,
+            row_end,
+            y_base,
+            x,
+            y,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spmv_impl_isa(
+        &self,
+        isa: crate::simd::Isa,
+        ctl_range: std::ops::Range<usize>,
+        val_start: usize,
+        row_wrap_base: usize,
+        row_start: usize,
+        row_end: usize,
+        y_base: usize,
+        x: &[V],
+        y: &mut [V],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_ok(isa) && self.ncols() <= i32::MAX as usize {
+            use crate::simd::{as_f64s, as_f64s_mut, avx2};
+            if let Some(src) = self.val_src() {
+                let (xs, ys) = (as_f64s(x).expect("V is f64"), as_f64s_mut(y).expect("V is f64"));
+                // Safety: AVX2 verified by avx2_ok; ctl stream built by
+                // this crate's encoder; ncols and the value table fit the
+                // i32 gather lanes.
+                unsafe {
+                    avx2::du_ctl_k1(
+                        self.du.ctl(),
+                        src,
+                        ctl_range,
+                        val_start,
+                        row_wrap_base,
+                        row_start,
+                        row_end,
+                        y_base,
+                        xs,
+                        ys,
+                    );
+                }
+                return;
+            }
+        }
+        let _ = isa;
         let vals = &self.vals_unique[..];
         match &self.val_ind {
             ValInd::U8(ind) => crate::csr_du::spmv_ctl_range(
@@ -248,7 +344,101 @@ impl<V: Scalar> CsrDuVi<V> {
         k: usize,
         y: &mut [V],
     ) {
+        self.spmm_impl_isa(
+            crate::simd::selected(),
+            ctl_range,
+            val_start,
+            row_wrap_base,
+            row_start,
+            row_end,
+            y_base,
+            x,
+            k,
+            y,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_impl_isa(
+        &self,
+        isa: crate::simd::Isa,
+        ctl_range: std::ops::Range<usize>,
+        val_start: usize,
+        row_wrap_base: usize,
+        row_start: usize,
+        row_end: usize,
+        y_base: usize,
+        x: &[V],
+        k: usize,
+        y: &mut [V],
+    ) {
         use crate::spmm::with_row_acc;
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_ok(isa)
+            && matches!(k, 1 | 2 | 4 | 8)
+            && self.ncols() <= i32::MAX as usize
+        {
+            use crate::simd::{as_f64s, as_f64s_mut, avx2};
+            if let Some(src) = self.val_src() {
+                let (xs, ys) = (as_f64s(x).expect("V is f64"), as_f64s_mut(y).expect("V is f64"));
+                let ctl = self.du.ctl();
+                // Safety: as on spmv_impl_isa's dispatch above.
+                unsafe {
+                    match k {
+                        1 => avx2::du_ctl_k1(
+                            ctl,
+                            src,
+                            ctl_range,
+                            val_start,
+                            row_wrap_base,
+                            row_start,
+                            row_end,
+                            y_base,
+                            xs,
+                            ys,
+                        ),
+                        2 => avx2::du_ctl_k2(
+                            ctl,
+                            src,
+                            ctl_range,
+                            val_start,
+                            row_wrap_base,
+                            row_start,
+                            row_end,
+                            y_base,
+                            xs,
+                            ys,
+                        ),
+                        4 => avx2::du_ctl_k4(
+                            ctl,
+                            src,
+                            ctl_range,
+                            val_start,
+                            row_wrap_base,
+                            row_start,
+                            row_end,
+                            y_base,
+                            xs,
+                            ys,
+                        ),
+                        _ => avx2::du_ctl_k8(
+                            ctl,
+                            src,
+                            ctl_range,
+                            val_start,
+                            row_wrap_base,
+                            row_start,
+                            row_end,
+                            y_base,
+                            xs,
+                            ys,
+                        ),
+                    }
+                }
+                return;
+            }
+        }
+        let _ = isa;
         let vals = &self.vals_unique[..];
         match &self.val_ind {
             ValInd::U8(ind) => with_row_acc!(k, acc => crate::csr_du::spmm_ctl_range(

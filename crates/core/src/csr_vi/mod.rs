@@ -235,14 +235,28 @@ impl<I: SpIndex, V: Scalar> CsrVi<I, V> {
     /// multithreaded building block. The paper notes the MT version is
     /// "trivially derived" by giving each thread its first and last row.
     pub fn spmv_rows(&self, row_begin: usize, row_end: usize, x: &[V], y: &mut [V]) {
-        spmv::spmv_rows(self, row_begin, row_end, 0, x, y);
+        spmv::spmv_rows(self, crate::simd::selected(), row_begin, row_end, 0, x, y);
     }
 
     /// Like [`CsrVi::spmv_rows`], but writes into a local slice whose
     /// element 0 corresponds to `row_begin` (for parallel drivers).
     pub fn spmv_rows_local(&self, row_begin: usize, row_end: usize, x: &[V], y_local: &mut [V]) {
+        self.spmv_rows_local_isa(crate::simd::selected(), row_begin, row_end, x, y_local);
+    }
+
+    /// [`CsrVi::spmv_rows_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] — for parallel plans that snapshot the ISA at
+    /// construction. An unavailable ISA degrades to the scalar path.
+    pub fn spmv_rows_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), row_end - row_begin);
-        spmv::spmv_rows(self, row_begin, row_end, row_begin, x, y_local);
+        spmv::spmv_rows(self, isa, row_begin, row_end, row_begin, x, y_local);
     }
 
     /// SpMM over the half-open row range `[row_begin, row_end)`, writing
@@ -258,8 +272,22 @@ impl<I: SpIndex, V: Scalar> CsrVi<I, V> {
         k: usize,
         y_local: &mut [V],
     ) {
+        self.spmm_rows_local_isa(crate::simd::selected(), row_begin, row_end, x, k, y_local);
+    }
+
+    /// [`CsrVi::spmm_rows_local`] with an explicit, pre-selected
+    /// [`crate::simd::Isa`] (see [`CsrVi::spmv_rows_local_isa`]).
+    pub fn spmm_rows_local_isa(
+        &self,
+        isa: crate::simd::Isa,
+        row_begin: usize,
+        row_end: usize,
+        x: &[V],
+        k: usize,
+        y_local: &mut [V],
+    ) {
         debug_assert_eq!(y_local.len(), (row_end - row_begin) * k);
-        spmv::spmm_rows(self, row_begin, row_end, row_begin, x, k, y_local);
+        spmv::spmm_rows(self, isa, row_begin, row_end, row_begin, x, k, y_local);
     }
 }
 
@@ -283,7 +311,7 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for CsrVi<I, V> {
     fn spmv(&self, x: &[V], y: &mut [V]) {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
-        spmv::spmv_rows(self, 0, self.nrows, 0, x, y);
+        spmv::spmv_rows(self, crate::simd::selected(), 0, self.nrows, 0, x, y);
     }
 
     fn validate(&self) -> std::result::Result<(), crate::error::SparseError> {
@@ -311,7 +339,7 @@ impl<I: SpIndex, V: Scalar> SpMv<V> for CsrVi<I, V> {
 impl<I: SpIndex, V: Scalar> crate::spmm::SpMm<V> for CsrVi<I, V> {
     fn spmm(&self, x: crate::DenseBlock<'_, V>, mut y: crate::DenseBlockMut<'_, V>) {
         let k = crate::spmm::assert_panel_shapes(self.nrows, self.ncols, &x, &y);
-        spmv::spmm_rows(self, 0, self.nrows, 0, x.data(), k, y.data_mut());
+        spmv::spmm_rows(self, crate::simd::selected(), 0, self.nrows, 0, x.data(), k, y.data_mut());
     }
 }
 

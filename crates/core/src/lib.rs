@@ -75,6 +75,7 @@ pub mod index;
 pub mod io;
 pub mod jad;
 pub mod scalar;
+pub mod simd;
 pub mod spmm;
 pub mod spmv;
 pub mod stats;
@@ -91,6 +92,7 @@ pub use error::SparseError;
 pub use index::SpIndex;
 pub use io::LoadLimits;
 pub use scalar::Scalar;
+pub use simd::Isa;
 pub use spmm::{DenseBlock, DenseBlockMut, SpMm};
 pub use spmv::{FormatKind, SpMv};
 pub use stats::{SizeReport, WorkingSet};

@@ -1,0 +1,613 @@
+//! AVX2 (x86-64) kernels for the four hot loops: CSR row accumulate,
+//! CSR-DU delta-unit decode, CSR-VI palette gather, and the fixed-`k`
+//! SpMM panel accumulators. Concrete `f64`/`u32` only — the generic
+//! formats fall back to the scalar kernels for every other type pair.
+//!
+//! # Bit-identity contract
+//!
+//! Each kernel performs exactly the scalar kernel's floating-point
+//! operations in the same order:
+//!
+//! * multiplies and adds stay separate (`vmulpd` + `vaddpd`, never
+//!   `vfmadd`) because the scalar kernels round the product and the sum
+//!   independently;
+//! * `k ∈ {2, 4, 8}` panels vectorize *across* the `k` independent
+//!   per-lane accumulator chains (lane `v` sees the same `+= a * x[v]`
+//!   sequence as `FixedAcc`);
+//! * `k = 1` computes four products per step (SIMD loads/gathers +
+//!   `vmulpd`) but folds them into the single row accumulator lane by
+//!   lane in stream order, matching the scalar reduction chain.
+//!
+//! Integer work (delta prefix sums, palette-index widening) is exact, so
+//! vectorizing it cannot perturb results.
+//!
+//! # Dispatch-site preconditions (checked by callers)
+//!
+//! Every entry point here is `unsafe fn` + `#[target_feature]`: callers
+//! must have verified AVX2 support ([`crate::simd::avx2_ok`]). Gathers
+//! index with `i32` lanes, so callers also guarantee `ncols <= i32::MAX`
+//! and (for palettes) `vals_unique.len() <= i32::MAX`.
+
+#![allow(clippy::too_many_arguments)]
+
+use std::arch::x86_64::*;
+
+use crate::csr_du::{UnitType, FLAG_NEW_ROW, FLAG_ROW_JMP};
+use crate::varint::read_varint;
+
+/// Where a kernel reads its per-element values from: directly (CSR,
+/// CSR-DU) or through a unique-value table (CSR-VI, CSR-DU-VI), one
+/// variant per palette index width. The `get`/`get4` accessors perform
+/// exactly the loads of the scalar closures `|j| values[j]` and
+/// `|j| vals[ind[j] as usize]`.
+#[derive(Clone, Copy)]
+pub(crate) enum ValSrc<'a> {
+    Direct(&'a [f64]),
+    Pal8(&'a [f64], &'a [u8]),
+    Pal16(&'a [f64], &'a [u16]),
+    Pal32(&'a [f64], &'a [u32]),
+}
+
+impl ValSrc<'_> {
+    /// Value of element `j` (same load sequence as the scalar kernels).
+    ///
+    /// # Safety
+    /// `j` must index a stored element; palette indices must be in-table.
+    #[inline(always)]
+    unsafe fn get(&self, j: usize) -> f64 {
+        match self {
+            ValSrc::Direct(v) => *v.get_unchecked(j),
+            ValSrc::Pal8(pal, ind) => *pal.get_unchecked(*ind.get_unchecked(j) as usize),
+            ValSrc::Pal16(pal, ind) => *pal.get_unchecked(*ind.get_unchecked(j) as usize),
+            ValSrc::Pal32(pal, ind) => *pal.get_unchecked(*ind.get_unchecked(j) as usize),
+        }
+    }
+
+    /// Values of elements `j..j+4` as a vector (contiguous load for
+    /// direct values, widen + gather for palettes).
+    ///
+    /// # Safety
+    /// As [`ValSrc::get`] for all of `j..j+4`; AVX2 must be enabled in
+    /// the caller. Palette tables must have `<= i32::MAX` entries.
+    #[inline(always)]
+    unsafe fn get4(&self, j: usize) -> __m256d {
+        match self {
+            ValSrc::Direct(v) => _mm256_loadu_pd(v.as_ptr().add(j)),
+            ValSrc::Pal8(pal, ind) => {
+                let raw = i32::from_le_bytes([
+                    *ind.get_unchecked(j),
+                    *ind.get_unchecked(j + 1),
+                    *ind.get_unchecked(j + 2),
+                    *ind.get_unchecked(j + 3),
+                ]);
+                let idx = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(raw));
+                _mm256_i32gather_pd::<8>(pal.as_ptr(), idx)
+            }
+            ValSrc::Pal16(pal, ind) => {
+                let idx =
+                    _mm_cvtepu16_epi32(_mm_loadl_epi64(ind.as_ptr().add(j) as *const __m128i));
+                _mm256_i32gather_pd::<8>(pal.as_ptr(), idx)
+            }
+            ValSrc::Pal32(pal, ind) => {
+                let idx = _mm_loadu_si128(ind.as_ptr().add(j) as *const __m128i);
+                _mm256_i32gather_pd::<8>(pal.as_ptr(), idx)
+            }
+        }
+    }
+}
+
+/// Folds four products into the scalar accumulator in lane order —
+/// exactly the scalar kernel's `acc += p0; acc += p1; acc += p2;
+/// acc += p3` reduction chain.
+///
+/// # Safety
+/// AVX2 must be enabled in the caller.
+#[inline(always)]
+unsafe fn fold4(mut acc: f64, p: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(p);
+    let hi = _mm256_extractf128_pd::<1>(p);
+    acc += _mm_cvtsd_f64(lo);
+    acc += _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+    acc += _mm_cvtsd_f64(hi);
+    acc += _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    acc
+}
+
+/// CSR / CSR-VI row-range SpMV (`k = 1`). Mirrors `Csr::spmv_rows` /
+/// `csr_vi::kernel`: per row, accumulate `values[j] * x[col_ind[j]]` in
+/// stream order, store once. Four columns are gathered and multiplied
+/// per step; the adds stay sequential (see [`fold4`]).
+///
+/// # Safety
+/// AVX2 required; `row_ptr`/`col_ind` must describe a valid CSR
+/// structure with in-bounds columns (`< x.len() <= i32::MAX + 1`), `src`
+/// must cover every element index, and `y` must cover
+/// `[row_begin - y_base, row_end - y_base)`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn rows_k1(
+    row_ptr: &[u32],
+    col_ind: &[u32],
+    src: ValSrc<'_>,
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let xp = x.as_ptr();
+    for i in row_begin..row_end {
+        let lo = *row_ptr.get_unchecked(i) as usize;
+        let hi = *row_ptr.get_unchecked(i + 1) as usize;
+        let mut acc = 0.0f64;
+        let mut j = lo;
+        while j + 4 <= hi {
+            let cols = _mm_loadu_si128(col_ind.as_ptr().add(j) as *const __m128i);
+            let xv = _mm256_i32gather_pd::<8>(xp, cols);
+            let p = _mm256_mul_pd(src.get4(j), xv);
+            acc = fold4(acc, p);
+            j += 4;
+        }
+        while j < hi {
+            acc += src.get(j) * *xp.add(*col_ind.get_unchecked(j) as usize);
+            j += 1;
+        }
+        *y.get_unchecked_mut(i - y_base) = acc;
+    }
+}
+
+/// A `k`-wide row accumulator held in vector registers. Lane `v` runs
+/// the independent chain `acc[v] += a * x[v]` — the vector analogue of
+/// `FixedAcc<f64, K>`, lane-for-lane identical.
+pub(crate) trait PanelAcc: Copy {
+    const K: usize;
+    /// # Safety
+    /// AVX2 must be enabled in the caller (applies to all methods).
+    unsafe fn zero() -> Self;
+    /// # Safety
+    /// `xp` must point at `K` readable doubles; AVX2 enabled.
+    unsafe fn step(self, a: f64, xp: *const f64) -> Self;
+    /// # Safety
+    /// `yp` must point at `K` writable doubles; AVX2 enabled.
+    unsafe fn store(self, yp: *mut f64);
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Acc2(__m128d);
+
+impl PanelAcc for Acc2 {
+    const K: usize = 2;
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        Acc2(_mm_setzero_pd())
+    }
+    #[inline(always)]
+    unsafe fn step(self, a: f64, xp: *const f64) -> Self {
+        Acc2(_mm_add_pd(self.0, _mm_mul_pd(_mm_set1_pd(a), _mm_loadu_pd(xp))))
+    }
+    #[inline(always)]
+    unsafe fn store(self, yp: *mut f64) {
+        _mm_storeu_pd(yp, self.0);
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Acc4(__m256d);
+
+impl PanelAcc for Acc4 {
+    const K: usize = 4;
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        Acc4(_mm256_setzero_pd())
+    }
+    #[inline(always)]
+    unsafe fn step(self, a: f64, xp: *const f64) -> Self {
+        Acc4(_mm256_add_pd(self.0, _mm256_mul_pd(_mm256_set1_pd(a), _mm256_loadu_pd(xp))))
+    }
+    #[inline(always)]
+    unsafe fn store(self, yp: *mut f64) {
+        _mm256_storeu_pd(yp, self.0);
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Acc8(__m256d, __m256d);
+
+impl PanelAcc for Acc8 {
+    const K: usize = 8;
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        Acc8(_mm256_setzero_pd(), _mm256_setzero_pd())
+    }
+    #[inline(always)]
+    unsafe fn step(self, a: f64, xp: *const f64) -> Self {
+        let av = _mm256_set1_pd(a);
+        Acc8(
+            _mm256_add_pd(self.0, _mm256_mul_pd(av, _mm256_loadu_pd(xp))),
+            _mm256_add_pd(self.1, _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(4)))),
+        )
+    }
+    #[inline(always)]
+    unsafe fn store(self, yp: *mut f64) {
+        _mm256_storeu_pd(yp, self.0);
+        _mm256_storeu_pd(yp.add(4), self.1);
+    }
+}
+
+/// CSR / CSR-VI row-range SpMM body for `k = A::K`. Mirrors
+/// `Csr::spmm_rows_acc` / `csr_vi::kernel_mm` with the accumulator held
+/// in vector registers. `#[inline(always)]` so each `#[target_feature]`
+/// wrapper below compiles it with AVX2 codegen.
+///
+/// # Safety
+/// As [`rows_k1`], with `x`/`y` row-major panels of width `A::K`.
+#[inline(always)]
+unsafe fn rows_panel_body<A: PanelAcc>(
+    row_ptr: &[u32],
+    col_ind: &[u32],
+    src: ValSrc<'_>,
+    row_begin: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    for i in row_begin..row_end {
+        let lo = *row_ptr.get_unchecked(i) as usize;
+        let hi = *row_ptr.get_unchecked(i + 1) as usize;
+        let mut acc = A::zero();
+        for j in lo..hi {
+            let c = *col_ind.get_unchecked(j) as usize;
+            acc = acc.step(src.get(j), xp.add(c * A::K));
+        }
+        acc.store(yp.add((i - y_base) * A::K));
+    }
+}
+
+macro_rules! rows_panel_wrapper {
+    ($name:ident, $acc:ty) => {
+        /// # Safety
+        /// See [`rows_panel_body`].
+        #[target_feature(enable = "avx2")]
+        pub(crate) unsafe fn $name(
+            row_ptr: &[u32],
+            col_ind: &[u32],
+            src: ValSrc<'_>,
+            row_begin: usize,
+            row_end: usize,
+            y_base: usize,
+            x: &[f64],
+            y: &mut [f64],
+        ) {
+            rows_panel_body::<$acc>(row_ptr, col_ind, src, row_begin, row_end, y_base, x, y);
+        }
+    };
+}
+
+rows_panel_wrapper!(rows_k2, Acc2);
+rows_panel_wrapper!(rows_k4, Acc4);
+rows_panel_wrapper!(rows_k8, Acc8);
+
+/// Inclusive prefix sum of four i32 deltas plus the running column:
+/// lane `l` becomes `col + d0 + … + dl`. Returns the column vector and
+/// the new running column (lane 3). Integer math — exact.
+///
+/// # Safety
+/// AVX2 enabled; `col` and every prefix must fit in `i32`.
+#[inline(always)]
+unsafe fn prefix_cols(d: __m128i, col: usize) -> (__m128i, usize) {
+    let s1 = _mm_add_epi32(d, _mm_slli_si128::<4>(d));
+    let s2 = _mm_add_epi32(s1, _mm_slli_si128::<8>(s1));
+    let cols = _mm_add_epi32(s2, _mm_set1_epi32(col as i32));
+    (cols, _mm_extract_epi32::<3>(cols) as u32 as usize)
+}
+
+/// CSR-DU / CSR-DU-VI ctl-stream SpMV (`k = 1`). Mirrors
+/// `csr_du::spmm_ctl_range` at `k = 1` exactly: same unit walk, same row
+/// bookkeeping, same store points. Inside U8/U16/U32 units the column
+/// deltas are decoded four at a time with a SIMD prefix sum and the four
+/// products folded sequentially; `Seq` units use contiguous `x` loads.
+///
+/// # Safety
+/// AVX2 required; `ctl[ctl_range]` must be a well-formed unit stream for
+/// this matrix (same contract as the scalar kernel, which indexes with
+/// the same trust), columns must stay `< x.len() <= i32::MAX + 1`, `src`
+/// must cover all referenced elements, and `y` must cover
+/// `[row_start - y_base, row_end - y_base)`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn du_ctl_k1(
+    ctl: &[u8],
+    src: ValSrc<'_>,
+    ctl_range: std::ops::Range<usize>,
+    val_start: usize,
+    row_wrap_base: usize,
+    row_start: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    for v in &mut y[row_start - y_base..row_end - y_base] {
+        *v = 0.0;
+    }
+
+    let end = ctl_range.end;
+    let mut pos = ctl_range.start;
+    let mut val = val_start;
+
+    let mut row = row_wrap_base;
+    let mut col = 0usize;
+    let mut acc = 0.0f64;
+    let mut have_row = false;
+    let xp = x.as_ptr();
+
+    while pos < end {
+        let uflags = ctl[pos];
+        let usize_b = ctl[pos + 1] as usize;
+        pos += 2;
+
+        if uflags & FLAG_NEW_ROW != 0 {
+            if have_row {
+                y[row - y_base] = acc;
+            }
+            let jmp_rows =
+                if uflags & FLAG_ROW_JMP != 0 { read_varint(ctl, &mut pos) as usize } else { 0 };
+            row = row.wrapping_add(1 + jmp_rows);
+            col = 0;
+            acc = 0.0;
+            have_row = true;
+        }
+        col += read_varint(ctl, &mut pos) as usize;
+
+        // First element of the unit.
+        acc += src.get(val) * *xp.add(col);
+        val += 1;
+        let mut remaining = usize_b - 1;
+
+        match UnitType::from_flags(uflags) {
+            UnitType::U8 => {
+                while remaining >= 4 {
+                    let raw =
+                        i32::from_le_bytes([ctl[pos], ctl[pos + 1], ctl[pos + 2], ctl[pos + 3]]);
+                    let d = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(raw));
+                    let (cols, next_col) = prefix_cols(d, col);
+                    let p = _mm256_mul_pd(src.get4(val), _mm256_i32gather_pd::<8>(xp, cols));
+                    acc = fold4(acc, p);
+                    col = next_col;
+                    pos += 4;
+                    val += 4;
+                    remaining -= 4;
+                }
+                while remaining > 0 {
+                    col += ctl[pos] as usize;
+                    pos += 1;
+                    acc += src.get(val) * *xp.add(col);
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U16 => {
+                while remaining >= 4 {
+                    let d = _mm_cvtepu16_epi32(_mm_loadl_epi64(
+                        ctl.as_ptr().add(pos) as *const __m128i
+                    ));
+                    let (cols, next_col) = prefix_cols(d, col);
+                    let p = _mm256_mul_pd(src.get4(val), _mm256_i32gather_pd::<8>(xp, cols));
+                    acc = fold4(acc, p);
+                    col = next_col;
+                    pos += 8;
+                    val += 4;
+                    remaining -= 4;
+                }
+                while remaining > 0 {
+                    col += u16::from_le_bytes([ctl[pos], ctl[pos + 1]]) as usize;
+                    pos += 2;
+                    acc += src.get(val) * *xp.add(col);
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U32 => {
+                while remaining >= 4 {
+                    let d = _mm_loadu_si128(ctl.as_ptr().add(pos) as *const __m128i);
+                    let (cols, next_col) = prefix_cols(d, col);
+                    let p = _mm256_mul_pd(src.get4(val), _mm256_i32gather_pd::<8>(xp, cols));
+                    acc = fold4(acc, p);
+                    col = next_col;
+                    pos += 16;
+                    val += 4;
+                    remaining -= 4;
+                }
+                while remaining > 0 {
+                    col +=
+                        u32::from_le_bytes(ctl[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                    pos += 4;
+                    acc += src.get(val) * *xp.add(col);
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U64 => {
+                // Rare (>4 GiB column jumps inside a unit); scalar walk.
+                while remaining > 0 {
+                    col +=
+                        u64::from_le_bytes(ctl[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+                    pos += 8;
+                    acc += src.get(val) * *xp.add(col);
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::Seq => {
+                while remaining >= 4 {
+                    // Columns col+1..col+4 are consecutive: contiguous load.
+                    let p = _mm256_mul_pd(src.get4(val), _mm256_loadu_pd(xp.add(col + 1)));
+                    acc = fold4(acc, p);
+                    col += 4;
+                    val += 4;
+                    remaining -= 4;
+                }
+                while remaining > 0 {
+                    col += 1;
+                    acc += src.get(val) * *xp.add(col);
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    if have_row {
+        y[row - y_base] = acc;
+    }
+}
+
+/// CSR-DU / CSR-DU-VI ctl-stream SpMM body for `k = A::K`. Mirrors
+/// `csr_du::spmm_ctl_range` with the row panel held in vector registers;
+/// the ctl decode itself stays scalar (at `k >= 2` the floating-point
+/// panel work dominates). `#[inline(always)]` so the
+/// `#[target_feature]` wrappers compile it with AVX2 codegen.
+///
+/// # Safety
+/// As [`du_ctl_k1`], with `x`/`y` row-major panels of width `A::K`.
+#[inline(always)]
+unsafe fn du_ctl_panel_body<A: PanelAcc>(
+    ctl: &[u8],
+    src: ValSrc<'_>,
+    ctl_range: std::ops::Range<usize>,
+    val_start: usize,
+    row_wrap_base: usize,
+    row_start: usize,
+    row_end: usize,
+    y_base: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let k = A::K;
+    for v in &mut y[(row_start - y_base) * k..(row_end - y_base) * k] {
+        *v = 0.0;
+    }
+
+    let end = ctl_range.end;
+    let mut pos = ctl_range.start;
+    let mut val = val_start;
+
+    let mut row = row_wrap_base;
+    let mut col = 0usize;
+    let mut acc = A::zero();
+    let mut have_row = false;
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+
+    while pos < end {
+        let uflags = ctl[pos];
+        let usize_b = ctl[pos + 1] as usize;
+        pos += 2;
+
+        if uflags & FLAG_NEW_ROW != 0 {
+            if have_row {
+                acc.store(yp.add((row - y_base) * k));
+            }
+            let jmp_rows =
+                if uflags & FLAG_ROW_JMP != 0 { read_varint(ctl, &mut pos) as usize } else { 0 };
+            row = row.wrapping_add(1 + jmp_rows);
+            col = 0;
+            acc = A::zero();
+            have_row = true;
+        }
+        col += read_varint(ctl, &mut pos) as usize;
+
+        acc = acc.step(src.get(val), xp.add(col * k));
+        val += 1;
+        let mut remaining = usize_b - 1;
+
+        match UnitType::from_flags(uflags) {
+            UnitType::U8 => {
+                while remaining > 0 {
+                    col += ctl[pos] as usize;
+                    pos += 1;
+                    acc = acc.step(src.get(val), xp.add(col * k));
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U16 => {
+                while remaining > 0 {
+                    col += u16::from_le_bytes([ctl[pos], ctl[pos + 1]]) as usize;
+                    pos += 2;
+                    acc = acc.step(src.get(val), xp.add(col * k));
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U32 => {
+                while remaining > 0 {
+                    col +=
+                        u32::from_le_bytes(ctl[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                    pos += 4;
+                    acc = acc.step(src.get(val), xp.add(col * k));
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::U64 => {
+                while remaining > 0 {
+                    col +=
+                        u64::from_le_bytes(ctl[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+                    pos += 8;
+                    acc = acc.step(src.get(val), xp.add(col * k));
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+            UnitType::Seq => {
+                while remaining > 0 {
+                    col += 1;
+                    acc = acc.step(src.get(val), xp.add(col * k));
+                    val += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    if have_row {
+        acc.store(yp.add((row - y_base) * k));
+    }
+}
+
+macro_rules! du_ctl_panel_wrapper {
+    ($name:ident, $acc:ty) => {
+        /// # Safety
+        /// See [`du_ctl_panel_body`].
+        #[target_feature(enable = "avx2")]
+        pub(crate) unsafe fn $name(
+            ctl: &[u8],
+            src: ValSrc<'_>,
+            ctl_range: std::ops::Range<usize>,
+            val_start: usize,
+            row_wrap_base: usize,
+            row_start: usize,
+            row_end: usize,
+            y_base: usize,
+            x: &[f64],
+            y: &mut [f64],
+        ) {
+            du_ctl_panel_body::<$acc>(
+                ctl,
+                src,
+                ctl_range,
+                val_start,
+                row_wrap_base,
+                row_start,
+                row_end,
+                y_base,
+                x,
+                y,
+            );
+        }
+    };
+}
+
+du_ctl_panel_wrapper!(du_ctl_k2, Acc2);
+du_ctl_panel_wrapper!(du_ctl_k4, Acc4);
+du_ctl_panel_wrapper!(du_ctl_k8, Acc8);

@@ -73,12 +73,37 @@ impl WorkingSet {
 /// memory bandwidth; for a compressed format, computing it over the *CSR*
 /// byte count instead yields the compression-adjusted bandwidth (the rate
 /// an uncompressed kernel would have needed to match the measured time).
-/// Returns NaN for non-positive `seconds` (no measurement to normalize).
+///
+/// Degenerate timings (zero, negative, non-finite, or denormal-tiny
+/// `seconds` whose quotient overflows to infinity) clamp to `0.0` so the
+/// value stays finite end-to-end — BENCH.json has no representation for
+/// `inf`/`NaN` and the validator rejects them. Use
+/// [`try_effective_bandwidth`] to get a typed error instead.
 pub fn effective_bandwidth(bytes_per_iter: usize, iters: usize, seconds: f64) -> f64 {
-    if seconds <= 0.0 {
-        return f64::NAN;
+    try_effective_bandwidth(bytes_per_iter, iters, seconds).unwrap_or(0.0)
+}
+
+/// Checked twin of [`effective_bandwidth`]: returns
+/// [`SparseError::InvalidArgument`] when `seconds` is non-positive or
+/// non-finite, or when the quotient is non-finite (denormal-tiny elapsed
+/// time on a fast clock).
+pub fn try_effective_bandwidth(
+    bytes_per_iter: usize,
+    iters: usize,
+    seconds: f64,
+) -> crate::error::Result<f64> {
+    if seconds <= 0.0 || !seconds.is_finite() {
+        return Err(crate::error::SparseError::InvalidArgument(format!(
+            "effective_bandwidth needs a positive finite elapsed time, got {seconds}"
+        )));
     }
-    bytes_per_iter as f64 * iters as f64 / seconds
+    let bw = bytes_per_iter as f64 * iters as f64 / seconds;
+    if !bw.is_finite() {
+        return Err(crate::error::SparseError::InvalidArgument(format!(
+            "effective_bandwidth over {seconds}s is non-finite ({bw})"
+        )));
+    }
+    Ok(bw)
 }
 
 /// Size comparison of a compressed format against its CSR baseline.
@@ -136,7 +161,30 @@ mod tests {
         assert!((12.0..12.1).contains(&per_nnz), "{per_nnz}");
         // 1 MB streamed 10 times in 0.01 s = 1 GB/s.
         assert!((effective_bandwidth(MB, 10, 0.01) - 1.048576e9).abs() < 1.0);
-        assert!(effective_bandwidth(MB, 1, 0.0).is_nan());
+    }
+
+    #[test]
+    fn effective_bandwidth_clamps_degenerate_timings_finite() {
+        // Regression: zero / denormal-tiny / non-finite elapsed times used
+        // to produce NaN or inf, which the BENCH.json writer serialized as
+        // invalid JSON. The infallible helper now clamps to 0.0 ...
+        assert_eq!(effective_bandwidth(MB, 1, 0.0), 0.0);
+        assert_eq!(effective_bandwidth(MB, 1, -1.0), 0.0);
+        assert_eq!(effective_bandwidth(MB, 1, f64::NAN), 0.0);
+        assert_eq!(effective_bandwidth(MB, 1, f64::MIN_POSITIVE * 1e-10), 0.0);
+        assert!(effective_bandwidth(MB, 1, 1e-3).is_finite());
+        // ... and the checked twin reports a typed error.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = try_effective_bandwidth(MB, 1, bad).unwrap_err();
+            assert!(matches!(err, crate::error::SparseError::InvalidArgument(_)), "{bad}: {err}");
+        }
+        // Denormal-tiny elapsed: the division itself overflows to inf.
+        let err = try_effective_bandwidth(MB, 1000, f64::MIN_POSITIVE * 1e-12).unwrap_err();
+        assert!(matches!(err, crate::error::SparseError::InvalidArgument(_)), "{err}");
+        assert_eq!(
+            try_effective_bandwidth(MB, 10, 0.01).unwrap(),
+            effective_bandwidth(MB, 10, 0.01)
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
 use spmv_core::dcsr::{Dcsr, DcsrSplit};
 use spmv_core::sym::SymCsr;
-use spmv_core::{Csc, Csr, Scalar, SpIndex};
+use spmv_core::{Csc, Csr, Isa, Scalar, SpIndex};
 
 /// Common interface of the parallel executors (mirrors [`spmv_core::SpMv`]
 /// with a fixed thread count chosen at plan time).
@@ -81,19 +81,33 @@ pub struct ParCsr<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m Csr<I, V>,
     partition: RowPartition,
     pool: WorkerPool,
+    isa: Isa,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCsr<'m, I, V> {
-    /// Plans an nnz-balanced row partition over `nthreads` threads.
+    /// Plans an nnz-balanced row partition over `nthreads` threads. The
+    /// kernel ISA is snapshotted here (like the partition: chosen once,
+    /// outside the timed loop).
     pub fn new(matrix: &'m Csr<I, V>, nthreads: usize) -> Self {
+        Self::with_isa(matrix, nthreads, spmv_core::simd::selected())
+    }
+
+    /// Like [`ParCsr::new`] with an explicit kernel ISA (unavailable
+    /// choices degrade to scalar inside the kernel dispatch).
+    pub fn with_isa(matrix: &'m Csr<I, V>, nthreads: usize, isa: Isa) -> Self {
         let partition = RowPartition::for_csr(matrix, nthreads);
         let pool = WorkerPool::new(partition.nparts());
-        ParCsr { partition, matrix, pool }
+        ParCsr { partition, matrix, pool, isa }
     }
 
     /// The planned partition.
     pub fn partition(&self) -> &RowPartition {
         &self.partition
+    }
+
+    /// The kernel ISA snapshotted at plan time.
+    pub fn kernel_isa(&self) -> Isa {
+        self.isa
     }
 }
 
@@ -112,11 +126,12 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsr<'_, I, V> {
         let slices = DisjointSlices::new(y);
         let partition = &self.partition;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             let range = partition.part(tid);
             // SAFETY: partition blocks are disjoint; one tid per block.
             let y_local = unsafe { slices.range(range.clone()) };
-            m.spmv_rows_local(range.start, range.end, x, y_local);
+            m.spmv_rows_local_isa(isa, range.start, range.end, x, y_local);
         });
     }
 }
@@ -127,12 +142,13 @@ impl<I: SpIndex, V: Scalar> ParSpMm<V> for ParCsr<'_, I, V> {
         let slices = DisjointSlices::new(y);
         let partition = &self.partition;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             let range = partition.part(tid);
             // SAFETY: partition blocks are disjoint; one tid per block
             // (panel ranges scale the disjoint row ranges by k).
             let y_local = unsafe { slices.range(range.start * k..range.end * k) };
-            m.spmm_rows_local(range.start, range.end, x, k, y_local);
+            m.spmm_rows_local_isa(isa, range.start, range.end, x, k, y_local);
         });
     }
 }
@@ -148,20 +164,32 @@ pub struct ParCsrDu<'m, V: Scalar = f64> {
     splits: Vec<DuSplit>,
     row_bounds: Vec<usize>,
     pool: WorkerPool,
+    isa: Isa,
 }
 
 impl<'m, V: Scalar> ParCsrDu<'m, V> {
-    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
+    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads. The
+    /// kernel ISA is snapshotted at plan time.
     pub fn new(matrix: &'m CsrDu<V>, nthreads: usize) -> Self {
+        Self::with_isa(matrix, nthreads, spmv_core::simd::selected())
+    }
+
+    /// Like [`ParCsrDu::new`] with an explicit kernel ISA.
+    pub fn with_isa(matrix: &'m CsrDu<V>, nthreads: usize, isa: Isa) -> Self {
         let splits = matrix.splits(nthreads);
         let row_bounds = split_row_bounds(splits.iter().map(|s| s.row_end));
         let pool = WorkerPool::new(splits.len().max(1));
-        ParCsrDu { splits, row_bounds, matrix, pool }
+        ParCsrDu { splits, row_bounds, matrix, pool, isa }
     }
 
     /// The planned splits (at most `nthreads`, fewer for tiny matrices).
     pub fn splits(&self) -> &[DuSplit] {
         &self.splits
+    }
+
+    /// The kernel ISA snapshotted at plan time.
+    pub fn kernel_isa(&self) -> Isa {
+        self.isa
     }
 }
 
@@ -190,10 +218,11 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDu<'_, V> {
         let splits = &self.splits;
         let bounds = &self.row_bounds;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             // SAFETY: split row ranges are disjoint; one tid per split.
             let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
-            m.spmv_split_local(&splits[tid], x, y_local);
+            m.spmv_split_local_isa(isa, &splits[tid], x, y_local);
         });
     }
 }
@@ -212,10 +241,11 @@ impl<V: Scalar> ParSpMm<V> for ParCsrDu<'_, V> {
         let splits = &self.splits;
         let bounds = &self.row_bounds;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             // SAFETY: split row ranges are disjoint; one tid per split.
             let y_local = unsafe { slices.range(bounds[tid] * k..bounds[tid + 1] * k) };
-            m.spmm_split_local(&splits[tid], x, k, y_local);
+            m.spmm_split_local_isa(isa, &splits[tid], x, k, y_local);
         });
     }
 }
@@ -230,14 +260,26 @@ pub struct ParCsrVi<'m, I: SpIndex = u32, V: Scalar = f64> {
     matrix: &'m CsrVi<I, V>,
     partition: RowPartition,
     pool: WorkerPool,
+    isa: Isa,
 }
 
 impl<'m, I: SpIndex, V: Scalar> ParCsrVi<'m, I, V> {
-    /// Plans an nnz-balanced row partition over `nthreads` threads.
+    /// Plans an nnz-balanced row partition over `nthreads` threads. The
+    /// kernel ISA is snapshotted at plan time.
     pub fn new(matrix: &'m CsrVi<I, V>, nthreads: usize) -> Self {
+        Self::with_isa(matrix, nthreads, spmv_core::simd::selected())
+    }
+
+    /// Like [`ParCsrVi::new`] with an explicit kernel ISA.
+    pub fn with_isa(matrix: &'m CsrVi<I, V>, nthreads: usize, isa: Isa) -> Self {
         let partition = RowPartition::by_nnz(matrix.row_ptr(), nthreads);
         let pool = WorkerPool::new(partition.nparts());
-        ParCsrVi { partition, matrix, pool }
+        ParCsrVi { partition, matrix, pool, isa }
+    }
+
+    /// The kernel ISA snapshotted at plan time.
+    pub fn kernel_isa(&self) -> Isa {
+        self.isa
     }
 }
 
@@ -256,11 +298,12 @@ impl<I: SpIndex, V: Scalar> ParSpMv<V> for ParCsrVi<'_, I, V> {
         let slices = DisjointSlices::new(y);
         let partition = &self.partition;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             let range = partition.part(tid);
             // SAFETY: partition blocks are disjoint; one tid per block.
             let y_local = unsafe { slices.range(range.clone()) };
-            m.spmv_rows_local(range.start, range.end, x, y_local);
+            m.spmv_rows_local_isa(isa, range.start, range.end, x, y_local);
         });
     }
 }
@@ -271,11 +314,12 @@ impl<I: SpIndex, V: Scalar> ParSpMm<V> for ParCsrVi<'_, I, V> {
         let slices = DisjointSlices::new(y);
         let partition = &self.partition;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             let range = partition.part(tid);
             // SAFETY: partition blocks are disjoint; one tid per block.
             let y_local = unsafe { slices.range(range.start * k..range.end * k) };
-            m.spmm_rows_local(range.start, range.end, x, k, y_local);
+            m.spmm_rows_local_isa(isa, range.start, range.end, x, k, y_local);
         });
     }
 }
@@ -290,15 +334,27 @@ pub struct ParCsrDuVi<'m, V: Scalar = f64> {
     splits: Vec<DuSplit>,
     row_bounds: Vec<usize>,
     pool: WorkerPool,
+    isa: Isa,
 }
 
 impl<'m, V: Scalar> ParCsrDuVi<'m, V> {
-    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads.
+    /// Plans nnz-balanced ctl-stream splits over `nthreads` threads. The
+    /// kernel ISA is snapshotted at plan time.
     pub fn new(matrix: &'m CsrDuVi<V>, nthreads: usize) -> Self {
+        Self::with_isa(matrix, nthreads, spmv_core::simd::selected())
+    }
+
+    /// Like [`ParCsrDuVi::new`] with an explicit kernel ISA.
+    pub fn with_isa(matrix: &'m CsrDuVi<V>, nthreads: usize, isa: Isa) -> Self {
         let splits = matrix.splits(nthreads);
         let row_bounds = split_row_bounds(splits.iter().map(|s| s.row_end));
         let pool = WorkerPool::new(splits.len().max(1));
-        ParCsrDuVi { splits, row_bounds, matrix, pool }
+        ParCsrDuVi { splits, row_bounds, matrix, pool, isa }
+    }
+
+    /// The kernel ISA snapshotted at plan time.
+    pub fn kernel_isa(&self) -> Isa {
+        self.isa
     }
 }
 
@@ -325,10 +381,11 @@ impl<V: Scalar> ParSpMv<V> for ParCsrDuVi<'_, V> {
         let splits = &self.splits;
         let bounds = &self.row_bounds;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             // SAFETY: split row ranges are disjoint; one tid per split.
             let y_local = unsafe { slices.range(bounds[tid]..bounds[tid + 1]) };
-            m.spmv_split_local(&splits[tid], x, y_local);
+            m.spmv_split_local_isa(isa, &splits[tid], x, y_local);
         });
     }
 }
@@ -347,10 +404,11 @@ impl<V: Scalar> ParSpMm<V> for ParCsrDuVi<'_, V> {
         let splits = &self.splits;
         let bounds = &self.row_bounds;
         let m = self.matrix;
+        let isa = self.isa;
         self.pool.run(|tid| {
             // SAFETY: split row ranges are disjoint; one tid per split.
             let y_local = unsafe { slices.range(bounds[tid] * k..bounds[tid + 1] * k) };
-            m.spmm_split_local(&splits[tid], x, k, y_local);
+            m.spmm_split_local_isa(isa, &splits[tid], x, k, y_local);
         });
     }
 }

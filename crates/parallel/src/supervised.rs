@@ -42,7 +42,7 @@ use crate::telemetry::PoolTelemetry;
 use spmv_core::csr_du::{CsrDu, DuSplit};
 use spmv_core::csr_duvi::CsrDuVi;
 use spmv_core::csr_vi::CsrVi;
-use spmv_core::{Csr, Scalar, SpIndex};
+use spmv_core::{Csr, Isa, Scalar, SpIndex};
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -108,13 +108,16 @@ pub trait ChunkKernel<V: Scalar>: Send + Sync + 'static {
 pub struct CsrChunks<I: SpIndex, V: Scalar> {
     matrix: Arc<Csr<I, V>>,
     partition: RowPartition,
+    isa: Isa,
 }
 
 impl<I: SpIndex, V: Scalar> CsrChunks<I, V> {
-    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks.
+    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks. The
+    /// kernel ISA is snapshotted here, so every chunk execution — worker,
+    /// serial retry and bit-exact self-check alike — runs the same kernel.
     pub fn new(matrix: Arc<Csr<I, V>>, nchunks: usize) -> CsrChunks<I, V> {
         let partition = RowPartition::for_csr(&matrix, nchunks.max(1));
-        CsrChunks { matrix, partition }
+        CsrChunks { matrix, partition, isa: spmv_core::simd::selected() }
     }
 }
 
@@ -133,11 +136,11 @@ impl<I: SpIndex, V: Scalar> ChunkKernel<V> for CsrChunks<I, V> {
     }
     fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
         let r = self.partition.part(chunk);
-        self.matrix.spmv_rows_local(r.start, r.end, x, out);
+        self.matrix.spmv_rows_local_isa(self.isa, r.start, r.end, x, out);
     }
     fn compute_block(&self, chunk: usize, x: &[V], k: usize, out: &mut [V]) {
         let r = self.partition.part(chunk);
-        self.matrix.spmm_rows_local(r.start, r.end, x, k, out);
+        self.matrix.spmm_rows_local_isa(self.isa, r.start, r.end, x, k, out);
     }
 }
 
@@ -145,13 +148,15 @@ impl<I: SpIndex, V: Scalar> ChunkKernel<V> for CsrChunks<I, V> {
 pub struct CsrViChunks<I: SpIndex = u32, V: Scalar = f64> {
     matrix: Arc<CsrVi<I, V>>,
     partition: RowPartition,
+    isa: Isa,
 }
 
 impl<I: SpIndex, V: Scalar> CsrViChunks<I, V> {
-    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks.
+    /// Partitions `matrix` into `nchunks` nnz-balanced row chunks
+    /// (kernel ISA snapshotted, as on [`CsrChunks::new`]).
     pub fn new(matrix: Arc<CsrVi<I, V>>, nchunks: usize) -> CsrViChunks<I, V> {
         let partition = RowPartition::by_nnz(matrix.row_ptr(), nchunks.max(1));
-        CsrViChunks { matrix, partition }
+        CsrViChunks { matrix, partition, isa: spmv_core::simd::selected() }
     }
 }
 
@@ -170,11 +175,11 @@ impl<I: SpIndex, V: Scalar> ChunkKernel<V> for CsrViChunks<I, V> {
     }
     fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
         let r = self.partition.part(chunk);
-        self.matrix.spmv_rows_local(r.start, r.end, x, out);
+        self.matrix.spmv_rows_local_isa(self.isa, r.start, r.end, x, out);
     }
     fn compute_block(&self, chunk: usize, x: &[V], k: usize, out: &mut [V]) {
         let r = self.partition.part(chunk);
-        self.matrix.spmm_rows_local(r.start, r.end, x, k, out);
+        self.matrix.spmm_rows_local_isa(self.isa, r.start, r.end, x, k, out);
     }
 }
 
@@ -183,16 +188,18 @@ pub struct CsrDuChunks<V: Scalar> {
     matrix: Arc<CsrDu<V>>,
     splits: Vec<DuSplit>,
     bounds: Vec<usize>,
+    isa: Isa,
 }
 
 impl<V: Scalar> CsrDuChunks<V> {
     /// Plans `nchunks` nnz-balanced ctl-stream splits (possibly fewer for
-    /// tiny matrices; zero for an empty one).
+    /// tiny matrices; zero for an empty one). Kernel ISA snapshotted, as
+    /// on [`CsrChunks::new`].
     pub fn new(matrix: Arc<CsrDu<V>>, nchunks: usize) -> CsrDuChunks<V> {
         let splits = matrix.splits(nchunks.max(1));
         let mut bounds = vec![0usize];
         bounds.extend(splits.iter().map(|s| s.row_end));
-        CsrDuChunks { matrix, splits, bounds }
+        CsrDuChunks { matrix, splits, bounds, isa: spmv_core::simd::selected() }
     }
 }
 
@@ -210,10 +217,10 @@ impl<V: Scalar> ChunkKernel<V> for CsrDuChunks<V> {
         self.bounds[chunk]..self.bounds[chunk + 1]
     }
     fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
-        self.matrix.spmv_split_local(&self.splits[chunk], x, out);
+        self.matrix.spmv_split_local_isa(self.isa, &self.splits[chunk], x, out);
     }
     fn compute_block(&self, chunk: usize, x: &[V], k: usize, out: &mut [V]) {
-        self.matrix.spmm_split_local(&self.splits[chunk], x, k, out);
+        self.matrix.spmm_split_local_isa(self.isa, &self.splits[chunk], x, k, out);
     }
 }
 
@@ -222,15 +229,17 @@ pub struct CsrDuViChunks<V: Scalar> {
     matrix: Arc<CsrDuVi<V>>,
     splits: Vec<DuSplit>,
     bounds: Vec<usize>,
+    isa: Isa,
 }
 
 impl<V: Scalar> CsrDuViChunks<V> {
-    /// Plans `nchunks` nnz-balanced ctl-stream splits.
+    /// Plans `nchunks` nnz-balanced ctl-stream splits (kernel ISA
+    /// snapshotted, as on [`CsrChunks::new`]).
     pub fn new(matrix: Arc<CsrDuVi<V>>, nchunks: usize) -> CsrDuViChunks<V> {
         let splits = matrix.splits(nchunks.max(1));
         let mut bounds = vec![0usize];
         bounds.extend(splits.iter().map(|s| s.row_end));
-        CsrDuViChunks { matrix, splits, bounds }
+        CsrDuViChunks { matrix, splits, bounds, isa: spmv_core::simd::selected() }
     }
 }
 
@@ -248,10 +257,10 @@ impl<V: Scalar> ChunkKernel<V> for CsrDuViChunks<V> {
         self.bounds[chunk]..self.bounds[chunk + 1]
     }
     fn compute(&self, chunk: usize, x: &[V], out: &mut [V]) {
-        self.matrix.spmv_split_local(&self.splits[chunk], x, out);
+        self.matrix.spmv_split_local_isa(self.isa, &self.splits[chunk], x, out);
     }
     fn compute_block(&self, chunk: usize, x: &[V], k: usize, out: &mut [V]) {
-        self.matrix.spmm_split_local(&self.splits[chunk], x, k, out);
+        self.matrix.spmm_split_local_isa(self.isa, &self.splits[chunk], x, k, out);
     }
 }
 

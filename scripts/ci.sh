@@ -58,6 +58,18 @@ cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
 cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
     check-bench target/spmm-smoke/BENCH.json
 
+echo "== simd-smoke (cross-ISA bit-identity + roofline artifact) =="
+# The SIMD differential matrix (formats x k x threads, bit-compared) must
+# hold with the dispatcher forced to scalar and left on auto-detect; then
+# a tiny --isa auto bench artifact must carry finite roofline fields and
+# a recognized kernel_isa, re-validated through check-bench.
+SPMV_ISA=scalar cargo test -q --test simd_equivalence
+SPMV_ISA=auto cargo test -q --test simd_equivalence
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    --scale 0.002 --iters 4 --isa auto --out target/simd-smoke bench
+cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
+    check-bench target/simd-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.
