@@ -747,13 +747,15 @@ fn bench(args: &Args) {
         file.machine.machine_bandwidth_gbs
     );
     println!(
-        "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} | {:>9}",
+        "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>10} {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} | \
+         {:>9}",
         "matrix",
         "format",
         "thr",
         "k",
         "isa",
         "median",
+        "p99",
         "cv",
         "MFLOP/s",
         "eff GB/s",
@@ -768,14 +770,15 @@ fn bench(args: &Args) {
             None => format!("{:>9}", "-"),
         };
         println!(
-            "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>8.1} us {:>8.3} {:>9.0} {:>9.2} {:>9.2} {:>9.2} \
-             {:>6.2} | {imbalance}",
+            "{:<12} {:<9} {:>3} {:>3} {:>6} | {:>8.1} us {:>8.1} us {:>8.3} {:>9.0} {:>9.2} \
+             {:>9.2} {:>9.2} {:>6.2} | {imbalance}",
             r.matrix,
             r.format,
             r.threads,
             r.k,
             r.kernel_isa,
             r.stats.median_s * 1e6,
+            r.stats.p99_s * 1e6,
             r.stats.cv,
             r.mflops,
             r.effective_bandwidth_gbs,

@@ -47,7 +47,13 @@ use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemet
 /// Version 3 added the roofline layer: the machine's measured stream
 /// bandwidth (`machine.machine_bandwidth_gbs`) plus per-record
 /// `kernel_isa` and `roofline_fraction`.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// Version 4 added the serving layer: `p99_s` in every
+/// [`TimingStats`] block and a top-level `service` section (null for
+/// kernel benches) holding the `loadgen` overload summary — offered
+/// load, admitted/shed counts, completed-request latency percentiles,
+/// and the batch-size histogram. `records` may be empty only when
+/// `service` is present.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
@@ -119,6 +125,51 @@ impl From<PoolTelemetry> for TelemetryRecord {
     }
 }
 
+/// The `loadgen` overload-run summary (schema v4 `service` section):
+/// what the serving layer did under a configured offered load, so
+/// graceful degradation is a measured artifact rather than an assertion.
+/// Count invariants (checked by [`validate_bench_text`]): every
+/// submitted request is admitted or shed, and every admitted request
+/// terminates as completed, deadline-expired, or failed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceSummary {
+    /// Offered load the generator drove, in requests per second.
+    pub offered_rps: f64,
+    /// Wall-clock seconds of the traffic window.
+    pub duration_s: f64,
+    /// Distinct tenants in the traffic mix.
+    pub tenants: usize,
+    /// Per-request deadline budget the run was configured with (ms).
+    pub deadline_ms: f64,
+    /// Requests the generator submitted.
+    pub submitted: u64,
+    /// Requests that passed admission control into the queue.
+    pub admitted: u64,
+    /// Requests shed with `ServiceError::Overloaded` (queue full).
+    pub shed_overload: u64,
+    /// Requests shed with `ServiceError::TenantQuotaExceeded`.
+    pub shed_quota: u64,
+    /// Admitted requests that expired (`DeadlineExceeded`) before or
+    /// while waiting for execution.
+    pub deadline_expired: u64,
+    /// Admitted requests that returned a result.
+    pub completed: u64,
+    /// Admitted requests that exhausted retries (`ExecutionFailed`) or
+    /// were drained at shutdown.
+    pub failed: u64,
+    /// Batch re-executions after a recoverable pool fault.
+    pub retries: u64,
+    /// Times a per-matrix circuit breaker tripped to serial execution.
+    pub breaker_trips: u64,
+    /// End-to-end latency summary over *completed* requests (seconds,
+    /// submit-to-reply). `p99_s` against `deadline_ms` is the headline
+    /// graceful-degradation figure.
+    pub latency: TimingStats,
+    /// Batch-size histogram: `batch_sizes[i]` panels executed at width
+    /// `k = i + 1`. Coalescing under load shows up as mass above k = 1.
+    pub batch_sizes: Vec<u64>,
+}
+
 /// One measured (matrix, format, thread count, panel width) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
@@ -185,8 +236,12 @@ pub struct BenchFile {
     pub iterations: usize,
     /// x-vector seed.
     pub seed: u64,
-    /// One record per (matrix, format, thread count).
+    /// One record per (matrix, format, thread count). May be empty only
+    /// for a `loadgen` artifact (then `service` is present).
     pub records: Vec<BenchRecord>,
+    /// Serving-layer overload summary (`loadgen` artifacts only; null
+    /// for kernel benches).
+    pub service: Option<ServiceSummary>,
 }
 
 /// What [`collect_bench`] measures.
@@ -282,6 +337,9 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
     if opts.k_values.contains(&0) {
         return Err(SparseError::InvalidArgument("bench requires every k >= 1".into()));
     }
+    // Explicit entry point: a malformed SPMV_ISA is a typed error here,
+    // not the lenient warn-and-ignore fallback of the cached selector.
+    spmv_core::simd::env_isa_checked()?;
     // Force the requested ISA for the whole run (serial kernels read the
     // global selection; parallel plans snapshot it at construction); the
     // guard restores the previous state on every exit path.
@@ -388,6 +446,7 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
         iterations: opts.iters,
         seed: opts.seed,
         records,
+        service: None,
     })
 }
 
@@ -415,10 +474,79 @@ fn require_str(obj: &Json, key: &str, ctx: &str) -> Result<(), String> {
         .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
 }
 
-/// Validates `text` as a schema-version-3 `BENCH.json`: parses the JSON,
+/// Checks a serialized [`TimingStats`] block: every promised key present
+/// and numeric (shared by per-record `stats` and the service `latency`).
+fn validate_stats(stats: &Json, ctx: &str) -> Result<(), String> {
+    for key in ["samples", "min_s", "median_s", "mean_s", "mad_s", "p95_s", "p99_s", "cv"] {
+        require_num(stats, key, ctx)?;
+    }
+    Ok(())
+}
+
+/// Checks the schema-v4 `service` section (the `loadgen` summary): all
+/// counters present, the admission/termination count invariants hold,
+/// the latency block is a full [`TimingStats`], and the batch histogram
+/// is a non-empty numeric array.
+fn validate_service(service: &Json) -> Result<(), String> {
+    let ctx = "service";
+    for key in ["offered_rps", "duration_s", "deadline_ms"] {
+        let v = require_num(service, key, ctx)?;
+        if v <= 0.0 {
+            return Err(format!("{ctx}: {key} {v} must be > 0"));
+        }
+    }
+    let tenants = require_num(service, "tenants", ctx)?;
+    if tenants < 1.0 {
+        return Err(format!("{ctx}: tenants {tenants} must be >= 1"));
+    }
+    let count = |key: &str| -> Result<f64, String> {
+        let v = require_num(service, key, ctx)?;
+        if v < 0.0 {
+            return Err(format!("{ctx}: {key} {v} must be >= 0"));
+        }
+        Ok(v)
+    };
+    let submitted = count("submitted")?;
+    let admitted = count("admitted")?;
+    let shed_overload = count("shed_overload")?;
+    let shed_quota = count("shed_quota")?;
+    let deadline_expired = count("deadline_expired")?;
+    let completed = count("completed")?;
+    let failed = count("failed")?;
+    count("retries")?;
+    count("breaker_trips")?;
+    if admitted + shed_overload + shed_quota != submitted {
+        return Err(format!(
+            "{ctx}: admitted {admitted} + shed {} != submitted {submitted}",
+            shed_overload + shed_quota
+        ));
+    }
+    if completed + deadline_expired + failed != admitted {
+        return Err(format!(
+            "{ctx}: completed {completed} + expired {deadline_expired} + failed {failed} \
+             != admitted {admitted} (lost responses?)"
+        ));
+    }
+    let latency = service.get("latency").ok_or_else(|| format!("{ctx}: missing \"latency\""))?;
+    validate_stats(latency, &format!("{ctx}.latency"))?;
+    let batches = service
+        .get("batch_sizes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing or non-array \"batch_sizes\""))?;
+    if batches.is_empty() {
+        return Err(format!("{ctx}: batch_sizes is empty"));
+    }
+    if batches.iter().any(|v| v.as_f64().is_none()) {
+        return Err(format!("{ctx}: batch_sizes has non-numeric entries"));
+    }
+    Ok(())
+}
+
+/// Validates `text` as a schema-version-4 `BENCH.json`: parses the JSON,
 /// checks the version stamp, and requires every field the schema promises
 /// with the right shape. Used by `reproduce check-bench` and the
-/// `bench-smoke` CI gate, and by the golden-file tests.
+/// `bench-smoke` / `service-smoke` CI gates, and by the golden-file
+/// tests.
 pub fn validate_bench_text(text: &str) -> Result<(), String> {
     let root = Json::parse(text).map_err(|e| format!("BENCH.json does not parse: {e}"))?;
     if !root.is_obj() {
@@ -444,11 +572,19 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
         return Err(format!("iterations {iters} must be >= 1"));
     }
     require_num(&root, "seed", "top level")?;
+    let service = match root.get("service") {
+        None => return Err("top level: missing \"service\" (null for kernel benches)".into()),
+        Some(s) if s.is_null() => None,
+        Some(s) => {
+            validate_service(s)?;
+            Some(s)
+        }
+    };
     let records = root
         .get("records")
         .and_then(Json::as_arr)
         .ok_or("top level: missing or non-array \"records\"")?;
-    if records.is_empty() {
+    if records.is_empty() && service.is_none() {
         return Err("records array is empty (nothing was measured)".into());
     }
     for (i, rec) in records.iter().enumerate() {
@@ -494,9 +630,7 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
             return Err(format!("{ctx}: roofline_fraction {roof} must be >= 0"));
         }
         let stats = rec.get("stats").ok_or_else(|| format!("{ctx}: missing \"stats\""))?;
-        for key in ["samples", "min_s", "median_s", "mean_s", "mad_s", "p95_s", "cv"] {
-            require_num(stats, key, &format!("{ctx}.stats"))?;
-        }
+        validate_stats(stats, &format!("{ctx}.stats"))?;
         match rec.get("telemetry") {
             None => return Err(format!("{ctx}: missing \"telemetry\" (null when disabled)")),
             Some(t) if t.is_null() => {}
@@ -624,7 +758,7 @@ mod tests {
         let good = serde_json::to_string_pretty(&file).unwrap();
         assert!(validate_bench_text("not json").is_err());
         assert!(validate_bench_text("{}").is_err());
-        let wrong_version = good.replacen("\"schema_version\": 3", "\"schema_version\": 99", 1);
+        let wrong_version = good.replacen("\"schema_version\": 4", "\"schema_version\": 99", 1);
         assert!(validate_bench_text(&wrong_version).unwrap_err().contains("schema_version"));
         let no_records = good.replacen("\"records\"", "\"recs\"", 1);
         assert!(validate_bench_text(&no_records).is_err());
@@ -644,6 +778,65 @@ mod tests {
         );
         assert_ne!(no_ceiling, good, "replacement must hit the ceiling field");
         assert!(validate_bench_text(&no_ceiling).unwrap_err().contains("machine_bandwidth_gbs"));
+    }
+
+    fn service_file() -> BenchFile {
+        use crate::measured::TimingStats;
+        BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            machine: MachineInfo { machine_bandwidth_gbs: 10.0, ..MachineInfo::detect() },
+            scale: 0.01,
+            iterations: 90,
+            seed: 7,
+            records: Vec::new(),
+            service: Some(ServiceSummary {
+                offered_rps: 2000.0,
+                duration_s: 3.0,
+                tenants: 4,
+                deadline_ms: 25.0,
+                submitted: 6000,
+                admitted: 4000,
+                shed_overload: 1800,
+                shed_quota: 200,
+                deadline_expired: 80,
+                completed: 3900,
+                failed: 20,
+                retries: 3,
+                breaker_trips: 1,
+                latency: TimingStats {
+                    samples: 3900,
+                    min_s: 1e-4,
+                    median_s: 2e-3,
+                    mean_s: 3e-3,
+                    mad_s: 1e-3,
+                    p95_s: 1.5e-2,
+                    p99_s: 2.2e-2,
+                    cv: 0.4,
+                },
+                batch_sizes: vec![500, 200, 0, 400, 0, 0, 0, 150],
+            }),
+        }
+    }
+
+    #[test]
+    fn service_artifact_validates_and_count_invariants_are_enforced() {
+        let good = serde_json::to_string_pretty(&service_file()).unwrap();
+        validate_bench_text(&good).unwrap();
+        // A lost response breaks completed + expired + failed == admitted.
+        let lost = good.replacen("\"completed\": 3900", "\"completed\": 3899", 1);
+        assert_ne!(lost, good);
+        assert!(validate_bench_text(&lost).unwrap_err().contains("lost responses"));
+        // Shed counts must reconcile with submitted.
+        let leaked = good.replacen("\"shed_overload\": 1800", "\"shed_overload\": 1799", 1);
+        assert!(validate_bench_text(&leaked).unwrap_err().contains("submitted"));
+        // The latency block must be a full TimingStats (p99 included).
+        let no_p99 = good.replacen("\"p99_s\"", "\"p98_s\"", 1);
+        assert!(validate_bench_text(&no_p99).unwrap_err().contains("p99_s"));
+        // An empty artifact with neither records nor service says so.
+        let mut bare = service_file();
+        bare.service = None;
+        let text = serde_json::to_string_pretty(&bare).unwrap();
+        assert!(validate_bench_text(&text).unwrap_err().contains("empty"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn golden_file() -> BenchFile {
                 mean_s: 1.3e-4,
                 mad_s: 5.0e-6,
                 p95_s: 2.0e-4,
+                p99_s: 2.4e-4,
                 cv: 0.07,
             },
             mflops: 128.0,
@@ -58,6 +59,7 @@ fn golden_file() -> BenchFile {
                 imbalance: 500.0 / 350.0,
             }),
         }],
+        service: None,
     }
 }
 
@@ -111,7 +113,9 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(num(stats, "mean_s"), 1.3e-4);
     assert_eq!(num(stats, "mad_s"), 5.0e-6);
     assert_eq!(num(stats, "p95_s"), 2.0e-4);
+    assert_eq!(num(stats, "p99_s"), 2.4e-4);
     assert_eq!(num(stats, "cv"), 0.07);
+    assert!(root.get("service").expect("service field always present").is_null());
 
     let t = r.get("telemetry").expect("telemetry field");
     let busy: Vec<f64> =
@@ -138,6 +142,8 @@ fn golden_schema_detects_field_removal() {
         "\"machine_bandwidth_gbs\"",
         "\"kernel_isa\"",
         "\"roofline_fraction\"",
+        "\"p99_s\"",
+        "\"service\"",
     ] {
         let renamed = format!("\"x{}", &field[1..]);
         let broken = text.replacen(field, &renamed, 1);

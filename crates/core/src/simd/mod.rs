@@ -40,6 +40,7 @@ use std::any::TypeId;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
+use crate::error::SparseError;
 use crate::index::SpIndex;
 use crate::scalar::Scalar;
 
@@ -163,9 +164,35 @@ pub fn forced() -> Option<Isa> {
 }
 
 fn env_choice() -> Option<Isa> {
-    *ENV_CHOICE.get_or_init(|| {
-        std::env::var("SPMV_ISA").ok().and_then(|s| parse_choice(s.trim()).ok().flatten())
+    // The init closure runs once per process, so a malformed value warns
+    // exactly once; explicit API paths use [`env_isa_checked`] to get the
+    // typed error instead of this lenient fallback.
+    *ENV_CHOICE.get_or_init(|| match std::env::var("SPMV_ISA") {
+        Ok(s) => match parse_choice(s.trim()) {
+            Ok(choice) => choice,
+            Err(e) => {
+                eprintln!("warning: ignoring SPMV_ISA: {e}; falling back to auto-detection");
+                None
+            }
+        },
+        Err(_) => None,
     })
+}
+
+/// Strict form of the `SPMV_ISA` reader for explicit API paths
+/// (`collect_bench`, the service builder): re-reads the environment and
+/// returns [`SparseError::InvalidArgument`] for a malformed value
+/// instead of the warn-and-ignore fallback the cached [`selected`] path
+/// uses. `Ok(None)` means unset or `auto`.
+pub fn env_isa_checked() -> Result<Option<Isa>, SparseError> {
+    match std::env::var("SPMV_ISA") {
+        Ok(s) => parse_choice(s.trim())
+            .map_err(|e| SparseError::InvalidArgument(format!("SPMV_ISA: {e}"))),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(SparseError::InvalidArgument("SPMV_ISA is not valid unicode".into()))
+        }
+    }
 }
 
 /// The ISA new kernel calls and plans will use right now:
@@ -271,6 +298,16 @@ mod tests {
     #[test]
     fn selected_never_picks_unavailable_isa() {
         assert!(selected().available());
+    }
+
+    #[test]
+    fn checked_env_isa_agrees_with_cached_choice_on_valid_env() {
+        // CI runs the suite with SPMV_ISA unset and set to valid names;
+        // either way the strict reader must succeed and agree with the
+        // cached lenient one. (Malformed values are covered through the
+        // pure `parse_choice` tests — mutating the environment here would
+        // race other tests in this binary.)
+        assert_eq!(env_isa_checked().unwrap(), env_choice());
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub use par::{
     ParSpMv, ParSymCsr,
 };
 pub use partition::{ColPartition, Grid2d, RowPartition};
-pub use pool::{run_on_threads, DisjointSlices, IterationDriver, PoolEvent, WorkerPool};
+pub use pool::{
+    parse_watchdog_ms, run_on_threads, watchdog_deadline, watchdog_deadline_checked,
+    DisjointSlices, IterationDriver, PoolEvent, WorkerPool, DEFAULT_WATCHDOG,
+};
 pub use supervised::{
     ChunkKernel, CsrChunks, CsrDuChunks, CsrDuViChunks, CsrViChunks, FaultEvent, HealthReport,
     PoolError, RecoveryPolicy, SupervisedSpMv, WatchdogOpts,

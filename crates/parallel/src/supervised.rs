@@ -656,6 +656,17 @@ impl<V: Scalar> SupervisedSpMv<V> {
         &self.opts
     }
 
+    /// Replaces the watchdog deadline for subsequent calls — the
+    /// serving layer's per-request deadline plumbing: each batch runs
+    /// under the minimum remaining budget of its members instead of the
+    /// construction-time default. Any positive value is safe (a low
+    /// deadline can only cause spurious serial recovery, never a wrong
+    /// result); sub-millisecond values are honored as given.
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        assert!(deadline > Duration::ZERO, "watchdog deadline must be positive");
+        self.opts.deadline = deadline;
+    }
+
     /// Computes `y = A·x` under supervision.
     ///
     /// Returns the call's [`HealthReport`] (empty events ⇒ fully healthy
@@ -991,6 +1002,39 @@ mod tests {
             ("csr-vi", Arc::new(CsrViChunks::new(Arc::new(vi), nchunks))),
             ("csr-duvi", Arc::new(CsrDuViChunks::new(Arc::new(duvi), nchunks))),
         ]
+    }
+
+    #[test]
+    fn set_deadline_changes_subsequent_calls_without_respawning() {
+        let coo = irregular(120, 100, 3);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let x = x_for(100);
+        let mut y_serial = vec![0.0; 120];
+        csr.spmv(&x, &mut y_serial);
+        let kernel: Arc<dyn ChunkKernel<f64>> = Arc::new(CsrChunks::new(Arc::new(csr), 6));
+        let mut sup = SupervisedSpMv::with_opts(kernel, 3, calm());
+        assert_eq!(sup.opts().deadline, Duration::from_secs(60));
+        // Per-request deadline plumbing: tighten, run, relax, run — both
+        // calls stay healthy and bit-identical on the same worker roster.
+        sup.set_deadline(Duration::from_millis(200));
+        assert_eq!(sup.opts().deadline, Duration::from_millis(200));
+        let mut y = vec![99.0; 120];
+        sup.spmv(&x, &mut y).expect("healthy run under tightened deadline");
+        assert_eq!(y, y_serial);
+        sup.set_deadline(Duration::from_secs(30));
+        let mut y2 = vec![-1.0; 120];
+        sup.spmv(&x, &mut y2).expect("healthy run after relaxing");
+        assert_eq!(y2, y_serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog deadline must be positive")]
+    fn zero_deadline_is_rejected() {
+        let coo = irregular(40, 40, 5);
+        let csr: Csr<u32, f64> = coo.to_csr();
+        let kernel: Arc<dyn ChunkKernel<f64>> = Arc::new(CsrChunks::new(Arc::new(csr), 2));
+        let mut sup = SupervisedSpMv::with_opts(kernel, 2, calm());
+        sup.set_deadline(Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Typed request outcomes: every path through the service terminates in
+//! a [`Response`](crate::Response) or one of these errors — never a hang.
+
+use spmv_parallel::PoolError;
+use std::time::Duration;
+
+/// Why a request did not return a result. Clients must handle every
+/// variant; the first three are *load signals* (retry later, shed, or
+/// slow down), the rest are request or execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control shed the request: the bounded queue was full.
+    /// Backpressure by rejection — the service never queues unboundedly.
+    Overloaded {
+        /// Requests queued when the request arrived.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// Admission control shed the request: the tenant hit its in-flight
+    /// quota ([`TenantLimits::max_inflight`](crate::TenantLimits)).
+    TenantQuotaExceeded {
+        /// The tenant that was over quota.
+        tenant: String,
+        /// The tenant's queued requests at admission time.
+        inflight: usize,
+        /// The tenant's quota.
+        quota: usize,
+    },
+    /// The request's deadline budget expired: either fail-fast before
+    /// admission (zero budget), while queued (the dispatcher expires
+    /// stale requests before touching the pool), or at the client-side
+    /// reply backstop.
+    DeadlineExceeded {
+        /// How long the request waited before expiring.
+        waited: Duration,
+    },
+    /// The request's x vector exceeds the tenant's per-request byte
+    /// ceiling ([`TenantLimits::max_vector_bytes`](crate::TenantLimits)).
+    VectorTooLarge {
+        /// The request vector's size in bytes.
+        bytes: u64,
+        /// The tenant's ceiling.
+        max_bytes: u64,
+    },
+    /// The named matrix is not in the service's registry.
+    UnknownMatrix(String),
+    /// The request vector's length disagrees with the matrix.
+    DimensionMismatch {
+        /// The matrix's column count.
+        expected: usize,
+        /// The request vector's length.
+        got: usize,
+    },
+    /// Execution kept faulting: the batch was retried with bounded
+    /// backoff and every attempt surfaced a pool fault.
+    ExecutionFailed {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last fault observed.
+        last: PoolError,
+    },
+    /// The service is shutting down; queued requests are drained with
+    /// this error instead of being executed.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued} requests queued at capacity {capacity}")
+            }
+            ServiceError::TenantQuotaExceeded { tenant, inflight, quota } => {
+                write!(f, "tenant {tenant:?} quota exceeded: {inflight} in flight, quota {quota}")
+            }
+            ServiceError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after {waited:?}")
+            }
+            ServiceError::VectorTooLarge { bytes, max_bytes } => {
+                write!(f, "request vector is {bytes} bytes, tenant ceiling is {max_bytes}")
+            }
+            ServiceError::UnknownMatrix(name) => {
+                write!(f, "matrix {name:?} is not registered")
+            }
+            ServiceError::DimensionMismatch { expected, got } => {
+                write!(f, "x has {got} entries but the matrix has {expected} columns")
+            }
+            ServiceError::ExecutionFailed { attempts, last } => {
+                write!(f, "execution failed after {attempts} attempts: {last}")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

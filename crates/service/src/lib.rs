@@ -1,0 +1,78 @@
+//! Overload-safe batched SpMV serving layer.
+//!
+//! Clients submit `y = A·x` requests against a registry of resident
+//! matrices ([`SpmvService::submit`]) and get back a typed result or a
+//! typed rejection — **never a hang**. The layer turns the supervised
+//! multithreaded executor into a multi-tenant service that degrades
+//! gracefully under overload instead of queueing unboundedly or
+//! stalling.
+//!
+//! # Queue contract
+//!
+//! Admission control runs under one mutex, in this order:
+//!
+//! 1. **Validation** (no load accounting): unknown matrix, dimension
+//!    mismatch, oversized vector, and zero deadline budget are rejected
+//!    with the corresponding [`ServiceError`] before touching the
+//!    queue.
+//! 2. **Capacity**: the queue is bounded
+//!    ([`ServiceConfig::queue_capacity`]); a full queue sheds with
+//!    [`ServiceError::Overloaded`]. Backpressure is by rejection — the
+//!    caller learns *immediately* that the service is saturated.
+//! 3. **Quota**: each tenant may have at most
+//!    [`TenantLimits::max_inflight`] requests queued; beyond that it is
+//!    shed with [`ServiceError::TenantQuotaExceeded`], so one noisy
+//!    tenant cannot monopolize the queue.
+//!
+//! Admitted requests carry a deadline budget (their own, or
+//! [`ServiceConfig::default_deadline`]). The dispatcher expires stale
+//! requests *before* spending pool time on them, and the budget also
+//! bounds the executor's watchdog deadline for the batch, so a faulty
+//! worker costs at most what the most impatient batch member has left.
+//! As a final backstop, the submitting thread itself publishes
+//! [`ServiceError::DeadlineExceeded`] if no reply arrives within the
+//! budget plus a grace window — the no-hang guarantee does not depend
+//! on the dispatcher being healthy.
+//!
+//! # Coalescing contract
+//!
+//! The dispatcher pops the queue head, then scans the queue for later
+//! requests against the *same matrix*, coalescing up to
+//! [`ServiceConfig::max_batch`] of them into one `ncols × k` panel run
+//! through the supervised SpMM path. Widths clamp down to
+//! {8, 4, 2, 1} — the monomorphized panel kernels — and clamped-off
+//! requests return to the queue *front*, seeding the next batch.
+//! Relative order is preserved both within a batch and among the
+//! requests left behind; results are scattered back per request, and
+//! each answer is bit-identical to a serial `y = A·x` for that
+//! request's vector (the executor's recovery guarantee extends through
+//! the panel path).
+//!
+//! # Failure handling
+//!
+//! Under [`RecoveryPolicy::Degrade`](spmv_parallel::RecoveryPolicy) the
+//! executor absorbs worker panics, stalls, and deaths and the batch
+//! still completes (flagged [`Response::degraded`]). Under
+//! [`FailFast`](spmv_parallel::RecoveryPolicy::FailFast) a typed
+//! [`PoolError`](spmv_parallel::PoolError) triggers bounded
+//! exponential-backoff retry ([`ServiceConfig::max_retries`]); if every
+//! attempt faults the batch fails with
+//! [`ServiceError::ExecutionFailed`]. Repeated faults trip a
+//! per-matrix [`CircuitBreaker`] that routes that matrix's batches to a
+//! serial fallback (same chunk kernels, bit-identical results) for a
+//! cooldown before probing the pool again.
+//!
+//! Every counter is exposed via [`SpmvService::stats`]; the
+//! [`ServiceStats`] invariants (`submitted = admitted + sheds`,
+//! `admitted = completed + expired + failed`) are what the BENCH.json
+//! `service` validator re-checks on loadgen artifacts.
+
+mod breaker;
+mod error;
+mod service;
+mod stats;
+
+pub use breaker::CircuitBreaker;
+pub use error::ServiceError;
+pub use service::{Request, Response, ServiceBuilder, ServiceConfig, SpmvService, TenantLimits};
+pub use stats::{ServiceStats, MAX_BATCH};

@@ -1,0 +1,865 @@
+//! The service proper: admission control, the bounded request queue,
+//! the single dispatcher thread that coalesces and executes batches,
+//! and the publish-once reply path back to blocked clients.
+//!
+//! Threading model: clients call [`SpmvService::submit`] from any
+//! number of threads; admission decisions happen under one queue mutex.
+//! One dispatcher thread owns every [`SupervisedSpMv`] executor and
+//! every [`CircuitBreaker`], so batch execution needs no further
+//! synchronization — clients and the dispatcher meet only at the queue
+//! and at per-request [`ReplySlot`]s.
+
+use crate::breaker::CircuitBreaker;
+use crate::error::ServiceError;
+use crate::stats::{ServiceStats, StatsInner, MAX_BATCH};
+use spmv_core::SparseError;
+use spmv_parallel::{
+    watchdog_deadline, watchdog_deadline_checked, ChunkKernel, PoolError, RecoveryPolicy,
+    SupervisedSpMv, WatchdogOpts,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use spmv_parallel::faults::FaultPlan;
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Per-tenant admission ceilings, in the spirit of the I/O layer's
+/// `LoadLimits`: explicit knobs instead of hard-coded constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Maximum requests a tenant may have queued at once; the next
+    /// request is shed with [`ServiceError::TenantQuotaExceeded`].
+    pub max_inflight: usize,
+    /// Maximum size of a request's `x` vector in bytes; larger requests
+    /// are rejected with [`ServiceError::VectorTooLarge`].
+    pub max_vector_bytes: u64,
+}
+
+impl TenantLimits {
+    /// No per-tenant ceilings (global queue capacity still applies).
+    pub fn unlimited() -> TenantLimits {
+        TenantLimits { max_inflight: usize::MAX, max_vector_bytes: u64::MAX }
+    }
+}
+
+impl Default for TenantLimits {
+    /// 16 requests in flight, 64 MiB vectors.
+    fn default() -> TenantLimits {
+        TenantLimits { max_inflight: 16, max_vector_bytes: 64 << 20 }
+    }
+}
+
+/// Service-wide configuration. [`Default`] gives a small, safe setup;
+/// [`ServiceConfig::from_env`] additionally validates the `SPMV_*`
+/// environment knobs through the strict parsers and surfaces a typed
+/// [`SparseError::InvalidArgument`] instead of a warn-and-fallback.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bounded queue capacity; requests beyond it are shed with
+    /// [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Limits applied to tenants without explicit
+    /// [`ServiceBuilder::set_tenant_limits`] registration.
+    pub default_tenant_limits: TenantLimits,
+    /// Deadline budget for requests that don't carry their own.
+    pub default_deadline: Duration,
+    /// Widest panel the coalescer builds (clamped to `1..=8`; widths
+    /// are further clamped down to {1, 2, 4, 8}).
+    pub max_batch: usize,
+    /// Worker threads per supervised executor.
+    pub threads: usize,
+    /// Fault handling for the executors: degrade-and-recover (default)
+    /// or fail-fast into the retry/breaker path.
+    pub policy: RecoveryPolicy,
+    /// Forwarded to [`WatchdogOpts::verify_every`] (0 = off).
+    pub verify_every: usize,
+    /// Whether the dispatcher claims chunks alongside the workers
+    /// (default). Forced on when `threads == 1` (someone must compute);
+    /// chaos tests turn it off so every chunk runs on an injectable
+    /// worker thread.
+    pub caller_participates: bool,
+    /// Ceiling on the per-batch watchdog deadline; the effective
+    /// deadline is the batch's tightest remaining budget clamped to
+    /// `1ms ..= max_exec_deadline`.
+    pub max_exec_deadline: Duration,
+    /// Retries after a recoverable pool fault before the batch fails
+    /// with [`ServiceError::ExecutionFailed`].
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive pool faults that trip a matrix's circuit breaker.
+    pub breaker_trip_after: u32,
+    /// How long a tripped breaker forces serial execution before a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 64,
+            default_tenant_limits: TenantLimits::default(),
+            default_deadline: Duration::from_millis(250),
+            max_batch: MAX_BATCH,
+            threads: 4,
+            policy: RecoveryPolicy::Degrade,
+            verify_every: 0,
+            caller_participates: true,
+            max_exec_deadline: watchdog_deadline(),
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            breaker_trip_after: 3,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// [`Default`], but the `SPMV_WATCHDOG_MS` and `SPMV_ISA`
+    /// environment knobs are validated strictly: a malformed value is a
+    /// typed [`SparseError::InvalidArgument`] here rather than the
+    /// implicit paths' warn-once-and-fall-back.
+    pub fn from_env() -> Result<ServiceConfig, SparseError> {
+        spmv_core::simd::env_isa_checked()?;
+        let watchdog = watchdog_deadline_checked()?;
+        Ok(ServiceConfig { max_exec_deadline: watchdog, ..ServiceConfig::default() })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests, responses, the reply slot
+// ---------------------------------------------------------------------
+
+/// One `y = A·x` request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Registry name of the matrix.
+    pub matrix: String,
+    /// Tenant for quota accounting (any string; unregistered tenants
+    /// get [`ServiceConfig::default_tenant_limits`]).
+    pub tenant: String,
+    /// Input vector; length must equal the matrix's column count.
+    pub x: Vec<f64>,
+    /// Deadline budget; `None` uses [`ServiceConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// A completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The product vector (length = matrix rows).
+    pub y: Vec<f64>,
+    /// Width of the coalesced panel this request executed in.
+    pub batch_k: usize,
+    /// Time from admission to the start of the executing batch.
+    pub queue_wait: Duration,
+    /// Whether the executing call observed (and recovered from) faults.
+    pub degraded: bool,
+    /// Pool attempts the executing batch needed (1 = no retries).
+    pub attempts: u32,
+    /// Whether the batch ran serially because the matrix's circuit
+    /// breaker was open.
+    pub serial: bool,
+}
+
+/// Publish-once rendezvous between the dispatcher and a blocked client.
+/// The first `publish` wins; the loser's result is dropped and — by
+/// contract — the loser must not bump any terminal stats counter.
+/// This is what lets the client-side backstop publish
+/// [`ServiceError::DeadlineExceeded`] without ever double-counting a
+/// request that the dispatcher answers concurrently.
+pub(crate) struct ReplySlot {
+    slot: Mutex<Option<Result<Response, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    /// First writer wins; returns whether this call published.
+    #[cfg(test)]
+    fn publish(&self, r: Result<Response, ServiceError>) -> bool {
+        self.publish_with(r, || {})
+    }
+
+    /// First writer wins; `on_win` runs *inside* the slot's critical
+    /// section before any waiter can observe the reply, so terminal
+    /// stats counters are already bumped by the time `submit` returns —
+    /// a caller reading [`SpmvService::stats`](crate::SpmvService::stats)
+    /// right after a reply sees consistent accounting.
+    fn publish_with(&self, r: Result<Response, ServiceError>, on_win: impl FnOnce()) -> bool {
+        let mut g = self.slot.lock().unwrap();
+        if g.is_some() {
+            return false;
+        }
+        *g = Some(r);
+        on_win();
+        self.cv.notify_all();
+        true
+    }
+
+    /// Blocks until a reply is published or `until` passes; `None` on
+    /// timeout (the slot is left untouched for a backstop publish).
+    fn wait_until(&self, until: Instant) -> Option<Result<Response, ServiceError>> {
+        let mut g = self.slot.lock().unwrap();
+        loop {
+            if g.is_some() {
+                return g.take();
+            }
+            let now = Instant::now();
+            if now >= until {
+                return None;
+            }
+            g = self.cv.wait_timeout(g, until - now).unwrap().0;
+        }
+    }
+
+    /// Takes the published reply, if any.
+    fn take(&self) -> Option<Result<Response, ServiceError>> {
+        self.slot.lock().unwrap().take()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue state and batch popping
+// ---------------------------------------------------------------------
+
+pub(crate) struct Pending {
+    pub matrix_idx: usize,
+    pub tenant: String,
+    pub x: Vec<f64>,
+    pub enqueued: Instant,
+    pub expires: Instant,
+    pub reply: Arc<ReplySlot>,
+}
+
+pub(crate) struct QueueState {
+    pub queue: VecDeque<Pending>,
+    pub tenant_inflight: HashMap<String, usize>,
+    pub shutdown: bool,
+}
+
+struct SharedQ {
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+}
+
+/// Pops the next batch: the queue head plus up to `max_batch - 1`
+/// later same-matrix requests (FIFO order preserved within the batch
+/// *and* among the requests left behind). The batch width is then
+/// clamped down to the largest of {8, 4, 2, 1} — the monomorphized SpMM
+/// panel widths — and clamped-off requests are returned to the queue
+/// front, where they seed the next batch for the same matrix.
+///
+/// Tenant in-flight counts are released here, at pop: quotas bound
+/// *queued* requests, which is what admission can observe.
+pub(crate) fn pop_batch(st: &mut QueueState, max_batch: usize) -> Vec<Pending> {
+    let max_batch = max_batch.clamp(1, MAX_BATCH);
+    let first = st.queue.pop_front().expect("pop_batch needs a non-empty queue");
+    let matrix = first.matrix_idx;
+    let mut batch = vec![first];
+    let mut rest = VecDeque::with_capacity(st.queue.len());
+    while let Some(p) = st.queue.pop_front() {
+        if batch.len() < max_batch && p.matrix_idx == matrix {
+            batch.push(p);
+        } else {
+            rest.push_back(p);
+        }
+    }
+    st.queue = rest;
+    let target = [8usize, 4, 2, 1].into_iter().find(|&w| w <= batch.len()).unwrap();
+    while batch.len() > target {
+        // Popping from the back and pushing to the front keeps the
+        // returned requests in their original relative order.
+        st.queue.push_front(batch.pop().unwrap());
+    }
+    for p in &batch {
+        let n = st.tenant_inflight.get_mut(&p.tenant).expect("tenant count out of sync");
+        *n = n.saturating_sub(1);
+    }
+    batch
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+struct MatrixMeta {
+    name: String,
+    nrows: usize,
+    ncols: usize,
+}
+
+/// Builds an [`SpmvService`]: register resident matrices (any
+/// [`ChunkKernel`] — CSR, CSR-DU, CSR-VI, CSR-DU+VI chunk adapters all
+/// qualify), set per-tenant limits, then [`start`](ServiceBuilder::start)
+/// the dispatcher.
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    matrices: Vec<(String, Arc<dyn ChunkKernel<f64>>)>,
+    tenants: HashMap<String, TenantLimits>,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
+}
+
+impl ServiceBuilder {
+    pub fn new(config: ServiceConfig) -> ServiceBuilder {
+        ServiceBuilder {
+            config,
+            matrices: Vec::new(),
+            tenants: HashMap::new(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
+        }
+    }
+
+    /// Registers a resident matrix under `name` (later registrations
+    /// with the same name shadow earlier ones).
+    pub fn register_matrix(
+        mut self,
+        name: impl Into<String>,
+        kernel: Arc<dyn ChunkKernel<f64>>,
+    ) -> ServiceBuilder {
+        let name = name.into();
+        self.matrices.retain(|(n, _)| *n != name);
+        self.matrices.push((name, kernel));
+        self
+    }
+
+    /// Sets explicit limits for a tenant (others get the config
+    /// default).
+    pub fn set_tenant_limits(
+        mut self,
+        tenant: impl Into<String>,
+        limits: TenantLimits,
+    ) -> ServiceBuilder {
+        self.tenants.insert(tenant.into(), limits);
+        self
+    }
+
+    /// Arms `plan` on the dispatcher thread, so its executors inject
+    /// the planned faults into *worker* threads during batch execution.
+    /// The dispatcher itself participates as thread 0, which the
+    /// supervised executor never fault-injects, so the dispatcher
+    /// cannot be killed by its own plan.
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_faults(mut self, plan: FaultPlan) -> ServiceBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Spawns the dispatcher thread and returns the running service.
+    pub fn start(self) -> SpmvService {
+        let cfg = self.config.clone();
+        let shared = Arc::new(SharedQ {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                tenant_inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let stats: Arc<StatsInner> = Arc::new(StatsInner::default());
+        let meta: Vec<MatrixMeta> = self
+            .matrices
+            .iter()
+            .map(|(name, k)| MatrixMeta { name: name.clone(), nrows: k.nrows(), ncols: k.ncols() })
+            .collect();
+        let matrix_index: HashMap<String, usize> =
+            meta.iter().enumerate().map(|(i, m)| (m.name.clone(), i)).collect();
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            let cfg = cfg.clone();
+            let kernels: Vec<Arc<dyn ChunkKernel<f64>>> =
+                self.matrices.into_iter().map(|(_, k)| k).collect();
+            #[cfg(feature = "fault-injection")]
+            let fault_plan = self.fault_plan;
+            std::thread::Builder::new()
+                .name("spmv-service-dispatch".into())
+                .spawn(move || {
+                    // The armed plan is thread-local to the dispatcher:
+                    // each executor dispatch snapshots it, so planned
+                    // faults fire inside worker threads while the
+                    // dispatcher (thread 0) stays uninjected.
+                    #[cfg(feature = "fault-injection")]
+                    let _armed = fault_plan.map(FaultPlan::arm);
+                    dispatch_loop(&shared, &stats, &cfg, kernels);
+                })
+                .expect("spawning the service dispatcher")
+        };
+
+        SpmvService {
+            shared,
+            stats,
+            cfg,
+            meta,
+            matrix_index,
+            tenants: self.tenants,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service handle
+// ---------------------------------------------------------------------
+
+/// A running SpMV service. Cheap to share behind an [`Arc`];
+/// [`submit`](SpmvService::submit) blocks the calling thread until the
+/// request terminates — with a [`Response`] or a typed
+/// [`ServiceError`], never a hang. Dropping the service shuts it down:
+/// queued requests are drained with [`ServiceError::ShuttingDown`] and
+/// the dispatcher is joined.
+pub struct SpmvService {
+    shared: Arc<SharedQ>,
+    stats: Arc<StatsInner>,
+    cfg: ServiceConfig,
+    meta: Vec<MatrixMeta>,
+    matrix_index: HashMap<String, usize>,
+    tenants: HashMap<String, TenantLimits>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl SpmvService {
+    /// Submits a request and blocks until it terminates. See the crate
+    /// docs for the admission → queue → coalesce → execute pipeline.
+    pub fn submit(&self, req: Request) -> Result<Response, ServiceError> {
+        // Validation happens before admission: these rejections are
+        // request defects, not load signals, and stay out of
+        // `submitted` so the shed-accounting invariants hold exactly.
+        let Some(&idx) = self.matrix_index.get(&req.matrix) else {
+            self.stats.bump(&self.stats.rejected_invalid);
+            return Err(ServiceError::UnknownMatrix(req.matrix));
+        };
+        let m = &self.meta[idx];
+        if req.x.len() != m.ncols {
+            self.stats.bump(&self.stats.rejected_invalid);
+            return Err(ServiceError::DimensionMismatch { expected: m.ncols, got: req.x.len() });
+        }
+        let limits =
+            self.tenants.get(&req.tenant).copied().unwrap_or(self.cfg.default_tenant_limits);
+        let bytes = (req.x.len() * std::mem::size_of::<f64>()) as u64;
+        if bytes > limits.max_vector_bytes {
+            self.stats.bump(&self.stats.rejected_invalid);
+            return Err(ServiceError::VectorTooLarge { bytes, max_bytes: limits.max_vector_bytes });
+        }
+        let budget = req.deadline.unwrap_or(self.cfg.default_deadline);
+        if budget.is_zero() {
+            self.stats.bump(&self.stats.expired_at_submit);
+            return Err(ServiceError::DeadlineExceeded { waited: Duration::ZERO });
+        }
+
+        let now = Instant::now();
+        let reply = ReplySlot::new();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            self.stats.bump(&self.stats.submitted);
+            if st.queue.len() >= self.cfg.queue_capacity {
+                self.stats.bump(&self.stats.shed_overload);
+                return Err(ServiceError::Overloaded {
+                    queued: st.queue.len(),
+                    capacity: self.cfg.queue_capacity,
+                });
+            }
+            let inflight = st.tenant_inflight.entry(req.tenant.clone()).or_insert(0);
+            if *inflight >= limits.max_inflight {
+                self.stats.bump(&self.stats.shed_quota);
+                return Err(ServiceError::TenantQuotaExceeded {
+                    tenant: req.tenant,
+                    inflight: *inflight,
+                    quota: limits.max_inflight,
+                });
+            }
+            *inflight += 1;
+            st.queue.push_back(Pending {
+                matrix_idx: idx,
+                tenant: req.tenant,
+                x: req.x,
+                enqueued: now,
+                expires: now + budget,
+                reply: Arc::clone(&reply),
+            });
+            self.stats.bump(&self.stats.admitted);
+        }
+        self.shared.work_cv.notify_one();
+
+        // The dispatcher expires stale requests at pop, so the normal
+        // deadline path answers well before this backstop. The backstop
+        // exists so that `submit` cannot hang even if the dispatcher is
+        // wedged: past the grace window the client publishes
+        // `DeadlineExceeded` itself (publish-once keeps the accounting
+        // single-entry either way).
+        match reply.wait_until(now + budget + self.reply_grace()) {
+            Some(r) => r,
+            None => {
+                reply.publish_with(
+                    Err(ServiceError::DeadlineExceeded { waited: now.elapsed() }),
+                    || self.stats.bump(&self.stats.deadline_expired),
+                );
+                reply.take().expect("reply slot filled after backstop publish")
+            }
+        }
+    }
+
+    /// Slack beyond the request budget before the client-side backstop
+    /// fires: enough for every retry to blow the full watchdog deadline
+    /// plus backoff, with margin for scheduling noise.
+    fn reply_grace(&self) -> Duration {
+        self.cfg.max_exec_deadline * (self.cfg.max_retries + 2)
+            + self.cfg.max_backoff * (self.cfg.max_retries + 1)
+            + Duration::from_secs(5)
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Registered matrices as `(name, nrows, ncols)`.
+    pub fn matrices(&self) -> Vec<(String, usize, usize)> {
+        self.meta.iter().map(|m| (m.name.clone(), m.nrows, m.ncols)).collect()
+    }
+
+    /// Shuts the service down: new submissions fail with
+    /// [`ServiceError::ShuttingDown`], queued requests drain with the
+    /// same error, and the dispatcher is joined. Returns the final
+    /// counters. Dropping the service does the same implicitly.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_impl();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_impl(&mut self) {
+        if let Some(handle) = self.dispatcher.take() {
+            self.shared.state.lock().unwrap().shutdown = true;
+            self.shared.work_cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SpmvService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+struct ExecState {
+    exec: SupervisedSpMv<f64>,
+    breaker: CircuitBreaker,
+    kernel: Arc<dyn ChunkKernel<f64>>,
+}
+
+fn dispatch_loop(
+    shared: &SharedQ,
+    stats: &StatsInner,
+    cfg: &ServiceConfig,
+    kernels: Vec<Arc<dyn ChunkKernel<f64>>>,
+) {
+    let opts = WatchdogOpts {
+        deadline: cfg.max_exec_deadline.max(Duration::from_millis(1)),
+        policy: cfg.policy,
+        verify_every: cfg.verify_every,
+        // The dispatcher claims chunks as thread 0 — forced on for
+        // `threads == 1` (otherwise nobody computes), and safe under
+        // fault injection because the caller thread is never injected.
+        caller_participates: cfg.caller_participates || cfg.threads <= 1,
+    };
+    let mut execs: Vec<ExecState> = kernels
+        .into_iter()
+        .map(|kernel| ExecState {
+            exec: SupervisedSpMv::with_opts(Arc::clone(&kernel), cfg.threads.max(1), opts),
+            breaker: CircuitBreaker::new(cfg.breaker_trip_after, cfg.breaker_cooldown),
+            kernel,
+        })
+        .collect();
+
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    // Drain: every queued request still terminates,
+                    // with a typed error instead of a result.
+                    while let Some(p) = st.queue.pop_front() {
+                        if let Some(n) = st.tenant_inflight.get_mut(&p.tenant) {
+                            *n = n.saturating_sub(1);
+                        }
+                        p.reply.publish_with(Err(ServiceError::ShuttingDown), || {
+                            stats.bump(&stats.failed)
+                        });
+                    }
+                    return;
+                }
+                if !st.queue.is_empty() {
+                    break pop_batch(&mut st, cfg.max_batch);
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        run_batch(batch, stats, cfg, &mut execs);
+    }
+}
+
+/// Executes one coalesced batch: expire stale members, gather the
+/// panel, run it (parallel with retry/backoff, or serial when the
+/// breaker is open), scatter, publish.
+fn run_batch(
+    batch: Vec<Pending>,
+    stats: &StatsInner,
+    cfg: &ServiceConfig,
+    execs: &mut [ExecState],
+) {
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.expires <= now {
+            p.reply.publish_with(
+                Err(ServiceError::DeadlineExceeded { waited: now - p.enqueued }),
+                || stats.bump(&stats.deadline_expired),
+            );
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let k = live.len();
+    let es = &mut execs[live[0].matrix_idx];
+    let (nrows, ncols) = (es.kernel.nrows(), es.kernel.ncols());
+
+    // Gather the column-major request vectors into the row-major
+    // `ncols x k` panel the SpMM kernels expect.
+    let mut x_panel = vec![0.0f64; ncols * k];
+    for (v, p) in live.iter().enumerate() {
+        for (c, &val) in p.x.iter().enumerate() {
+            x_panel[c * k + v] = val;
+        }
+    }
+    let mut y_panel = vec![0.0f64; nrows * k];
+
+    // The watchdog deadline tracks the batch's tightest remaining
+    // budget: a stalled worker costs at most the time the most
+    // impatient member has left, not a full default deadline.
+    let tightest = live.iter().map(|p| p.expires).min().unwrap();
+    let exec_deadline = tightest
+        .saturating_duration_since(now)
+        .clamp(Duration::from_millis(1), cfg.max_exec_deadline.max(Duration::from_millis(1)));
+    es.exec.set_deadline(exec_deadline);
+
+    let outcome = if es.breaker.allow_parallel(now) {
+        match run_parallel(es, stats, cfg, &x_panel, k, &mut y_panel, tightest) {
+            Ok(o) => o,
+            Err((attempts, last)) => {
+                for p in &live {
+                    p.reply.publish_with(
+                        Err(ServiceError::ExecutionFailed { attempts, last: last.clone() }),
+                        || stats.bump(&stats.failed),
+                    );
+                }
+                return;
+            }
+        }
+    } else {
+        serial_spmm(es.kernel.as_ref(), &x_panel, k, &mut y_panel);
+        stats.bump(&stats.serial_batches);
+        BatchOutcome { degraded: false, attempts: 1, serial: true }
+    };
+
+    stats.batch_sizes[k - 1].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    for (v, p) in live.iter().enumerate() {
+        let mut y = vec![0.0f64; nrows];
+        for (r, slot) in y.iter_mut().enumerate() {
+            *slot = y_panel[r * k + v];
+        }
+        let resp = Response {
+            y,
+            batch_k: k,
+            queue_wait: now - p.enqueued,
+            degraded: outcome.degraded,
+            attempts: outcome.attempts,
+            serial: outcome.serial,
+        };
+        p.reply.publish_with(Ok(resp), || stats.bump(&stats.completed));
+    }
+}
+
+struct BatchOutcome {
+    degraded: bool,
+    attempts: u32,
+    serial: bool,
+}
+
+/// The parallel path with bounded retry: re-execute on a typed pool
+/// fault (fail-fast policy) with exponential backoff, give up after
+/// `max_retries` or once the batch's tightest deadline has passed.
+fn run_parallel(
+    es: &mut ExecState,
+    stats: &StatsInner,
+    cfg: &ServiceConfig,
+    x_panel: &[f64],
+    k: usize,
+    y_panel: &mut [f64],
+    tightest: Instant,
+) -> Result<BatchOutcome, (u32, PoolError)> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match es.exec.spmm(x_panel, k, y_panel) {
+            Ok(report) => {
+                if report.degraded() {
+                    stats.pool_faults.fetch_add(
+                        report.events.len() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    if es.breaker.record_fault(Instant::now()) {
+                        stats.bump(&stats.breaker_trips);
+                    }
+                } else {
+                    es.breaker.record_success();
+                }
+                return Ok(BatchOutcome { degraded: report.degraded(), attempts, serial: false });
+            }
+            Err(e) => {
+                stats.bump(&stats.pool_faults);
+                if es.breaker.record_fault(Instant::now()) {
+                    stats.bump(&stats.breaker_trips);
+                }
+                if attempts > cfg.max_retries || Instant::now() >= tightest {
+                    return Err((attempts, e));
+                }
+                stats.bump(&stats.retries);
+                let backoff = cfg
+                    .base_backoff
+                    .saturating_mul(1u32 << (attempts - 1).min(16))
+                    .min(cfg.max_backoff);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+/// Serial SpMM over the chunk kernel — the same per-chunk
+/// `compute_block` calls the supervised executor makes, in chunk
+/// order, so the result is bit-identical to the parallel path.
+pub(crate) fn serial_spmm(kernel: &dyn ChunkKernel<f64>, x: &[f64], k: usize, y: &mut [f64]) {
+    for chunk in 0..kernel.nchunks() {
+        let rows = kernel.chunk_rows(chunk);
+        let mut out = vec![0.0f64; rows.len() * k];
+        kernel.compute_block(chunk, x, k, &mut out);
+        y[rows.start * k..rows.end * k].copy_from_slice(&out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unit tests for the pure pieces (end-to-end tests live in tests/)
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(matrix_idx: usize, tenant: &str) -> Pending {
+        let now = Instant::now();
+        Pending {
+            matrix_idx,
+            tenant: tenant.to_string(),
+            x: Vec::new(),
+            enqueued: now,
+            expires: now + Duration::from_secs(60),
+            reply: ReplySlot::new(),
+        }
+    }
+
+    fn state_of(entries: &[(usize, &str)]) -> QueueState {
+        let mut tenant_inflight: HashMap<String, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        for &(m, t) in entries {
+            *tenant_inflight.entry(t.to_string()).or_insert(0) += 1;
+            queue.push_back(pending(m, t));
+        }
+        QueueState { queue, tenant_inflight, shutdown: false }
+    }
+
+    #[test]
+    fn pop_batch_coalesces_same_matrix_and_preserves_other_order() {
+        let mut st = state_of(&[(0, "a"), (1, "a"), (0, "b"), (2, "a"), (0, "a")]);
+        let batch = pop_batch(&mut st, 8);
+        // Head matrix 0: members at positions 0, 2, 4 — but only widths
+        // {1,2,4,8} run, so 3 clamps to 2 and the last goes back first.
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|p| p.matrix_idx == 0));
+        let left: Vec<usize> = st.queue.iter().map(|p| p.matrix_idx).collect();
+        assert_eq!(left, vec![0, 1, 2], "clamped member leads, others keep order");
+        assert_eq!(st.tenant_inflight["a"], 3, "popped members released their slots");
+        assert_eq!(st.tenant_inflight["b"], 0);
+    }
+
+    #[test]
+    fn pop_batch_clamps_to_panel_widths() {
+        for (queued, want) in [(1usize, 1usize), (2, 2), (3, 2), (4, 4), (5, 4), (7, 4), (8, 8)] {
+            let entries: Vec<(usize, &str)> = (0..queued).map(|_| (0, "t")).collect();
+            let mut st = state_of(&entries);
+            let batch = pop_batch(&mut st, 8);
+            assert_eq!(batch.len(), want, "{queued} queued");
+            assert_eq!(st.queue.len(), queued - want);
+        }
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let entries: Vec<(usize, &str)> = (0..8).map(|_| (0, "t")).collect();
+        let mut st = state_of(&entries);
+        let batch = pop_batch(&mut st, 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(st.queue.len(), 4);
+    }
+
+    #[test]
+    fn pop_batch_singleton_for_lonely_head() {
+        let mut st = state_of(&[(3, "a"), (0, "b"), (0, "c")]);
+        let batch = pop_batch(&mut st, 8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].matrix_idx, 3);
+        assert_eq!(st.queue.len(), 2);
+    }
+
+    #[test]
+    fn reply_slot_first_publish_wins() {
+        let slot = ReplySlot::new();
+        assert!(slot.publish(Err(ServiceError::ShuttingDown)));
+        assert!(!slot.publish(Err(ServiceError::DeadlineExceeded { waited: Duration::ZERO })));
+        assert_eq!(slot.take(), Some(Err(ServiceError::ShuttingDown)));
+        assert_eq!(slot.take(), None, "take drains the slot");
+    }
+
+    #[test]
+    fn reply_slot_wait_times_out_without_publish() {
+        let slot = ReplySlot::new();
+        let t0 = Instant::now();
+        assert!(slot.wait_until(t0 + Duration::from_millis(20)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

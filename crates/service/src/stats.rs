@@ -1,0 +1,118 @@
+//! Service counters, maintained so two invariants hold exactly once the
+//! traffic has drained (the BENCH.json validator re-checks them):
+//!
+//! * `submitted == admitted + shed_overload + shed_quota` — every
+//!   request reaching admission control is admitted or shed;
+//! * `admitted == completed + deadline_expired + failed` — every
+//!   admitted request terminates in exactly one reply.
+//!
+//! Requests rejected *before* admission (unknown matrix, dimension
+//! mismatch, oversized vector, zero deadline budget) are counted in
+//! `rejected_invalid` / `expired_at_submit` and are outside `submitted`.
+//! Reply publication is first-write-wins (see `ReplySlot`), and each
+//! terminal counter is bumped only by the thread whose publish won, so
+//! no reply is ever double-counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The widest panel the coalescer ever builds (and the histogram size).
+pub const MAX_BATCH: usize = 8;
+
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub shed_quota: AtomicU64,
+    pub rejected_invalid: AtomicU64,
+    pub expired_at_submit: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub retries: AtomicU64,
+    pub pool_faults: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    pub serial_batches: AtomicU64,
+    pub batch_sizes: [AtomicU64; MAX_BATCH],
+}
+
+impl StatsInner {
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: load(&self.submitted),
+            admitted: load(&self.admitted),
+            shed_overload: load(&self.shed_overload),
+            shed_quota: load(&self.shed_quota),
+            rejected_invalid: load(&self.rejected_invalid),
+            expired_at_submit: load(&self.expired_at_submit),
+            deadline_expired: load(&self.deadline_expired),
+            completed: load(&self.completed),
+            failed: load(&self.failed),
+            retries: load(&self.retries),
+            pool_faults: load(&self.pool_faults),
+            breaker_trips: load(&self.breaker_trips),
+            serial_batches: load(&self.serial_batches),
+            batch_sizes: std::array::from_fn(|i| load(&self.batch_sizes[i])),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters
+/// ([`SpmvService::stats`](crate::SpmvService::stats)). Counter semantics
+/// and invariants are documented on the module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests that reached admission control (valid, positive budget).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed with [`Overloaded`](crate::ServiceError::Overloaded).
+    pub shed_overload: u64,
+    /// Requests shed with
+    /// [`TenantQuotaExceeded`](crate::ServiceError::TenantQuotaExceeded).
+    pub shed_quota: u64,
+    /// Requests rejected before admission: unknown matrix, dimension
+    /// mismatch, or an oversized vector.
+    pub rejected_invalid: u64,
+    /// Requests whose deadline budget was already zero at submission
+    /// (failed fast before admission).
+    pub expired_at_submit: u64,
+    /// Admitted requests that expired while queued (or at the reply
+    /// backstop) and were answered
+    /// [`DeadlineExceeded`](crate::ServiceError::DeadlineExceeded).
+    pub deadline_expired: u64,
+    /// Admitted requests answered with a result.
+    pub completed: u64,
+    /// Admitted requests answered
+    /// [`ExecutionFailed`](crate::ServiceError::ExecutionFailed) or
+    /// drained at shutdown.
+    pub failed: u64,
+    /// Batch re-executions after a recoverable pool fault.
+    pub retries: u64,
+    /// Pool faults observed (degraded health-report events plus typed
+    /// `PoolError` returns).
+    pub pool_faults: u64,
+    /// Times a per-matrix circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Batches executed serially because a breaker was open.
+    pub serial_batches: u64,
+    /// `batch_sizes[i]` panels executed at width `k = i + 1`.
+    pub batch_sizes: [u64; MAX_BATCH],
+}
+
+impl ServiceStats {
+    /// Total batches executed (any width).
+    pub fn batches(&self) -> u64 {
+        self.batch_sizes.iter().sum()
+    }
+
+    /// Requests covered by executed batches: `Σ (i + 1) · batch_sizes[i]`.
+    pub fn batched_requests(&self) -> u64 {
+        self.batch_sizes.iter().enumerate().map(|(i, n)| (i as u64 + 1) * n).sum()
+    }
+}

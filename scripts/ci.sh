@@ -70,6 +70,24 @@ cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
 cargo run -q --release -p spmv-bench --features telemetry --bin reproduce -- \
     check-bench target/simd-smoke/BENCH.json
 
+echo "== service-smoke (overload-safe serving layer) =="
+# The serving layer's own matrix, with and without fault injection:
+# admission control, tenant quotas, deadline budgets, batch coalescing,
+# retry/breaker behavior, and the chaos-under-load suite across thread
+# counts {1,2,4,7}.
+cargo test -q -p spmv-service
+cargo test -q -p spmv-service --features fault-injection
+# Drive the load generator briefly above saturation with a short
+# deadline. The gate requires: nonzero sheds (admission control actually
+# rejected load), bounded wall-clock (timeout; a hang fails the gate),
+# and a schema-valid BENCH.json service section re-validated through the
+# independent jsonv reader.
+timeout 300 cargo run -q --release -p spmv-bench --bin loadgen -- \
+    --duration 2 --deadline-ms 25 --queue-capacity 8 --clients 32 \
+    --load-factor 2 --require-shed --out target/service-smoke
+cargo run -q --release -p spmv-bench --bin reproduce -- \
+    check-bench target/service-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.
