@@ -4,14 +4,25 @@
 //! configured offered load (requests/second), including deliberately
 //! *above* saturation, and reports how the service degraded: admitted
 //! vs shed counts, end-to-end latency percentiles over completed
-//! requests (p50/p95/p99), and the batch-coalescing histogram. With
-//! `--out DIR` the run is written as a schema-v4 `BENCH.json` whose
+//! requests (p50/p95/p99), per-tenant admission-wait percentiles, the
+//! per-shard counter mirrors, and the batch-coalescing histogram. With
+//! `--out DIR` the run is written as a schema-v5 `BENCH.json` whose
 //! `service` section passes `reproduce check-bench` — graceful
 //! degradation as a validated artifact.
 //!
 //!   loadgen [--duration S] [--rps R | --load-factor F] [--deadline-ms D]
 //!           [--tenants N] [--threads T] [--clients C] [--queue-capacity Q]
-//!           [--max-batch K] [--seed S] [--out DIR] [--require-shed]
+//!           [--max-batch K] [--shards N] [--seed S] [--out DIR]
+//!           [--require-shed] [--kill-shard] [--inject-faults]
+//!
+//! `--shards N` runs the service with N supervised dispatcher shards.
+//! `--kill-shard` turns the run into a supervision drill: a killer
+//! thread murders dispatcher shards round-robin while traffic flows,
+//! and the summary's `shard_kills`/`requeued`/`respawns` show the
+//! supervisor repairing them. `--inject-faults` (requires building with
+//! `--features fault-injection`) additionally arms a deterministic
+//! worker-fault plan — panics, a worker death, a stall — underneath the
+//! shard chaos.
 //!
 //! Without `--rps`, the generator calibrates: it measures the service's
 //! closed-loop single-client throughput on a throwaway instance, scales
@@ -23,7 +34,9 @@
 //! shed requests — the CI overload gate.
 
 use spmv_bench::measured::TimingStats;
-use spmv_bench::metrics::{BenchFile, MachineInfo, ServiceSummary, BENCH_SCHEMA_VERSION};
+use spmv_bench::metrics::{
+    BenchFile, MachineInfo, ServiceSummary, ShardSummary, TenantWait, BENCH_SCHEMA_VERSION,
+};
 use spmv_core::csr_vi::CsrVi;
 use spmv_core::{Coo, Csr};
 use spmv_parallel::{ChunkKernel, CsrChunks, CsrViChunks};
@@ -42,14 +55,17 @@ struct Args {
     clients: usize,
     queue_capacity: usize,
     max_batch: usize,
+    shards: usize,
     seed: u64,
     out: Option<std::path::PathBuf>,
     require_shed: bool,
+    kill_shard: bool,
+    inject_faults: bool,
 }
 
 const HELP: &str = "loadgen [--duration S] [--rps R | --load-factor F] [--deadline-ms D] \
 [--tenants N] [--threads T] [--clients C] [--queue-capacity Q] [--max-batch K] \
-[--seed S] [--out DIR] [--require-shed]\n";
+[--shards N] [--seed S] [--out DIR] [--require-shed] [--kill-shard] [--inject-faults]\n";
 
 fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
@@ -62,9 +78,12 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
         clients: 32,
         queue_capacity: 16,
         max_batch: 8,
+        shards: 1,
         seed: 42,
         out: None,
         require_shed: false,
+        kill_shard: false,
+        inject_faults: false,
     };
     let value = |name: &str, it: &mut dyn Iterator<Item = String>| {
         it.next().ok_or_else(|| format!("{name} needs a value"))
@@ -91,6 +110,9 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--max-batch" => {
                 args.max_batch = parse_usize("--max-batch", &value("--max-batch", &mut it)?)?
             }
+            "--shards" => args.shards = parse_usize("--shards", &value("--shards", &mut it)?)?,
+            "--kill-shard" => args.kill_shard = true,
+            "--inject-faults" => args.inject_faults = true,
             "--seed" => {
                 args.seed = value("--seed", &mut it)?
                     .parse()
@@ -110,6 +132,14 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.tenants == 0 || args.threads == 0 || args.clients == 0 || args.queue_capacity == 0 {
         return Err("--tenants, --threads, --clients, --queue-capacity must be >= 1".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    if args.inject_faults && !cfg!(feature = "fault-injection") {
+        return Err("--inject-faults needs a build with --features fault-injection (cargo run -p \
+             spmv-bench --features fault-injection --bin loadgen -- ...)"
+            .into());
     }
     Ok(args)
 }
@@ -165,10 +195,26 @@ fn build_service(args: &Args, deadline: Duration) -> (SpmvService, Workload) {
         default_deadline: deadline,
         max_batch: args.max_batch,
         threads: args.threads,
+        shards: args.shards,
+        // Chunk-pinned fault sites only fire on injectable workers, so a
+        // fault run routes every chunk through the pool.
+        caller_participates: !args.inject_faults,
         ..ServiceConfig::default()
     };
-    let svc = ServiceBuilder::new(cfg).register_matrix("A", ka).register_matrix("B", kb).start();
-    (svc, workload)
+    #[allow(unused_mut)]
+    let mut builder = ServiceBuilder::new(cfg).register_matrix("A", ka).register_matrix("B", kb);
+    #[cfg(feature = "fault-injection")]
+    if args.inject_faults {
+        use spmv_parallel::faults::{FaultAction, FaultPlan, FaultSite};
+        builder = builder.inject_faults(
+            FaultPlan::new()
+                .inject(FaultSite::chunk(0, 0), FaultAction::PanicOnce)
+                .inject(FaultSite::chunk(2, 1), FaultAction::ExitThread)
+                .inject(FaultSite::chunk(4, 0), FaultAction::DelayOnce(Duration::from_millis(30)))
+                .inject(FaultSite::chunk(6, 2), FaultAction::PanicOnce),
+        );
+    }
+    (builder.start(), workload)
 }
 
 fn x_for(ncols: usize, phase: u64) -> Vec<f64> {
@@ -250,9 +296,11 @@ fn main() {
         let arrivals = Arc::clone(&arrivals);
         let tenants = args.tenants;
         handles.push(std::thread::spawn(move || {
-            // (completed latencies, overload sheds seen, quota sheds
-            // seen, deadline errors seen, other typed errors seen)
+            // (completed latencies, per-tenant queue waits, overload
+            // sheds seen, quota sheds seen, deadline errors seen, other
+            // typed errors seen)
             let mut latencies: Vec<f64> = Vec::new();
+            let mut waits: Vec<(usize, f64)> = Vec::new();
             let mut seen = [0u64; 4];
             loop {
                 let i = arrivals.fetch_add(1, Ordering::Relaxed);
@@ -266,7 +314,10 @@ fn main() {
                 }
                 let t0 = Instant::now();
                 match svc.submit(request(&workload, i, tenants)) {
-                    Ok(_) => latencies.push(t0.elapsed().as_secs_f64()),
+                    Ok(resp) => {
+                        latencies.push(t0.elapsed().as_secs_f64());
+                        waits.push(((i % tenants as u64) as usize, resp.queue_wait.as_secs_f64()));
+                    }
                     Err(ServiceError::Overloaded { .. }) => seen[0] += 1,
                     Err(ServiceError::TenantQuotaExceeded { .. }) => seen[1] += 1,
                     Err(ServiceError::DeadlineExceeded { .. }) => seen[2] += 1,
@@ -276,17 +327,48 @@ fn main() {
                     }
                 }
             }
-            (latencies, seen)
+            (latencies, waits, seen)
         }));
     }
 
+    // The supervision drill: murder dispatcher shards round-robin while
+    // the clients keep offering load. Every kill must be absorbed — the
+    // supervisor respawns the shard and replays its unanswered batch.
+    let killer = args.kill_shard.then(|| {
+        let svc = Arc::clone(&svc);
+        let nshards = args.shards;
+        std::thread::spawn(move || {
+            let mut kills = 0u64;
+            let interval = (end - start) / (nshards as u32 + 1);
+            for i in 0..nshards {
+                let due = start + interval * (i as u32 + 1);
+                let now = Instant::now();
+                if due >= end {
+                    break;
+                }
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                if svc.kill_shard(i % nshards) {
+                    kills += 1;
+                }
+            }
+            kills
+        })
+    });
+
     let mut latencies: Vec<f64> = Vec::new();
+    let mut tenant_samples: Vec<Vec<f64>> = vec![Vec::new(); args.tenants];
     let mut unexpected = 0u64;
     for h in handles {
-        let (l, seen) = h.join().expect("client thread");
+        let (l, waits, seen) = h.join().expect("client thread");
         latencies.extend(l);
+        for (t, w) in waits {
+            tenant_samples[t].push(w);
+        }
         unexpected += seen[3];
     }
+    let shard_kills = killer.map(|h| h.join().expect("killer thread")).unwrap_or(0);
     let elapsed = start.elapsed().as_secs_f64();
     let stats = Arc::into_inner(svc).expect("all clients joined").shutdown();
 
@@ -299,6 +381,37 @@ fn main() {
         std::process::exit(1);
     }
     let latency = TimingStats::from_samples(&latencies).expect("latency stats");
+    let tenant_waits: Vec<TenantWait> = tenant_samples
+        .iter()
+        .enumerate()
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(t, samples)| {
+            let s = TimingStats::from_samples(samples).expect("wait stats");
+            TenantWait {
+                tenant: format!("tenant-{t}"),
+                completed: samples.len() as u64,
+                p50_wait_ms: s.median_s * 1e3,
+                p99_wait_ms: s.p99_s * 1e3,
+            }
+        })
+        .collect();
+    let shards: Vec<ShardSummary> = stats
+        .shards
+        .iter()
+        .map(|s| ShardSummary {
+            shard: s.shard,
+            submitted: s.submitted,
+            admitted: s.admitted,
+            shed_overload: s.shed_overload,
+            shed_quota: s.shed_quota,
+            deadline_expired: s.deadline_expired,
+            completed: s.completed,
+            failed: s.failed,
+            requeued: s.requeued,
+            respawns: s.respawns,
+            degraded: s.degraded,
+        })
+        .collect();
 
     let shed = stats.shed_overload + stats.shed_quota;
     println!("== loadgen: {:.1}s at {offered_rps:.0} rps offered ==", elapsed);
@@ -320,6 +433,30 @@ fn main() {
     let histogram: Vec<String> =
         stats.batch_sizes.iter().enumerate().map(|(i, n)| format!("k={}:{n}", i + 1)).collect();
     println!("  batches: {}", histogram.join("  "));
+    for s in &shards {
+        println!(
+            "  shard {}: submitted {:>6}  completed {:>6}  requeued {:>3}  respawns {:>2}{}",
+            s.shard,
+            s.submitted,
+            s.completed,
+            s.requeued,
+            s.respawns,
+            if s.degraded { "  DEGRADED" } else { "" }
+        );
+    }
+    if shard_kills > 0 {
+        println!(
+            "  supervision drill: {shard_kills} shard kills, {} requeues, {} respawns",
+            stats.requeued(),
+            stats.respawns()
+        );
+    }
+    for w in &tenant_waits {
+        println!(
+            "  {}: {:>6} completed, queue wait p50 {:.2}ms p99 {:.2}ms",
+            w.tenant, w.completed, w.p50_wait_ms, w.p99_wait_ms
+        );
+    }
 
     let summary = ServiceSummary {
         offered_rps,
@@ -337,6 +474,9 @@ fn main() {
         breaker_trips: stats.breaker_trips,
         latency,
         batch_sizes: stats.batch_sizes.to_vec(),
+        shard_kills,
+        shards,
+        tenant_waits,
     };
 
     if let Some(dir) = &args.out {

@@ -63,6 +63,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -256,6 +264,8 @@ mod tests {
     fn parses_scalars_and_containers() {
         assert_eq!(Json::parse("null").unwrap(), Json::Null);
         assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap().as_bool(), Some(false));
+        assert_eq!(Json::parse("0").unwrap().as_bool(), None);
         assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
         assert_eq!(Json::parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
         let arr = Json::parse("[1, 2, [3]]").unwrap();

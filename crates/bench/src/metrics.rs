@@ -53,7 +53,14 @@ use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemet
 /// load, admitted/shed counts, completed-request latency percentiles,
 /// and the batch-size histogram. `records` may be empty only when
 /// `service` is present.
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// Version 5 added the sharded-dispatch layer to the `service` section:
+/// `shard_kills` (supervision drills the run performed), a non-empty
+/// `shards` array mirroring the global counters per dispatcher shard
+/// (the per-shard sums must reproduce the globals exactly) with
+/// `requeued`/`respawns`/`degraded` supervision outcomes, and a
+/// `tenant_waits` array with per-tenant admission-wait percentiles (the
+/// DRR fairness evidence).
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
@@ -125,12 +132,60 @@ impl From<PoolTelemetry> for TelemetryRecord {
     }
 }
 
-/// The `loadgen` overload-run summary (schema v4 `service` section):
+/// Per-dispatcher-shard mirror of the service counters plus the
+/// supervision outcomes for that shard (schema v5 `service.shards[i]`).
+/// The shard sums of the seven mirrored counters must equal the globals
+/// exactly — `validate_bench_text` rejects the artifact otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardSummary {
+    /// Shard index (position in the `shards` array).
+    pub shard: usize,
+    /// Requests admission-routed to this shard.
+    pub submitted: u64,
+    /// Requests that entered this shard's queues.
+    pub admitted: u64,
+    /// Requests shed here with `ServiceError::Overloaded`.
+    pub shed_overload: u64,
+    /// Requests shed here with `ServiceError::TenantQuotaExceeded`.
+    pub shed_quota: u64,
+    /// Admitted requests that expired before completing.
+    pub deadline_expired: u64,
+    /// Admitted requests that returned a result.
+    pub completed: u64,
+    /// Admitted requests that terminated with a typed failure.
+    pub failed: u64,
+    /// Unanswered requests the supervisor stole from a dead or stalled
+    /// incarnation and put back at the head of the queue.
+    pub requeued: u64,
+    /// Dispatcher incarnations the supervisor started after the first.
+    pub respawns: u64,
+    /// Whether the shard breaker was tripped to degraded serial drain
+    /// when the snapshot was taken.
+    pub degraded: bool,
+}
+
+/// Per-tenant admission-wait summary (schema v5 `service.tenant_waits`):
+/// the measured evidence that deficit-round-robin keeps a flooding
+/// tenant from starving a polite one.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantWait {
+    /// Tenant name as submitted in the traffic mix.
+    pub tenant: String,
+    /// Completed requests the percentiles are computed over.
+    pub completed: u64,
+    /// Median queue wait (admission to execution start), milliseconds.
+    pub p50_wait_ms: f64,
+    /// 99th-percentile queue wait, milliseconds.
+    pub p99_wait_ms: f64,
+}
+
+/// The `loadgen` overload-run summary (the `service` section):
 /// what the serving layer did under a configured offered load, so
 /// graceful degradation is a measured artifact rather than an assertion.
 /// Count invariants (checked by [`validate_bench_text`]): every
-/// submitted request is admitted or shed, and every admitted request
-/// terminates as completed, deadline-expired, or failed.
+/// submitted request is admitted or shed, every admitted request
+/// terminates as completed, deadline-expired, or failed, and (v5) the
+/// per-shard mirrors sum to the globals exactly.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServiceSummary {
     /// Offered load the generator drove, in requests per second.
@@ -168,6 +223,15 @@ pub struct ServiceSummary {
     /// Batch-size histogram: `batch_sizes[i]` panels executed at width
     /// `k = i + 1`. Coalescing under load shows up as mass above k = 1.
     pub batch_sizes: Vec<u64>,
+    /// Dispatcher shards the run killed on purpose (`--kill-shard`
+    /// supervision drills; 0 for an undisturbed run).
+    pub shard_kills: u64,
+    /// Per-shard counter mirrors and supervision outcomes, one entry
+    /// per dispatcher shard (schema v5; never empty).
+    pub shards: Vec<ShardSummary>,
+    /// Per-tenant admission-wait percentiles over completed requests
+    /// (schema v5; one entry per tenant seen completing).
+    pub tenant_waits: Vec<TenantWait>,
 }
 
 /// One measured (matrix, format, thread count, panel width) cell.
@@ -483,10 +547,12 @@ fn validate_stats(stats: &Json, ctx: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Checks the schema-v4 `service` section (the `loadgen` summary): all
-/// counters present, the admission/termination count invariants hold,
-/// the latency block is a full [`TimingStats`], and the batch histogram
-/// is a non-empty numeric array.
+/// Checks the `service` section (the `loadgen` summary): all counters
+/// present, the admission/termination count invariants hold globally
+/// and within every shard mirror, the shard sums reproduce the globals,
+/// the latency block is a full [`TimingStats`], the batch histogram is
+/// a non-empty numeric array, and the per-tenant wait entries are well
+/// formed.
 fn validate_service(service: &Json) -> Result<(), String> {
     let ctx = "service";
     for key in ["offered_rps", "duration_s", "deadline_ms"] {
@@ -539,10 +605,101 @@ fn validate_service(service: &Json) -> Result<(), String> {
     if batches.iter().any(|v| v.as_f64().is_none()) {
         return Err(format!("{ctx}: batch_sizes has non-numeric entries"));
     }
+    count("shard_kills")?;
+    // v5 shard mirrors: every per-shard counter block is internally
+    // consistent and the shard sums reproduce the globals exactly.
+    let shards = service
+        .get("shards")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing or non-array \"shards\""))?;
+    if shards.is_empty() {
+        return Err(format!("{ctx}: shards is empty (a service has at least one shard)"));
+    }
+    let mut sums = [0.0f64; 7];
+    for (i, shard) in shards.iter().enumerate() {
+        let sctx = format!("{ctx}.shards[{i}]");
+        let idx = require_num(shard, "shard", &sctx)?;
+        if idx != i as f64 {
+            return Err(format!("{sctx}: shard index {idx} != position {i}"));
+        }
+        let mut c = [0.0f64; 7];
+        for (slot, key) in [
+            "submitted",
+            "admitted",
+            "shed_overload",
+            "shed_quota",
+            "deadline_expired",
+            "completed",
+            "failed",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let v = require_num(shard, key, &sctx)?;
+            if v < 0.0 {
+                return Err(format!("{sctx}: {key} {v} must be >= 0"));
+            }
+            c[slot] = v;
+            sums[slot] += v;
+        }
+        if c[1] + c[2] + c[3] != c[0] {
+            return Err(format!(
+                "{sctx}: admitted {} + shed {} != submitted {} (admission leak)",
+                c[1],
+                c[2] + c[3],
+                c[0]
+            ));
+        }
+        if c[5] + c[4] + c[6] != c[1] {
+            return Err(format!(
+                "{sctx}: completed {} + expired {} + failed {} != admitted {} (lost responses?)",
+                c[5], c[4], c[6], c[1]
+            ));
+        }
+        require_num(shard, "requeued", &sctx)?;
+        require_num(shard, "respawns", &sctx)?;
+        shard
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("{sctx}: missing or non-boolean field \"degraded\""))?;
+    }
+    for (slot, (key, global)) in [
+        ("submitted", submitted),
+        ("admitted", admitted),
+        ("shed_overload", shed_overload),
+        ("shed_quota", shed_quota),
+        ("deadline_expired", deadline_expired),
+        ("completed", completed),
+        ("failed", failed),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if sums[slot] != *global {
+            return Err(format!(
+                "{ctx}: shard {key} sum {} != global {global} (shard mirror drift)",
+                sums[slot]
+            ));
+        }
+    }
+    let waits = service
+        .get("tenant_waits")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing or non-array \"tenant_waits\""))?;
+    for (i, w) in waits.iter().enumerate() {
+        let wctx = format!("{ctx}.tenant_waits[{i}]");
+        require_str(w, "tenant", &wctx)?;
+        for key in ["completed", "p50_wait_ms", "p99_wait_ms"] {
+            let v = require_num(w, key, &wctx)?;
+            if v < 0.0 {
+                return Err(format!("{wctx}: {key} {v} must be >= 0"));
+            }
+        }
+    }
     Ok(())
 }
 
-/// Validates `text` as a schema-version-4 `BENCH.json`: parses the JSON,
+/// Validates `text` as a current-schema `BENCH.json`: parses the JSON,
 /// checks the version stamp, and requires every field the schema promises
 /// with the right shape. Used by `reproduce check-bench` and the
 /// `bench-smoke` / `service-smoke` CI gates, and by the golden-file
@@ -758,7 +915,12 @@ mod tests {
         let good = serde_json::to_string_pretty(&file).unwrap();
         assert!(validate_bench_text("not json").is_err());
         assert!(validate_bench_text("{}").is_err());
-        let wrong_version = good.replacen("\"schema_version\": 4", "\"schema_version\": 99", 1);
+        let wrong_version = good.replacen(
+            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+            1,
+        );
+        assert_ne!(wrong_version, good, "replacement must hit the version stamp");
         assert!(validate_bench_text(&wrong_version).unwrap_err().contains("schema_version"));
         let no_records = good.replacen("\"records\"", "\"recs\"", 1);
         assert!(validate_bench_text(&no_records).is_err());
@@ -814,6 +976,49 @@ mod tests {
                     cv: 0.4,
                 },
                 batch_sizes: vec![500, 200, 0, 400, 0, 0, 0, 150],
+                shard_kills: 3,
+                shards: vec![
+                    ShardSummary {
+                        shard: 0,
+                        submitted: 3500,
+                        admitted: 2400,
+                        shed_overload: 1000,
+                        shed_quota: 100,
+                        deadline_expired: 50,
+                        completed: 2340,
+                        failed: 10,
+                        requeued: 4,
+                        respawns: 2,
+                        degraded: false,
+                    },
+                    ShardSummary {
+                        shard: 1,
+                        submitted: 2500,
+                        admitted: 1600,
+                        shed_overload: 800,
+                        shed_quota: 100,
+                        deadline_expired: 30,
+                        completed: 1560,
+                        failed: 10,
+                        requeued: 1,
+                        respawns: 1,
+                        degraded: true,
+                    },
+                ],
+                tenant_waits: vec![
+                    TenantWait {
+                        tenant: "tenant-0".into(),
+                        completed: 2600,
+                        p50_wait_ms: 1.2,
+                        p99_wait_ms: 8.5,
+                    },
+                    TenantWait {
+                        tenant: "tenant-1".into(),
+                        completed: 1300,
+                        p50_wait_ms: 1.4,
+                        p99_wait_ms: 9.9,
+                    },
+                ],
             }),
         }
     }
@@ -837,6 +1042,43 @@ mod tests {
         bare.service = None;
         let text = serde_json::to_string_pretty(&bare).unwrap();
         assert!(validate_bench_text(&text).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn validator_enforces_the_v5_shard_mirror_contract() {
+        let good = serde_json::to_string_pretty(&service_file()).unwrap();
+        validate_bench_text(&good).unwrap();
+        // A shard whose terminal counts don't add up is caught per shard.
+        let lost = good.replacen("\"completed\": 2340", "\"completed\": 2339", 1);
+        assert_ne!(lost, good);
+        let err = validate_bench_text(&lost).unwrap_err();
+        assert!(err.contains("shards[0]") && err.contains("lost responses"), "{err}");
+        // A shard mirror that is internally consistent but disagrees
+        // with the globals is shard-mirror drift (move one shed between
+        // categories in shard 0 only: its admission sum still holds).
+        let drift = good
+            .replacen("\"shed_overload\": 1000", "\"shed_overload\": 1001", 1)
+            .replacen("\"shed_quota\": 100", "\"shed_quota\": 99", 1);
+        assert_ne!(drift, good);
+        assert!(validate_bench_text(&drift).unwrap_err().contains("shard mirror drift"));
+        // Shard entries must sit at their own index.
+        let misplaced = good.replacen("\"shard\": 1", "\"shard\": 5", 1);
+        assert_ne!(misplaced, good);
+        assert!(validate_bench_text(&misplaced).unwrap_err().contains("!= position"));
+        // `degraded` must be a real boolean, not a truthy number.
+        let truthy = good.replacen("\"degraded\": false", "\"degraded\": 0", 1);
+        assert_ne!(truthy, good);
+        assert!(validate_bench_text(&truthy).unwrap_err().contains("degraded"));
+        // The v5 sections themselves are mandatory.
+        for field in ["shard_kills", "shards", "tenant_waits"] {
+            let missing = good.replacen(&format!("\"{field}\""), "\"gone\"", 1);
+            assert_ne!(missing, good, "{field} must be present in the fixture");
+            assert!(validate_bench_text(&missing).unwrap_err().contains(field), "{field}");
+        }
+        // Tenant-wait entries need a tenant name and numeric percentiles.
+        let anon = good.replacen("\"tenant\": \"tenant-0\"", "\"tenant\": 7", 1);
+        assert_ne!(anon, good);
+        assert!(validate_bench_text(&anon).unwrap_err().contains("tenant_waits[0]"));
     }
 
     #[test]

@@ -100,11 +100,21 @@ struct Rule {
     fired: AtomicBool,
 }
 
+impl Clone for Rule {
+    fn clone(&self) -> Rule {
+        Rule {
+            site: self.site,
+            action: self.action,
+            fired: AtomicBool::new(self.fired.load(Ordering::Acquire)),
+        }
+    }
+}
+
 /// A scripted, consumed-once set of fault rules.
 ///
 /// Arm with [`FaultPlan::arm`]; the executor hooks consult the armed plan
 /// through [`current`]. Dropping the returned [`ArmedPlan`] guard disarms.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct FaultPlan {
     rules: Vec<Rule>,
 }

@@ -887,6 +887,29 @@ impl<V: Scalar> SupervisedSpMv<V> {
         report.events.push(FaultEvent::WorkerRespawned { tid });
     }
 
+    /// Replaces any dead roster slot with a fresh worker thread and
+    /// returns how many were respawned. The per-call watchdog already
+    /// respawns workers it catches faulting *during* a call; this is the
+    /// between-calls complement for executor handoff: a serving layer
+    /// that parks an executor when its owning thread dies and hands it
+    /// to a replacement thread calls this to restore the roster to full
+    /// strength before dispatching again. Safe to call at any time the
+    /// executor is not mid-call.
+    pub fn ensure_workers(&mut self) -> usize {
+        let epoch = lock(&self.shared.state).epoch;
+        let mut respawned = 0;
+        for i in 0..self.workers.len() {
+            let slot = &self.workers[i];
+            if slot.alive.load(Ordering::Acquire) && !slot.handle.is_finished() {
+                continue;
+            }
+            slot.alive.store(false, Ordering::Release);
+            self.workers[i] = spawn_sup_worker(&self.shared, &self.kernel, i + 1, epoch);
+            respawned += 1;
+        }
+        respawned
+    }
+
     /// Re-executes sampled chunks serially and compares bit patterns;
     /// replaces corrupted chunks with the serial result (Degrade) or
     /// aborts (FailFast).

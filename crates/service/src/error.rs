@@ -60,8 +60,15 @@ pub enum ServiceError {
         /// The last fault observed.
         last: PoolError,
     },
-    /// The service is shutting down; queued requests are drained with
-    /// this error instead of being executed.
+    /// The named matrix is being evicted: new requests are rejected and
+    /// requests already queued for it are answered with this error.
+    Evicting(String),
+    /// [`register`](crate::SpmvService::register) was called with a name
+    /// that is already live; evict it first to replace the matrix.
+    AlreadyRegistered(String),
+    /// The service is shutting down: admission is closed, and queued
+    /// requests that outlive the drain deadline expire instead of being
+    /// executed.
     ShuttingDown,
 }
 
@@ -88,6 +95,12 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::ExecutionFailed { attempts, last } => {
                 write!(f, "execution failed after {attempts} attempts: {last}")
+            }
+            ServiceError::Evicting(name) => {
+                write!(f, "matrix {name:?} is being evicted")
+            }
+            ServiceError::AlreadyRegistered(name) => {
+                write!(f, "matrix {name:?} is already registered")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }

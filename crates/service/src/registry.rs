@@ -1,0 +1,308 @@
+//! Hot matrix lifecycle: a registry that supports `register` and `evict`
+//! on a **live** service, with epoch-based reclamation so an in-flight
+//! batch never observes a matrix that has been torn down underneath it.
+//!
+//! ## Identity
+//!
+//! A matrix gets a [`MatrixId`] — `(slot, generation)` — at registration.
+//! Slots are reused after eviction, generations never are, so a shard's
+//! cached executor for a dead `(slot, gen)` can never be confused with a
+//! new matrix that happens to land in the same slot.
+//!
+//! ## Eviction protocol (epoch-based reclamation)
+//!
+//! Each shard publishes an **epoch pin**: `u64::MAX` while quiescent, or
+//! the global epoch it observed when it started its current batch. Evict
+//! runs:
+//!
+//! 1. mark the entry `Evicting` — admission now rejects the matrix with
+//!    a typed [`ServiceError::Evicting`];
+//! 2. sweep the owning shard's queue, publishing `Evicting` to every
+//!    queued request for the matrix;
+//! 3. bump the global epoch and wait until every shard pin is either
+//!    quiescent or at least the new epoch — at that point no live shard
+//!    can be executing a batch that started before the sweep;
+//! 4. sweep once more (for requests that raced admission during step 1),
+//!    drop the entry, and tell the owning shard to retire its cached
+//!    executor for the id.
+//!
+//! The protocol is *logical*: kernels are `Arc`-shared, so even an
+//! abandoned (stalled, superseded) shard incarnation that is still
+//! crunching an old batch cannot touch freed memory — the supervisor
+//! resets an abandoned shard's pin so eviction never blocks on a corpse,
+//! and the straggler's `Arc` keeps the kernel alive until it finishes.
+
+use crate::error::ServiceError;
+use spmv_parallel::ChunkKernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stable identity of one registration: `slot` indexes the registry
+/// table, `gen` disambiguates reuse of the slot after eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct MatrixId {
+    pub slot: u32,
+    pub gen: u32,
+}
+
+/// Shard assignment: FNV-1a over the matrix *name*, mod shard count.
+/// Deterministic so tests (and operators reading stats) can predict
+/// which shard owns which matrix.
+pub(crate) fn shard_for(name: &str, nshards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % nshards.max(1) as u64) as usize
+}
+
+struct Entry {
+    name: String,
+    kernel: Arc<dyn ChunkKernel<f64>>,
+    nrows: usize,
+    ncols: usize,
+    gen: u32,
+    shard: usize,
+    evicting: bool,
+}
+
+struct RegInner {
+    slots: Vec<Option<Entry>>,
+    index: HashMap<String, usize>,
+    next_gen: u32,
+}
+
+/// What admission needs to know about a matrix, snapshotted under the
+/// registry lock.
+#[derive(Clone, Copy)]
+pub(crate) struct MatrixInfo {
+    pub id: MatrixId,
+    pub shard: usize,
+    pub ncols: usize,
+    pub evicting: bool,
+}
+
+pub(crate) struct Registry {
+    inner: Mutex<RegInner>,
+    /// Global reclamation epoch; bumped once per eviction.
+    epoch: AtomicU64,
+    /// One pin per shard, shared with the shard loops: `u64::MAX` when
+    /// quiescent, else the epoch observed at batch start.
+    pins: Vec<Arc<AtomicU64>>,
+    nshards: usize,
+}
+
+impl Registry {
+    pub(crate) fn new(nshards: usize, pins: Vec<Arc<AtomicU64>>) -> Registry {
+        debug_assert_eq!(pins.len(), nshards);
+        Registry {
+            inner: Mutex::new(RegInner { slots: Vec::new(), index: HashMap::new(), next_gen: 0 }),
+            epoch: AtomicU64::new(0),
+            pins,
+            nshards,
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Registers a matrix under `name`, assigning it a fresh id and a
+    /// shard. Rejects duplicates with [`ServiceError::AlreadyRegistered`]
+    /// (evict first to replace a matrix).
+    pub(crate) fn insert(
+        &self,
+        name: &str,
+        kernel: Arc<dyn ChunkKernel<f64>>,
+    ) -> Result<MatrixInfo, ServiceError> {
+        let mut inner = lock(&self.inner);
+        if inner.index.contains_key(name) {
+            return Err(ServiceError::AlreadyRegistered(name.to_string()));
+        }
+        let gen = inner.next_gen;
+        inner.next_gen += 1;
+        let slot = match inner.slots.iter().position(Option::is_none) {
+            Some(s) => s,
+            None => {
+                inner.slots.push(None);
+                inner.slots.len() - 1
+            }
+        };
+        let entry = Entry {
+            name: name.to_string(),
+            nrows: kernel.nrows(),
+            ncols: kernel.ncols(),
+            kernel,
+            gen,
+            shard: shard_for(name, self.nshards),
+            evicting: false,
+        };
+        let info = MatrixInfo {
+            id: MatrixId { slot: slot as u32, gen },
+            shard: entry.shard,
+            ncols: entry.ncols,
+            evicting: false,
+        };
+        inner.slots[slot] = Some(entry);
+        inner.index.insert(name.to_string(), slot);
+        Ok(info)
+    }
+
+    /// Admission-time lookup by name.
+    pub(crate) fn lookup(&self, name: &str) -> Option<MatrixInfo> {
+        let inner = lock(&self.inner);
+        let slot = *inner.index.get(name)?;
+        let e = inner.slots[slot].as_ref()?;
+        Some(MatrixInfo {
+            id: MatrixId { slot: slot as u32, gen: e.gen },
+            shard: e.shard,
+            ncols: e.ncols,
+            evicting: e.evicting,
+        })
+    }
+
+    /// Kernel for a specific registration, or `None` if that generation
+    /// has been evicted (slot empty or reused).
+    pub(crate) fn kernel_for(&self, id: MatrixId) -> Option<Arc<dyn ChunkKernel<f64>>> {
+        let inner = lock(&self.inner);
+        let e = inner.slots.get(id.slot as usize)?.as_ref()?;
+        (e.gen == id.gen).then(|| Arc::clone(&e.kernel))
+    }
+
+    /// `(name, nrows, ncols)` of every live (non-evicting) matrix.
+    pub(crate) fn live_matrices(&self) -> Vec<(String, usize, usize)> {
+        let inner = lock(&self.inner);
+        inner
+            .slots
+            .iter()
+            .flatten()
+            .filter(|e| !e.evicting)
+            .map(|e| (e.name.clone(), e.nrows, e.ncols))
+            .collect()
+    }
+
+    /// Step 1 of eviction: flips the entry to `Evicting` so admission
+    /// starts rejecting it, returning its meta.
+    pub(crate) fn begin_evict(&self, name: &str) -> Result<MatrixInfo, ServiceError> {
+        let mut inner = lock(&self.inner);
+        let slot =
+            *inner.index.get(name).ok_or_else(|| ServiceError::UnknownMatrix(name.to_string()))?;
+        let e = inner.slots[slot]
+            .as_mut()
+            .ok_or_else(|| ServiceError::UnknownMatrix(name.to_string()))?;
+        if e.evicting {
+            return Err(ServiceError::Evicting(name.to_string()));
+        }
+        e.evicting = true;
+        Ok(MatrixInfo {
+            id: MatrixId { slot: slot as u32, gen: e.gen },
+            shard: e.shard,
+            ncols: e.ncols,
+            evicting: true,
+        })
+    }
+
+    /// Step 3 of eviction: bumps the global epoch and blocks until every
+    /// shard pin is quiescent or has observed the new epoch. `cap` bounds
+    /// the wait so a service being torn down concurrently cannot wedge
+    /// the evictor; on timeout reclamation falls back to `Arc` lifetime
+    /// (memory-safe, logically late).
+    pub(crate) fn bump_and_wait_quiescent(&self, cap: Duration) -> u64 {
+        let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let deadline = Instant::now() + cap;
+        loop {
+            let blocked = self.pins.iter().any(|p| p.load(Ordering::Acquire) < new);
+            if !blocked || Instant::now() >= deadline {
+                return new;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Step 4 of eviction: drops the entry and frees the slot + name.
+    pub(crate) fn finish_evict(&self, id: MatrixId) {
+        let mut inner = lock(&self.inner);
+        let Some(slot) = inner.slots.get_mut(id.slot as usize) else {
+            return;
+        };
+        if slot.as_ref().is_some_and(|e| e.gen == id.gen) {
+            let e = slot.take().expect("checked some");
+            inner.index.remove(&e.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::{Coo, Csr};
+    use spmv_parallel::CsrChunks;
+
+    fn kernel(n: usize) -> Arc<dyn ChunkKernel<f64>> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0).expect("in-bounds entry");
+        }
+        let csr: Csr<u32, f64> = coo.to_csr();
+        Arc::new(CsrChunks::new(Arc::new(csr), 2))
+    }
+
+    fn pins(n: usize) -> Vec<Arc<AtomicU64>> {
+        (0..n).map(|_| Arc::new(AtomicU64::new(u64::MAX))).collect()
+    }
+
+    #[test]
+    fn register_assigns_fresh_generations_on_slot_reuse() {
+        let reg = Registry::new(2, pins(2));
+        let a = reg.insert("a", kernel(4)).expect("fresh name");
+        assert!(matches!(reg.insert("a", kernel(4)), Err(ServiceError::AlreadyRegistered(_))));
+        let meta = reg.begin_evict("a").expect("live entry");
+        assert_eq!(meta.id, a.id);
+        assert!(matches!(reg.begin_evict("a"), Err(ServiceError::Evicting(_))));
+        reg.finish_evict(a.id);
+        assert!(reg.lookup("a").is_none());
+        assert!(reg.kernel_for(a.id).is_none());
+        // Slot is reused, generation is not: the old id stays dead.
+        let a2 = reg.insert("a", kernel(4)).expect("name freed");
+        assert_eq!(a2.id.slot, a.id.slot);
+        assert_ne!(a2.id.gen, a.id.gen);
+        assert!(reg.kernel_for(a.id).is_none());
+        assert!(reg.kernel_for(a2.id).is_some());
+    }
+
+    #[test]
+    fn quiescence_wait_blocks_on_old_pins_and_releases() {
+        let p = pins(1);
+        let reg = Registry::new(1, p.clone());
+        // Shard pinned at the current epoch (0) — i.e. mid-batch.
+        p[0].store(reg.epoch(), Ordering::Release);
+        let pin = Arc::clone(&p[0]);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            pin.store(u64::MAX, Ordering::Release);
+        });
+        let started = Instant::now();
+        let new = reg.bump_and_wait_quiescent(Duration::from_secs(10));
+        assert_eq!(new, 1);
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        t.join().expect("unpinner");
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for n in 1..6 {
+            for name in ["A", "B", "m0", "m1", "m2"] {
+                let s = shard_for(name, n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(name, n));
+            }
+        }
+    }
+}

@@ -1,24 +1,35 @@
-//! The service proper: admission control, the bounded request queue,
-//! the single dispatcher thread that coalesces and executes batches,
-//! and the publish-once reply path back to blocked clients.
+//! The service proper: admission control, sharded dispatch, the hot
+//! matrix lifecycle, and the publish-once reply path back to blocked
+//! clients.
 //!
 //! Threading model: clients call [`SpmvService::submit`] from any
-//! number of threads; admission decisions happen under one queue mutex.
-//! One dispatcher thread owns every [`SupervisedSpMv`] executor and
-//! every [`CircuitBreaker`], so batch execution needs no further
-//! synchronization — clients and the dispatcher meet only at the queue
-//! and at per-request [`ReplySlot`]s.
+//! number of threads; a request is validated, routed to the dispatcher
+//! shard that owns its matrix, and admitted under that shard's queue
+//! mutex (plus one global tenant-count mutex, so quotas span shards).
+//! Each shard thread owns the [`SupervisedSpMv`] executors and circuit
+//! breakers for its matrices, so batch execution needs no further
+//! synchronization — clients and shards meet only at the shard queues
+//! and at per-request [`ReplySlot`]s. A supervisor thread watches the
+//! shards and respawns any that die or stall (see [`crate::shard`]).
+//!
+//! Shutdown is a two-phase drain: [`SpmvService::shutdown_within`]
+//! closes admission (typed [`ServiceError::ShuttingDown`]), lets the
+//! shards work off their queues until the drain deadline, expires the
+//! remainder with [`ServiceError::DeadlineExceeded`], and only then
+//! stops the threads — every queued request terminates with a reply.
 
-use crate::breaker::CircuitBreaker;
 use crate::error::ServiceError;
+use crate::registry::MatrixId;
+use crate::registry::Registry;
+use crate::shard::{
+    bump_shard, lock, spawn_shard, spawn_supervisor, sweep_evicting, ServiceInner, ShardShared,
+};
 use crate::stats::{ServiceStats, StatsInner, MAX_BATCH};
 use spmv_core::SparseError;
-use spmv_parallel::{
-    watchdog_deadline, watchdog_deadline_checked, ChunkKernel, PoolError, RecoveryPolicy,
-    SupervisedSpMv, WatchdogOpts,
-};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use spmv_parallel::{watchdog_deadline, watchdog_deadline_checked, ChunkKernel, RecoveryPolicy};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -33,25 +44,31 @@ use spmv_parallel::faults::FaultPlan;
 /// `LoadLimits`: explicit knobs instead of hard-coded constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantLimits {
-    /// Maximum requests a tenant may have queued at once; the next
-    /// request is shed with [`ServiceError::TenantQuotaExceeded`].
+    /// Maximum requests a tenant may have queued at once (summed across
+    /// shards); the next request is shed with
+    /// [`ServiceError::TenantQuotaExceeded`].
     pub max_inflight: usize,
     /// Maximum size of a request's `x` vector in bytes; larger requests
     /// are rejected with [`ServiceError::VectorTooLarge`].
     pub max_vector_bytes: u64,
+    /// Deficit-round-robin weight: batch-lead credits the tenant earns
+    /// per scheduler round (0 is treated as 1). A tenant with weight 3
+    /// leads up to three consecutive batches per round where a weight-1
+    /// tenant leads one.
+    pub weight: u32,
 }
 
 impl TenantLimits {
-    /// No per-tenant ceilings (global queue capacity still applies).
+    /// No per-tenant ceilings (shard queue capacity still applies).
     pub fn unlimited() -> TenantLimits {
-        TenantLimits { max_inflight: usize::MAX, max_vector_bytes: u64::MAX }
+        TenantLimits { max_inflight: usize::MAX, max_vector_bytes: u64::MAX, weight: 1 }
     }
 }
 
 impl Default for TenantLimits {
-    /// 16 requests in flight, 64 MiB vectors.
+    /// 16 requests in flight, 64 MiB vectors, weight 1.
     fn default() -> TenantLimits {
-        TenantLimits { max_inflight: 16, max_vector_bytes: 64 << 20 }
+        TenantLimits { max_inflight: 16, max_vector_bytes: 64 << 20, weight: 1 }
     }
 }
 
@@ -61,8 +78,8 @@ impl Default for TenantLimits {
 /// [`SparseError::InvalidArgument`] instead of a warn-and-fallback.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Bounded queue capacity; requests beyond it are shed with
-    /// [`ServiceError::Overloaded`].
+    /// Bounded queue capacity **per shard**; requests beyond it are shed
+    /// with [`ServiceError::Overloaded`].
     pub queue_capacity: usize,
     /// Limits applied to tenants without explicit
     /// [`ServiceBuilder::set_tenant_limits`] registration.
@@ -74,15 +91,19 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Worker threads per supervised executor.
     pub threads: usize,
+    /// Dispatcher shards; matrices are hash-assigned to shards by name.
+    /// Default 1 (a single dispatcher, as before, but supervised).
+    pub shards: usize,
     /// Fault handling for the executors: degrade-and-recover (default)
     /// or fail-fast into the retry/breaker path.
     pub policy: RecoveryPolicy,
     /// Forwarded to [`WatchdogOpts::verify_every`] (0 = off).
+    ///
+    /// [`WatchdogOpts::verify_every`]: spmv_parallel::WatchdogOpts::verify_every
     pub verify_every: usize,
-    /// Whether the dispatcher claims chunks alongside the workers
-    /// (default). Forced on when `threads == 1` (someone must compute);
-    /// chaos tests turn it off so every chunk runs on an injectable
-    /// worker thread.
+    /// Whether each shard claims chunks alongside its workers (default).
+    /// Forced on when `threads == 1` (someone must compute); chaos
+    /// tests turn it off so every chunk runs on an injectable worker.
     pub caller_participates: bool,
     /// Ceiling on the per-batch watchdog deadline; the effective
     /// deadline is the batch's tightest remaining budget clamped to
@@ -100,6 +121,18 @@ pub struct ServiceConfig {
     /// How long a tripped breaker forces serial execution before a
     /// half-open probe.
     pub breaker_cooldown: Duration,
+    /// How often the supervisor scans the shards for deaths and stalls.
+    pub supervise_interval: Duration,
+    /// Heartbeat staleness past which a shard with pending work counts
+    /// as stalled. Never applied tighter than the worst *healthy* batch
+    /// (all retries blowing the full watchdog deadline plus backoff).
+    pub stall_grace: Duration,
+    /// Respawns after which a shard's breaker trips and the shard
+    /// degrades to serial-drain mode (no worker pool left to die).
+    pub shard_trip_after: u32,
+    /// Drain budget [`SpmvService::shutdown`] grants queued work before
+    /// expiring the remainder with `DeadlineExceeded`.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +143,7 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_millis(250),
             max_batch: MAX_BATCH,
             threads: 4,
+            shards: 1,
             policy: RecoveryPolicy::Degrade,
             verify_every: 0,
             caller_participates: true,
@@ -119,6 +153,10 @@ impl Default for ServiceConfig {
             max_backoff: Duration::from_millis(50),
             breaker_trip_after: 3,
             breaker_cooldown: Duration::from_millis(250),
+            supervise_interval: Duration::from_millis(10),
+            stall_grace: Duration::from_secs(10),
+            shard_trip_after: 3,
+            drain_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -167,24 +205,29 @@ pub struct Response {
     /// Pool attempts the executing batch needed (1 = no retries).
     pub attempts: u32,
     /// Whether the batch ran serially because the matrix's circuit
-    /// breaker was open.
+    /// breaker was open or the shard is degraded.
     pub serial: bool,
 }
 
-/// Publish-once rendezvous between the dispatcher and a blocked client.
-/// The first `publish` wins; the loser's result is dropped and — by
-/// contract — the loser must not bump any terminal stats counter.
+/// Publish-once rendezvous between a dispatcher shard and a blocked
+/// client. The first `publish` wins; the loser's result is dropped and
+/// — by contract — the loser must not bump any terminal stats counter.
 /// This is what lets the client-side backstop publish
-/// [`ServiceError::DeadlineExceeded`] without ever double-counting a
-/// request that the dispatcher answers concurrently.
+/// [`ServiceError::DeadlineExceeded`], and the supervisor replay a dead
+/// shard's in-flight batch, without ever double-counting a request.
+///
+/// Every lock acquisition recovers from [`PoisonError`]: a publisher
+/// that panics mid-publish poisons the mutex, and without recovery the
+/// *client* blocked in [`ReplySlot::wait_until`] would panic too —
+/// exactly the no-hang/typed-error guarantee this type exists to keep.
 pub(crate) struct ReplySlot {
     slot: Mutex<Option<Result<Response, ServiceError>>>,
     cv: Condvar,
 }
 
 impl ReplySlot {
-    fn new() -> Arc<ReplySlot> {
-        Arc::new(ReplySlot { slot: Mutex::new(None), cv: Condvar::new() })
+    pub(crate) fn new() -> ReplySlot {
+        ReplySlot { slot: Mutex::new(None), cv: Condvar::new() }
     }
 
     /// First writer wins; returns whether this call published.
@@ -198,8 +241,12 @@ impl ReplySlot {
     /// stats counters are already bumped by the time `submit` returns —
     /// a caller reading [`SpmvService::stats`](crate::SpmvService::stats)
     /// right after a reply sees consistent accounting.
-    fn publish_with(&self, r: Result<Response, ServiceError>, on_win: impl FnOnce()) -> bool {
-        let mut g = self.slot.lock().unwrap();
+    pub(crate) fn publish_with(
+        &self,
+        r: Result<Response, ServiceError>,
+        on_win: impl FnOnce(),
+    ) -> bool {
+        let mut g = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         if g.is_some() {
             return false;
         }
@@ -209,10 +256,16 @@ impl ReplySlot {
         true
     }
 
+    /// Whether a reply has been published (terminal). Used by the
+    /// supervisor to decide which in-flight requests need a replay.
+    pub(crate) fn is_published(&self) -> bool {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner).is_some()
+    }
+
     /// Blocks until a reply is published or `until` passes; `None` on
     /// timeout (the slot is left untouched for a backstop publish).
     fn wait_until(&self, until: Instant) -> Option<Result<Response, ServiceError>> {
-        let mut g = self.slot.lock().unwrap();
+        let mut g = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if g.is_some() {
                 return g.take();
@@ -221,22 +274,26 @@ impl ReplySlot {
             if now >= until {
                 return None;
             }
-            g = self.cv.wait_timeout(g, until - now).unwrap().0;
+            g = self.cv.wait_timeout(g, until - now).unwrap_or_else(PoisonError::into_inner).0;
         }
     }
 
     /// Takes the published reply, if any.
     fn take(&self) -> Option<Result<Response, ServiceError>> {
-        self.slot.lock().unwrap().take()
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner).take()
     }
 }
 
-// ---------------------------------------------------------------------
-// Queue state and batch popping
-// ---------------------------------------------------------------------
-
+/// An admitted request, queued on (and replayable by) its shard.
 pub(crate) struct Pending {
-    pub matrix_idx: usize,
+    /// Which registration this request is for (slot + generation, so a
+    /// replay can never land on a reused slot).
+    pub id: MatrixId,
+    /// The shard the matrix hashes to; every terminal counter bump is
+    /// attributed here.
+    pub shard: usize,
+    /// Matrix name, for typed lifecycle errors.
+    pub matrix: String,
     pub tenant: String,
     pub x: Vec<f64>,
     pub enqueued: Instant,
@@ -244,67 +301,15 @@ pub(crate) struct Pending {
     pub reply: Arc<ReplySlot>,
 }
 
-pub(crate) struct QueueState {
-    pub queue: VecDeque<Pending>,
-    pub tenant_inflight: HashMap<String, usize>,
-    pub shutdown: bool,
-}
-
-struct SharedQ {
-    state: Mutex<QueueState>,
-    work_cv: Condvar,
-}
-
-/// Pops the next batch: the queue head plus up to `max_batch - 1`
-/// later same-matrix requests (FIFO order preserved within the batch
-/// *and* among the requests left behind). The batch width is then
-/// clamped down to the largest of {8, 4, 2, 1} — the monomorphized SpMM
-/// panel widths — and clamped-off requests are returned to the queue
-/// front, where they seed the next batch for the same matrix.
-///
-/// Tenant in-flight counts are released here, at pop: quotas bound
-/// *queued* requests, which is what admission can observe.
-pub(crate) fn pop_batch(st: &mut QueueState, max_batch: usize) -> Vec<Pending> {
-    let max_batch = max_batch.clamp(1, MAX_BATCH);
-    let first = st.queue.pop_front().expect("pop_batch needs a non-empty queue");
-    let matrix = first.matrix_idx;
-    let mut batch = vec![first];
-    let mut rest = VecDeque::with_capacity(st.queue.len());
-    while let Some(p) = st.queue.pop_front() {
-        if batch.len() < max_batch && p.matrix_idx == matrix {
-            batch.push(p);
-        } else {
-            rest.push_back(p);
-        }
-    }
-    st.queue = rest;
-    let target = [8usize, 4, 2, 1].into_iter().find(|&w| w <= batch.len()).unwrap();
-    while batch.len() > target {
-        // Popping from the back and pushing to the front keeps the
-        // returned requests in their original relative order.
-        st.queue.push_front(batch.pop().unwrap());
-    }
-    for p in &batch {
-        let n = st.tenant_inflight.get_mut(&p.tenant).expect("tenant count out of sync");
-        *n = n.saturating_sub(1);
-    }
-    batch
-}
-
 // ---------------------------------------------------------------------
 // Builder
 // ---------------------------------------------------------------------
 
-struct MatrixMeta {
-    name: String,
-    nrows: usize,
-    ncols: usize,
-}
-
 /// Builds an [`SpmvService`]: register resident matrices (any
 /// [`ChunkKernel`] — CSR, CSR-DU, CSR-VI, CSR-DU+VI chunk adapters all
 /// qualify), set per-tenant limits, then [`start`](ServiceBuilder::start)
-/// the dispatcher.
+/// the dispatcher shards. Matrices can also be registered (and evicted)
+/// on the live service afterwards.
 pub struct ServiceBuilder {
     config: ServiceConfig,
     matrices: Vec<(String, Arc<dyn ChunkKernel<f64>>)>,
@@ -348,68 +353,49 @@ impl ServiceBuilder {
         self
     }
 
-    /// Arms `plan` on the dispatcher thread, so its executors inject
-    /// the planned faults into *worker* threads during batch execution.
-    /// The dispatcher itself participates as thread 0, which the
-    /// supervised executor never fault-injects, so the dispatcher
-    /// cannot be killed by its own plan.
+    /// Arms a clone of `plan` on every shard incarnation, so its
+    /// executors inject the planned faults into *worker* threads during
+    /// batch execution. Each shard participates as thread 0, which the
+    /// supervised executor never fault-injects, so a shard cannot be
+    /// killed by its own plan (use
+    /// [`SpmvService::kill_shard`] / [`SpmvService::stall_shard`] for
+    /// that).
     #[cfg(feature = "fault-injection")]
     pub fn inject_faults(mut self, plan: FaultPlan) -> ServiceBuilder {
         self.fault_plan = Some(plan);
         self
     }
 
-    /// Spawns the dispatcher thread and returns the running service.
+    /// Spawns the dispatcher shards and their supervisor and returns
+    /// the running service.
     pub fn start(self) -> SpmvService {
         let cfg = self.config.clone();
-        let shared = Arc::new(SharedQ {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                tenant_inflight: HashMap::new(),
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-        });
-        let stats: Arc<StatsInner> = Arc::new(StatsInner::default());
-        let meta: Vec<MatrixMeta> = self
-            .matrices
-            .iter()
-            .map(|(name, k)| MatrixMeta { name: name.clone(), nrows: k.nrows(), ncols: k.ncols() })
-            .collect();
-        let matrix_index: HashMap<String, usize> =
-            meta.iter().enumerate().map(|(i, m)| (m.name.clone(), i)).collect();
-
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            let stats = Arc::clone(&stats);
-            let cfg = cfg.clone();
-            let kernels: Vec<Arc<dyn ChunkKernel<f64>>> =
-                self.matrices.into_iter().map(|(_, k)| k).collect();
-            #[cfg(feature = "fault-injection")]
-            let fault_plan = self.fault_plan;
-            std::thread::Builder::new()
-                .name("spmv-service-dispatch".into())
-                .spawn(move || {
-                    // The armed plan is thread-local to the dispatcher:
-                    // each executor dispatch snapshots it, so planned
-                    // faults fire inside worker threads while the
-                    // dispatcher (thread 0) stays uninjected.
-                    #[cfg(feature = "fault-injection")]
-                    let _armed = fault_plan.map(FaultPlan::arm);
-                    dispatch_loop(&shared, &stats, &cfg, kernels);
-                })
-                .expect("spawning the service dispatcher")
-        };
-
-        SpmvService {
-            shared,
-            stats,
-            cfg,
-            meta,
-            matrix_index,
-            tenants: self.tenants,
-            dispatcher: Some(dispatcher),
+        let nshards = cfg.shards.max(1);
+        let pins: Vec<Arc<AtomicU64>> =
+            (0..nshards).map(|_| Arc::new(AtomicU64::new(u64::MAX))).collect();
+        let registry = Registry::new(nshards, pins.clone());
+        for (name, kernel) in self.matrices {
+            registry.insert(&name, kernel).expect("builder deduplicates matrix names");
         }
+        let shards: Vec<Arc<ShardShared>> =
+            (0..nshards).map(|i| Arc::new(ShardShared::new(Arc::clone(&pins[i])))).collect();
+        let inner = Arc::new(ServiceInner {
+            cfg,
+            registry,
+            stats: StatsInner::new(nshards),
+            tenant_counts: Mutex::new(HashMap::new()),
+            tenants: self.tenants,
+            shards,
+            epoch0: Instant::now(),
+            accepting: AtomicBool::new(true),
+            stopping: AtomicBool::new(false),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: Mutex::new(self.fault_plan),
+        });
+        let handles: Vec<Option<JoinHandle<()>>> =
+            (0..nshards).map(|i| Some(spawn_shard(&inner, i, 0))).collect();
+        let supervisor = spawn_supervisor(&inner, handles);
+        SpmvService { inner, supervisor: Mutex::new(Some(supervisor)) }
     }
 }
 
@@ -420,97 +406,124 @@ impl ServiceBuilder {
 /// A running SpMV service. Cheap to share behind an [`Arc`];
 /// [`submit`](SpmvService::submit) blocks the calling thread until the
 /// request terminates — with a [`Response`] or a typed
-/// [`ServiceError`], never a hang. Dropping the service shuts it down:
-/// queued requests are drained with [`ServiceError::ShuttingDown`] and
-/// the dispatcher is joined.
+/// [`ServiceError`], never a hang. Dropping the service shuts it down
+/// gracefully: admission closes, queued requests drain until the
+/// configured drain deadline, the remainder expires with
+/// [`ServiceError::DeadlineExceeded`], and every thread is joined.
 pub struct SpmvService {
-    shared: Arc<SharedQ>,
-    stats: Arc<StatsInner>,
-    cfg: ServiceConfig,
-    meta: Vec<MatrixMeta>,
-    matrix_index: HashMap<String, usize>,
-    tenants: HashMap<String, TenantLimits>,
-    dispatcher: Option<JoinHandle<()>>,
+    inner: Arc<ServiceInner>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl SpmvService {
     /// Submits a request and blocks until it terminates. See the crate
-    /// docs for the admission → queue → coalesce → execute pipeline.
+    /// docs for the admission → shard queue → coalesce → execute
+    /// pipeline.
     pub fn submit(&self, req: Request) -> Result<Response, ServiceError> {
+        let stats = &self.inner.stats;
         // Validation happens before admission: these rejections are
         // request defects, not load signals, and stay out of
         // `submitted` so the shed-accounting invariants hold exactly.
-        let Some(&idx) = self.matrix_index.get(&req.matrix) else {
-            self.stats.bump(&self.stats.rejected_invalid);
+        let Some(m) = self.inner.registry.lookup(&req.matrix) else {
+            stats.bump(&stats.rejected_invalid);
             return Err(ServiceError::UnknownMatrix(req.matrix));
         };
-        let m = &self.meta[idx];
+        if m.evicting {
+            stats.bump(&stats.rejected_invalid);
+            return Err(ServiceError::Evicting(req.matrix));
+        }
         if req.x.len() != m.ncols {
-            self.stats.bump(&self.stats.rejected_invalid);
+            stats.bump(&stats.rejected_invalid);
             return Err(ServiceError::DimensionMismatch { expected: m.ncols, got: req.x.len() });
         }
-        let limits =
-            self.tenants.get(&req.tenant).copied().unwrap_or(self.cfg.default_tenant_limits);
+        let limits = self
+            .inner
+            .tenants
+            .get(&req.tenant)
+            .copied()
+            .unwrap_or(self.inner.cfg.default_tenant_limits);
         let bytes = (req.x.len() * std::mem::size_of::<f64>()) as u64;
         if bytes > limits.max_vector_bytes {
-            self.stats.bump(&self.stats.rejected_invalid);
+            stats.bump(&stats.rejected_invalid);
             return Err(ServiceError::VectorTooLarge { bytes, max_bytes: limits.max_vector_bytes });
         }
-        let budget = req.deadline.unwrap_or(self.cfg.default_deadline);
+        let budget = req.deadline.unwrap_or(self.inner.cfg.default_deadline);
         if budget.is_zero() {
-            self.stats.bump(&self.stats.expired_at_submit);
+            stats.bump(&stats.expired_at_submit);
             return Err(ServiceError::DeadlineExceeded { waited: Duration::ZERO });
+        }
+        if !self.inner.accepting.load(Ordering::Acquire) {
+            stats.bump(&stats.rejected_shutdown);
+            return Err(ServiceError::ShuttingDown);
         }
 
         let now = Instant::now();
-        let reply = ReplySlot::new();
+        let reply = Arc::new(ReplySlot::new());
+        let sh = &self.inner.shards[m.shard];
         {
-            let mut st = self.shared.state.lock().unwrap();
-            if st.shutdown {
+            let mut st = lock(&sh.state);
+            if st.draining || st.shutdown {
+                stats.bump(&stats.rejected_shutdown);
                 return Err(ServiceError::ShuttingDown);
             }
-            self.stats.bump(&self.stats.submitted);
-            if st.queue.len() >= self.cfg.queue_capacity {
-                self.stats.bump(&self.stats.shed_overload);
+            stats.bump(&stats.submitted);
+            bump_shard(stats, m.shard, |s| &s.submitted);
+            if st.sched.len() >= self.inner.cfg.queue_capacity {
+                stats.bump(&stats.shed_overload);
+                bump_shard(stats, m.shard, |s| &s.shed_overload);
                 return Err(ServiceError::Overloaded {
-                    queued: st.queue.len(),
-                    capacity: self.cfg.queue_capacity,
+                    queued: st.sched.len(),
+                    capacity: self.inner.cfg.queue_capacity,
                 });
             }
-            let inflight = st.tenant_inflight.entry(req.tenant.clone()).or_insert(0);
-            if *inflight >= limits.max_inflight {
-                self.stats.bump(&self.stats.shed_quota);
-                return Err(ServiceError::TenantQuotaExceeded {
+            {
+                let mut counts = lock(&self.inner.tenant_counts);
+                let inflight = counts.entry(req.tenant.clone()).or_insert(0);
+                if *inflight >= limits.max_inflight {
+                    let seen = *inflight;
+                    stats.bump(&stats.shed_quota);
+                    bump_shard(stats, m.shard, |s| &s.shed_quota);
+                    return Err(ServiceError::TenantQuotaExceeded {
+                        tenant: req.tenant,
+                        inflight: seen,
+                        quota: limits.max_inflight,
+                    });
+                }
+                *inflight += 1;
+            }
+            st.sched.push(
+                limits.weight,
+                Arc::new(Pending {
+                    id: m.id,
+                    shard: m.shard,
+                    matrix: req.matrix,
                     tenant: req.tenant,
-                    inflight: *inflight,
-                    quota: limits.max_inflight,
-                });
-            }
-            *inflight += 1;
-            st.queue.push_back(Pending {
-                matrix_idx: idx,
-                tenant: req.tenant,
-                x: req.x,
-                enqueued: now,
-                expires: now + budget,
-                reply: Arc::clone(&reply),
-            });
-            self.stats.bump(&self.stats.admitted);
+                    x: req.x,
+                    enqueued: now,
+                    expires: now + budget,
+                    reply: Arc::clone(&reply),
+                }),
+            );
+            stats.bump(&stats.admitted);
+            bump_shard(stats, m.shard, |s| &s.admitted);
         }
-        self.shared.work_cv.notify_one();
+        sh.work_cv.notify_one();
 
-        // The dispatcher expires stale requests at pop, so the normal
-        // deadline path answers well before this backstop. The backstop
-        // exists so that `submit` cannot hang even if the dispatcher is
-        // wedged: past the grace window the client publishes
-        // `DeadlineExceeded` itself (publish-once keeps the accounting
-        // single-entry either way).
+        // The shard expires stale requests at pop (and the supervisor
+        // at respawn), so the normal deadline path answers well before
+        // this backstop. The backstop exists so that `submit` cannot
+        // hang even if the whole dispatch layer is wedged: past the
+        // grace window the client publishes `DeadlineExceeded` itself
+        // (publish-once keeps the accounting single-entry either way).
         match reply.wait_until(now + budget + self.reply_grace()) {
             Some(r) => r,
             None => {
                 reply.publish_with(
                     Err(ServiceError::DeadlineExceeded { waited: now.elapsed() }),
-                    || self.stats.bump(&self.stats.deadline_expired),
+                    || {
+                        stats.bump(&stats.deadline_expired);
+                        bump_shard(stats, m.shard, |s| &s.deadline_expired);
+                    },
                 );
                 reply.take().expect("reply slot filled after backstop publish")
             }
@@ -521,255 +534,191 @@ impl SpmvService {
     /// fires: enough for every retry to blow the full watchdog deadline
     /// plus backoff, with margin for scheduling noise.
     fn reply_grace(&self) -> Duration {
-        self.cfg.max_exec_deadline * (self.cfg.max_retries + 2)
-            + self.cfg.max_backoff * (self.cfg.max_retries + 1)
+        let cfg = &self.inner.cfg;
+        cfg.max_exec_deadline * (cfg.max_retries + 2)
+            + cfg.max_backoff * (cfg.max_retries + 1)
             + Duration::from_secs(5)
+    }
+
+    /// Registers a matrix on the **live** service. The matrix is
+    /// hash-assigned to a shard and servable as soon as this returns.
+    /// Fails with [`ServiceError::AlreadyRegistered`] if the name is
+    /// live (evict first to replace), or
+    /// [`ServiceError::ShuttingDown`] during shutdown.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        kernel: Arc<dyn ChunkKernel<f64>>,
+    ) -> Result<(), ServiceError> {
+        if !self.inner.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        self.inner.registry.insert(&name.into(), kernel).map(|_| ())
+    }
+
+    /// Evicts a matrix from the live service. Epoch-based reclamation:
+    ///
+    /// 1. the registration flips to `Evicting` — new submissions are
+    ///    rejected with [`ServiceError::Evicting`];
+    /// 2. queued requests for the matrix are answered `Evicting`;
+    /// 3. the global epoch is bumped and the call blocks until every
+    ///    shard is quiescent or past the new epoch — no in-flight batch
+    ///    can still observe the registration;
+    /// 4. the registration is dropped and the owning shard retires its
+    ///    cached executor.
+    ///
+    /// Returns [`ServiceError::UnknownMatrix`] for names never (or no
+    /// longer) registered and [`ServiceError::Evicting`] if another
+    /// eviction of the same name is still in flight.
+    pub fn evict(&self, name: &str) -> Result<(), ServiceError> {
+        let m = self.inner.registry.begin_evict(name)?;
+        sweep_evicting(&self.inner, m.shard, m.id);
+        self.inner.registry.bump_and_wait_quiescent(Duration::from_secs(30));
+        // Requests that raced admission against step 1 landed after the
+        // first sweep; they are queued but can no longer execute.
+        sweep_evicting(&self.inner, m.shard, m.id);
+        self.inner.registry.finish_evict(m.id);
+        let sh = &self.inner.shards[m.shard];
+        lock(&sh.retired).push(m.id);
+        sh.work_cv.notify_all();
+        Ok(())
     }
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.stats.snapshot()
+        self.inner.stats.snapshot()
     }
 
-    /// Registered matrices as `(name, nrows, ncols)`.
+    /// Live (non-evicting) matrices as `(name, nrows, ncols)`.
     pub fn matrices(&self) -> Vec<(String, usize, usize)> {
-        self.meta.iter().map(|m| (m.name.clone(), m.nrows, m.ncols)).collect()
+        self.inner.registry.live_matrices()
     }
 
-    /// Shuts the service down: new submissions fail with
-    /// [`ServiceError::ShuttingDown`], queued requests drain with the
-    /// same error, and the dispatcher is joined. Returns the final
-    /// counters. Dropping the service does the same implicitly.
-    pub fn shutdown(mut self) -> ServiceStats {
-        self.shutdown_impl();
-        self.stats.snapshot()
+    /// Number of dispatcher shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
-    fn shutdown_impl(&mut self) {
-        if let Some(handle) = self.dispatcher.take() {
-            self.shared.state.lock().unwrap().shutdown = true;
-            self.shared.work_cv.notify_all();
-            let _ = handle.join();
+    /// Chaos drill: makes shard `shard`'s dispatcher thread die
+    /// abruptly at its next dispatch point — possibly with a batch in
+    /// flight, which the supervisor must replay. Returns `false` for an
+    /// out-of-range index. Safe in production in the sense that no
+    /// admitted request is lost: the supervisor respawns the shard and
+    /// replays unanswered work.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        match self.inner.shards.get(shard) {
+            Some(sh) => {
+                sh.kill.store(true, Ordering::Release);
+                sh.work_cv.notify_all();
+                true
+            }
+            None => false,
         }
+    }
+
+    /// Chaos drill: wedges shard `shard` after its next batch pop — it
+    /// stops heartbeating with work in flight until the supervisor
+    /// abandons and replaces it. Returns `false` for an out-of-range
+    /// index.
+    pub fn stall_shard(&self, shard: usize) -> bool {
+        match self.inner.shards.get(shard) {
+            Some(sh) => {
+                sh.stall.store(true, Ordering::Release);
+                sh.work_cv.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Graceful shutdown with the configured
+    /// [`drain_deadline`](ServiceConfig::drain_deadline). Returns the
+    /// final counters. Dropping the service does the same implicitly.
+    pub fn shutdown(self) -> ServiceStats {
+        let drain = self.inner.cfg.drain_deadline;
+        self.shutdown_impl(drain);
+        self.inner.stats.snapshot()
+    }
+
+    /// Graceful shutdown with an explicit drain budget:
+    ///
+    /// 1. admission closes — new submissions fail with
+    ///    [`ServiceError::ShuttingDown`];
+    /// 2. shards keep executing queued work until their queues empty or
+    ///    `drain` elapses;
+    /// 3. whatever is still queued expires with
+    ///    [`ServiceError::DeadlineExceeded`];
+    /// 4. shard threads and the supervisor are joined.
+    ///
+    /// Every request admitted before shutdown terminates with a typed
+    /// reply; none is silently stranded.
+    pub fn shutdown_within(self, drain: Duration) -> ServiceStats {
+        self.shutdown_impl(drain);
+        self.inner.stats.snapshot()
+    }
+
+    /// Initiates the same graceful drain from a *shared* handle (e.g. a
+    /// signal handler holding an `Arc<SpmvService>` while clients are
+    /// still blocked in [`submit`](SpmvService::submit)): admission
+    /// closes, queued work drains until `drain` elapses, the remainder
+    /// expires, and the threads are joined. Idempotent; later calls
+    /// (and the eventual `Drop`) are no-ops. Read the final counters
+    /// with [`stats`](SpmvService::stats).
+    pub fn begin_shutdown(&self, drain: Duration) {
+        self.shutdown_impl(drain);
+    }
+
+    fn shutdown_impl(&self, drain: Duration) {
+        let Some(supervisor) = lock(&self.supervisor).take() else {
+            return;
+        };
+        self.inner.accepting.store(false, Ordering::Release);
+        for sh in &self.inner.shards {
+            lock(&sh.state).draining = true;
+            sh.work_cv.notify_all();
+        }
+        // Drain phase: wait for every queue and in-flight batch to
+        // clear (the supervisor keeps recovering dying shards
+        // throughout, so a mid-drain death does not strand its work).
+        let deadline = Instant::now() + drain;
+        loop {
+            let busy = self
+                .inner
+                .shards
+                .iter()
+                .any(|sh| !lock(&sh.state).sched.is_empty() || !lock(&sh.inflight).is_empty());
+            if !busy || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Expire the remainder: queued work that outlived the drain
+        // budget still terminates, with a typed error.
+        for i in 0..self.inner.shards.len() {
+            let now = Instant::now();
+            crate::shard::sweep_queue(
+                &self.inner,
+                i,
+                |_| true,
+                |p| ServiceError::DeadlineExceeded { waited: now - p.enqueued },
+                |s| &s.deadline_expired,
+                |s| &s.deadline_expired,
+            );
+        }
+        // Hard stop: shard loops exit at their next scheduler pass; the
+        // supervisor joins them all and then exits itself.
+        for sh in &self.inner.shards {
+            lock(&sh.state).shutdown = true;
+            sh.work_cv.notify_all();
+        }
+        self.inner.stopping.store(true, Ordering::Release);
+        let _ = supervisor.join();
     }
 }
 
 impl Drop for SpmvService {
     fn drop(&mut self) {
-        self.shutdown_impl();
-    }
-}
-
-// ---------------------------------------------------------------------
-// Dispatcher
-// ---------------------------------------------------------------------
-
-struct ExecState {
-    exec: SupervisedSpMv<f64>,
-    breaker: CircuitBreaker,
-    kernel: Arc<dyn ChunkKernel<f64>>,
-}
-
-fn dispatch_loop(
-    shared: &SharedQ,
-    stats: &StatsInner,
-    cfg: &ServiceConfig,
-    kernels: Vec<Arc<dyn ChunkKernel<f64>>>,
-) {
-    let opts = WatchdogOpts {
-        deadline: cfg.max_exec_deadline.max(Duration::from_millis(1)),
-        policy: cfg.policy,
-        verify_every: cfg.verify_every,
-        // The dispatcher claims chunks as thread 0 — forced on for
-        // `threads == 1` (otherwise nobody computes), and safe under
-        // fault injection because the caller thread is never injected.
-        caller_participates: cfg.caller_participates || cfg.threads <= 1,
-    };
-    let mut execs: Vec<ExecState> = kernels
-        .into_iter()
-        .map(|kernel| ExecState {
-            exec: SupervisedSpMv::with_opts(Arc::clone(&kernel), cfg.threads.max(1), opts),
-            breaker: CircuitBreaker::new(cfg.breaker_trip_after, cfg.breaker_cooldown),
-            kernel,
-        })
-        .collect();
-
-    loop {
-        let batch = {
-            let mut st = shared.state.lock().unwrap();
-            loop {
-                if st.shutdown {
-                    // Drain: every queued request still terminates,
-                    // with a typed error instead of a result.
-                    while let Some(p) = st.queue.pop_front() {
-                        if let Some(n) = st.tenant_inflight.get_mut(&p.tenant) {
-                            *n = n.saturating_sub(1);
-                        }
-                        p.reply.publish_with(Err(ServiceError::ShuttingDown), || {
-                            stats.bump(&stats.failed)
-                        });
-                    }
-                    return;
-                }
-                if !st.queue.is_empty() {
-                    break pop_batch(&mut st, cfg.max_batch);
-                }
-                st = shared.work_cv.wait(st).unwrap();
-            }
-        };
-        run_batch(batch, stats, cfg, &mut execs);
-    }
-}
-
-/// Executes one coalesced batch: expire stale members, gather the
-/// panel, run it (parallel with retry/backoff, or serial when the
-/// breaker is open), scatter, publish.
-fn run_batch(
-    batch: Vec<Pending>,
-    stats: &StatsInner,
-    cfg: &ServiceConfig,
-    execs: &mut [ExecState],
-) {
-    let now = Instant::now();
-    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-    for p in batch {
-        if p.expires <= now {
-            p.reply.publish_with(
-                Err(ServiceError::DeadlineExceeded { waited: now - p.enqueued }),
-                || stats.bump(&stats.deadline_expired),
-            );
-        } else {
-            live.push(p);
-        }
-    }
-    if live.is_empty() {
-        return;
-    }
-
-    let k = live.len();
-    let es = &mut execs[live[0].matrix_idx];
-    let (nrows, ncols) = (es.kernel.nrows(), es.kernel.ncols());
-
-    // Gather the column-major request vectors into the row-major
-    // `ncols x k` panel the SpMM kernels expect.
-    let mut x_panel = vec![0.0f64; ncols * k];
-    for (v, p) in live.iter().enumerate() {
-        for (c, &val) in p.x.iter().enumerate() {
-            x_panel[c * k + v] = val;
-        }
-    }
-    let mut y_panel = vec![0.0f64; nrows * k];
-
-    // The watchdog deadline tracks the batch's tightest remaining
-    // budget: a stalled worker costs at most the time the most
-    // impatient member has left, not a full default deadline.
-    let tightest = live.iter().map(|p| p.expires).min().unwrap();
-    let exec_deadline = tightest
-        .saturating_duration_since(now)
-        .clamp(Duration::from_millis(1), cfg.max_exec_deadline.max(Duration::from_millis(1)));
-    es.exec.set_deadline(exec_deadline);
-
-    let outcome = if es.breaker.allow_parallel(now) {
-        match run_parallel(es, stats, cfg, &x_panel, k, &mut y_panel, tightest) {
-            Ok(o) => o,
-            Err((attempts, last)) => {
-                for p in &live {
-                    p.reply.publish_with(
-                        Err(ServiceError::ExecutionFailed { attempts, last: last.clone() }),
-                        || stats.bump(&stats.failed),
-                    );
-                }
-                return;
-            }
-        }
-    } else {
-        serial_spmm(es.kernel.as_ref(), &x_panel, k, &mut y_panel);
-        stats.bump(&stats.serial_batches);
-        BatchOutcome { degraded: false, attempts: 1, serial: true }
-    };
-
-    stats.batch_sizes[k - 1].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    for (v, p) in live.iter().enumerate() {
-        let mut y = vec![0.0f64; nrows];
-        for (r, slot) in y.iter_mut().enumerate() {
-            *slot = y_panel[r * k + v];
-        }
-        let resp = Response {
-            y,
-            batch_k: k,
-            queue_wait: now - p.enqueued,
-            degraded: outcome.degraded,
-            attempts: outcome.attempts,
-            serial: outcome.serial,
-        };
-        p.reply.publish_with(Ok(resp), || stats.bump(&stats.completed));
-    }
-}
-
-struct BatchOutcome {
-    degraded: bool,
-    attempts: u32,
-    serial: bool,
-}
-
-/// The parallel path with bounded retry: re-execute on a typed pool
-/// fault (fail-fast policy) with exponential backoff, give up after
-/// `max_retries` or once the batch's tightest deadline has passed.
-fn run_parallel(
-    es: &mut ExecState,
-    stats: &StatsInner,
-    cfg: &ServiceConfig,
-    x_panel: &[f64],
-    k: usize,
-    y_panel: &mut [f64],
-    tightest: Instant,
-) -> Result<BatchOutcome, (u32, PoolError)> {
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match es.exec.spmm(x_panel, k, y_panel) {
-            Ok(report) => {
-                if report.degraded() {
-                    stats.pool_faults.fetch_add(
-                        report.events.len() as u64,
-                        std::sync::atomic::Ordering::Relaxed,
-                    );
-                    if es.breaker.record_fault(Instant::now()) {
-                        stats.bump(&stats.breaker_trips);
-                    }
-                } else {
-                    es.breaker.record_success();
-                }
-                return Ok(BatchOutcome { degraded: report.degraded(), attempts, serial: false });
-            }
-            Err(e) => {
-                stats.bump(&stats.pool_faults);
-                if es.breaker.record_fault(Instant::now()) {
-                    stats.bump(&stats.breaker_trips);
-                }
-                if attempts > cfg.max_retries || Instant::now() >= tightest {
-                    return Err((attempts, e));
-                }
-                stats.bump(&stats.retries);
-                let backoff = cfg
-                    .base_backoff
-                    .saturating_mul(1u32 << (attempts - 1).min(16))
-                    .min(cfg.max_backoff);
-                std::thread::sleep(backoff);
-            }
-        }
-    }
-}
-
-/// Serial SpMM over the chunk kernel — the same per-chunk
-/// `compute_block` calls the supervised executor makes, in chunk
-/// order, so the result is bit-identical to the parallel path.
-pub(crate) fn serial_spmm(kernel: &dyn ChunkKernel<f64>, x: &[f64], k: usize, y: &mut [f64]) {
-    for chunk in 0..kernel.nchunks() {
-        let rows = kernel.chunk_rows(chunk);
-        let mut out = vec![0.0f64; rows.len() * k];
-        kernel.compute_block(chunk, x, k, &mut out);
-        y[rows.start * k..rows.end * k].copy_from_slice(&out);
+        self.shutdown_impl(self.inner.cfg.drain_deadline);
     }
 }
 
@@ -780,71 +729,6 @@ pub(crate) fn serial_spmm(kernel: &dyn ChunkKernel<f64>, x: &[f64], k: usize, y:
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn pending(matrix_idx: usize, tenant: &str) -> Pending {
-        let now = Instant::now();
-        Pending {
-            matrix_idx,
-            tenant: tenant.to_string(),
-            x: Vec::new(),
-            enqueued: now,
-            expires: now + Duration::from_secs(60),
-            reply: ReplySlot::new(),
-        }
-    }
-
-    fn state_of(entries: &[(usize, &str)]) -> QueueState {
-        let mut tenant_inflight: HashMap<String, usize> = HashMap::new();
-        let mut queue = VecDeque::new();
-        for &(m, t) in entries {
-            *tenant_inflight.entry(t.to_string()).or_insert(0) += 1;
-            queue.push_back(pending(m, t));
-        }
-        QueueState { queue, tenant_inflight, shutdown: false }
-    }
-
-    #[test]
-    fn pop_batch_coalesces_same_matrix_and_preserves_other_order() {
-        let mut st = state_of(&[(0, "a"), (1, "a"), (0, "b"), (2, "a"), (0, "a")]);
-        let batch = pop_batch(&mut st, 8);
-        // Head matrix 0: members at positions 0, 2, 4 — but only widths
-        // {1,2,4,8} run, so 3 clamps to 2 and the last goes back first.
-        assert_eq!(batch.len(), 2);
-        assert!(batch.iter().all(|p| p.matrix_idx == 0));
-        let left: Vec<usize> = st.queue.iter().map(|p| p.matrix_idx).collect();
-        assert_eq!(left, vec![0, 1, 2], "clamped member leads, others keep order");
-        assert_eq!(st.tenant_inflight["a"], 3, "popped members released their slots");
-        assert_eq!(st.tenant_inflight["b"], 0);
-    }
-
-    #[test]
-    fn pop_batch_clamps_to_panel_widths() {
-        for (queued, want) in [(1usize, 1usize), (2, 2), (3, 2), (4, 4), (5, 4), (7, 4), (8, 8)] {
-            let entries: Vec<(usize, &str)> = (0..queued).map(|_| (0, "t")).collect();
-            let mut st = state_of(&entries);
-            let batch = pop_batch(&mut st, 8);
-            assert_eq!(batch.len(), want, "{queued} queued");
-            assert_eq!(st.queue.len(), queued - want);
-        }
-    }
-
-    #[test]
-    fn pop_batch_respects_max_batch() {
-        let entries: Vec<(usize, &str)> = (0..8).map(|_| (0, "t")).collect();
-        let mut st = state_of(&entries);
-        let batch = pop_batch(&mut st, 4);
-        assert_eq!(batch.len(), 4);
-        assert_eq!(st.queue.len(), 4);
-    }
-
-    #[test]
-    fn pop_batch_singleton_for_lonely_head() {
-        let mut st = state_of(&[(3, "a"), (0, "b"), (0, "c")]);
-        let batch = pop_batch(&mut st, 8);
-        assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].matrix_idx, 3);
-        assert_eq!(st.queue.len(), 2);
-    }
 
     #[test]
     fn reply_slot_first_publish_wins() {
@@ -861,5 +745,34 @@ mod tests {
         let t0 = Instant::now();
         assert!(slot.wait_until(t0 + Duration::from_millis(20)).is_none());
         assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn reply_slot_survives_a_poisoned_lock() {
+        // A publisher that panics inside the critical section poisons
+        // the slot mutex. The client blocked in `wait_until` (and the
+        // backstop's publish/take) must recover the guard and keep the
+        // typed-reply contract instead of propagating the panic.
+        let slot = Arc::new(ReplySlot::new());
+        let poisoner = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            poisoner.publish_with(Err(ServiceError::ShuttingDown), || {
+                panic!("publisher dies inside the critical section");
+            });
+        })
+        .join();
+        assert!(slot.slot.is_poisoned(), "the panic must actually poison the lock");
+        // The poisoned publish still landed (state update precedes
+        // `on_win`), so publish-once, wait, and take all keep working.
+        assert!(slot.is_published());
+        assert!(!slot.publish(Err(ServiceError::DeadlineExceeded { waited: Duration::ZERO })));
+        assert_eq!(
+            slot.wait_until(Instant::now() + Duration::from_millis(10)),
+            Some(Err(ServiceError::ShuttingDown))
+        );
+        assert_eq!(slot.take(), None);
+        // And a fresh wait on the drained slot times out instead of
+        // panicking on the poisoned condvar wait.
+        assert!(slot.wait_until(Instant::now() + Duration::from_millis(5)).is_none());
     }
 }

@@ -88,6 +88,24 @@ timeout 300 cargo run -q --release -p spmv-bench --bin loadgen -- \
 cargo run -q --release -p spmv-bench --bin reproduce -- \
     check-bench target/service-smoke/BENCH.json
 
+echo "== shard-chaos (self-healing sharded dispatch) =="
+# Supervision drills against the live service: every dispatcher shard is
+# killed or stalled under concurrent mixed-tenant load and zero requests
+# may be lost (bit-identical results or allowed typed errors only), plus
+# the hot register/evict lifecycle and the shard-breaker serial fallback.
+cargo test -q -p spmv-service --test shard_chaos
+# Then the load generator as a supervision drill: 4 shards, a killer
+# thread murdering them round-robin, deterministic worker faults armed
+# underneath, and the schema-v5 artifact — whose per-shard counter
+# mirrors must sum exactly to the globals — re-validated through the
+# independent jsonv reader.
+timeout 300 cargo run -q --release -p spmv-bench --features fault-injection --bin loadgen -- \
+    --duration 2 --deadline-ms 25 --queue-capacity 8 --clients 32 \
+    --shards 4 --kill-shard --inject-faults --load-factor 2 \
+    --out target/shard-chaos
+cargo run -q --release -p spmv-bench --bin reproduce -- \
+    check-bench target/shard-chaos/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.
