@@ -489,6 +489,7 @@ fn main() {
             seed: args.seed,
             records: Vec::new(),
             service: Some(summary),
+            plan_cache: None,
         };
         let mut text = serde_json::to_string_pretty(&file).expect("serialize BENCH.json");
         text.push('\n');

@@ -21,7 +21,8 @@
 //!   verify     structural validate() + CSR cross-check of every format
 //!   bench      measured formats x thread counts -> schema-versioned BENCH.json
 //!   check-bench [FILE]   validate a BENCH.json against the schema (CI gate)
-//!   all        everything above (except check-bench), in order
+//!   plan       planner-chosen cell per matrix -> BENCH.json + PLANCACHE
+//!   all        everything above (except check-bench and plan), in order
 //! ```
 //!
 //! `--scale` shrinks the corpus working sets (default 1.0 = paper scale;
@@ -167,7 +168,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, CliError> {
 
 const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] [--k LIST] [--isa ISA] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
-ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|all> [arg]\n\
+ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|plan|all> [arg]\n\
 --k takes a comma-separated list of SpMM panel widths for bench (default 1,2,4,8)\n\
 --isa selects the bench kernel instruction set: auto (default), scalar, avx2\n";
 
@@ -267,6 +268,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "plan" => plan_cmd(&args),
         other => {
             eprintln!("unknown command: {other}\n{HELP}");
             std::process::exit(2);
@@ -504,7 +506,7 @@ fn validate_model() {
     for (name, coo) in cases {
         let csr: spmv_core::Csr = coo.to_csr();
         let profile = MatrixProfile::from_csr(&csr);
-        let fc = FormatCost::csr(&csr, &cfg.cost);
+        let fc = FormatCost::csr(&csr, &cfg.cost).expect("non-degenerate case matrix");
         let p = predict(&profile, &fc, &Placement::serial(), &cfg);
         let t = simulate_csr_spmv(&csr, geo, 1);
         let model_mb = p.traffic_bytes / (1 << 20) as f64;
@@ -806,6 +808,113 @@ fn bench(args: &Args) {
     );
 }
 
+/// Plan mode: run every M0 corpus matrix through the adaptive planner,
+/// measure (cold) or replay (warm) the chosen cell, and emit a schema-v6
+/// `BENCH.json` plus the persisted plan cache. A second run against the
+/// same `--out` is fully warm: every decision is a cache hit, nothing is
+/// re-encoded, and the cold run's measured medians are replayed — the
+/// closing `plan-cache:` line is what CI's plan-smoke gate greps.
+fn plan_cmd(args: &Args) {
+    use spmv_bench::metrics::validate_bench_text;
+    use spmv_bench::planning::{degenerate_probes, run_planned, PlanRunOptions, PLAN_CACHE_FILE};
+    use spmv_memsim::{Planner, PlannerConfig};
+
+    let opts = PlanRunOptions {
+        scale: args.scale.min(0.25), // keep plan mode quick, like bench
+        iters: args.iters.unwrap_or(PlanRunOptions::default().iters),
+        ..PlanRunOptions::default()
+    };
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let cache_path = dir.join(PLAN_CACHE_FILE);
+
+    let planner = Planner::new(PlannerConfig::default());
+    if cache_path.exists() {
+        match planner.load(&cache_path) {
+            Ok(n) => println!("loaded {n} cached plans from {}", cache_path.display()),
+            Err(e) => {
+                eprintln!("plan: cache {} is unreadable: {e}", cache_path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "\n== Plan mode: planner-chosen cell per matrix, corpus scale {}, {} iterations ==\n",
+        opts.scale, opts.iters
+    );
+    println!("degenerate probes (throwaway planner; never cached):");
+    match degenerate_probes(&planner) {
+        Ok(lines) => {
+            for line in lines {
+                println!("  {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("plan: degenerate probe failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "\n{:<12} {:<9} {:>3} {:>6} {:>5} | {:>12} {:>12} {:>7}",
+        "matrix", "format", "thr", "chunks", "cache", "predicted", "measured", "ratio"
+    );
+    let result = run_planned(&planner, &opts, |outcome, record| {
+        let predicted = outcome.plan.predicted_time_s;
+        let measured = record.stats.median_s;
+        let ratio = if predicted > 0.0 { measured / predicted } else { f64::NAN };
+        println!(
+            "{:<12} {:<9} {:>3} {:>6} {:>5} | {:>9.1} us {:>9.1} us {:>7.2}",
+            record.matrix,
+            record.format,
+            record.threads,
+            outcome.plan.chunks,
+            if outcome.plan.cache_hit { "hit" } else { "miss" },
+            predicted * 1e6,
+            measured * 1e6,
+            ratio,
+        );
+    });
+    let (file, outcomes) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("plan: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let text = {
+        let mut t = serde_json::to_string_pretty(&file).expect("serialize BENCH.json");
+        t.push('\n');
+        t
+    };
+    validate_bench_text(&text).expect("freshly emitted BENCH.json must satisfy its own schema");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH.json");
+    std::fs::write(&path, text).expect("write BENCH.json");
+    planner.save(&cache_path).expect("persist plan cache");
+
+    let replayed = outcomes.iter().filter(|o| o.replayed).count();
+    let s = planner.stats();
+    println!(
+        "\nwrote {} ({} planned records, {} replayed from cache, schema v{})",
+        path.display(),
+        file.records.len(),
+        replayed,
+        file.schema_version,
+    );
+    println!("wrote {}", cache_path.display());
+    // Stable machine-readable summary — CI's plan-smoke gate greps this.
+    println!(
+        "plan-cache: hits={} misses={} encodes={} shape_rejects={} entries={}",
+        s.hits,
+        s.misses,
+        s.encodes,
+        s.shape_rejects,
+        planner.entries(),
+    );
+}
+
 /// Check-bench mode: validate an existing BENCH.json (path from the
 /// positional argument, else `--out`/`.`) against the schema. Returns
 /// `false` on any violation (the process exits non-zero) — CI's
@@ -887,6 +996,18 @@ mod tests {
                 assert!(matches!(e, CliError::Invalid { flag: "--isa", .. }), "{e}");
             }
         }
+    }
+
+    #[test]
+    fn plan_command_parses_with_scale_out_and_iters() {
+        let a = parse(&["plan"]).unwrap();
+        assert_eq!(a.command, "plan");
+        let a = parse(&["--scale", "0.002", "--out", "target/plan-smoke", "--iters", "2", "plan"])
+            .unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.scale, 0.002);
+        assert_eq!(a.iters, Some(2));
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("target/plan-smoke")));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod jsonv;
 pub mod measured;
 pub mod metrics;
+pub mod planning;
 pub mod roofline;
 pub mod runner;
 pub mod tables;

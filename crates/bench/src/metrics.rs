@@ -60,7 +60,13 @@ use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemet
 /// `requeued`/`respawns`/`degraded` supervision outcomes, and a
 /// `tenant_waits` array with per-tenant admission-wait percentiles (the
 /// DRR fairness evidence).
-pub const BENCH_SCHEMA_VERSION: u64 = 5;
+/// Version 6 added the planner layer: every record carries `planned`
+/// (false for the classic bench matrix) plus a nullable `planner` block
+/// with the decision that produced a planned record (chosen format,
+/// threads, chunks, predicted cost, and whether the plan came from the
+/// cache), and the top level carries a nullable `plan_cache` section
+/// with the planner's hit/miss/encode counters for the run.
+pub const BENCH_SCHEMA_VERSION: u64 = 6;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
@@ -234,6 +240,45 @@ pub struct ServiceSummary {
     pub tenant_waits: Vec<TenantWait>,
 }
 
+/// The planner decision behind a planned record (schema v6 `planner`).
+/// Present exactly when the record's `planned` flag is true — classic
+/// bench records, which sweep every format, carry `null` here.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlannerDecisionRecord {
+    /// Chosen format, as a [`BENCH_FORMATS`] key.
+    pub format: String,
+    /// Chosen thread count.
+    pub threads: usize,
+    /// Chosen partition granularity (nnz-balanced row chunks).
+    pub chunks: usize,
+    /// Model-predicted seconds per iteration for the chosen candidate.
+    pub predicted_time_s: f64,
+    /// Model-predicted MFLOP/s for the chosen candidate.
+    pub predicted_mflops: f64,
+    /// Whether the model calls the chosen candidate memory-bound.
+    pub memory_bound: bool,
+    /// Whether the decision was served from the plan cache (no
+    /// profiling, candidate encodes, or prediction ran).
+    pub cache_hit: bool,
+}
+
+/// Plan-cache counters for a planner run (schema v6 top-level
+/// `plan_cache`; null for artifacts that never invoked the planner).
+/// A fully warm run shows `misses == 0 && encodes == 0`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanCacheSummary {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required full analysis.
+    pub misses: u64,
+    /// Candidate format encodes performed during analysis.
+    pub encodes: u64,
+    /// Entries discarded on a CRC hit with a shape mismatch.
+    pub shape_rejects: u64,
+    /// Cached plans at emission time.
+    pub entries: u64,
+}
+
 /// One measured (matrix, format, thread count, panel width) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
@@ -285,6 +330,11 @@ pub struct BenchRecord {
     pub roofline_fraction: f64,
     /// Per-worker telemetry (`telemetry` feature, threads > 1 only).
     pub telemetry: Option<TelemetryRecord>,
+    /// Whether this record's (format, threads) cell was chosen by the
+    /// planner rather than swept exhaustively (schema v6).
+    pub planned: bool,
+    /// The planner decision, present exactly when `planned` (schema v6).
+    pub planner: Option<PlannerDecisionRecord>,
 }
 
 /// A complete `BENCH.json`.
@@ -306,6 +356,9 @@ pub struct BenchFile {
     /// Serving-layer overload summary (`loadgen` artifacts only; null
     /// for kernel benches).
     pub service: Option<ServiceSummary>,
+    /// Plan-cache counters (`reproduce plan` artifacts only; null when
+    /// the run never invoked the planner). Schema v6.
+    pub plan_cache: Option<PlanCacheSummary>,
 }
 
 /// What [`collect_bench`] measures.
@@ -498,6 +551,8 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
                         ),
                         stats: m.stats,
                         telemetry,
+                        planned: false,
+                        planner: None,
                     });
                 }
             }
@@ -511,6 +566,7 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
         seed: opts.seed,
         records,
         service: None,
+        plan_cache: None,
     })
 }
 
@@ -737,6 +793,23 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
             Some(s)
         }
     };
+    // v6: the plan-cache section is mandatory (null when the run never
+    // invoked the planner), and its counters must be non-negative.
+    match root.get("plan_cache") {
+        None => {
+            return Err("top level: missing \"plan_cache\" (null when the planner never ran)".into())
+        }
+        Some(pc) if pc.is_null() => {}
+        Some(pc) => {
+            let ctx = "plan_cache";
+            for key in ["hits", "misses", "encodes", "shape_rejects", "entries"] {
+                let v = require_num(pc, key, ctx)?;
+                if v < 0.0 {
+                    return Err(format!("{ctx}: {key} {v} must be >= 0"));
+                }
+            }
+        }
+    }
     let records = root
         .get("records")
         .and_then(Json::as_arr)
@@ -788,6 +861,50 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
         }
         let stats = rec.get("stats").ok_or_else(|| format!("{ctx}: missing \"stats\""))?;
         validate_stats(stats, &format!("{ctx}.stats"))?;
+        // v6: `planned` is a mandatory boolean and the `planner` block is
+        // present exactly when it is true.
+        let planned = rec
+            .get("planned")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("{ctx}: missing or non-boolean field \"planned\""))?;
+        match rec.get("planner") {
+            None => return Err(format!("{ctx}: missing \"planner\" (null when not planned)")),
+            Some(p) if p.is_null() => {
+                if planned {
+                    return Err(format!("{ctx}: planned record has a null \"planner\" block"));
+                }
+            }
+            Some(p) => {
+                if !planned {
+                    return Err(format!("{ctx}: unplanned record carries a \"planner\" block"));
+                }
+                let pctx = format!("{ctx}.planner");
+                let pfmt = p
+                    .get("format")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{pctx}: missing or non-string field \"format\""))?;
+                if !BENCH_FORMATS.contains(&pfmt) {
+                    return Err(format!("{pctx}: unknown format {pfmt:?}"));
+                }
+                for key in ["threads", "chunks"] {
+                    let v = require_num(p, key, &pctx)?;
+                    if v < 1.0 {
+                        return Err(format!("{pctx}: {key} {v} must be >= 1"));
+                    }
+                }
+                for key in ["predicted_time_s", "predicted_mflops"] {
+                    let v = require_num(p, key, &pctx)?;
+                    if v < 0.0 {
+                        return Err(format!("{pctx}: {key} {v} must be >= 0"));
+                    }
+                }
+                for key in ["memory_bound", "cache_hit"] {
+                    p.get(key)
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| format!("{pctx}: missing or non-boolean field {key:?}"))?;
+                }
+            }
+        }
         match rec.get("telemetry") {
             None => return Err(format!("{ctx}: missing \"telemetry\" (null when disabled)")),
             Some(t) if t.is_null() => {}
@@ -1020,6 +1137,7 @@ mod tests {
                     },
                 ],
             }),
+            plan_cache: None,
         }
     }
 
@@ -1079,6 +1197,51 @@ mod tests {
         let anon = good.replacen("\"tenant\": \"tenant-0\"", "\"tenant\": 7", 1);
         assert_ne!(anon, good);
         assert!(validate_bench_text(&anon).unwrap_err().contains("tenant_waits[0]"));
+    }
+
+    #[test]
+    fn validator_enforces_the_v6_planner_contract() {
+        // A planned artifact: one record carries the decision block and
+        // the top level carries the cache counters.
+        let mut file = collect_bench(&tiny_opts()).unwrap();
+        file.records[0].planned = true;
+        file.records[0].planner = Some(PlannerDecisionRecord {
+            format: file.records[0].format.clone(),
+            threads: file.records[0].threads,
+            chunks: 4,
+            predicted_time_s: 1.5e-4,
+            predicted_mflops: 900.0,
+            memory_bound: true,
+            cache_hit: false,
+        });
+        file.plan_cache =
+            Some(PlanCacheSummary { hits: 0, misses: 1, encodes: 3, shape_rejects: 0, entries: 1 });
+        let good = serde_json::to_string_pretty(&file).unwrap();
+        validate_bench_text(&good).unwrap();
+
+        // The plan_cache key is mandatory even when null.
+        let missing = good.replacen("\"plan_cache\"", "\"plancache\"", 1);
+        assert_ne!(missing, good);
+        assert!(validate_bench_text(&missing).unwrap_err().contains("plan_cache"));
+        // `planned` must be a real boolean.
+        let truthy = good.replacen("\"planned\": true", "\"planned\": 1", 1);
+        assert_ne!(truthy, good);
+        assert!(validate_bench_text(&truthy).unwrap_err().contains("planned"));
+        // A planned record without its decision block is rejected...
+        let headless = good.replacen("\"planned\": false", "\"planned\": true", 1);
+        assert_ne!(headless, good);
+        assert!(validate_bench_text(&headless).unwrap_err().contains("planner"));
+        // ...and the block itself is checked (format key, bool fields).
+        let badfmt = good.replacen("\"chunks\": 4", "\"chunks\": 0", 1);
+        assert_ne!(badfmt, good);
+        assert!(validate_bench_text(&badfmt).unwrap_err().contains("chunks"));
+        let badbool = good.replacen("\"cache_hit\": false", "\"cache_hit\": \"no\"", 1);
+        assert_ne!(badbool, good);
+        assert!(validate_bench_text(&badbool).unwrap_err().contains("cache_hit"));
+        // Negative cache counters are rejected.
+        let neg = good.replacen("\"misses\": 1", "\"misses\": -1", 1);
+        assert_ne!(neg, good);
+        assert!(validate_bench_text(&neg).unwrap_err().contains("misses"));
     }
 
     #[test]

@@ -108,10 +108,20 @@ pub fn evaluate_entry(entry: &CorpusEntry, opts: &EvalOptions) -> MatrixResult {
     let profile = MatrixProfile::from_csr(&csr);
 
     let costs = [
-        ("CSR", FormatCost::csr(&csr, &opts.sim.cost)),
-        ("CSR-DU", FormatCost::csr_du(&du, &opts.sim.cost)),
-        ("CSR-VI", FormatCost::csr_vi(&vi, &opts.sim.cost)),
-        ("CSR-DU-VI", FormatCost::csr_duvi(&duvi, &opts.sim.cost)),
+        ("CSR", FormatCost::csr(&csr, &opts.sim.cost).expect("corpus matrices are non-degenerate")),
+        (
+            "CSR-DU",
+            FormatCost::csr_du(&du, &opts.sim.cost).expect("corpus matrices are non-degenerate"),
+        ),
+        (
+            "CSR-VI",
+            FormatCost::csr_vi(&vi, &opts.sim.cost).expect("corpus matrices are non-degenerate"),
+        ),
+        (
+            "CSR-DU-VI",
+            FormatCost::csr_duvi(&duvi, &opts.sim.cost)
+                .expect("corpus matrices are non-degenerate"),
+        ),
     ];
 
     let mut cells = Vec::with_capacity(costs.len() * 5);

@@ -6,7 +6,7 @@ use spmv_bench::jsonv::Json;
 use spmv_bench::measured::TimingStats;
 use spmv_bench::metrics::{
     collect_bench, validate_bench_text, BenchFile, BenchOptions, BenchRecord, MachineInfo,
-    TelemetryRecord, BENCH_SCHEMA_VERSION,
+    PlanCacheSummary, PlannerDecisionRecord, TelemetryRecord, BENCH_SCHEMA_VERSION,
 };
 
 /// A hand-built artifact with every field at a distinctive value, so the
@@ -58,8 +58,25 @@ fn golden_file() -> BenchFile {
                 dispatches: 12,
                 imbalance: 500.0 / 350.0,
             }),
+            planned: true,
+            planner: Some(PlannerDecisionRecord {
+                format: "csr-du".into(),
+                threads: 4,
+                chunks: 8,
+                predicted_time_s: 1.4e-4,
+                predicted_mflops: 115.0,
+                memory_bound: true,
+                cache_hit: false,
+            }),
         }],
         service: None,
+        plan_cache: Some(PlanCacheSummary {
+            hits: 2,
+            misses: 1,
+            encodes: 3,
+            shape_rejects: 1,
+            entries: 1,
+        }),
     }
 }
 
@@ -126,6 +143,23 @@ fn golden_schema_roundtrips_field_by_field() {
     assert_eq!(chunks, vec![12.0; 4]);
     assert_eq!(num(t, "dispatches"), 12.0);
     assert!((num(t, "imbalance") - 500.0 / 350.0).abs() < 1e-12);
+
+    // v6 planner layer.
+    assert_eq!(r.get("planned").unwrap().as_bool(), Some(true));
+    let p = r.get("planner").expect("planner block");
+    assert_eq!(p.get("format").unwrap().as_str(), Some("csr-du"));
+    assert_eq!(num(p, "threads"), 4.0);
+    assert_eq!(num(p, "chunks"), 8.0);
+    assert_eq!(num(p, "predicted_time_s"), 1.4e-4);
+    assert_eq!(num(p, "predicted_mflops"), 115.0);
+    assert_eq!(p.get("memory_bound").unwrap().as_bool(), Some(true));
+    assert_eq!(p.get("cache_hit").unwrap().as_bool(), Some(false));
+    let pc = root.get("plan_cache").expect("plan_cache section");
+    assert_eq!(num(pc, "hits"), 2.0);
+    assert_eq!(num(pc, "misses"), 1.0);
+    assert_eq!(num(pc, "encodes"), 3.0);
+    assert_eq!(num(pc, "shape_rejects"), 1.0);
+    assert_eq!(num(pc, "entries"), 1.0);
 }
 
 #[test]

@@ -388,18 +388,145 @@ fn read_bytes_v1<R: Read>(r: &mut R, what: &str, limits: &LoadLimits) -> Result<
 }
 
 // ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+/// Compact identity of a matrix payload: the container-v2 whole-payload
+/// CRC-32 plus the shape `(nrows, ncols, nnz)`.
+///
+/// The CRC alone is a 32-bit hash — collisions are unlikely but legal,
+/// and the same CRC with *different* dims genuinely occurs across
+/// container versions (v1 bodies hash differently than v2 payloads).
+/// Consumers keying caches on a fingerprint must therefore treat a CRC
+/// match with a shape mismatch as a **miss**, never as a hit — see
+/// [`Fingerprint::matches_shape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// CRC-32 over the container payload bytes (v2: the stored
+    /// whole-payload checksum; v1: computed over the raw body).
+    pub crc: u32,
+    /// Number of rows.
+    pub nrows: u64,
+    /// Number of columns.
+    pub ncols: u64,
+    /// Number of stored non-zeros.
+    pub nnz: u64,
+}
+
+impl Fingerprint {
+    /// `true` when this fingerprint's recorded shape matches the given
+    /// dimensions — the guard that keeps a CRC collision (or a stale
+    /// cache entry) from impersonating a different matrix.
+    pub fn matches_shape(&self, nrows: usize, ncols: usize, nnz: usize) -> bool {
+        self.nrows == nrows as u64 && self.ncols == ncols as u64 && self.nnz == nnz as u64
+    }
+}
+
+/// Fingerprint of an in-memory CSR matrix: CRC-32 over exactly the
+/// payload bytes [`write_csr`] produces, so it equals the stored
+/// whole-payload checksum of the matrix's v2 CSR container byte for
+/// byte — fingerprinting in memory and fingerprinting the file agree.
+pub fn fingerprint_csr(m: &Csr<u32, f64>) -> Fingerprint {
+    let payload = csr_payload(m);
+    Fingerprint {
+        crc: crc32(&payload),
+        nrows: m.nrows() as u64,
+        ncols: m.ncols() as u64,
+        nnz: m.nnz() as u64,
+    }
+}
+
+/// Reads a [`Fingerprint`] from any supported container version without
+/// materializing the matrix.
+///
+/// * **v2**: the payload is read under `limits` and verified against the
+///   stored whole-payload CRC; that checksum is the fingerprint key and
+///   the shape comes from a minimal scan of the payload head.
+/// * **v1** (no declared length, no checksums): falls back to hashing
+///   the raw body bytes. The same matrix therefore fingerprints
+///   *differently* in v1 and v2 containers — on a fingerprint-keyed
+///   cache that is a miss (a re-plan), never a false hit.
+pub fn read_fingerprint<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<Fingerprint> {
+    let h = read_header(r)?;
+    if h.version == 1 {
+        let body = read_body_to_end_v1(r, limits)?;
+        let (nrows, ncols, nnz) = body_shape(h.tag, &body, 0)?;
+        Ok(Fingerprint { crc: crc32(&body), nrows, ncols, nnz })
+    } else {
+        let payload = read_payload(r, limits)?;
+        let (nrows, ncols, nnz) = body_shape(h.tag, &payload, 4)?;
+        Ok(Fingerprint { crc: crc32(&payload), nrows, ncols, nnz })
+    }
+}
+
+/// Reads a v1 body to EOF in bounded chunks, enforcing
+/// `limits.max_bytes` as the bytes actually arrive (v1 declares no
+/// up-front length to check).
+fn read_body_to_end_v1<R: Read>(r: &mut R, limits: &LoadLimits) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = r.read(&mut chunk).map_err(io_err)?;
+        if n == 0 {
+            return Ok(out);
+        }
+        limits.check_bytes("v1 container body", (out.len() + n) as u64)?;
+        out.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Minimal shape scan over a container body: `nrows`/`ncols` from the
+/// head, `nnz` from the element count of the tag's nnz-bearing array,
+/// skipping earlier arrays without decoding their data. `sec_trailer`
+/// is the per-array trailer size — 4 for v2 sections (trailing CRC-32),
+/// 0 for v1 length-prefixed arrays.
+fn body_shape(tag: u8, body: &[u8], sec_trailer: usize) -> Result<(u64, u64, u64)> {
+    let u64_at = |pos: usize, what: &str| -> Result<u64> {
+        body.get(pos..pos + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .ok_or_else(|| SparseError::Parse(format!("container truncated inside {what}")))
+    };
+    let nrows = u64_at(0, "nrows")?;
+    let ncols = u64_at(8, "ncols")?;
+    // Each array is `u64 count | count * elem_bytes | trailer`.
+    let skip = |pos: usize, elem_bytes: u64, what: &str| -> Result<usize> {
+        let count = u64_at(pos, what)?;
+        let adv = count
+            .checked_mul(elem_bytes)
+            .and_then(|b| b.checked_add(8 + sec_trailer as u64))
+            .filter(|&b| b <= (body.len() - pos) as u64)
+            .ok_or_else(|| SparseError::Parse(format!("container truncated inside {what}")))?;
+        Ok(pos + adv as usize)
+    };
+    let nnz = match tag {
+        // nrows | ncols | row_ptr | col_ind(=nnz) | ...
+        TAG_CSR | TAG_CSR_VI => u64_at(skip(16, 4, "row_ptr")?, "col_ind count")?,
+        // nrows | ncols | ctl | values(=nnz)
+        TAG_CSR_DU => u64_at(skip(16, 1, "ctl")?, "values count")?,
+        other => {
+            return Err(SparseError::Parse(format!("unknown container tag {other}")));
+        }
+    };
+    Ok((nrows, ncols, nnz))
+}
+
+// ---------------------------------------------------------------------
 // CSR
 // ---------------------------------------------------------------------
 
-/// Serializes a CSR matrix (always the current container version).
-pub fn write_csr<W: Write>(m: &Csr<u32, f64>, w: &mut W) -> Result<()> {
+fn csr_payload(m: &Csr<u32, f64>) -> Vec<u8> {
     let mut payload = Vec::new();
     put_u64(&mut payload, m.nrows() as u64);
     put_u64(&mut payload, m.ncols() as u64);
     put_u32_section(&mut payload, m.row_ptr());
     put_u32_section(&mut payload, m.col_ind());
     put_f64_section(&mut payload, m.values());
-    write_frame(w, TAG_CSR, &payload)
+    payload
+}
+
+/// Serializes a CSR matrix (always the current container version).
+pub fn write_csr<W: Write>(m: &Csr<u32, f64>, w: &mut W) -> Result<()> {
+    write_frame(w, TAG_CSR, &csr_payload(m))
 }
 
 /// Deserializes a CSR matrix with default [`LoadLimits`] (revalidates all
@@ -665,6 +792,76 @@ mod tests {
         write_csr(&csr, &mut buf).unwrap();
         let back = read_csr(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn fingerprint_matches_stored_v2_payload_crc() {
+        let csr = paper_matrix().to_csr();
+        let fp = fingerprint_csr(&csr);
+        assert!(fp.matches_shape(csr.nrows(), csr.ncols(), csr.nnz()));
+        let mut buf = Vec::new();
+        write_csr(&csr, &mut buf).unwrap();
+        // The stored whole-payload CRC sits right after the 7-byte header
+        // and the 8-byte declared length: the in-memory fingerprint must
+        // equal it byte for byte (no re-hash needed for v2 files).
+        let stored = u32::from_le_bytes(buf[15..19].try_into().unwrap());
+        assert_eq!(fp.crc, stored);
+        // And reading the fingerprint back from the container agrees.
+        let read = read_fingerprint(&mut Cursor::new(&buf), &LoadLimits::default()).unwrap();
+        assert_eq!(read, fp);
+    }
+
+    #[test]
+    fn fingerprint_v1_falls_back_to_hashing_the_payload() {
+        // A v1 container carries no payload CRC: read_fingerprint must
+        // fall back to hashing the raw body instead of failing (or worse,
+        // trusting garbage bytes as a checksum).
+        let csr: Csr<u32, f64> = paper_matrix().to_csr();
+        let v1 = v1_csr_fixture(&csr);
+        let fp1 = read_fingerprint(&mut Cursor::new(&v1), &LoadLimits::default()).unwrap();
+        assert!(fp1.matches_shape(csr.nrows(), csr.ncols(), csr.nnz()));
+        // The hash is over the body after the 7-byte header.
+        assert_eq!(fp1.crc, crc32(&v1[7..]));
+        // v1 bodies hash differently than v2 payloads (section trailers
+        // differ), so the same matrix gets a *different* key per container
+        // version — on a fingerprint-keyed cache that is a miss (safe),
+        // never a false hit.
+        assert_ne!(fp1.crc, fingerprint_csr(&csr).crc);
+        // Shape extraction also works for the other v1 tags.
+        let du = CsrDu::from_csr(&csr, &DuOptions::default());
+        let fdu =
+            read_fingerprint(&mut Cursor::new(v1_csr_du_fixture(&du)), &LoadLimits::default())
+                .unwrap();
+        assert!(fdu.matches_shape(du.nrows(), du.ncols(), du.nnz()));
+        let vi = CsrVi::from_csr(&csr);
+        let fvi =
+            read_fingerprint(&mut Cursor::new(v1_csr_vi_fixture(&vi)), &LoadLimits::default())
+                .unwrap();
+        assert!(fvi.matches_shape(vi.nrows(), vi.ncols(), vi.nnz()));
+    }
+
+    #[test]
+    fn fingerprint_rejects_corrupt_v2_payload() {
+        let csr = paper_matrix().to_csr();
+        let mut buf = Vec::new();
+        write_csr(&csr, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            read_fingerprint(&mut Cursor::new(&buf), &LoadLimits::default()),
+            Err(SparseError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_matrices() {
+        let a: Csr<u32, f64> = paper_matrix().to_csr();
+        let mut coo = crate::Coo::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        let b: Csr<u32, f64> = coo.to_csr();
+        assert_ne!(fingerprint_csr(&a), fingerprint_csr(&b));
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub use csr::Csr;
 pub use dense::Dense;
 pub use error::SparseError;
 pub use index::SpIndex;
-pub use io::LoadLimits;
+pub use io::{fingerprint_csr, read_fingerprint, Fingerprint, LoadLimits};
 pub use scalar::Scalar;
 pub use simd::Isa;
 pub use spmm::{DenseBlock, DenseBlockMut, SpMm};

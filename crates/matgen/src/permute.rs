@@ -25,6 +25,23 @@ pub fn permute_symmetric(coo: &Coo<f64>, perm: &[usize]) -> Coo<f64> {
     out
 }
 
+/// Applies a rows-only permutation `P·A`: entry `(r, c)` moves to
+/// `(perm[r], c)`. Columns and values are untouched, so `y' = P·(A·x)`
+/// for the same `x` — per-row work is identical, just relabelled. This
+/// is the permutation the planner's cost model must be invariant under:
+/// reordering rows changes neither nnz-per-row distribution nor the
+/// delta structure within each row.
+pub fn permute_rows(coo: &Coo<f64>, perm: &[usize]) -> Coo<f64> {
+    assert_eq!(perm.len(), coo.nrows(), "permutation length mismatch");
+    debug_assert!(is_permutation(perm));
+    let mut out = Coo::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+    for &(r, c, v) in coo.entries() {
+        out.push(perm[r], c, v).expect("permutation stays in bounds");
+    }
+    out.canonicalize();
+    out
+}
+
 /// A uniformly random permutation of `0..n` (Fisher-Yates), deterministic
 /// in `seed`.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
@@ -141,6 +158,24 @@ mod tests {
         scrambled.to_csr().spmv(&px, &mut y_scr);
         for (old, &new) in perm.iter().enumerate() {
             assert!((y_scr[new] - y[old]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_permutation_relabels_output_rows() {
+        let coo = crate::gen::banded(150, 3, 1.0, 9);
+        let perm = random_permutation(150, 11);
+        let permuted = permute_rows(&coo, &perm);
+        assert_eq!(permuted.nnz(), coo.nnz());
+
+        // (P A) x = P (A x): same x on both sides, rows relabelled.
+        let x: Vec<f64> = (0..150).map(|i| (i % 5) as f64 + 0.5).collect();
+        let mut y = vec![0.0; 150];
+        let mut y_perm = vec![0.0; 150];
+        coo.to_csr().spmv(&x, &mut y);
+        permuted.to_csr().spmv(&x, &mut y_perm);
+        for (old, &new) in perm.iter().enumerate() {
+            assert!((y_perm[new] - y[old]).abs() < 1e-12);
         }
     }
 

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod cost;
 pub mod machine;
 pub mod placement;
+pub mod planner;
 pub mod predict;
 pub mod profile;
 pub mod trace;
@@ -46,5 +47,6 @@ pub mod trace;
 pub use cost::{CostModel, FormatCost};
 pub use machine::Machine;
 pub use placement::Placement;
+pub use planner::{MeasuredCost, Plan, PlanCacheStats, Planner, PlannerConfig, RankedChoice};
 pub use predict::{predict, Prediction, SimConfig};
 pub use profile::MatrixProfile;

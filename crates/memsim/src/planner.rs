@@ -1,0 +1,774 @@
+//! Adaptive format/thread/partition planner with a fingerprint-keyed,
+//! disk-persistable plan cache.
+//!
+//! The paper's central observation is that multithreaded SpMV is
+//! memory-bandwidth bound, so the format that streams the fewest bytes
+//! usually wins — but "usually" hides CPU-bound regimes (cache-resident
+//! matrices, decode-heavy streams) where CSR or CSR-VI beat CSR-DU. The
+//! repo already has every ingredient to decide per matrix instead of
+//! guessing: [`MatrixProfile`](crate::MatrixProfile) captures the nnz
+//! distribution, x-vector locality and per-thread imbalance;
+//! [`FormatCost`](crate::FormatCost) captures each format's stream/
+//! resident bytes and cycle costs (delta-unit compressibility and the
+//! value-table size fall out of the encodes); and
+//! [`predict`](crate::predict) folds both through the modeled cache and
+//! bandwidth hierarchy. The [`Planner`] glues them into one call:
+//! *matrix in, ready-to-run [`Plan`] out*.
+//!
+//! ## Decision inputs
+//!
+//! For each candidate format (default: the paper's CSR, CSR-DU, CSR-VI,
+//! CSR-DU-VI) the planner encodes the matrix, builds its
+//! [`FormatCost`](crate::FormatCost), and evaluates
+//! [`predict`](crate::predict) at every candidate thread count placed
+//! "close" (cores packed onto as few dies as possible). Candidates are
+//! ranked by predicted time per iteration under [`f64::total_cmp`] — a
+//! **total** order, so a NaN that slips through can never panic the sort
+//! (it ranks after every real number and loses). Ties break toward fewer
+//! threads, then toward the candidate-list order.
+//!
+//! ## Fingerprint / cache contract
+//!
+//! Plans are cached keyed by the matrix's container-v2 payload CRC
+//! ([`spmv_core::io::fingerprint_csr`]): repeated traffic on the same
+//! matrix skips profiling, candidate encodes, and prediction entirely.
+//! A CRC is a 32-bit hash, so a hit is only trusted when the entry's
+//! recorded shape `(nrows, ncols, nnz)` also matches — a CRC hit with a
+//! shape mismatch (possible across container versions, or from a
+//! corrupted cache file) **invalidates the entry and counts as a miss**.
+//! The cache persists to a small versioned text file next to BENCH.json
+//! ([`Planner::save`]/[`Planner::load`]); a file with an unknown header
+//! version is ignored (cold start), a malformed entry line is a typed
+//! error. Entries also carry the measured cost recorded by the first
+//! (cold) benchmark run, so warm runs can report measured medians with
+//! zero re-encodes.
+//!
+//! ## Interaction with overrides
+//!
+//! The planner decides *format, thread count and chunking* from the
+//! analytic model of the paper's 8-core Clovertown — it does not probe
+//! the host. Two runtime overrides compose with it downstream:
+//! `SPMV_ISA` changes which SpMV kernel body executes (scalar vs AVX2)
+//! without affecting bytes streamed, so the format ranking stands and
+//! only absolute times shift; and an executor capped at fewer threads
+//! than the plan (e.g. `ServiceConfig::threads`) should pass its cap as
+//! the planner's `thread_candidates` so the plan never promises
+//! parallelism the pool cannot deliver.
+//!
+//! ## Online refinement
+//!
+//! [`Planner::refine_from_telemetry`] folds measured pool imbalance
+//! (`PoolTelemetry::imbalance()`) back into a cached plan: persistent
+//! imbalance above the configured threshold doubles the plan's chunk
+//! count (finer work units smooth static partition skew), bounded so
+//! chunking never degenerates into per-row scheduling.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::io::{fingerprint_csr, Fingerprint};
+use spmv_core::{Csr, FormatKind, SparseError};
+
+use crate::cost::FormatCost;
+use crate::placement::Placement;
+use crate::predict::{predict, SimConfig};
+use crate::profile::MatrixProfile;
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Machine + cost model the predictions run against.
+    pub sim: SimConfig,
+    /// Candidate formats, tried in order (order also breaks exact ties).
+    /// Only the four paper formats are modeled; other kinds are rejected.
+    pub formats: Vec<FormatKind>,
+    /// Candidate thread counts; entries above the modeled machine's core
+    /// count are skipped.
+    pub thread_candidates: Vec<usize>,
+    /// Work chunks per planned thread (finer chunks smooth imbalance at
+    /// slightly higher scheduling cost).
+    pub chunks_per_thread: usize,
+    /// Measured-imbalance threshold above which
+    /// [`Planner::refine_from_telemetry`] doubles a cached plan's chunks.
+    pub refine_imbalance_threshold: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> PlannerConfig {
+        PlannerConfig {
+            sim: SimConfig::default(),
+            formats: vec![
+                FormatKind::Csr,
+                FormatKind::CsrDu,
+                FormatKind::CsrVi,
+                FormatKind::CsrDuVi,
+            ],
+            thread_candidates: vec![1, 2, 4, 8],
+            chunks_per_thread: 2,
+            refine_imbalance_threshold: 1.25,
+        }
+    }
+}
+
+/// One `(format, threads)` candidate with its predicted cost; the full
+/// ranked list is returned on cache misses for inspection/testing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedChoice {
+    /// Candidate format.
+    pub format: FormatKind,
+    /// Candidate thread count.
+    pub threads: usize,
+    /// Predicted seconds per SpMV iteration.
+    pub predicted_time_s: f64,
+    /// Predicted MFLOP/s.
+    pub predicted_mflops: f64,
+    /// Whether the model calls this candidate memory-bandwidth bound.
+    pub memory_bound: bool,
+}
+
+/// Measured cost recorded into a cache entry after a cold benchmark run,
+/// replayed on warm (cache-hit) runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredCost {
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Achieved MFLOP/s at the median.
+    pub mflops: f64,
+    /// Timed iterations behind the median.
+    pub samples: usize,
+    /// Warm-up iterations that ran before timing.
+    pub warmup: usize,
+}
+
+/// A ready-to-run execution plan for one matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Identity of the planned matrix.
+    pub fingerprint: Fingerprint,
+    /// Chosen storage format.
+    pub format: FormatKind,
+    /// Chosen thread count.
+    pub threads: usize,
+    /// Chosen partition granularity: nnz-balanced row chunks handed to
+    /// the parallel layer's chunk kernels.
+    pub chunks: usize,
+    /// Bytes of the chosen format's encoded matrix (stream + resident).
+    pub matrix_bytes: usize,
+    /// Predicted seconds per iteration for the chosen candidate.
+    pub predicted_time_s: f64,
+    /// Predicted MFLOP/s for the chosen candidate.
+    pub predicted_mflops: f64,
+    /// Whether the chosen candidate is predicted memory-bandwidth bound.
+    pub memory_bound: bool,
+    /// `true` when this plan came out of the cache (no analysis ran).
+    pub cache_hit: bool,
+    /// Full candidate ranking, best first. Empty on cache hits.
+    pub ranking: Vec<RankedChoice>,
+    /// Measured cost from the cold run, if one has been recorded.
+    pub measured: Option<MeasuredCost>,
+}
+
+/// Cache/analysis counters. `encodes` counts candidate *format encodes*
+/// performed during analysis (CSR is free — the input already is one);
+/// a 100%-hit run therefore shows `misses == 0 && encodes == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required full analysis.
+    pub misses: u64,
+    /// Candidate format encodes performed during analysis.
+    pub encodes: u64,
+    /// Cache entries discarded because the CRC matched but the recorded
+    /// shape did not (poisoned/stale entries; each also counts a miss).
+    pub shape_rejects: u64,
+    /// Cached plans adjusted by [`Planner::refine_from_telemetry`].
+    pub refinements: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    fp: Fingerprint,
+    format: FormatKind,
+    threads: usize,
+    chunks: usize,
+    matrix_bytes: usize,
+    predicted_time_s: f64,
+    predicted_mflops: f64,
+    memory_bound: bool,
+    measured: Option<MeasuredCost>,
+}
+
+impl CacheEntry {
+    fn to_plan(&self) -> Plan {
+        Plan {
+            fingerprint: self.fp,
+            format: self.format,
+            threads: self.threads,
+            chunks: self.chunks,
+            matrix_bytes: self.matrix_bytes,
+            predicted_time_s: self.predicted_time_s,
+            predicted_mflops: self.predicted_mflops,
+            memory_bound: self.memory_bound,
+            cache_hit: true,
+            ranking: Vec::new(),
+            measured: self.measured,
+        }
+    }
+}
+
+struct PlannerInner {
+    cache: HashMap<u32, CacheEntry>,
+    stats: PlanCacheStats,
+}
+
+/// See the [module docs](self) for the decision model and cache
+/// contract. Thread-safe: all methods take `&self` (a service can share
+/// one planner across registration paths).
+pub struct Planner {
+    cfg: PlannerConfig,
+    inner: Mutex<PlannerInner>,
+}
+
+const CACHE_HEADER: &str = "spmv-plan-cache v1";
+
+impl Planner {
+    /// Creates a planner with an empty cache.
+    pub fn new(cfg: PlannerConfig) -> Planner {
+        Planner {
+            cfg,
+            inner: Mutex::new(PlannerInner {
+                cache: HashMap::new(),
+                stats: PlanCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration this planner runs with.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the cache/analysis counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.lock().stats
+    }
+
+    /// Number of cached plans.
+    pub fn entries(&self) -> usize {
+        self.lock().cache.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlannerInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Plans `m`, fingerprinting it first. See
+    /// [`plan_csr_with_fingerprint`](Planner::plan_csr_with_fingerprint).
+    pub fn plan_csr(&self, m: &Csr<u32, f64>) -> Result<Plan, SparseError> {
+        self.plan_csr_with_fingerprint(m, fingerprint_csr(m))
+    }
+
+    /// Plans `m` under a caller-supplied fingerprint (e.g. read straight
+    /// from a container file via [`spmv_core::io::read_fingerprint`]).
+    ///
+    /// Cache hits return the stored decision without touching the matrix
+    /// beyond a shape check; a CRC hit whose recorded shape disagrees
+    /// with `m` is treated as a poisoned entry — dropped, counted in
+    /// `shape_rejects`, and re-analyzed as a miss.
+    pub fn plan_csr_with_fingerprint(
+        &self,
+        m: &Csr<u32, f64>,
+        fp: Fingerprint,
+    ) -> Result<Plan, SparseError> {
+        {
+            let mut inner = self.lock();
+            let cached = match inner.cache.get(&fp.crc) {
+                Some(e) if e.fp.matches_shape(m.nrows(), m.ncols(), m.nnz()) => Some(e.to_plan()),
+                Some(_) => {
+                    // Same CRC, different shape: never trust it.
+                    inner.cache.remove(&fp.crc);
+                    inner.stats.shape_rejects += 1;
+                    None
+                }
+                None => None,
+            };
+            if let Some(plan) = cached {
+                inner.stats.hits += 1;
+                return Ok(plan);
+            }
+            inner.stats.misses += 1;
+        }
+        let plan = self.analyze(m, fp)?;
+        let mut inner = self.lock();
+        inner.cache.insert(
+            fp.crc,
+            CacheEntry {
+                fp,
+                format: plan.format,
+                threads: plan.threads,
+                chunks: plan.chunks,
+                matrix_bytes: plan.matrix_bytes,
+                predicted_time_s: plan.predicted_time_s,
+                predicted_mflops: plan.predicted_mflops,
+                memory_bound: plan.memory_bound,
+                measured: None,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Full analysis: profile, encode candidates, predict, rank.
+    fn analyze(&self, m: &Csr<u32, f64>, fp: Fingerprint) -> Result<Plan, SparseError> {
+        // Degenerate matrices (0 rows / 0 nnz) have no per-nnz cost — the
+        // FormatCost constructors reject them by design. Serial CSR is
+        // the only sensible plan and costs nothing to "execute".
+        if m.nrows() == 0 || m.nnz() == 0 {
+            return Ok(Plan {
+                fingerprint: fp,
+                format: FormatKind::Csr,
+                threads: 1,
+                chunks: 1,
+                matrix_bytes: m.nnz() * 12 + (m.nrows() + 1) * 4,
+                predicted_time_s: 0.0,
+                predicted_mflops: 0.0,
+                memory_bound: false,
+                cache_hit: false,
+                ranking: Vec::new(),
+                measured: None,
+            });
+        }
+
+        let profile = MatrixProfile::from_csr(m);
+        let machine = &self.cfg.sim.machine;
+        let threads: Vec<usize> = self
+            .cfg
+            .thread_candidates
+            .iter()
+            .copied()
+            .filter(|&t| t >= 1 && t <= machine.cores())
+            .collect();
+        if threads.is_empty() {
+            return Err(SparseError::InvalidArgument(
+                "planner has no usable thread candidates (all exceed the modeled core count)"
+                    .into(),
+            ));
+        }
+
+        let mut ranking: Vec<(usize, RankedChoice, usize)> = Vec::new();
+        for (order, &kind) in self.cfg.formats.iter().enumerate() {
+            let fc = self.candidate_cost(m, kind)?;
+            let bytes = fc.stream_bytes + fc.resident_bytes;
+            for &t in &threads {
+                let p = predict(&profile, &fc, &Placement::close(t, machine), &self.cfg.sim);
+                ranking.push((
+                    order,
+                    RankedChoice {
+                        format: kind,
+                        threads: t,
+                        predicted_time_s: p.time_s,
+                        predicted_mflops: p.mflops,
+                        memory_bound: p.memory_bound,
+                    },
+                    bytes,
+                ));
+            }
+        }
+        // Total order: NaN sorts after every real time (and so never
+        // wins), ties prefer fewer threads, then candidate-list order.
+        ranking.sort_by(|(ao, a, _), (bo, b, _)| {
+            a.predicted_time_s
+                .total_cmp(&b.predicted_time_s)
+                .then(a.threads.cmp(&b.threads))
+                .then(ao.cmp(bo))
+        });
+        let (_, best, matrix_bytes) = ranking[0].clone();
+        Ok(Plan {
+            fingerprint: fp,
+            format: best.format,
+            threads: best.threads,
+            chunks: (best.threads * self.cfg.chunks_per_thread).max(1),
+            matrix_bytes,
+            predicted_time_s: best.predicted_time_s,
+            predicted_mflops: best.predicted_mflops,
+            memory_bound: best.memory_bound,
+            cache_hit: false,
+            ranking: ranking.into_iter().map(|(_, c, _)| c).collect(),
+            measured: None,
+        })
+    }
+
+    /// Encodes (counting the encode) and costs one candidate format.
+    fn candidate_cost(
+        &self,
+        m: &Csr<u32, f64>,
+        kind: FormatKind,
+    ) -> Result<FormatCost, SparseError> {
+        let cm = &self.cfg.sim.cost;
+        match kind {
+            FormatKind::Csr => FormatCost::csr(m, cm),
+            FormatKind::CsrDu => {
+                self.lock().stats.encodes += 1;
+                FormatCost::csr_du(&CsrDu::from_csr(m, &DuOptions::default()), cm)
+            }
+            FormatKind::CsrVi => {
+                self.lock().stats.encodes += 1;
+                FormatCost::csr_vi(&CsrVi::from_csr(m), cm)
+            }
+            FormatKind::CsrDuVi => {
+                self.lock().stats.encodes += 1;
+                FormatCost::csr_duvi(&CsrDuVi::from_csr(m, &DuOptions::default()), cm)
+            }
+            other => Err(SparseError::InvalidArgument(format!(
+                "planner does not model format {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Records the measured cost of a cold run into the cached plan so
+    /// warm runs can report it without re-measuring.
+    pub fn record_measurement(&self, crc: u32, measured: MeasuredCost) {
+        if let Some(e) = self.lock().cache.get_mut(&crc) {
+            e.measured = Some(measured);
+        }
+    }
+
+    /// Online refinement from pool telemetry: if the measured per-batch
+    /// imbalance of a cached plan exceeds the configured threshold, its
+    /// chunk count doubles (bounded at 8 chunks per thread) so the
+    /// static nnz-balanced partition gets finer work units to smooth.
+    /// Returns the plan's new chunk count, or `None` if the plan is
+    /// unknown or needed no change.
+    pub fn refine_from_telemetry(&self, crc: u32, imbalance: f64) -> Option<usize> {
+        // NaN imbalance (empty telemetry) must not trigger refinement.
+        if imbalance.is_nan() || imbalance <= self.cfg.refine_imbalance_threshold {
+            return None;
+        }
+        let mut inner = self.lock();
+        let e = inner.cache.get_mut(&crc)?;
+        let cap = e.threads.max(1) * 8;
+        if e.chunks >= cap {
+            return None;
+        }
+        e.chunks = (e.chunks * 2).min(cap);
+        let chunks = e.chunks;
+        inner.stats.refinements += 1;
+        Some(chunks)
+    }
+
+    /// Persists the cache as a versioned text file (one entry per line).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SparseError> {
+        let inner = self.lock();
+        let mut entries: Vec<&CacheEntry> = inner.cache.values().collect();
+        entries.sort_by_key(|e| e.fp.crc); // deterministic files
+        let mut out = String::new();
+        out.push_str(CACHE_HEADER);
+        out.push('\n');
+        for e in entries {
+            out.push_str(&format!(
+                "crc={} nrows={} ncols={} nnz={} format={} threads={} chunks={} \
+                 matrix_bytes={} predicted_time_s={:?} predicted_mflops={:?} memory_bound={}",
+                e.fp.crc,
+                e.fp.nrows,
+                e.fp.ncols,
+                e.fp.nnz,
+                e.format.name(),
+                e.threads,
+                e.chunks,
+                e.matrix_bytes,
+                e.predicted_time_s,
+                e.predicted_mflops,
+                e.memory_bound,
+            ));
+            if let Some(m) = &e.measured {
+                out.push_str(&format!(
+                    " measured_median_s={:?} measured_mflops={:?} \
+                     measured_samples={} measured_warmup={}",
+                    m.median_s, m.mflops, m.samples, m.warmup,
+                ));
+            }
+            out.push('\n');
+        }
+        let mut f = std::fs::File::create(path.as_ref())
+            .map_err(|e| SparseError::Parse(format!("create plan cache: {e}")))?;
+        f.write_all(out.as_bytes())
+            .map_err(|e| SparseError::Parse(format!("write plan cache: {e}")))
+    }
+
+    /// Loads a cache file previously written by [`save`](Planner::save),
+    /// merging its entries into the in-memory cache. A file whose header
+    /// names an unknown format version is ignored (cold start — old
+    /// caches never block a new binary); a malformed entry line is a
+    /// typed [`SparseError::Parse`]. Returns the number of entries
+    /// loaded.
+    pub fn load<P: AsRef<Path>>(&self, path: P) -> Result<usize, SparseError> {
+        let mut text = String::new();
+        std::fs::File::open(path.as_ref())
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| SparseError::Parse(format!("read plan cache: {e}")))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == CACHE_HEADER => {}
+            _ => return Ok(0), // unknown version: start cold
+        }
+        let mut loaded = 0;
+        let mut inner = self.lock();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e = parse_entry(line)?;
+            inner.cache.insert(e.fp.crc, e);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+fn parse_entry(line: &str) -> Result<CacheEntry, SparseError> {
+    let mut kv: HashMap<&str, &str> = HashMap::new();
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| SparseError::Parse(format!("plan cache: bad token {tok:?}")))?;
+        kv.insert(k, v);
+    }
+    fn req<'a>(kv: &HashMap<&str, &'a str>, k: &str) -> Result<&'a str, SparseError> {
+        kv.get(k).copied().ok_or_else(|| SparseError::Parse(format!("plan cache: missing {k}")))
+    }
+    fn num<T: std::str::FromStr>(v: &str, k: &str) -> Result<T, SparseError> {
+        v.parse().map_err(|_| SparseError::Parse(format!("plan cache: bad {k}={v}")))
+    }
+    let format = match req(&kv, "format")? {
+        "CSR" => FormatKind::Csr,
+        "CSR-DU" => FormatKind::CsrDu,
+        "CSR-VI" => FormatKind::CsrVi,
+        "CSR-DU-VI" => FormatKind::CsrDuVi,
+        "DCSR" => FormatKind::Dcsr,
+        other => {
+            return Err(SparseError::Parse(format!("plan cache: unknown format {other:?}")));
+        }
+    };
+    let measured = match kv.get("measured_median_s") {
+        Some(v) => Some(MeasuredCost {
+            median_s: num(v, "measured_median_s")?,
+            mflops: num(req(&kv, "measured_mflops")?, "measured_mflops")?,
+            samples: num(req(&kv, "measured_samples")?, "measured_samples")?,
+            warmup: num(req(&kv, "measured_warmup")?, "measured_warmup")?,
+        }),
+        None => None,
+    };
+    Ok(CacheEntry {
+        fp: Fingerprint {
+            crc: num(req(&kv, "crc")?, "crc")?,
+            nrows: num(req(&kv, "nrows")?, "nrows")?,
+            ncols: num(req(&kv, "ncols")?, "ncols")?,
+            nnz: num(req(&kv, "nnz")?, "nnz")?,
+        },
+        format,
+        threads: num(req(&kv, "threads")?, "threads")?,
+        chunks: num(req(&kv, "chunks")?, "chunks")?,
+        matrix_bytes: num(req(&kv, "matrix_bytes")?, "matrix_bytes")?,
+        predicted_time_s: num(req(&kv, "predicted_time_s")?, "predicted_time_s")?,
+        predicted_mflops: num(req(&kv, "predicted_mflops")?, "predicted_mflops")?,
+        memory_bound: num(req(&kv, "memory_bound")?, "memory_bound")?,
+        measured,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    fn banded(n: usize) -> Csr<u32, f64> {
+        spmv_matgen::gen::banded(n, 6, 1.0, 1).to_csr()
+    }
+
+    #[test]
+    fn plans_are_cached_by_fingerprint_with_zero_reencodes() {
+        let p = Planner::new(PlannerConfig::default());
+        let m = banded(20_000);
+        let cold = p.plan_csr(&m).expect("plannable");
+        assert!(!cold.cache_hit);
+        assert!(!cold.ranking.is_empty());
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        // DU + VI + DU-VI candidate encodes (CSR is free).
+        assert_eq!(s.encodes, 3);
+        let warm = p.plan_csr(&m).expect("plannable");
+        assert!(warm.cache_hit);
+        assert_eq!(
+            (warm.format, warm.threads, warm.chunks),
+            (cold.format, cold.threads, cold.chunks)
+        );
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.encodes, 3, "cache hit must not re-encode");
+    }
+
+    #[test]
+    fn degenerate_shapes_get_trivial_serial_plans_not_panics() {
+        let p = Planner::new(PlannerConfig::default());
+        // 0-nnz.
+        let empty: Csr<u32, f64> = Coo::new(5, 5).to_csr();
+        let plan = p.plan_csr(&empty).expect("degenerate fallback");
+        assert_eq!((plan.format, plan.threads, plan.chunks), (FormatKind::Csr, 1, 1));
+        assert_eq!(plan.predicted_time_s, 0.0);
+        // 1x1.
+        let mut coo = Coo::new(1, 1);
+        coo.push(0, 0, 2.5).unwrap();
+        let one: Csr<u32, f64> = coo.to_csr();
+        let plan = p.plan_csr(&one).expect("1x1 plannable");
+        assert!(plan.threads >= 1);
+        // Single dense row.
+        let mut coo = Coo::new(4, 256);
+        for c in 0..256 {
+            coo.push(0, c, c as f64).unwrap();
+        }
+        let dense_row: Csr<u32, f64> = coo.to_csr();
+        let plan = p.plan_csr(&dense_row).expect("dense row plannable");
+        assert!(plan.predicted_time_s.is_finite());
+        // 0-row.
+        let norows: Csr<u32, f64> = Coo::new(0, 7).to_csr();
+        assert!(p.plan_csr(&norows).is_ok());
+    }
+
+    #[test]
+    fn poisoned_cache_entry_crc_hit_shape_mismatch_is_a_miss() {
+        let p = Planner::new(PlannerConfig::default());
+        let m = banded(10_000);
+        let real = fingerprint_csr(&m);
+        // Poison the cache: same CRC, different recorded shape — the
+        // state a stale/corrupt cache file (or a cross-version CRC
+        // collision) produces.
+        {
+            let mut inner = p.lock();
+            inner.cache.insert(
+                real.crc,
+                CacheEntry {
+                    fp: Fingerprint { crc: real.crc, nrows: 3, ncols: 3, nnz: 3 },
+                    format: FormatKind::CsrVi,
+                    threads: 8,
+                    chunks: 64,
+                    matrix_bytes: 99,
+                    predicted_time_s: 1.0,
+                    predicted_mflops: 1.0,
+                    memory_bound: true,
+                    measured: None,
+                },
+            );
+        }
+        let plan = p.plan_csr(&m).expect("re-analyzed");
+        assert!(!plan.cache_hit, "poisoned entry must not serve a hit");
+        assert_ne!(plan.matrix_bytes, 99);
+        let s = p.stats();
+        assert_eq!(s.shape_rejects, 1);
+        assert_eq!(s.misses, 1);
+        // The poisoned entry was replaced by the fresh analysis.
+        let again = p.plan_csr(&m).expect("now cached");
+        assert!(again.cache_hit);
+        assert_eq!(again.fingerprint, real);
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk_including_measurements() {
+        let dir = std::env::temp_dir().join(format!("plancache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("PLANCACHE");
+        let p = Planner::new(PlannerConfig::default());
+        let m = banded(10_000);
+        let cold = p.plan_csr(&m).expect("plannable");
+        p.record_measurement(
+            cold.fingerprint.crc,
+            MeasuredCost { median_s: 1.25e-4, mflops: 480.0, samples: 16, warmup: 3 },
+        );
+        p.save(&path).expect("save");
+
+        let q = Planner::new(PlannerConfig::default());
+        assert_eq!(q.load(&path).expect("load"), 1);
+        let warm = q.plan_csr(&m).expect("hit");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.format, cold.format);
+        let meas = warm.measured.expect("measurement persisted");
+        assert_eq!(meas.samples, 16);
+        assert!((meas.median_s - 1.25e-4).abs() < 1e-18);
+        let s = q.stats();
+        assert_eq!((s.hits, s.misses, s.encodes), (1, 0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_cache_version_is_cold_start_malformed_line_is_typed_error() {
+        let dir = std::env::temp_dir().join(format!("plancache-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = Planner::new(PlannerConfig::default());
+
+        let vpath = dir.join("future");
+        std::fs::write(&vpath, "spmv-plan-cache v99\ncrc=1 whatever=2\n").unwrap();
+        assert_eq!(p.load(&vpath).expect("unknown version ignored"), 0);
+
+        let bpath = dir.join("mangled");
+        std::fs::write(&bpath, format!("{CACHE_HEADER}\ncrc=1 nrows=oops\n")).unwrap();
+        assert!(matches!(p.load(&bpath), Err(SparseError::Parse(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refinement_doubles_chunks_under_measured_imbalance() {
+        let p = Planner::new(PlannerConfig::default());
+        let m = banded(20_000);
+        let plan = p.plan_csr(&m).expect("plannable");
+        let crc = plan.fingerprint.crc;
+        // Balanced pools leave the plan alone.
+        assert_eq!(p.refine_from_telemetry(crc, 1.02), None);
+        // Persistent imbalance doubles chunking, bounded at 8/thread.
+        let refined = p.refine_from_telemetry(crc, 1.8).expect("refined");
+        assert_eq!(refined, plan.chunks * 2);
+        let mut last = refined;
+        for _ in 0..10 {
+            if let Some(c) = p.refine_from_telemetry(crc, 1.8) {
+                last = c;
+            }
+        }
+        assert_eq!(last, plan.threads * 8, "refinement is bounded");
+        assert!(p.stats().refinements >= 2);
+    }
+
+    #[test]
+    fn ranking_is_total_even_with_nan_predictions() {
+        // total_cmp sorts NaN after every real value — a NaN candidate
+        // loses rather than panicking the sort or winning by accident.
+        let mut times = [0.5, f64::NAN, 0.1, f64::INFINITY];
+        times.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(times[0], 0.1);
+        assert!(times[3].is_nan());
+    }
+
+    #[test]
+    fn memory_bound_matrices_prefer_compressed_formats() {
+        // A large banded matrix is memory-bound: the model must pick a
+        // byte-reducing format over plain CSR (the paper's headline
+        // claim), and use every modeled core.
+        let p = Planner::new(PlannerConfig::default());
+        let m = banded(200_000);
+        let plan = p.plan_csr(&m).expect("plannable");
+        assert_ne!(plan.format, FormatKind::Csr, "bandwidth-bound pick must compress");
+        assert_eq!(plan.threads, 8);
+        // CSR at the same thread count is memory-bound and predicted
+        // slower — compression is exactly what bought the win.
+        let csr8 = plan
+            .ranking
+            .iter()
+            .find(|c| c.format == FormatKind::Csr && c.threads == 8)
+            .expect("CSR/8 candidate present");
+        assert!(csr8.memory_bound);
+        assert!(plan.predicted_time_s <= csr8.predicted_time_s);
+    }
+}

@@ -196,7 +196,7 @@ mod tests {
     fn large_matrix_is_memory_bound_and_scales_like_paper() {
         let csr = large_banded();
         let profile = MatrixProfile::from_csr(&csr);
-        let fc = FormatCost::csr(&csr, &cfg().cost);
+        let fc = FormatCost::csr(&csr, &cfg().cost).expect("non-degenerate");
 
         let serial = predict(&profile, &fc, &Placement::serial(), &cfg());
         assert!(serial.memory_bound, "ML matrices are memory bound serially");
@@ -217,7 +217,7 @@ mod tests {
     fn shared_l2_slower_than_separate_for_two_threads() {
         let csr = large_banded();
         let profile = MatrixProfile::from_csr(&csr);
-        let fc = FormatCost::csr(&csr, &cfg().cost);
+        let fc = FormatCost::csr(&csr, &cfg().cost).expect("non-degenerate");
         let serial = predict(&profile, &fc, &Placement::serial(), &cfg());
         let shared = predict(&profile, &fc, &Placement::two_shared_l2(), &cfg());
         let separate = predict(&profile, &fc, &Placement::two_separate_l2(), &cfg());
@@ -235,7 +235,7 @@ mod tests {
         let ws = csr.working_set().total();
         assert!((3 << 20..17 << 20).contains(&ws), "ws {} not MS-like", ws >> 20);
         let profile = MatrixProfile::from_csr(&csr);
-        let fc = FormatCost::csr(&csr, &cfg().cost);
+        let fc = FormatCost::csr(&csr, &cfg().cost).expect("non-degenerate");
         let serial = predict(&profile, &fc, &Placement::serial(), &cfg());
         let eight = predict(&profile, &fc, &Placement::eight(), &cfg());
         let speedup = serial.time_s / eight.time_s;
@@ -250,8 +250,8 @@ mod tests {
         let du = CsrDu::from_csr(&csr, &DuOptions::default());
         let profile = MatrixProfile::from_csr(&csr);
         let c = cfg();
-        let fc_csr = FormatCost::csr(&csr, &c.cost);
-        let fc_du = FormatCost::csr_du(&du, &c.cost);
+        let fc_csr = FormatCost::csr(&csr, &c.cost).expect("non-degenerate");
+        let fc_du = FormatCost::csr_du(&du, &c.cost).expect("non-degenerate");
 
         // 8 threads, memory bound: DU's smaller stream wins (paper: +20%).
         let p_csr = predict(&profile, &fc_csr, &Placement::eight(), &c);
@@ -265,9 +265,18 @@ mod tests {
         let mid = mid_banded();
         let du_mid = CsrDu::from_csr(&mid, &DuOptions::default());
         let prof_mid = MatrixProfile::from_csr(&mid);
-        let p_csr_m = predict(&prof_mid, &FormatCost::csr(&mid, &c.cost), &Placement::eight(), &c);
-        let p_du_m =
-            predict(&prof_mid, &FormatCost::csr_du(&du_mid, &c.cost), &Placement::eight(), &c);
+        let p_csr_m = predict(
+            &prof_mid,
+            &FormatCost::csr(&mid, &c.cost).expect("non-degenerate"),
+            &Placement::eight(),
+            &c,
+        );
+        let p_du_m = predict(
+            &prof_mid,
+            &FormatCost::csr_du(&du_mid, &c.cost).expect("non-degenerate"),
+            &Placement::eight(),
+            &c,
+        );
         let gain_mid = p_csr_m.time_s / p_du_m.time_s;
         assert!(gain_mid < gain, "cache-resident gain {gain_mid} should trail ML gain {gain}");
     }
@@ -283,8 +292,18 @@ mod tests {
         assert!(vi.is_profitable());
         let profile = MatrixProfile::from_csr(&csr);
         let c = cfg();
-        let p_csr = predict(&profile, &FormatCost::csr(&csr, &c.cost), &Placement::eight(), &c);
-        let p_vi = predict(&profile, &FormatCost::csr_vi(&vi, &c.cost), &Placement::eight(), &c);
+        let p_csr = predict(
+            &profile,
+            &FormatCost::csr(&csr, &c.cost).expect("non-degenerate"),
+            &Placement::eight(),
+            &c,
+        );
+        let p_vi = predict(
+            &profile,
+            &FormatCost::csr_vi(&vi, &c.cost).expect("non-degenerate"),
+            &Placement::eight(),
+            &c,
+        );
         let gain = p_csr.time_s / p_vi.time_s;
         assert!((1.25..2.6).contains(&gain), "8T VI gain {gain}");
     }
@@ -298,13 +317,13 @@ mod tests {
         let c = cfg();
         let p_rnd = predict(
             &MatrixProfile::from_csr(&rnd),
-            &FormatCost::csr(&rnd, &c.cost),
+            &FormatCost::csr(&rnd, &c.cost).expect("non-degenerate"),
             &Placement::serial(),
             &c,
         );
         let p_band = predict(
             &MatrixProfile::from_csr(&band),
-            &FormatCost::csr(&band, &c.cost),
+            &FormatCost::csr(&band, &c.cost).expect("non-degenerate"),
             &Placement::serial(),
             &c,
         );
@@ -319,7 +338,7 @@ mod tests {
     fn prediction_fields_are_consistent() {
         let csr = mid_banded();
         let profile = MatrixProfile::from_csr(&csr);
-        let fc = FormatCost::csr(&csr, &cfg().cost);
+        let fc = FormatCost::csr(&csr, &cfg().cost).expect("non-degenerate");
         let p = predict(&profile, &fc, &Placement::four(), &cfg());
         assert!(p.time_s >= p.cpu_time_s.max(p.mem_time_s) - 1e-15);
         assert!(p.mflops > 0.0);

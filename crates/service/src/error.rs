@@ -1,6 +1,7 @@
 //! Typed request outcomes: every path through the service terminates in
 //! a [`Response`](crate::Response) or one of these errors — never a hang.
 
+use spmv_core::SparseError;
 use spmv_parallel::PoolError;
 use std::time::Duration;
 
@@ -70,6 +71,10 @@ pub enum ServiceError {
     /// requests that outlive the drain deadline expire instead of being
     /// executed.
     ShuttingDown,
+    /// [`register_csr`](crate::SpmvService::register_csr) could not plan
+    /// or encode the matrix (e.g. the planner was configured with no
+    /// usable thread candidates, or chose an unmodeled format).
+    PlanningFailed(SparseError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -103,6 +108,7 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "matrix {name:?} is already registered")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::PlanningFailed(e) => write!(f, "matrix planning failed: {e}"),
         }
     }
 }

@@ -70,6 +70,11 @@ pub(crate) struct DrrSched {
     /// live arrival seq).
     front_seq: u64,
     len: usize,
+    /// Ring/tenant-map desynchronizations recovered from (stale ring
+    /// entries skipped, phantom candidates dropped). A non-zero value
+    /// means a bookkeeping slip happened upstream; scheduling degraded
+    /// gracefully instead of aborting the dispatcher.
+    desyncs: u64,
 }
 
 impl DrrSched {
@@ -80,7 +85,14 @@ impl DrrSched {
             next_seq: 1 << 32,
             front_seq: (1 << 32) - 1,
             len: 0,
+            desyncs: 0,
         }
+    }
+
+    /// Number of ring/tenant-map desynchronizations recovered from.
+    #[cfg(test)]
+    pub(crate) fn desyncs(&self) -> u64 {
+        self.desyncs
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -162,13 +174,25 @@ impl DrrSched {
         cands.truncate(width - 1);
 
         // Remove chosen candidates; per tenant in descending index order
-        // so earlier removals don't shift later indices.
+        // so earlier removals don't shift later indices. The candidates
+        // were gathered from `self.tenants` moments ago, so a missing
+        // tenant or index here is a bookkeeping bug — mirror
+        // [`release_slot`]: loud under `cargo test`, a skipped candidate
+        // (smaller panel, never a dead dispatcher) in release.
         cands.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)));
         let mut picked: Vec<(u64, Arc<Pending>)> = Vec::new();
         for (_, tenant, idx) in cands {
-            let tq = self.tenants.get_mut(&tenant).expect("candidate tenant exists");
-            let item = tq.q.remove(idx).expect("candidate index valid");
-            self.len -= 1;
+            let Some(tq) = self.tenants.get_mut(&tenant) else {
+                debug_assert!(false, "coalescing candidate tenant {tenant:?} vanished");
+                self.desyncs += 1;
+                continue;
+            };
+            let Some(item) = tq.q.remove(idx) else {
+                debug_assert!(false, "coalescing candidate index {idx} out of range");
+                self.desyncs += 1;
+                continue;
+            };
+            self.len = self.len.saturating_sub(1);
             picked.push(item);
         }
         picked.sort_unstable_by_key(|(seq, _)| *seq);
@@ -179,9 +203,22 @@ impl DrrSched {
     /// DRR lead selection: serve the ring head while it has credits,
     /// rotating when a quantum is exhausted, dropping tenants whose
     /// queues emptied.
+    ///
+    /// A ring entry can go stale — tenant teardown (or any bulk edit that
+    /// races ring maintenance) may remove the tenant map entry while its
+    /// ring slot survives. That is a *reachable* state, not a bug-never
+    /// invariant, so the stale entry is dropped and scheduling continues
+    /// with the next tenant (counted in `desyncs`) rather than aborting
+    /// the dispatcher thread with an `expect` panic.
     fn pop_lead(&mut self) -> Option<Arc<Pending>> {
         while let Some(name) = self.ring.front().cloned() {
-            let tq = self.tenants.get_mut(&name).expect("ring tenant exists");
+            let Some(tq) = self.tenants.get_mut(&name) else {
+                // Stale ring entry: the tenant was torn down after its
+                // name was enqueued on the ring. Skip and continue.
+                self.ring.pop_front();
+                self.desyncs += 1;
+                continue;
+            };
             if tq.q.is_empty() {
                 tq.in_ring = false;
                 tq.deficit = 0;
@@ -192,15 +229,32 @@ impl DrrSched {
                 tq.deficit = tq.weight; // new quantum for this visit
             }
             tq.deficit -= 1;
-            let (_, p) = tq.q.pop_front().expect("non-empty tenant queue");
-            self.len -= 1;
+            let Some((_, p)) = tq.q.pop_front() else {
+                // Unreachable with the emptiness check above; recover by
+                // retiring the ring entry anyway (release builds).
+                debug_assert!(false, "tenant {name:?} queue emptied between check and pop");
+                tq.in_ring = false;
+                tq.deficit = 0;
+                self.ring.pop_front();
+                self.desyncs += 1;
+                continue;
+            };
+            self.len = self.len.saturating_sub(1);
             if tq.q.is_empty() {
                 tq.in_ring = false;
                 tq.deficit = 0; // forfeit unused credits while idle
                 self.ring.pop_front();
             } else if tq.deficit == 0 {
-                let name = self.ring.pop_front().expect("ring non-empty");
-                self.ring.push_back(name);
+                // The head we just served rotates to the back. An empty
+                // ring here would be the same class of desync as above —
+                // rotating a missing head is a no-op, not a panic.
+                match self.ring.pop_front() {
+                    Some(head) => self.ring.push_back(head),
+                    None => {
+                        debug_assert!(false, "ring empty while rotating served tenant {name:?}");
+                        self.desyncs += 1;
+                    }
+                }
             }
             return Some(p);
         }
@@ -375,6 +429,30 @@ mod tests {
         assert_eq!(s.len(), 3);
         let order: Vec<u32> = (0..3).map(|_| s.pop_batch(1).expect("queued")[0].id.slot).collect();
         assert_eq!(order, vec![5, 6, 1]);
+    }
+
+    #[test]
+    fn stale_ring_entry_is_skipped_not_fatal() {
+        let mut s = DrrSched::new();
+        push(&mut s, "gone", 1);
+        push(&mut s, "alive", 2);
+        // Desynchronize the ring: tear the tenant map entry down while
+        // its ring slot survives — the state a teardown/maintenance race
+        // produces. Before the fix this aborted the dispatcher via
+        // `expect("ring tenant exists")`.
+        let removed = s.tenants.remove("gone").expect("tenant was queued");
+        s.len -= removed.q.len();
+        assert_eq!(s.ring.len(), 2, "ring still holds the dead tenant");
+        let batch = s.pop_batch(8).expect("live tenant still schedulable");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].tenant, "alive");
+        assert_eq!(s.desyncs(), 1, "stale entry recovery is counted");
+        assert!(s.pop_batch(8).is_none());
+        assert!(s.is_empty());
+        // The scheduler keeps working normally after the recovery.
+        push(&mut s, "alive", 3);
+        assert_eq!(s.pop_batch(8).expect("queued")[0].id.slot, 3);
+        assert_eq!(s.desyncs(), 1);
     }
 
     #[test]

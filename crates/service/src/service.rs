@@ -25,8 +25,15 @@ use crate::shard::{
     bump_shard, lock, spawn_shard, spawn_supervisor, sweep_evicting, ServiceInner, ShardShared,
 };
 use crate::stats::{ServiceStats, StatsInner, MAX_BATCH};
-use spmv_core::SparseError;
-use spmv_parallel::{watchdog_deadline, watchdog_deadline_checked, ChunkKernel, RecoveryPolicy};
+use spmv_core::csr_du::{CsrDu, DuOptions};
+use spmv_core::csr_duvi::CsrDuVi;
+use spmv_core::csr_vi::CsrVi;
+use spmv_core::{Csr, FormatKind, SparseError};
+use spmv_memsim::{Plan, PlanCacheStats, Planner, PlannerConfig};
+use spmv_parallel::{
+    watchdog_deadline, watchdog_deadline_checked, ChunkKernel, CsrChunks, CsrDuChunks,
+    CsrDuViChunks, CsrViChunks, RecoveryPolicy,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -133,6 +140,12 @@ pub struct ServiceConfig {
     /// Drain budget [`SpmvService::shutdown`] grants queued work before
     /// expiring the remainder with `DeadlineExceeded`.
     pub drain_deadline: Duration,
+    /// Tuning for the format planner behind
+    /// [`ServiceBuilder::register_csr`] / [`SpmvService::register_csr`].
+    /// Thread candidates above [`threads`](ServiceConfig::threads) are
+    /// dropped at planner construction so a plan never promises more
+    /// parallelism than the executor pool can deliver.
+    pub planner: PlannerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -157,6 +170,7 @@ impl Default for ServiceConfig {
             stall_grace: Duration::from_secs(10),
             shard_trip_after: 3,
             drain_deadline: Duration::from_secs(2),
+            planner: PlannerConfig::default(),
         }
     }
 }
@@ -312,16 +326,62 @@ pub(crate) struct Pending {
 /// on the live service afterwards.
 pub struct ServiceBuilder {
     config: ServiceConfig,
+    planner: Arc<Planner>,
     matrices: Vec<(String, Arc<dyn ChunkKernel<f64>>)>,
     tenants: HashMap<String, TenantLimits>,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
 }
 
+/// Builds the service's planner from its config: thread candidates are
+/// clamped to the executor pool size (and at least serial execution is
+/// always a candidate), so a plan never asks for threads the pool does
+/// not have.
+fn service_planner(config: &ServiceConfig) -> Arc<Planner> {
+    let mut pc = config.planner.clone();
+    let pool = config.threads.max(1);
+    pc.thread_candidates.retain(|&t| t >= 1 && t <= pool);
+    if pc.thread_candidates.is_empty() {
+        pc.thread_candidates.push(pool.min(pc.sim.machine.cores()).max(1));
+    }
+    Arc::new(Planner::new(pc))
+}
+
+/// Encodes `m` into the plan's chosen format and wraps it in the
+/// matching chunk adapter at the plan's partition granularity. The
+/// plan's thread count informs chunking only — pool sizing stays
+/// [`ServiceConfig::threads`], which the planner's candidates were
+/// already clamped to.
+fn planned_kernel(
+    plan: &Plan,
+    m: &Arc<Csr<u32, f64>>,
+) -> Result<Arc<dyn ChunkKernel<f64>>, SparseError> {
+    let chunks = plan.chunks.max(1);
+    Ok(match plan.format {
+        FormatKind::Csr => Arc::new(CsrChunks::new(Arc::clone(m), chunks)),
+        FormatKind::CsrDu => {
+            Arc::new(CsrDuChunks::new(Arc::new(CsrDu::from_csr(m, &DuOptions::default())), chunks))
+        }
+        FormatKind::CsrVi => Arc::new(CsrViChunks::new(Arc::new(CsrVi::from_csr(m)), chunks)),
+        FormatKind::CsrDuVi => Arc::new(CsrDuViChunks::new(
+            Arc::new(CsrDuVi::from_csr(m, &DuOptions::default())),
+            chunks,
+        )),
+        other => {
+            return Err(SparseError::InvalidArgument(format!(
+                "no chunk adapter for planned format {}",
+                other.name()
+            )))
+        }
+    })
+}
+
 impl ServiceBuilder {
     pub fn new(config: ServiceConfig) -> ServiceBuilder {
+        let planner = service_planner(&config);
         ServiceBuilder {
             config,
+            planner,
             matrices: Vec::new(),
             tenants: HashMap::new(),
             #[cfg(feature = "fault-injection")]
@@ -340,6 +400,22 @@ impl ServiceBuilder {
         self.matrices.retain(|(n, _)| *n != name);
         self.matrices.push((name, kernel));
         self
+    }
+
+    /// Registers a CSR matrix **without an explicit format**: the
+    /// planner picks format and partition granularity from its cost
+    /// model (cached by matrix fingerprint — re-registering a known
+    /// matrix re-encodes nothing at analysis time). Returns the builder
+    /// and the decision for inspection.
+    pub fn register_csr(
+        mut self,
+        name: impl Into<String>,
+        m: Arc<Csr<u32, f64>>,
+    ) -> Result<(ServiceBuilder, Plan), ServiceError> {
+        let plan = self.planner.plan_csr(&m).map_err(ServiceError::PlanningFailed)?;
+        let kernel = planned_kernel(&plan, &m).map_err(ServiceError::PlanningFailed)?;
+        self = self.register_matrix(name, kernel);
+        Ok((self, plan))
     }
 
     /// Sets explicit limits for a tenant (others get the config
@@ -381,6 +457,7 @@ impl ServiceBuilder {
             (0..nshards).map(|i| Arc::new(ShardShared::new(Arc::clone(&pins[i])))).collect();
         let inner = Arc::new(ServiceInner {
             cfg,
+            planner: self.planner,
             registry,
             stats: StatsInner::new(nshards),
             tenant_counts: Mutex::new(HashMap::new()),
@@ -554,6 +631,35 @@ impl SpmvService {
             return Err(ServiceError::ShuttingDown);
         }
         self.inner.registry.insert(&name.into(), kernel).map(|_| ())
+    }
+
+    /// Registers a CSR matrix on the live service **without an explicit
+    /// format**: the planner chooses format and partition granularity
+    /// (see [`ServiceBuilder::register_csr`]) and the chosen kernel goes
+    /// through the normal [`register`](SpmvService::register) path.
+    /// Plans are cached by matrix fingerprint, so evicting and
+    /// re-registering the same matrix is a cache hit that re-runs no
+    /// analysis. Returns the decision.
+    pub fn register_csr(
+        &self,
+        name: impl Into<String>,
+        m: Arc<Csr<u32, f64>>,
+    ) -> Result<Plan, ServiceError> {
+        let plan = self.inner.planner.plan_csr(&m).map_err(ServiceError::PlanningFailed)?;
+        let kernel = planned_kernel(&plan, &m).map_err(ServiceError::PlanningFailed)?;
+        self.register(name, kernel)?;
+        Ok(plan)
+    }
+
+    /// The service's shared planner (builder-time and live
+    /// registrations hit the same plan cache).
+    pub fn planner(&self) -> &Planner {
+        &self.inner.planner
+    }
+
+    /// Snapshot of the planner's cache/analysis counters.
+    pub fn planner_stats(&self) -> PlanCacheStats {
+        self.inner.planner.stats()
     }
 
     /// Evicts a matrix from the live service. Epoch-based reclamation:

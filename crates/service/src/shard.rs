@@ -35,6 +35,7 @@ use crate::registry::{MatrixId, Registry};
 use crate::sched::{release_slot, DrrSched};
 use crate::service::{Pending, Response, ServiceConfig, TenantLimits};
 use crate::stats::{ShardStatsInner, StatsInner};
+use spmv_memsim::Planner;
 use spmv_parallel::{ChunkKernel, PoolError, SupervisedSpMv, WatchdogOpts};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -129,6 +130,9 @@ impl ShardShared {
 /// State shared by the service handle, every shard, and the supervisor.
 pub(crate) struct ServiceInner {
     pub cfg: ServiceConfig,
+    /// Shared format/thread/partition planner: builder-time and live
+    /// `register_csr` calls hit the same plan cache.
+    pub planner: Arc<Planner>,
     pub registry: Registry,
     pub stats: StatsInner,
     /// Global per-tenant *queued* counts (quotas span shards).

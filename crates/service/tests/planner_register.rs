@@ -1,0 +1,105 @@
+//! Planner-routed registration: `register_csr` without an explicit
+//! format must pick one through the cost model, serve bit-identical
+//! results, and answer evict + re-register cycles from the plan cache
+//! with zero fresh encodes.
+
+use spmv_core::{Coo, Csr, SpMv};
+use spmv_service::{Request, ServiceBuilder, ServiceConfig, SpmvService};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_matrix(n: usize) -> Arc<Csr<u32, f64>> {
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        for d in [-1i64, 0, 1] {
+            let c = r as i64 + d;
+            if (0..n as i64).contains(&c) {
+                // Few distinct values, so CSR-VI is a live candidate.
+                coo.push(r, c as usize, [1.0, 2.0, -1.0][(r + c as usize) % 3]).unwrap();
+            }
+        }
+    }
+    Arc::new(coo.to_csr())
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        threads: 2,
+        default_deadline: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    }
+}
+
+fn submit(svc: &SpmvService, name: &str, x: Vec<f64>) -> Vec<f64> {
+    svc.submit(Request { matrix: name.into(), tenant: "t".into(), x, deadline: None })
+        .expect("planned matrix serves requests")
+        .y
+}
+
+#[test]
+fn register_without_format_routes_through_planner() {
+    let m = test_matrix(600);
+    let (builder, plan) = ServiceBuilder::new(cfg())
+        .register_csr("planned", Arc::clone(&m))
+        .expect("plannable matrix");
+    assert!(!plan.cache_hit);
+    assert!(plan.threads >= 1 && plan.threads <= 2, "candidates clamped to the pool");
+    let svc = builder.start();
+
+    let x: Vec<f64> = (0..m.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let y = submit(&svc, "planned", x.clone());
+    let mut want = vec![0.0; m.nrows()];
+    m.spmv(&x, &mut want);
+    assert_eq!(y, want, "planned kernel must be bit-identical to serial CSR");
+
+    let s = svc.planner_stats();
+    assert_eq!((s.hits, s.misses), (0, 1));
+    svc.shutdown();
+}
+
+#[test]
+fn evict_and_reregister_is_a_cache_hit_with_zero_new_encodes() {
+    let m = test_matrix(400);
+    let svc = ServiceBuilder::new(cfg()).start();
+
+    let cold = svc.register_csr("m", Arc::clone(&m)).expect("cold registration");
+    assert!(!cold.cache_hit);
+    let encodes_after_cold = svc.planner_stats().encodes;
+
+    let x = vec![1.0; m.ncols()];
+    let y_cold = submit(&svc, "m", x.clone());
+
+    svc.evict("m").expect("evict");
+    let warm = svc.register_csr("m", Arc::clone(&m)).expect("warm registration");
+    assert!(warm.cache_hit, "re-registering a known matrix must hit the cache");
+    assert_eq!((warm.format, warm.threads, warm.chunks), (cold.format, cold.threads, cold.chunks));
+
+    let s = svc.planner_stats();
+    assert_eq!(s.hits, 1);
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.encodes, encodes_after_cold, "cache hit must not re-encode candidates");
+
+    let y_warm = submit(&svc, "m", x);
+    assert_eq!(y_warm, y_cold);
+    svc.shutdown();
+}
+
+#[test]
+fn degenerate_matrices_register_without_panicking() {
+    let svc = ServiceBuilder::new(cfg()).start();
+
+    // 0-nnz: trivial serial-CSR fallback plan.
+    let empty: Arc<Csr<u32, f64>> = Arc::new(Coo::new(5, 5).to_csr());
+    let plan = svc.register_csr("empty", empty).expect("degenerate plan");
+    assert_eq!(plan.threads, 1);
+    let y = submit(&svc, "empty", vec![1.0; 5]);
+    assert_eq!(y, vec![0.0; 5]);
+
+    // 1x1.
+    let mut coo = Coo::new(1, 1);
+    coo.push(0, 0, 2.5).unwrap();
+    let one: Arc<Csr<u32, f64>> = Arc::new(coo.to_csr());
+    svc.register_csr("one", one).expect("1x1 plan");
+    assert_eq!(submit(&svc, "one", vec![2.0]), vec![5.0]);
+    svc.shutdown();
+}

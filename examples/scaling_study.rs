@@ -39,10 +39,10 @@ fn study(name: &str, coo: Coo, quantize: bool) {
     );
 
     let costs = [
-        FormatCost::csr(&csr, &cfg.cost),
-        FormatCost::csr_du(&du, &cfg.cost),
-        FormatCost::csr_vi(&vi, &cfg.cost),
-        FormatCost::csr_duvi(&duvi, &cfg.cost),
+        FormatCost::csr(&csr, &cfg.cost).expect("non-degenerate corpus matrix"),
+        FormatCost::csr_du(&du, &cfg.cost).expect("non-degenerate corpus matrix"),
+        FormatCost::csr_vi(&vi, &cfg.cost).expect("non-degenerate corpus matrix"),
+        FormatCost::csr_duvi(&duvi, &cfg.cost).expect("non-degenerate corpus matrix"),
     ];
     for placement in Placement::paper_configs() {
         let preds: Vec<_> =

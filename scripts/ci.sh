@@ -106,6 +106,26 @@ timeout 300 cargo run -q --release -p spmv-bench --features fault-injection --bi
 cargo run -q --release -p spmv-bench --bin reproduce -- \
     check-bench target/shard-chaos/BENCH.json
 
+echo "== plan-smoke (adaptive planner + fingerprint-keyed plan cache) =="
+# Two planner-driven runs against the same --out: the cold run analyzes,
+# encodes, and measures every M0 matrix and persists the plan cache; the
+# warm run must serve every decision from that cache — zero misses, zero
+# new encodes (checked on the stable plan-cache counter line) — and its
+# schema-v6 artifact must re-validate through the independent reader.
+rm -rf target/plan-smoke
+cargo run -q --release -p spmv-bench --bin reproduce -- \
+    --scale 0.002 --iters 2 --out target/plan-smoke plan
+warm_out=$(cargo run -q --release -p spmv-bench --bin reproduce -- \
+    --scale 0.002 --iters 2 --out target/plan-smoke plan)
+echo "$warm_out" | grep "^plan-cache: " | grep -q " misses=0 " \
+    || { echo "plan-smoke: warm run was not all cache hits"; \
+         echo "$warm_out" | grep "^plan-cache: "; exit 1; }
+echo "$warm_out" | grep "^plan-cache: " | grep -q " encodes=0 " \
+    || { echo "plan-smoke: warm run re-encoded"; \
+         echo "$warm_out" | grep "^plan-cache: "; exit 1; }
+cargo run -q --release -p spmv-bench --bin reproduce -- \
+    check-bench target/plan-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.
