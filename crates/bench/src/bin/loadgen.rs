@@ -490,6 +490,7 @@ fn main() {
             records: Vec::new(),
             service: Some(summary),
             plan_cache: None,
+            spmspv: None,
         };
         let mut text = serde_json::to_string_pretty(&file).expect("serialize BENCH.json");
         text.push('\n');

@@ -168,7 +168,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, CliError> {
 
 const HELP: &str = "reproduce [--scale S] [--out DIR] [--iters N] [--k LIST] [--isa ISA] \
 <fig1|table1|fig4|table2|table3|table4|fig7|fig8|ablation-du|ablation-widen|\
-ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|plan|all> [arg]\n\
+ablation-ordering|ablation-partition|validate|measured|verify|bench|check-bench|plan|graph|all> [arg]\n\
 --k takes a comma-separated list of SpMM panel widths for bench (default 1,2,4,8)\n\
 --isa selects the bench kernel instruction set: auto (default), scalar, avx2\n";
 
@@ -269,6 +269,7 @@ fn main() {
             }
         }
         "plan" => plan_cmd(&args),
+        "graph" => graph_cmd(&args),
         other => {
             eprintln!("unknown command: {other}\n{HELP}");
             std::process::exit(2);
@@ -727,6 +728,89 @@ fn verify(args: &Args) -> bool {
 /// summary, and emit the schema-versioned `BENCH.json` observability
 /// artifact (validated through the same reader `check-bench` uses before
 /// it is trusted).
+/// Graph mode: run the SpMSpV frontier drivers (BFS levels, convergence-
+/// masked PageRank) and the density-crossover sweep over the power-law
+/// corpus, checking BFS/PageRank bit-identity across thread counts and
+/// kernel paths, and emit a schema-v7 `BENCH.json` whose `spmspv`
+/// section carries the evidence.
+fn graph_cmd(args: &Args) {
+    use spmv_bench::graph::{collect_graph, GraphOptions};
+    use spmv_bench::metrics::validate_bench_text;
+
+    let opts = GraphOptions {
+        scale: args.scale.min(0.25), // keep graph mode quick, like bench
+        iters: args.iters.unwrap_or(GraphOptions::default().iters),
+        ..GraphOptions::default()
+    };
+    println!(
+        "\n== Graph mode: SpMSpV drivers over the power-law corpus, scale {}, {} \
+         iterations/density, threads {:?} ==\n",
+        opts.scale, opts.iters, opts.threads
+    );
+    let file = collect_graph(&opts).expect("graph collection (includes bit-identity checks)");
+    let summary = file.spmspv.as_ref().expect("graph artifact carries an spmspv section");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} | {:>6} {:>7} | {:>5} {:>6} {:>9} {:>7}",
+        "matrix",
+        "nrows",
+        "nnz",
+        "crossover",
+        "bfs-lv",
+        "reached",
+        "pr-it",
+        "active",
+        "residual",
+        "paths"
+    );
+    for m in &summary.matrices {
+        let mut dense = 0usize;
+        let mut sparse = 0usize;
+        for p in &m.pagerank_paths {
+            if p == "dense" {
+                dense += 1;
+            } else {
+                sparse += 1;
+            }
+        }
+        println!(
+            "{:<12} {:>8} {:>10} {:>10.4} | {:>6} {:>7} | {:>5} {:>6} {:>9.2e} {:>3}d/{}s",
+            m.matrix,
+            m.nrows,
+            m.nnz,
+            m.crossover_density,
+            m.bfs_levels,
+            m.bfs_reached,
+            m.pagerank_iterations,
+            m.pagerank_final_active,
+            m.pagerank_residual,
+            dense,
+            sparse,
+        );
+    }
+    println!(
+        "\nbit-identity: BFS levels and PageRank ranks identical across threads {:?} and \
+         csc-bucket/masked-csr/dense paths on all {} matrices",
+        opts.threads,
+        summary.matrices.len()
+    );
+    let text = {
+        let mut t = serde_json::to_string_pretty(&file).expect("serialize BENCH.json");
+        t.push('\n');
+        t
+    };
+    validate_bench_text(&text).expect("freshly emitted BENCH.json must satisfy its own schema");
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH.json");
+    std::fs::write(&path, text).expect("write BENCH.json");
+    println!(
+        "wrote {} ({} graph matrices, schema v{})",
+        path.display(),
+        summary.matrices.len(),
+        file.schema_version
+    );
+}
+
 fn bench(args: &Args) {
     use spmv_bench::metrics::{collect_bench, validate_bench_text, BenchOptions};
     let opts = BenchOptions {

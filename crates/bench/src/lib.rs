@@ -16,6 +16,7 @@
 //! per-worker busy times and imbalance ratios into each record.
 
 pub mod figures;
+pub mod graph;
 pub mod jsonv;
 pub mod measured;
 pub mod metrics;

@@ -66,7 +66,15 @@ use spmv_parallel::{ParCsr, ParCsrDu, ParCsrDuVi, ParCsrVi, ParSpMm, PoolTelemet
 /// threads, chunks, predicted cost, and whether the plan came from the
 /// cache), and the top level carries a nullable `plan_cache` section
 /// with the planner's hit/miss/encode counters for the run.
-pub const BENCH_SCHEMA_VERSION: u64 = 6;
+/// Version 7 added the graph/SpMSpV layer: a top-level nullable `spmspv`
+/// section (`reproduce graph` artifacts only) with one record per graph
+/// matrix — the input-density sweep (bucket-SpMSpV vs dense timings per
+/// point), the measured SpMSpV-vs-dense crossover density (required
+/// finite and positive), BFS and convergence-masked-PageRank
+/// per-iteration timings, and the kernel path the crossover switch chose
+/// each PageRank iteration. `records` may now also be empty when
+/// `spmspv` is present.
+pub const BENCH_SCHEMA_VERSION: u64 = 7;
 
 /// The formats the benchmark matrix covers, in emission order.
 pub const BENCH_FORMATS: [&str; 4] = ["csr", "csr-du", "csr-vi", "csr-duvi"];
@@ -279,6 +287,70 @@ pub struct PlanCacheSummary {
     pub entries: u64,
 }
 
+/// One point of the SpMSpV-vs-dense input-density sweep (schema v7).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpmspvSweepPoint {
+    /// Requested frontier density (fraction of active columns, > 0).
+    pub density: f64,
+    /// Actual nonzeros in the generated frontier.
+    pub frontier_nnz: usize,
+    /// Median seconds per bucket-SpMSpV call at this density.
+    pub spmspv_s: f64,
+    /// Median seconds per dense CSR SpMV call (the comparator).
+    pub dense_s: f64,
+    /// The path the measured crossover would choose at this density
+    /// (`"csc-bucket"` or `"dense"`).
+    pub path: String,
+}
+
+/// Per-matrix graph/SpMSpV evidence (schema v7).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GraphMatrixRecord {
+    /// Corpus matrix name.
+    pub matrix: String,
+    /// Corpus matrix id.
+    pub matrix_id: u64,
+    /// Matrix rows (== columns; graph matrices are square).
+    pub nrows: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Thread counts the BFS/PageRank bit-identity checks ran across.
+    pub threads: Vec<usize>,
+    /// Measured SpMSpV-vs-dense crossover density: SpMSpV won every
+    /// sweep point strictly below it. Always finite and positive
+    /// (`check-bench` enforces this).
+    pub crossover_density: f64,
+    /// The density sweep behind `crossover_density`.
+    pub sweep: Vec<SpmspvSweepPoint>,
+    /// BFS source vertex.
+    pub bfs_source: usize,
+    /// Distinct BFS levels discovered (source level included).
+    pub bfs_levels: usize,
+    /// Vertices reached (source included).
+    pub bfs_reached: usize,
+    /// Seconds per BFS frontier expansion, in iteration order.
+    pub bfs_iter_s: Vec<f64>,
+    /// Convergence-masked PageRank iterations executed.
+    pub pagerank_iterations: usize,
+    /// Seconds per PageRank iteration.
+    pub pagerank_iter_s: Vec<f64>,
+    /// Kernel path chosen per PageRank iteration by the density
+    /// crossover switch (`"csc-bucket"` / `"masked-csr"` / `"dense"`).
+    pub pagerank_paths: Vec<String>,
+    /// Active (not yet converged) vertices after the last iteration.
+    pub pagerank_final_active: usize,
+    /// Final deterministic residual (sum of |delta|).
+    pub pagerank_residual: f64,
+}
+
+/// The top-level `spmspv` section of a graph artifact (schema v7; null
+/// for kernel benches and `loadgen` artifacts).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GraphSummary {
+    /// One record per measured graph matrix.
+    pub matrices: Vec<GraphMatrixRecord>,
+}
+
 /// One measured (matrix, format, thread count, panel width) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
@@ -359,6 +431,9 @@ pub struct BenchFile {
     /// Plan-cache counters (`reproduce plan` artifacts only; null when
     /// the run never invoked the planner). Schema v6.
     pub plan_cache: Option<PlanCacheSummary>,
+    /// Graph/SpMSpV section (`reproduce graph` artifacts only; null for
+    /// kernel benches and `loadgen`). Schema v7.
+    pub spmspv: Option<GraphSummary>,
 }
 
 /// What [`collect_bench`] measures.
@@ -567,6 +642,7 @@ pub fn collect_bench(opts: &BenchOptions) -> Result<BenchFile, SparseError> {
         records,
         service: None,
         plan_cache: None,
+        spmspv: None,
     })
 }
 
@@ -755,6 +831,122 @@ fn validate_service(service: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// The path names the v7 graph records may carry.
+const SPMSPV_PATHS: [&str; 3] = ["csc-bucket", "masked-csr", "dense"];
+
+/// Checks the v7 `spmspv` section: a non-empty per-matrix record array,
+/// each with a finite positive crossover density, a well-formed density
+/// sweep, and BFS/PageRank iteration evidence whose array lengths agree
+/// with the declared iteration counts.
+fn validate_graph(graph: &Json) -> Result<(), String> {
+    let matrices = graph
+        .get("matrices")
+        .and_then(Json::as_arr)
+        .ok_or("spmspv: missing or non-array \"matrices\"")?;
+    if matrices.is_empty() {
+        return Err("spmspv: matrices is empty (nothing was measured)".into());
+    }
+    for (i, m) in matrices.iter().enumerate() {
+        let ctx = format!("spmspv.matrices[{i}]");
+        require_str(m, "matrix", &ctx)?;
+        for key in ["matrix_id", "nrows", "nnz", "bfs_source"] {
+            require_num(m, key, &ctx)?;
+        }
+        let threads = m
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing or non-array \"threads\""))?;
+        if threads.is_empty() || threads.iter().any(|t| t.as_f64().is_none_or(|t| t < 1.0)) {
+            return Err(format!("{ctx}: threads must be a non-empty array of counts >= 1"));
+        }
+        // The acceptance criterion: a recorded crossover that is finite
+        // (require_num) and strictly positive.
+        let crossover = require_num(m, "crossover_density", &ctx)?;
+        if crossover <= 0.0 {
+            return Err(format!("{ctx}: crossover_density {crossover} must be > 0"));
+        }
+        let sweep = m
+            .get("sweep")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing or non-array \"sweep\""))?;
+        if sweep.is_empty() {
+            return Err(format!("{ctx}: sweep is empty"));
+        }
+        for (j, pt) in sweep.iter().enumerate() {
+            let pctx = format!("{ctx}.sweep[{j}]");
+            let density = require_num(pt, "density", &pctx)?;
+            if density <= 0.0 {
+                return Err(format!("{pctx}: density {density} must be > 0"));
+            }
+            let nnz = require_num(pt, "frontier_nnz", &pctx)?;
+            if nnz < 1.0 {
+                return Err(format!("{pctx}: frontier_nnz {nnz} must be >= 1"));
+            }
+            for key in ["spmspv_s", "dense_s"] {
+                let v = require_num(pt, key, &pctx)?;
+                if v <= 0.0 {
+                    return Err(format!("{pctx}: {key} {v} must be > 0"));
+                }
+            }
+            let path = pt
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{pctx}: missing or non-string field \"path\""))?;
+            if !SPMSPV_PATHS.contains(&path) {
+                return Err(format!("{pctx}: unknown path {path:?}"));
+            }
+        }
+        let levels = require_num(m, "bfs_levels", &ctx)?;
+        let reached = require_num(m, "bfs_reached", &ctx)?;
+        if levels < 1.0 || reached < 1.0 {
+            return Err(format!("{ctx}: BFS must reach at least the source"));
+        }
+        let bfs_iters = m
+            .get("bfs_iter_s")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing or non-array \"bfs_iter_s\""))?;
+        if bfs_iters.is_empty() || bfs_iters.iter().any(|v| v.as_f64().is_none_or(|s| s < 0.0)) {
+            return Err(format!("{ctx}: bfs_iter_s must be a non-empty array of seconds >= 0"));
+        }
+        let pr_iters = require_num(m, "pagerank_iterations", &ctx)?;
+        if pr_iters < 1.0 {
+            return Err(format!("{ctx}: pagerank_iterations {pr_iters} must be >= 1"));
+        }
+        let pr_times = m
+            .get("pagerank_iter_s")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing or non-array \"pagerank_iter_s\""))?;
+        let pr_paths = m
+            .get("pagerank_paths")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing or non-array \"pagerank_paths\""))?;
+        if pr_times.len() != pr_iters as usize || pr_paths.len() != pr_iters as usize {
+            return Err(format!(
+                "{ctx}: pagerank_iter_s ({}) and pagerank_paths ({}) must both have \
+                 pagerank_iterations ({pr_iters}) entries",
+                pr_times.len(),
+                pr_paths.len()
+            ));
+        }
+        if pr_times.iter().any(|v| v.as_f64().is_none_or(|s| s < 0.0)) {
+            return Err(format!("{ctx}: pagerank_iter_s has negative or non-numeric entries"));
+        }
+        for (j, p) in pr_paths.iter().enumerate() {
+            let path =
+                p.as_str().ok_or_else(|| format!("{ctx}: pagerank_paths[{j}] is not a string"))?;
+            if !SPMSPV_PATHS.contains(&path) {
+                return Err(format!("{ctx}: pagerank_paths[{j}] unknown path {path:?}"));
+            }
+        }
+        require_num(m, "pagerank_final_active", &ctx)?;
+        let residual = require_num(m, "pagerank_residual", &ctx)?;
+        if residual < 0.0 {
+            return Err(format!("{ctx}: pagerank_residual {residual} must be >= 0"));
+        }
+    }
+    Ok(())
+}
+
 /// Validates `text` as a current-schema `BENCH.json`: parses the JSON,
 /// checks the version stamp, and requires every field the schema promises
 /// with the right shape. Used by `reproduce check-bench` and the
@@ -810,11 +1002,20 @@ pub fn validate_bench_text(text: &str) -> Result<(), String> {
             }
         }
     }
+    // v7: the graph section is mandatory (null for non-graph artifacts).
+    let graph = match root.get("spmspv") {
+        None => return Err("top level: missing \"spmspv\" (null for non-graph artifacts)".into()),
+        Some(g) if g.is_null() => None,
+        Some(g) => {
+            validate_graph(g)?;
+            Some(g)
+        }
+    };
     let records = root
         .get("records")
         .and_then(Json::as_arr)
         .ok_or("top level: missing or non-array \"records\"")?;
-    if records.is_empty() && service.is_none() {
+    if records.is_empty() && service.is_none() && graph.is_none() {
         return Err("records array is empty (nothing was measured)".into());
     }
     for (i, rec) in records.iter().enumerate() {
@@ -1138,6 +1339,7 @@ mod tests {
                 ],
             }),
             plan_cache: None,
+            spmspv: None,
         }
     }
 
@@ -1242,6 +1444,90 @@ mod tests {
         let neg = good.replacen("\"misses\": 1", "\"misses\": -1", 1);
         assert_ne!(neg, good);
         assert!(validate_bench_text(&neg).unwrap_err().contains("misses"));
+    }
+
+    /// A hand-built graph artifact with empty `records` (legal since v7
+    /// when `spmspv` is present).
+    fn graph_file() -> BenchFile {
+        BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            machine: MachineInfo {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                available_threads: 8,
+                machine_bandwidth_gbs: 10.0,
+            },
+            scale: 0.002,
+            iterations: 3,
+            seed: 42,
+            records: Vec::new(),
+            service: None,
+            plan_cache: None,
+            spmspv: Some(GraphSummary {
+                matrices: vec![GraphMatrixRecord {
+                    matrix: "plaw_011".into(),
+                    matrix_id: 11,
+                    nrows: 500,
+                    nnz: 4000,
+                    threads: vec![1, 2, 4, 7],
+                    crossover_density: 0.31,
+                    sweep: vec![SpmspvSweepPoint {
+                        density: 0.01,
+                        frontier_nnz: 5,
+                        spmspv_s: 2.0e-6,
+                        dense_s: 9.0e-6,
+                        path: "csc-bucket".into(),
+                    }],
+                    bfs_source: 17,
+                    bfs_levels: 5,
+                    bfs_reached: 480,
+                    bfs_iter_s: vec![1.0e-6, 2.0e-6, 2.0e-6, 1.0e-6],
+                    pagerank_iterations: 2,
+                    pagerank_iter_s: vec![3.0e-6, 2.5e-6],
+                    pagerank_paths: vec!["dense".into(), "csc-bucket".into()],
+                    pagerank_final_active: 12,
+                    pagerank_residual: 4.2e-7,
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn validator_enforces_the_v7_graph_contract() {
+        let good = serde_json::to_string_pretty(&graph_file()).unwrap();
+        validate_bench_text(&good).unwrap();
+
+        // The spmspv key is mandatory even when null...
+        let missing = good.replacen("\"spmspv\"", "\"graph\"", 1);
+        assert_ne!(missing, good);
+        assert!(validate_bench_text(&missing).unwrap_err().contains("spmspv"));
+        // ...and a null section revives the empty-records complaint.
+        let gutted = {
+            let start = good.find("\"spmspv\"").unwrap();
+            format!("{}\"spmspv\": null\n}}\n", &good[..start])
+        };
+        assert!(validate_bench_text(&gutted).unwrap_err().contains("records"));
+        // The acceptance criterion: crossover must be finite and > 0.
+        let zero = good.replacen("\"crossover_density\": 0.31", "\"crossover_density\": 0.0", 1);
+        assert_ne!(zero, good);
+        assert!(validate_bench_text(&zero).unwrap_err().contains("crossover_density"));
+        // Sweep points carry real timings on both sides.
+        let dead = good.replacen("\"dense_s\": 9e-6", "\"dense_s\": 0.0", 1);
+        assert_ne!(dead, good);
+        assert!(validate_bench_text(&dead).unwrap_err().contains("dense_s"));
+        // Only the three known kernel paths are accepted.
+        let odd = good.replacen("\"csc-bucket\"", "\"csc-turbo\"", 1);
+        assert_ne!(odd, good);
+        assert!(validate_bench_text(&odd).unwrap_err().contains("path"));
+        // PageRank evidence arrays must match the iteration count.
+        let short = good.replacen("\"pagerank_iterations\": 2", "\"pagerank_iterations\": 3", 1);
+        assert_ne!(short, good);
+        assert!(validate_bench_text(&short).unwrap_err().contains("pagerank_iter"));
+        // An empty matrices array measured nothing.
+        let mut empty = graph_file();
+        empty.spmspv = Some(GraphSummary { matrices: Vec::new() });
+        let empty = serde_json::to_string_pretty(&empty).unwrap();
+        assert!(validate_bench_text(&empty).unwrap_err().contains("matrices"));
     }
 
     #[test]

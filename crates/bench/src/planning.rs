@@ -282,6 +282,7 @@ pub fn run_planned(
             shape_rejects: s.shape_rejects,
             entries: planner.entries() as u64,
         }),
+        spmspv: None,
     };
     Ok((file, outcomes))
 }

@@ -77,6 +77,7 @@ fn golden_file() -> BenchFile {
             shape_rejects: 1,
             entries: 1,
         }),
+        spmspv: None,
     }
 }
 

@@ -77,6 +77,7 @@ pub mod jad;
 pub mod scalar;
 pub mod simd;
 pub mod spmm;
+pub mod spmspv;
 pub mod spmv;
 pub mod stats;
 pub mod sym;
@@ -94,6 +95,7 @@ pub use io::{fingerprint_csr, read_fingerprint, Fingerprint, LoadLimits};
 pub use scalar::Scalar;
 pub use simd::Isa;
 pub use spmm::{DenseBlock, DenseBlockMut, SpMm};
+pub use spmspv::{SpMSpV, SpMSpVPath, SparseVec};
 pub use spmv::{FormatKind, SpMv};
 pub use stats::{SizeReport, WorkingSet};
 pub use sym::SymCsr;
@@ -113,6 +115,6 @@ pub mod prelude {
     pub use crate::sym::SymCsr;
     pub use crate::{
         Coo, Csc, Csr, Dense, DenseBlock, DenseBlockMut, FormatKind, LoadLimits, Scalar, SpIndex,
-        SpMm, SpMv, SparseError,
+        SpMSpV, SpMSpVPath, SpMm, SpMv, SparseError, SparseVec,
     };
 }

@@ -1,0 +1,488 @@
+//! Sparse-vector SpMV (SpMSpV): `y = A·x` where both `x` and `y` are
+//! sparse vectors.
+//!
+//! The paper's formats assume a dense `x`; graph frontiers (BFS) and
+//! convergence-masked iterations (PageRank deltas, masked inference) hand
+//! the kernel an `x` with a handful of nonzeros, where touching all of `A`
+//! wastes almost every byte streamed. This module provides:
+//!
+//! * [`SparseVec`] — the sparse-vector type shared by all SpMSpV paths.
+//!   **Invariants:** indices are strictly increasing (sorted, duplicate
+//!   free), every index is `< dim`, and `ind`/`val` have equal length.
+//!   Constructors validate; kernels rely on the invariants.
+//! * [`SpMSpV`] — the trait (sparse x in, sparse y out), implemented for
+//!   [`Csc`] (column-gather scatter: only active columns are touched) and
+//!   [`Csr`] (masked fallback: every row is scanned, but only entries
+//!   whose column is active contribute — profitable when `A` is only
+//!   available row-major).
+//! * [`spmspv_bucketed`] — the serial form of the two-phase *bucket*
+//!   algorithm the parallel layer uses. Output rows are partitioned into
+//!   `nbuckets` contiguous buckets. Phase one counts, per (thread, bucket),
+//!   the matrix entries each thread's slice of active columns contributes;
+//!   an exclusive prefix sum turns the counts into disjoint ranges of a
+//!   bucket-major `(row, value)` pair array. Phase two scatters the pairs
+//!   (no synchronization: every (thread, bucket) range is disjoint), then
+//!   accumulates each bucket independently into the output.
+//!
+//! ## Determinism
+//!
+//! All paths accumulate each output row's contributions in ascending
+//! active-column order: the scatter walks active columns in `SparseVec`
+//! index order; the bucket pair array keeps that order within a bucket
+//! because thread slices partition the active columns contiguously and the
+//! prefix sum lays the slices out in thread order; the masked CSR path
+//! walks each row's (sorted) columns. Results are therefore **bit-identical
+//! across paths, bucket counts, and thread counts**. The densify-then-SpMV
+//! baseline performs the same sums interleaved with `±0.0` products from
+//! inactive columns, which (absent underflow) leave the accumulator bits
+//! unchanged — so it, too, matches bit-for-bit on the shared support.
+//!
+//! ## Output support
+//!
+//! The support of `y` is *structural*: a row is present iff some active
+//! column stores an entry in it, even when the accumulated value cancels
+//! to exactly `0.0`. This keeps the support identical across every path
+//! (a numeric filter would make it depend on summation grouping).
+//!
+//! ## Density crossover
+//!
+//! SpMSpV does `O(nnz(active cols))` work but random-scatters into `y`;
+//! dense SpMV streams all of `A` at full bandwidth. Above some input
+//! density the dense kernel wins. [`choose_path`] implements the switch:
+//! densities `>=` the crossover run dense, below it run the sparse path.
+//! [`DENSE_CROSSOVER_DENSITY`] is a conservative host-independent default;
+//! the `reproduce graph` harness measures the actual crossover per matrix
+//! and records it in BENCH.json (see EXPERIMENTS.md). Because of the
+//! bit-identity above, the switch is purely a performance decision — it
+//! never changes results.
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::error::{Result, SparseError};
+use crate::index::SpIndex;
+use crate::scalar::Scalar;
+use crate::spmv::SpMv;
+
+/// A sparse vector: sorted unique indices plus matching values.
+///
+/// See the [module docs](self) for the invariants. `ind` is fixed at
+/// `u32` to match the workspace's default stored-index width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec<V: Scalar = f64> {
+    dim: usize,
+    ind: Vec<u32>,
+    val: Vec<V>,
+}
+
+impl<V: Scalar> SparseVec<V> {
+    /// Builds a sparse vector, validating all invariants.
+    pub fn new(dim: usize, ind: Vec<u32>, val: Vec<V>) -> Result<Self> {
+        let v = SparseVec { dim, ind, val };
+        v.validate()?;
+        Ok(v)
+    }
+
+    /// The empty vector of dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        SparseVec { dim, ind: Vec::new(), val: Vec::new() }
+    }
+
+    /// A single-entry vector (e.g. a BFS source frontier).
+    pub fn single(dim: usize, i: usize, v: V) -> Result<Self> {
+        Self::new(dim, vec![u32::from_usize(i)?], vec![v])
+    }
+
+    /// Builds from a dense slice, keeping entries that compare unequal to
+    /// zero (both `0.0` and `-0.0` are dropped; NaN is kept).
+    pub fn from_dense(x: &[V]) -> Self {
+        let mut ind = Vec::new();
+        let mut val = Vec::new();
+        for (i, &v) in x.iter().enumerate() {
+            if v != V::zero() {
+                ind.push(i as u32);
+                val.push(v);
+            }
+        }
+        SparseVec { dim: x.len(), ind, val }
+    }
+
+    /// Logical dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.ind.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ind.is_empty()
+    }
+
+    /// The sorted index array.
+    pub fn indices(&self) -> &[u32] {
+        &self.ind
+    }
+
+    /// The value array, parallel to [`SparseVec::indices`].
+    pub fn values(&self) -> &[V] {
+        &self.val
+    }
+
+    /// Stored-entry fraction `nnz / dim` (`0.0` for a zero-dimensional
+    /// vector).
+    pub fn density(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.ind.len() as f64 / self.dim as f64
+        }
+    }
+
+    /// Iterates `(index, value)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, V)> + '_ {
+        self.ind.iter().zip(&self.val).map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Expands to a dense vector of length `dim`.
+    pub fn densify(&self) -> Vec<V> {
+        let mut out = vec![V::zero(); self.dim];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Checks the invariants: strictly increasing in-bounds indices and
+    /// matching array lengths.
+    pub fn validate(&self) -> Result<()> {
+        if self.ind.len() != self.val.len() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "sparse vector ind/val length mismatch: {} vs {}",
+                self.ind.len(),
+                self.val.len()
+            )));
+        }
+        let mut prev: Option<u32> = None;
+        for &i in &self.ind {
+            if (i as usize) >= self.dim {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: i as usize,
+                    col: 0,
+                    nrows: self.dim,
+                    ncols: 1,
+                });
+            }
+            if let Some(p) = prev {
+                if i <= p {
+                    return Err(SparseError::UnsortedIndices { row: i as usize });
+                }
+            }
+            prev = Some(i);
+        }
+        Ok(())
+    }
+}
+
+/// Sparse-vector SpMV: `y = A·x` with sparse `x` and sparse `y`.
+///
+/// The output support is structural and results are bit-identical across
+/// implementations — see the [module docs](self).
+pub trait SpMSpV<V: Scalar>: SpMv<V> {
+    /// Multiplies by a sparse vector, returning a sparse result.
+    ///
+    /// Errors with [`SparseError::DimensionMismatch`] when
+    /// `x.dim() != self.ncols()`.
+    fn spmspv(&self, x: &SparseVec<V>) -> Result<SparseVec<V>>;
+}
+
+fn check_x_dim<V: Scalar>(a: &dyn SpMv<V>, x: &SparseVec<V>) -> Result<()> {
+    if x.dim() != a.ncols() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "spmspv: x dim {} != ncols {}",
+            x.dim(),
+            a.ncols()
+        )));
+    }
+    Ok(())
+}
+
+impl<I: SpIndex, V: Scalar> SpMSpV<V> for Csc<I, V> {
+    /// Reference column-gather scatter: walk active columns in index
+    /// order, accumulate into a dense scratch, collect the structurally
+    /// touched rows by an ascending scan (so the output is sorted and
+    /// duplicate free by construction).
+    fn spmspv(&self, x: &SparseVec<V>) -> Result<SparseVec<V>> {
+        check_x_dim(self, x)?;
+        let nrows = self.nrows();
+        let mut acc = vec![V::zero(); nrows];
+        let mut hit = vec![false; nrows];
+        let (col_ptr, row_ind, values) = (self.col_ptr(), self.row_ind(), self.values());
+        for (c, xv) in x.iter() {
+            for j in col_ptr[c].index()..col_ptr[c + 1].index() {
+                let r = row_ind[j].index();
+                acc[r] += values[j] * xv;
+                hit[r] = true;
+            }
+        }
+        let mut ind = Vec::new();
+        let mut val = Vec::new();
+        for (r, &h) in hit.iter().enumerate() {
+            if h {
+                ind.push(r as u32);
+                val.push(acc[r]);
+            }
+        }
+        Ok(SparseVec { dim: nrows, ind, val })
+    }
+}
+
+impl<I: SpIndex, V: Scalar> SpMSpV<V> for Csr<I, V> {
+    /// Masked-CSR fallback: densify `x` plus an active-column mask, then
+    /// scan every row accumulating only masked entries. Row support is
+    /// structural (any masked entry, whatever its value). Each row sums
+    /// in ascending column order, matching the CSC paths bit-for-bit.
+    fn spmspv(&self, x: &SparseVec<V>) -> Result<SparseVec<V>> {
+        check_x_dim(self, x)?;
+        let mut xd = vec![V::zero(); self.ncols()];
+        let mut active = vec![false; self.ncols()];
+        for (c, xv) in x.iter() {
+            xd[c] = xv;
+            active[c] = true;
+        }
+        let mut ind = Vec::new();
+        let mut val = Vec::new();
+        for r in 0..self.nrows() {
+            let mut acc = V::zero();
+            let mut touched = false;
+            for (c, v) in self.row_iter(r) {
+                if active[c] {
+                    acc += v * xd[c];
+                    touched = true;
+                }
+            }
+            if touched {
+                ind.push(r as u32);
+                val.push(acc);
+            }
+        }
+        Ok(SparseVec { dim: self.nrows(), ind, val })
+    }
+}
+
+/// Serial two-phase bucket SpMSpV over CSC — the algorithm the parallel
+/// plan runs, with one "thread". Exists so tests can pin bucket counts:
+/// the result is bit-identical to [`SpMSpV::spmspv`] for every
+/// `nbuckets >= 1` (see the module docs for why).
+pub fn spmspv_bucketed<I: SpIndex, V: Scalar>(
+    m: &Csc<I, V>,
+    x: &SparseVec<V>,
+    nbuckets: usize,
+) -> Result<SparseVec<V>> {
+    check_x_dim(m, x)?;
+    let nrows = m.nrows();
+    let nb = nbuckets.clamp(1, nrows.max(1));
+    let bucket_rows = nrows.div_ceil(nb).max(1);
+    let (col_ptr, row_ind, values) = (m.col_ptr(), m.row_ind(), m.values());
+
+    // Phase one: count pairs per bucket, prefix-sum to disjoint ranges.
+    let mut counts = vec![0usize; nb];
+    for (c, _) in x.iter() {
+        for j in col_ptr[c].index()..col_ptr[c + 1].index() {
+            counts[row_ind[j].index() / bucket_rows] += 1;
+        }
+    }
+    let mut offs = vec![0usize; nb + 1];
+    for b in 0..nb {
+        offs[b + 1] = offs[b] + counts[b];
+    }
+
+    // Phase two: scatter (row, value) pairs into bucket-major order, then
+    // accumulate each bucket independently.
+    let total = offs[nb];
+    let mut pair_rows = vec![0u32; total];
+    let mut pair_vals = vec![V::zero(); total];
+    let mut cursor = offs[..nb].to_vec();
+    for (c, xv) in x.iter() {
+        for j in col_ptr[c].index()..col_ptr[c + 1].index() {
+            let r = row_ind[j].index();
+            let p = cursor[r / bucket_rows];
+            cursor[r / bucket_rows] = p + 1;
+            pair_rows[p] = r as u32;
+            pair_vals[p] = values[j] * xv;
+        }
+    }
+    let mut acc = vec![V::zero(); nrows];
+    let mut hit = vec![false; nrows];
+    let mut ind = Vec::new();
+    let mut val = Vec::new();
+    for b in 0..nb {
+        for p in offs[b]..offs[b + 1] {
+            let r = pair_rows[p] as usize;
+            acc[r] += pair_vals[p];
+            hit[r] = true;
+        }
+        let row_end = ((b + 1) * bucket_rows).min(nrows);
+        for r in b * bucket_rows..row_end {
+            if hit[r] {
+                ind.push(r as u32);
+                val.push(acc[r]);
+            }
+        }
+    }
+    Ok(SparseVec { dim: nrows, ind, val })
+}
+
+/// The densify-then-SpMV baseline: expands `x` and runs the format's dense
+/// kernel. The differential tests compare every sparse path against this.
+pub fn densify_spmv<V: Scalar>(a: &dyn SpMv<V>, x: &SparseVec<V>) -> Result<Vec<V>> {
+    check_x_dim(a, x)?;
+    let xd = x.densify();
+    let mut y = vec![V::zero(); a.nrows()];
+    a.spmv(&xd, &mut y);
+    Ok(y)
+}
+
+/// Host-independent default for the SpMSpV-vs-dense switch: inputs at or
+/// above this density run the dense kernel. The measured per-matrix
+/// crossover (BENCH.json `spmspv` section) is typically higher on this
+/// corpus; this default only has to be *safe*, not optimal.
+pub const DENSE_CROSSOVER_DENSITY: f64 = 0.25;
+
+/// Which kernel served (or would serve) an SpMSpV request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpMSpVPath {
+    /// Two-phase bucket scatter over CSC.
+    CscBucket,
+    /// Masked accumulation over CSR.
+    MaskedCsr,
+    /// Densify and run the dense SpMV kernel.
+    Dense,
+}
+
+impl SpMSpVPath {
+    /// Stable lowercase name, as recorded in BENCH.json.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpMSpVPath::CscBucket => "csc-bucket",
+            SpMSpVPath::MaskedCsr => "masked-csr",
+            SpMSpVPath::Dense => "dense",
+        }
+    }
+}
+
+/// The density crossover switch (see the module docs): sparse path below
+/// `crossover`, dense at or above it. Bit-identity across paths makes
+/// this purely a performance decision.
+pub fn choose_path(density: f64, crossover: f64) -> SpMSpVPath {
+    if density >= crossover {
+        SpMSpVPath::Dense
+    } else {
+        SpMSpVPath::CscBucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::examples::paper_matrix;
+
+    fn fixtures() -> (Csr<u32, f64>, Csc<u32, f64>) {
+        let csr = paper_matrix().to_csr();
+        let csc = Csc::from_csr(&csr).unwrap();
+        (csr, csc)
+    }
+
+    #[test]
+    fn sparse_vec_invariants() {
+        assert!(SparseVec::<f64>::new(4, vec![0, 2], vec![1.0, 2.0]).is_ok());
+        assert!(SparseVec::<f64>::new(4, vec![2, 0], vec![1.0, 2.0]).is_err());
+        assert!(SparseVec::<f64>::new(4, vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVec::<f64>::new(4, vec![4], vec![1.0]).is_err());
+        assert!(SparseVec::<f64>::new(4, vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn from_dense_densify_roundtrip() {
+        let x = vec![0.0, 3.0, 0.0, -2.5, 0.0];
+        let sv = SparseVec::from_dense(&x);
+        assert_eq!(sv.indices(), &[1, 3]);
+        assert_eq!(sv.densify(), x);
+        assert!((sv.density() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scatter_matches_dense_baseline() {
+        let (csr, csc) = fixtures();
+        let x = SparseVec::new(6, vec![1, 4], vec![2.0, -1.5]).unwrap();
+        let y = csc.spmspv(&x).unwrap();
+        y.validate().unwrap();
+        let yd = densify_spmv(&csr, &x).unwrap();
+        for (r, v) in y.iter() {
+            assert_eq!(v.to_bits(), yd[r].to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_csr_matches_csc_bitwise() {
+        let (csr, csc) = fixtures();
+        let x = SparseVec::new(6, vec![0, 2, 5], vec![1.25, -0.5, 3.0]).unwrap();
+        let a = csc.spmspv(&x).unwrap();
+        let b = csr.spmspv(&x).unwrap();
+        assert_eq!(a.indices(), b.indices());
+        let bits = |v: &SparseVec<f64>| v.values().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn bucketed_matches_scatter_for_every_bucket_count() {
+        let (_, csc) = fixtures();
+        let x = SparseVec::new(6, vec![0, 3, 5], vec![0.75, 2.0, -1.0]).unwrap();
+        let reference = csc.spmspv(&x).unwrap();
+        for nb in 1..=8 {
+            let got = spmspv_bucketed(&csc, &x, nb).unwrap();
+            assert_eq!(got, reference, "nbuckets={nb}");
+        }
+    }
+
+    #[test]
+    fn empty_frontier_yields_empty_output() {
+        let (csr, csc) = fixtures();
+        let x = SparseVec::empty(6);
+        assert!(csc.spmspv(&x).unwrap().is_empty());
+        assert!(csr.spmspv(&x).unwrap().is_empty());
+        assert!(spmspv_bucketed(&csc, &x, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let (csr, csc) = fixtures();
+        let x = SparseVec::new(5, vec![0], vec![1.0]).unwrap();
+        assert!(csc.spmspv(&x).is_err());
+        assert!(csr.spmspv(&x).is_err());
+    }
+
+    #[test]
+    fn structural_support_survives_cancellation() {
+        // Column 0 carries +1 and -1 into row 0 via two active columns
+        // whose contributions cancel: the row must still be present.
+        let mut coo = Coo::<f64>::new(1, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        let csc = Csc::<u32, f64>::from_csr(&coo.to_csr()).unwrap();
+        let x = SparseVec::new(2, vec![0, 1], vec![1.0, -1.0]).unwrap();
+        let y = csc.spmspv(&x).unwrap();
+        assert_eq!(y.indices(), &[0]);
+        assert_eq!(y.values()[0].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn crossover_switch() {
+        assert_eq!(choose_path(0.01, DENSE_CROSSOVER_DENSITY), SpMSpVPath::CscBucket);
+        assert_eq!(choose_path(0.25, DENSE_CROSSOVER_DENSITY), SpMSpVPath::Dense);
+        assert_eq!(SpMSpVPath::MaskedCsr.as_str(), "masked-csr");
+    }
+}

@@ -1,0 +1,88 @@
+//! Deterministic sparse-frontier generators for the SpMSpV drivers.
+//!
+//! The graph harness sweeps input densities from a single nonzero up to a
+//! fully dense vector; these helpers produce the frontiers reproducibly
+//! (same `(n, density, seed)` → same vector, any host). Indices are drawn
+//! without replacement and returned sorted, satisfying the
+//! [`SparseVec`] invariants by construction; values sit in `[0.5, 1.5)`
+//! so products can neither underflow nor cancel the bit-identity
+//! arguments the differential tests rely on.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spmv_core::SparseVec;
+
+/// Sorted unique indices covering a `density` fraction of `0..n`.
+///
+/// At least one index is returned whenever `density > 0.0` and `n > 0`
+/// (the "1 nnz" end of the sweep is `density = 0.0 + ε` or simply a tiny
+/// positive value); `density >= 1.0` returns all of `0..n`.
+pub fn frontier_indices(n: usize, density: f64, seed: u64) -> Vec<u32> {
+    if n == 0 || density <= 0.0 {
+        return Vec::new();
+    }
+    let want = ((n as f64 * density).round() as usize).clamp(1, n);
+    if want == n {
+        return (0..n as u32).collect();
+    }
+    // Floyd's algorithm: `want` distinct draws from 0..n, no O(n) scratch.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d_u64.wrapping_mul(n as u64 | 1));
+    let mut picked = std::collections::BTreeSet::new();
+    for j in (n - want)..n {
+        let t = rng.random_range(0..=j as u64) as u32;
+        if !picked.insert(t) {
+            picked.insert(j as u32);
+        }
+    }
+    picked.into_iter().collect()
+}
+
+/// A frontier vector at the requested density with values in `[0.5, 1.5)`.
+pub fn frontier(n: usize, density: f64, seed: u64) -> SparseVec<f64> {
+    let ind = frontier_indices(n, density, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+    let val: Vec<f64> = ind.iter().map(|_| 0.5 + rng.random_range(0.0..1.0)).collect();
+    SparseVec::new(n, ind, val).expect("generator output satisfies SparseVec invariants")
+}
+
+/// A deterministic BFS source vertex for an `n`-vertex graph.
+pub fn bfs_source(n: usize, seed: u64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xb5f5));
+    rng.random_range(0..n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_sorted_unique_and_sized() {
+        for &(n, d) in &[(100usize, 0.01), (100, 0.1), (100, 0.5), (100, 1.0), (7, 0.3)] {
+            let ind = frontier_indices(n, d, 42);
+            assert!(ind.windows(2).all(|w| w[0] < w[1]), "n={n} d={d}");
+            let want = ((n as f64 * d).round() as usize).clamp(1, n);
+            assert_eq!(ind.len(), want, "n={n} d={d}");
+            assert!(ind.iter().all(|&i| (i as usize) < n));
+        }
+        assert_eq!(frontier_indices(100, 0.0, 1).len(), 0);
+        assert_eq!(frontier_indices(0, 0.5, 1).len(), 0);
+        // Tiny positive density still yields the single-nonzero frontier.
+        assert_eq!(frontier_indices(100, 1e-9, 1).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(frontier(64, 0.25, 7), frontier(64, 0.25, 7));
+        assert_ne!(frontier(64, 0.25, 7), frontier(64, 0.25, 8));
+        assert_eq!(bfs_source(1000, 3), bfs_source(1000, 3));
+    }
+
+    #[test]
+    fn values_avoid_zero_and_sign_flips() {
+        let f = frontier(200, 0.5, 9);
+        assert!(f.values().iter().all(|&v| (0.5..1.5).contains(&v)));
+    }
+}

@@ -20,6 +20,7 @@
 //! real matrices when available.
 
 pub mod corpus;
+pub mod frontier;
 pub mod gen;
 pub mod mtx;
 pub mod permute;

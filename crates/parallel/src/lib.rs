@@ -103,6 +103,7 @@ pub mod faults;
 pub mod par;
 pub mod partition;
 pub mod pool;
+pub mod spmspv;
 pub mod supervised;
 pub mod telemetry;
 
@@ -115,6 +116,7 @@ pub use pool::{
     parse_watchdog_ms, run_on_threads, watchdog_deadline, watchdog_deadline_checked,
     DisjointSlices, IterationDriver, PoolEvent, WorkerPool, DEFAULT_WATCHDOG,
 };
+pub use spmspv::{ParMaskedSpMSpV, ParSpMSpV};
 pub use supervised::{
     ChunkKernel, CsrChunks, CsrDuChunks, CsrDuViChunks, CsrViChunks, FaultEvent, HealthReport,
     PoolError, RecoveryPolicy, SupervisedSpMv, WatchdogOpts,

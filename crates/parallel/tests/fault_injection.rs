@@ -475,3 +475,61 @@ fn par_executor_survives_worker_death_mid_spmv() {
     par.par_spmv(&x, &mut y2);
     assert_eq!(y2, y_serial, "plan reusable after worker death");
 }
+
+#[test]
+fn spmspv_bucket_plan_survives_worker_death_in_every_phase() {
+    // The bucket plan issues four dispatches per call (count, scatter,
+    // accumulate, gather); each slice is documented idempotent, so a
+    // worker death in any phase must recover bit-identically. Dispatch
+    // ids on a fresh pool are 0..4, which lets the plan target phases.
+    use spmv_core::spmspv::SpMSpV;
+    use spmv_core::{Csc, SparseVec};
+    use spmv_parallel::ParSpMSpV;
+    let coo = irregular(180, 140, 33);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let csc = Csc::from_csr(&csr).unwrap();
+    let ind: Vec<u32> = (0..140).step_by(4).collect();
+    let val: Vec<f64> = ind.iter().map(|&i| 0.5 + (i % 5) as f64).collect();
+    let x = SparseVec::new(140, ind, val).unwrap();
+    let reference = csc.spmspv(&x).unwrap();
+    for phase in 0..4u64 {
+        let mut plan = ParSpMSpV::new(&csc, 4);
+        let armed =
+            FaultPlan::new().inject(FaultSite::worker(phase, 2), FaultAction::ExitThread).arm();
+        let got = plan.spmspv(&x).expect("recovered call succeeds");
+        assert_eq!(armed.fired_count(), 1, "phase {phase}");
+        assert_eq!(got, reference, "phase {phase}: takeover must be bit-identical");
+        let events = plan.take_events();
+        assert!(
+            events.iter().any(|e| matches!(e, PoolEvent::WorkerDied { tid: 2, .. })),
+            "phase {phase}: {events:?}"
+        );
+        drop(armed);
+        // Reusability: a healthy follow-up on the same plan (the dead
+        // worker is respawned at its next dispatch).
+        assert_eq!(plan.spmspv(&x).unwrap(), reference, "phase {phase}: reuse");
+    }
+}
+
+#[test]
+fn spmspv_masked_plan_survives_worker_death() {
+    use spmv_core::spmspv::SpMSpV;
+    use spmv_core::SparseVec;
+    use spmv_parallel::ParMaskedSpMSpV;
+    let coo = irregular(180, 140, 34);
+    let csr: Csr<u32, f64> = coo.to_csr();
+    let ind: Vec<u32> = (0..140).step_by(3).collect();
+    let val: Vec<f64> = ind.iter().map(|&i| 1.0 + (i % 3) as f64 * 0.5).collect();
+    let x = SparseVec::new(140, ind, val).unwrap();
+    let reference = csr.spmspv(&x).unwrap();
+    for phase in 0..2u64 {
+        let mut plan = ParMaskedSpMSpV::new(&csr, 4);
+        let armed =
+            FaultPlan::new().inject(FaultSite::worker(phase, 1), FaultAction::ExitThread).arm();
+        let got = plan.spmspv(&x).expect("recovered call succeeds");
+        assert_eq!(armed.fired_count(), 1, "phase {phase}");
+        assert_eq!(got, reference, "phase {phase}: takeover must be bit-identical");
+        drop(armed);
+        assert_eq!(plan.spmspv(&x).unwrap(), reference, "phase {phase}: reuse");
+    }
+}

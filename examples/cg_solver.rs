@@ -4,17 +4,19 @@
 //! iterative refinement the paper cites as complementary value-data
 //! reduction (§III-C, Langou et al.).
 //!
-//! Solves a 2-D Poisson problem with (a) plain CSR, (b) the compressed
-//! format `auto_format` selects (identical trajectory — the kernels are
-//! bit-identical), and (c) mixed-precision refinement where the bulk of
-//! the SpMV traffic is f32.
+//! A small solver suite over one 2-D Poisson problem: (a) plain-CSR CG,
+//! (b) CG through the compressed format `auto_format` selects (identical
+//! trajectory — the kernels are bit-identical), (c) Jacobi-preconditioned
+//! CG on an ill-scaled variant of the system, again through both plain
+//! and compressed kernels, and (d) mixed-precision refinement where the
+//! bulk of the SpMV traffic is f32.
 //!
 //! ```text
 //! cargo run --release --example cg_solver
 //! ```
 
 use spmv_core::{Coo, Csr};
-use spmv_repro::solvers::{cg, mixed_precision_refine, narrow_csr};
+use spmv_repro::solvers::{cg, diag_of, mixed_precision_refine, narrow_csr, pcg};
 
 /// 2-D Poisson (5-point Laplacian) on a g x g grid — SPD, CG-friendly,
 /// and with only two distinct values (4 and -1): ttu = nnz/2, the ideal
@@ -89,7 +91,43 @@ fn main() {
     assert_eq!(max_diff, 0.0);
     println!("CG trajectories identical: OK");
 
-    // (c) Mixed precision: inner f32 CG + f64 refinement.
+    // (c) Jacobi-preconditioned CG on an ill-scaled variant: rescale
+    // row/column i by a spread of weights so plain CG struggles, then
+    // let the diagonal preconditioner claw the conditioning back. The
+    // preconditioned trajectory also runs bit-identically through the
+    // compressed kernel.
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + ((i % 37) as f64) * 2.0).collect();
+    let scaled: Csr = {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for (j, v) in csr.row_iter(i) {
+                coo.push(i, j, weights[i] * v * weights[j]).unwrap();
+            }
+        }
+        coo.to_csr()
+    };
+    let diag = diag_of(&scaled);
+    let mut bs = vec![0.0; n];
+    bs[n / 2] = 1.0;
+    let t0 = std::time::Instant::now();
+    let r_plain = cg(&scaled, &bs, 1e-10, 8000);
+    let t_plain = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let r_pcg = pcg(&scaled, &diag, &bs, 1e-10, 8000);
+    let t_pcg = t0.elapsed().as_secs_f64();
+    let scaled_cmp = spmv_repro::auto_format(&scaled);
+    let r_pcg_cmp = pcg(&scaled_cmp, &diag, &bs, 1e-10, 8000);
+    println!(
+        "\nill-scaled system: plain CG {} iterations ({t_plain:.3} s); Jacobi-PCG {} \
+         iterations ({t_pcg:.3} s), residual {:.3e}",
+        r_plain.iterations, r_pcg.iterations, r_pcg.relative_residual
+    );
+    assert!(r_pcg.converged, "PCG must converge on the SPD system");
+    assert!(r_pcg.iterations < r_plain.iterations, "the preconditioner must pay for itself");
+    assert_eq!(r_pcg.x, r_pcg_cmp.x, "PCG trajectory identical through {}", scaled_cmp.name());
+    println!("PCG trajectories identical through {}: OK", scaled_cmp.name());
+
+    // (d) Mixed precision: inner f32 CG + f64 refinement.
     let csr32 = narrow_csr(&csr);
     let t0 = std::time::Instant::now();
     let r_mixed = mixed_precision_refine(&csr, &csr32, &b, 1e-10, 40, 600);

@@ -126,6 +126,22 @@ echo "$warm_out" | grep "^plan-cache: " | grep -q " encodes=0 " \
 cargo run -q --release -p spmv-bench --bin reproduce -- \
     check-bench target/plan-smoke/BENCH.json
 
+echo "== graph-smoke (SpMSpV drivers + differential matrix) =="
+# The SpMSpV differential matrix (densities x paths x threads, 0-ULP
+# against the densify-then-SpMV baseline), the property suites (bucket
+# == scatter, parallel == serial, BFS level-set identity, CSC
+# round-trips), the PageRank determinism regression, then a short
+# BFS/PageRank run over the small power-law corpus whose schema-v7
+# artifact — bit-identity checked inside the run itself — must
+# re-validate through the independent jsonv reader.
+cargo test -q --test spmspv_equivalence
+cargo test -q --test proptest_spmspv
+cargo test -q --test graph_determinism
+timeout 300 cargo run -q --release -p spmv-bench --bin reproduce -- \
+    --scale 0.002 --iters 3 --out target/graph-smoke graph
+cargo run -q --release -p spmv-bench --bin reproduce -- \
+    check-bench target/graph-smoke/BENCH.json
+
 echo "== fuzz-smoke (deterministic, fixed seed) =="
 # 12k mutated inputs per parser (io container, MatrixMarket, ctl stream);
 # any panic fails the gate. Reproducible: same seed -> same inputs.

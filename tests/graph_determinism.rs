@@ -1,0 +1,87 @@
+//! PageRank determinism regression (ISSUE 10 satellite 4).
+//!
+//! The convergence-masked PageRank driver must produce **bit-identical**
+//! rank vectors and residuals across thread counts and kernel paths.
+//! Two disciplines make that true, and this suite pins both:
+//!
+//! * every SpMSpV/SpMV path folds each output row in ascending
+//!   active-column order, so the delta vectors agree to the last bit no
+//!   matter how many workers ran;
+//! * every cross-entry reduction (the residual) goes through
+//!   `deterministic_abs_sum` — fixed `REDUCTION_CHUNK`-wide chunks
+//!   combined left to right — instead of a thread-order-dependent sum.
+//!
+//! Floating-point addition is not associative, so a reduction whose
+//! grouping followed the thread count would silently break the
+//! contract; the `order_sensitivity_is_real` test demonstrates the trap
+//! is live (permuting the summands changes the bits), which is exactly
+//! why the pinned order is load-bearing.
+
+use spmv_bench::graph::{deterministic_abs_sum, pagerank, PageRankOpts, PathMode};
+use spmv_core::Csr;
+use spmv_matgen::corpus::corpus_scaled;
+use spmv_matgen::MatrixClass;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn power_law_fixture() -> Csr<u32, f64> {
+    corpus_scaled(0.002)
+        .into_iter()
+        .find(|e| matches!(e.class, MatrixClass::PowerLaw { .. }))
+        .expect("corpus has power-law entries")
+        .build()
+        .to_csr()
+}
+
+#[test]
+fn pagerank_ranks_and_residual_bit_identical_across_threads_and_paths() {
+    let csr = power_law_fixture();
+    let opts = PageRankOpts { max_iters: 40, ..PageRankOpts::default() };
+    let reference = pagerank(&csr, 1, PathMode::ForceBucket, &opts).unwrap();
+    assert!(reference.iterations > 0);
+    let ref_bits: Vec<u64> = reference.ranks.iter().map(|v| v.to_bits()).collect();
+    for &t in &THREADS {
+        for mode in [PathMode::Auto, PathMode::ForceBucket, PathMode::ForceMasked] {
+            let run = pagerank(&csr, t, mode, &opts).unwrap();
+            let bits: Vec<u64> = run.ranks.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, ref_bits, "ranks diverged at t={t} mode={mode:?}");
+            assert_eq!(
+                run.residual.to_bits(),
+                reference.residual.to_bits(),
+                "residual diverged at t={t} mode={mode:?}"
+            );
+            assert_eq!(run.iterations, reference.iterations);
+            assert_eq!(run.final_active, reference.final_active);
+        }
+    }
+}
+
+#[test]
+fn residual_reduction_is_repeatable() {
+    let csr = power_law_fixture();
+    let opts = PageRankOpts { max_iters: 25, ..PageRankOpts::default() };
+    let a = pagerank(&csr, 4, PathMode::Auto, &opts).unwrap();
+    let b = pagerank(&csr, 4, PathMode::Auto, &opts).unwrap();
+    assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+    assert_eq!(a.paths, b.paths, "path choices are part of the deterministic contract");
+}
+
+#[test]
+fn order_sensitivity_is_real() {
+    // The regression this suite guards against: f64 addition is not
+    // associative, so summing the same multiset in a different order
+    // changes bits. If this ever stops failing for permuted input, the
+    // bit-identity assertions above lose their teeth.
+    let v: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761_usize) as f64).sin() * 1e3).collect();
+    let mut rev = v.clone();
+    rev.reverse();
+    let forward = deterministic_abs_sum(&v);
+    let backward = deterministic_abs_sum(&rev);
+    assert_ne!(
+        forward.to_bits(),
+        backward.to_bits(),
+        "if reordering no longer changes the sum, this fixture needs harder values"
+    );
+    // Same order -> same bits, every time.
+    assert_eq!(forward.to_bits(), deterministic_abs_sum(&v).to_bits());
+}

@@ -1,0 +1,181 @@
+//! Property-based SpMSpV tests (ISSUE 10 satellites 2 and 3): on
+//! arbitrary sparse matrices and arbitrary sparse frontiers,
+//!
+//! * the bucketed kernel equals the reference scatter bit-for-bit at
+//!   every bucket count,
+//! * the parallel bucket plan and the parallel masked-CSR fallback equal
+//!   the serial path bit-for-bit at every thread count,
+//! * output index lists are always sorted and duplicate-free,
+//! * BFS level sets are identical for every thread count and across the
+//!   CSC-bucket and masked-CSR paths,
+//! * `Csc::from_csr` round-trips (structure and value bits), survives
+//!   `validate()`, and survives a container write/read cycle.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spmv_bench::graph::{bfs, PathMode};
+use spmv_core::csc::Csc;
+use spmv_core::io::{read_csc, write_csc};
+use spmv_core::spmspv::spmspv_bucketed;
+use spmv_core::{Coo, Csr, SpMSpV, SpMv, SparseVec};
+use spmv_parallel::{ParMaskedSpMSpV, ParSpMSpV};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn arb_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => prop_oneof![Just(1.0), Just(-1.0), Just(2.5), Just(0.0), Just(-0.0)],
+        1 => (-1e6f64..1e6).prop_filter("finite", |v| v.is_finite()),
+    ]
+}
+
+/// Arbitrary canonical sparse matrix up to 40x40 with up to 160 entries.
+fn arb_matrix() -> impl Strategy<Value = Coo<f64>> {
+    (1usize..40, 1usize..40)
+        .prop_flat_map(|(nrows, ncols)| {
+            let entry = (0..nrows, 0..ncols, arb_value());
+            (Just(nrows), Just(ncols), vec(entry, 0..160))
+        })
+        .prop_map(|(nrows, ncols, entries)| {
+            let mut coo = Coo::from_triplets(nrows, ncols, entries).expect("in bounds");
+            coo.canonicalize();
+            coo
+        })
+}
+
+/// Arbitrary matrix plus a matched sparse frontier (possibly empty,
+/// possibly fully dense, arbitrary finite values).
+fn arb_matrix_and_x() -> impl Strategy<Value = (Coo<f64>, SparseVec<f64>)> {
+    arb_matrix().prop_flat_map(|coo| {
+        let ncols = coo.ncols();
+        let picks = vec((0..ncols, arb_value()), 0..=ncols);
+        (Just(coo), picks).prop_map(|(coo, picks)| {
+            let ncols = coo.ncols();
+            let mut by_col: Vec<Option<f64>> = vec![None; ncols];
+            for (c, v) in picks {
+                by_col[c] = Some(v);
+            }
+            let mut ind = Vec::new();
+            let mut val = Vec::new();
+            for (c, slot) in by_col.iter().enumerate() {
+                if let Some(v) = slot {
+                    ind.push(c as u32);
+                    val.push(*v);
+                }
+            }
+            let x = SparseVec::new(ncols, ind, val).expect("sorted by construction");
+            (coo, x)
+        })
+    })
+}
+
+fn bits(y: &SparseVec<f64>) -> (Vec<u32>, Vec<u64>) {
+    (y.indices().to_vec(), y.values().iter().map(|v| v.to_bits()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucketed_equals_reference_scatter_at_every_bucket_count(
+        (coo, x) in arb_matrix_and_x()
+    ) {
+        let csr: Csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr).unwrap();
+        let reference = csc.spmspv(&x).unwrap();
+        prop_assert!(reference.indices().windows(2).all(|w| w[0] < w[1]));
+        for nb in [1usize, 2, 5, 16, 64] {
+            let y = spmspv_bucketed(&csc, &x, nb).unwrap();
+            prop_assert_eq!(bits(&y), bits(&reference), "nb={}", nb);
+        }
+    }
+
+    #[test]
+    fn parallel_paths_equal_serial_at_every_thread_count(
+        (coo, x) in arb_matrix_and_x()
+    ) {
+        let csr: Csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr).unwrap();
+        let reference = csc.spmspv(&x).unwrap();
+        let masked_ref = csr.spmspv(&x).unwrap();
+        prop_assert_eq!(bits(&masked_ref), bits(&reference));
+        for &t in &THREADS {
+            let y = ParSpMSpV::new(&csc, t).spmspv(&x).unwrap();
+            prop_assert!(y.indices().windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(bits(&y), bits(&reference), "bucket t={}", t);
+            let y = ParMaskedSpMSpV::new(&csr, t).spmspv(&x).unwrap();
+            prop_assert!(y.indices().windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(bits(&y), bits(&reference), "masked t={}", t);
+        }
+    }
+
+    #[test]
+    fn bfs_level_sets_identical_across_threads_and_paths(
+        coo in arb_matrix(),
+        source_pick in 0usize..1000,
+    ) {
+        // Make it square: trim to the smaller dimension.
+        let n = coo.nrows().min(coo.ncols());
+        let tri: Vec<(usize, usize, f64)> = coo
+            .entries()
+            .iter()
+            .filter(|&&(r, c, _)| r < n && c < n)
+            .map(|&(r, c, v)| (r, c, if v == 0.0 { 1.0 } else { v }))
+            .collect();
+        let csr: Csr = Coo::from_triplets(n, n, tri).unwrap().to_csr();
+        let source = source_pick % n;
+        let reference = bfs(&csr, 1, PathMode::ForceBucket, source).unwrap();
+        prop_assert_eq!(reference.levels[source], 0);
+        for &t in &THREADS {
+            for mode in [PathMode::ForceBucket, PathMode::ForceMasked] {
+                let run = bfs(&csr, t, mode, source).unwrap();
+                prop_assert_eq!(&run.levels, &reference.levels, "t={} mode={:?}", t, mode);
+                prop_assert_eq!(run.reached, reference.reached);
+                prop_assert_eq!(run.level_count, reference.level_count);
+            }
+        }
+    }
+
+    #[test]
+    fn csc_from_csr_round_trips(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr).unwrap();
+        csc.validate().unwrap();
+        // Structure and value bits survive the conversion.
+        let mut back = csc.to_coo();
+        back.canonicalize();
+        let mut orig = csr.to_coo();
+        orig.canonicalize();
+        prop_assert_eq!(back.nrows(), orig.nrows());
+        prop_assert_eq!(back.ncols(), orig.ncols());
+        let eb: Vec<(usize, usize, u64)> =
+            back.entries().iter().map(|&(r, c, v)| (r, c, v.to_bits())).collect();
+        let ob: Vec<(usize, usize, u64)> =
+            orig.entries().iter().map(|&(r, c, v)| (r, c, v.to_bits())).collect();
+        prop_assert_eq!(eb, ob);
+        // And the CSC kernel agrees with CSR up to ordering-independent
+        // exactness on a basis vector (columns are accumulated whole).
+        if csr.ncols() > 0 {
+            let x = SparseVec::single(csr.ncols(), 0, 1.0).unwrap();
+            let a = csc.spmspv(&x).unwrap();
+            let b = csr.spmspv(&x).unwrap();
+            prop_assert_eq!(bits(&a), bits(&b));
+        }
+    }
+
+    #[test]
+    fn csc_container_io_round_trips(coo in arb_matrix()) {
+        let csr: Csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr).unwrap();
+        let mut buf = Vec::new();
+        write_csc(&csc, &mut buf).unwrap();
+        let got = read_csc(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(got.nrows(), csc.nrows());
+        prop_assert_eq!(got.ncols(), csc.ncols());
+        prop_assert_eq!(got.col_ptr(), csc.col_ptr());
+        prop_assert_eq!(got.row_ind(), csc.row_ind());
+        let gb: Vec<u64> = got.values().iter().map(|v| v.to_bits()).collect();
+        let cb: Vec<u64> = csc.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(gb, cb);
+    }
+}

@@ -1,0 +1,193 @@
+//! SpMSpV differential test matrix (ISSUE 10 satellite 1).
+//!
+//! Every SpMSpV execution path — serial CSC scatter, serial masked CSR,
+//! bucketed serial at several bucket counts, the parallel CSC bucket
+//! plan, and the parallel masked-CSR fallback — is compared against the
+//! densify-then-SpMV baseline across frontier densities
+//! {1 nnz, 1%, 10%, 50%, 100%} and thread counts {1, 2, 4, 7}.
+//!
+//! The comparison is at **0 ULP** (bit equality), in the spirit of
+//! `CheckedSpMv` with `max_ulps = 0` and every row sampled: all paths
+//! accumulate each output row in ascending active-column order, and the
+//! baseline's extra products for inactive columns are exact `±0.0`s
+//! (frontier values live in `[0.5, 1.5)`, so no products underflow), so
+//! not a single accumulator bit may differ.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spmv_core::csc::Csc;
+use spmv_core::spmspv::{densify_spmv, spmspv_bucketed};
+use spmv_core::{Coo, Csr, SpMSpV, SparseVec};
+use spmv_matgen::corpus::corpus_scaled;
+use spmv_matgen::frontier::frontier;
+use spmv_matgen::MatrixClass;
+use spmv_parallel::{ParMaskedSpMSpV, ParSpMSpV};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+/// {1 nnz, 1%, 10%, 50%, 100%}: the first density is small enough that
+/// the generator's `max(1)` clamp leaves a single nonzero.
+const DENSITIES: [f64; 5] = [1e-9, 0.01, 0.1, 0.5, 1.0];
+
+/// A signed-value rectangular matrix the square corpus graphs don't
+/// cover (empty rows and columns included).
+fn rectangular(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Csr<u32, f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tri: Vec<(usize, usize, f64)> = (0..nnz)
+        .map(|_| {
+            let r = rng.random_range(0..nrows as u64) as usize;
+            let c = rng.random_range(0..ncols as u64) as usize;
+            (r, c, rng.random_range(0.0..2.0) - 1.0)
+        })
+        .collect();
+    let mut coo = Coo::from_triplets(nrows, ncols, tri).unwrap();
+    coo.canonicalize();
+    coo.to_csr()
+}
+
+/// Matrices under test: two power-law graphs from the corpus plus a
+/// rectangular random one.
+fn fixtures() -> Vec<(String, Csr<u32, f64>)> {
+    let mut out: Vec<(String, Csr<u32, f64>)> = corpus_scaled(0.002)
+        .into_iter()
+        .filter(|e| matches!(e.class, MatrixClass::PowerLaw { .. }))
+        .take(2)
+        .map(|e| (e.name.clone(), e.build().to_csr()))
+        .collect();
+    out.push(("rect_97x61".to_string(), rectangular(97, 61, 400, 0xD1FF)));
+    out
+}
+
+/// Runs `x` through every SpMSpV path and returns the labelled outputs.
+fn all_paths(
+    csr: &Csr<u32, f64>,
+    csc: &Csc<u32, f64>,
+    x: &SparseVec<f64>,
+) -> Vec<(String, SparseVec<f64>)> {
+    let mut outs = vec![
+        ("serial-csc".to_string(), csc.spmspv(x).unwrap()),
+        ("serial-masked-csr".to_string(), csr.spmspv(x).unwrap()),
+    ];
+    for nb in [1usize, 7, 32] {
+        outs.push((format!("bucketed-nb{nb}"), spmspv_bucketed(csc, x, nb).unwrap()));
+    }
+    for &t in &THREADS {
+        let mut plan = ParSpMSpV::new(csc, t);
+        outs.push((format!("par-bucket-t{t}"), plan.spmspv(x).unwrap()));
+        let mut masked = ParMaskedSpMSpV::new(csr, t);
+        outs.push((format!("par-masked-t{t}"), masked.spmspv(x).unwrap()));
+    }
+    outs
+}
+
+fn assert_invariants(label: &str, y: &SparseVec<f64>) {
+    let ind = y.indices();
+    assert!(
+        ind.windows(2).all(|w| w[0] < w[1]),
+        "{label}: output indices must be strictly increasing (sorted, duplicate-free)"
+    );
+    assert!(ind.iter().all(|&i| (i as usize) < y.dim()), "{label}: index out of range");
+    y.validate().unwrap_or_else(|e| panic!("{label}: invariant violation: {e}"));
+}
+
+#[test]
+fn differential_matrix_zero_ulp_across_densities_and_threads() {
+    for (name, csr) in fixtures() {
+        let csc = Csc::from_csr(&csr).unwrap();
+        for &d in &DENSITIES {
+            let x = frontier(csr.ncols(), d, 0xF00D ^ d.to_bits());
+            let baseline = densify_spmv(&csr, &x).unwrap();
+            let reference = csc.spmspv(&x).unwrap();
+            for (label, y) in all_paths(&csr, &csc, &x) {
+                let label = format!("{name} d={d} {label}");
+                assert_invariants(&label, &y);
+                // Identical support AND identical value bits vs the
+                // serial reference.
+                assert_eq!(y.indices(), reference.indices(), "{label}: support diverged");
+                let yb: Vec<u64> = y.values().iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u64> = reference.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(yb, rb, "{label}: value bits diverged from serial reference");
+                // 0 ULP against the densify-then-SpMV baseline.
+                let dense = y.densify();
+                for (i, (a, b)) in dense.iter().zip(&baseline).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{label}: row {i}: {a:e} vs baseline {b:e} (must be 0 ULP)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_frontier_yields_empty_output_on_every_path() {
+    let (name, csr) = fixtures().remove(0);
+    let csc = Csc::from_csr(&csr).unwrap();
+    let x = SparseVec::empty(csr.ncols());
+    for (label, y) in all_paths(&csr, &csc, &x) {
+        assert!(y.is_empty(), "{name} {label}: empty frontier must give an empty output");
+        assert_eq!(y.dim(), csr.nrows());
+    }
+}
+
+#[test]
+fn full_frontier_matches_plain_spmv_bit_for_bit() {
+    use spmv_core::SpMv;
+    for (name, csr) in fixtures() {
+        let csc = Csc::from_csr(&csr).unwrap();
+        let x = frontier(csr.ncols(), 1.0, 7);
+        assert_eq!(x.nnz(), csr.ncols(), "density 1.0 must activate every column");
+        let mut y_dense = vec![0.0; csr.nrows()];
+        csr.spmv(&x.densify(), &mut y_dense);
+        for (label, y) in all_paths(&csr, &csc, &x) {
+            let yd = y.densify();
+            for (i, (a, b)) in yd.iter().zip(&y_dense).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} {label}: row {i} diverged from dense SpMV at density 1.0"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_matrices_are_handled_on_every_path() {
+    // 1x1 with one entry.
+    let one: Csr<u32, f64> = Coo::from_triplets(1, 1, vec![(0, 0, 2.5)]).unwrap().to_csr();
+    let csc = Csc::from_csr(&one).unwrap();
+    let x = SparseVec::single(1, 0, 2.0).unwrap();
+    for (label, y) in all_paths(&one, &csc, &x) {
+        assert_eq!(y.indices(), &[0], "{label}");
+        assert_eq!(y.values(), &[5.0], "{label}");
+    }
+
+    // 1x1 with no entries.
+    let zero1: Csr<u32, f64> =
+        Coo::from_triplets(1, 1, Vec::<(usize, usize, f64)>::new()).unwrap().to_csr();
+    let csc = Csc::from_csr(&zero1).unwrap();
+    for (label, y) in all_paths(&zero1, &csc, &x) {
+        assert!(y.is_empty(), "{label}: 0-nnz matrix must give an empty output");
+    }
+
+    // 0-nnz rectangular matrix with a dense frontier.
+    let zero: Csr<u32, f64> =
+        Coo::from_triplets(5, 3, Vec::<(usize, usize, f64)>::new()).unwrap().to_csr();
+    let csc = Csc::from_csr(&zero).unwrap();
+    let x = frontier(3, 1.0, 9);
+    for (label, y) in all_paths(&zero, &csc, &x) {
+        assert!(y.is_empty(), "{label}");
+        assert_eq!(y.dim(), 5, "{label}");
+    }
+
+    // Dimension mismatch is rejected, not mangled.
+    let (_, csr) = fixtures().remove(0);
+    let csc = Csc::from_csr(&csr).unwrap();
+    let bad = frontier(csr.ncols() + 1, 0.5, 3);
+    assert!(csc.spmspv(&bad).is_err());
+    assert!(csr.spmspv(&bad).is_err());
+    assert!(ParSpMSpV::new(&csc, 2).spmspv(&bad).is_err());
+    assert!(ParMaskedSpMSpV::new(&csr, 2).spmspv(&bad).is_err());
+}
